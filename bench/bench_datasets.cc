@@ -1,0 +1,59 @@
+// Regenerates Table 3: statistics and split ratios of the seven (synthetic
+// stand-in) target datasets, plus the eleven source datasets and the size
+// of the joint search space.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/table.h"
+#include "searchspace/search_space.h"
+
+namespace autocts {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  std::cout << "=== Table 3 — dataset statistics (synthetic stand-ins; "
+               "paper values in DESIGN.md) ===\n";
+  TextTable table({"Dataset", "N", "T", "Split (M)", "Split (S)", "Domain "
+                   "signature (mean / std)"});
+  for (const std::string& name : TargetDatasetNames()) {
+    ForecastTask m = MakeTargetTask(name, 12, 12, false, env.scale);
+    ForecastTask s = MakeTargetTask(name, 168, 3, true, env.scale);
+    float mean, std;
+    m.data->MeanStd(1.0, &mean, &std);
+    auto ratio = [](const ForecastTask& t) {
+      double test = 1.0 - t.train_ratio - t.val_ratio;
+      return TextTable::Num(t.train_ratio * 10, 0) + ":" +
+             TextTable::Num(t.val_ratio * 10, 0) + ":" +
+             TextTable::Num(test * 10, 0);
+    };
+    table.AddRow({name, std::to_string(m.data->num_series()),
+                  std::to_string(m.data->num_steps()), ratio(m), ratio(s),
+                  TextTable::Num(mean, 1) + " / " + TextTable::Num(std, 1)});
+  }
+  std::cout << table.ToString();
+
+  std::cout << "\nSource datasets (pre-training corpora):\n";
+  TextTable sources({"Dataset", "N", "T"});
+  for (const std::string& name : SourceDatasetNames()) {
+    CtsDatasetPtr d = MakeSyntheticDataset(name, env.scale);
+    sources.AddRow({name, std::to_string(d->num_series()),
+                    std::to_string(d->num_steps())});
+  }
+  std::cout << sources.ToString();
+
+  JointSearchSpace space;
+  std::cout << "\nJoint search space size: 10^"
+            << TextTable::Num(space.Log10Size(), 2)
+            << " arch-hypers (paper: ~10^10+)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace autocts
+
+int main() {
+  autocts::bench::Run();
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Micro-benchmarks of the substrate (google-benchmark): tensor matmul,
+// operator forwards, GIN inference, comparator ranking throughput, and a
+// supernet training step. These pin the per-component costs that the
+// paper's efficiency claims (Fig. 7, Table 13 TIME column) decompose into.
+#include <benchmark/benchmark.h>
+
+#include "comparator/comparator.h"
+#include "data/synthetic.h"
+#include "model/operators.h"
+#include "model/trainer.h"
+#include "model/searched_model.h"
+#include "nn/optimizer.h"
+#include "search/evolutionary.h"
+#include "supernet/supernet.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Tensor a = Tensor::Randn({n, n}, &rng, 1.0f, true);
+  Tensor b = Tensor::Randn({n, n}, &rng, 1.0f, true);
+  for (auto _ : state) {
+    Tensor loss = SumAll(MatMul(a, b));
+    loss.Backward();
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(16)->Arg(64);
+
+OperatorContext MicroContext(Rng* rng) {
+  OperatorContext ctx;
+  ctx.num_sensors = 10;
+  ctx.hidden_dim = 4;
+  std::vector<float> adj(100, 0.2f);
+  for (int i = 0; i < 10; ++i) adj[static_cast<size_t>(i) * 10 + i] = 1.0f;
+  ctx.adjacency = Tensor::FromVector({10, 10}, std::move(adj));
+  ctx.rng = rng;
+  return ctx;
+}
+
+void BM_OperatorForward(benchmark::State& state) {
+  Rng rng(3);
+  OperatorContext ctx = MicroContext(&rng);
+  auto op = MakeOperator(static_cast<OpType>(state.range(0)), ctx, 1);
+  Tensor x = Tensor::Randn({8, 10, 12, 4}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Forward(x).data().data());
+  }
+}
+BENCHMARK(BM_OperatorForward)
+    ->Arg(static_cast<int>(OpType::kGdcc))
+    ->Arg(static_cast<int>(OpType::kInfT))
+    ->Arg(static_cast<int>(OpType::kDgcn))
+    ->Arg(static_cast<int>(OpType::kInfS));
+
+void BM_GinBatchForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(4);
+  GinEncoder::Options opts;
+  GinEncoder gin(opts, &rng);
+  JointSearchSpace space;
+  std::vector<ArchHyperEncoding> encs;
+  for (int i = 0; i < batch; ++i) {
+    encs.push_back(EncodeArchHyper(space.Sample(&rng)));
+  }
+  EncodingBatch eb = StackEncodings(encs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gin.Forward(eb).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GinBatchForward)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ComparatorRankingThroughput(benchmark::State& state) {
+  // Pairwise comparisons per second — the quantity that makes K_s=300,000
+  // rankings feasible (Table 13's TIME column).
+  Rng rng(5);
+  Comparator::Options opts;
+  opts.task_aware = false;
+  Comparator comp(opts, 6);
+  JointSearchSpace space;
+  std::vector<ArchHyper> pool = space.SampleDistinct(64, &rng);
+  EvolutionarySearcher searcher(&comp, &space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        searcher.SparseWinCounts(pool, Tensor(), 4, 64, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 4);
+}
+BENCHMARK(BM_ComparatorRankingThroughput);
+
+void BM_ModelTrainStep(benchmark::State& state) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  ForecastTask task;
+  task.data = MakeSyntheticDataset("Los-Loop", cfg);
+  task.p = 12;
+  task.q = 12;
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  JointSearchSpace space;
+  Rng rng(7);
+  auto model = BuildSearchedModel(space.Sample(&rng), spec, cfg, 8);
+  WindowProvider provider(task);
+  Adam adam(model->Parameters(), {});
+  WindowBatch batch = provider.SampleTrainBatch(4, &rng);
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    Tensor loss = MaeLoss(model->Forward(batch.x), batch.y);
+    loss.Backward();
+    adam.Step();
+  }
+}
+BENCHMARK(BM_ModelTrainStep);
+
+void BM_SupernetStep(benchmark::State& state) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  ForecastTask task;
+  task.data = MakeSyntheticDataset("Los-Loop", cfg);
+  task.p = 12;
+  task.q = 12;
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  SupernetOptions opts;
+  opts.num_blocks = 2;
+  Supernet net(opts, spec, cfg);
+  WindowProvider provider(task);
+  Rng rng(9);
+  Adam adam(net.WeightParameters(), {});
+  WindowBatch batch = provider.SampleTrainBatch(2, &rng);
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    Tensor loss = MaeLoss(net.Forward(batch.x), batch.y);
+    loss.Backward();
+    adam.Step();
+  }
+}
+BENCHMARK(BM_SupernetStep);
+
+}  // namespace
+}  // namespace autocts
+
+BENCHMARK_MAIN();

@@ -1,0 +1,7 @@
+// Regenerates Table 5: performance of P-12/Q-12 multi-step forecasting.
+#include "bench/perf_table.h"
+
+int main() {
+  autocts::bench::RunPerfTable(12, 12, /*single_step=*/false, "Table 5");
+  return 0;
+}

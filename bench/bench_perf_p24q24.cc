@@ -1,0 +1,8 @@
+// Regenerates Table 6: performance of P-24/Q-24 multi-step forecasting
+// (a setting never seen during pre-training).
+#include "bench/perf_table.h"
+
+int main() {
+  autocts::bench::RunPerfTable(24, 24, /*single_step=*/false, "Table 6");
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Regenerates Table 7: performance of P-48/Q-48 multi-step forecasting.
+#include "bench/perf_table.h"
+
+int main() {
+  autocts::bench::RunPerfTable(48, 48, /*single_step=*/false, "Table 7");
+  return 0;
+}

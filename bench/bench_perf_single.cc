@@ -1,0 +1,8 @@
+// Regenerates Table 8: performance of P-168/Q-1 (3rd) single-step
+// forecasting (RRSE / CORR).
+#include "bench/perf_table.h"
+
+int main() {
+  autocts::bench::RunPerfTable(168, 3, /*single_step=*/true, "Table 8");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Regenerates Figure 7: runtime of the embedding, ranking, and training
+// phases on every one of the 28 unseen tasks (7 datasets × 4 settings).
+//
+// Expected shape (paper): searching (embedding + ranking) stays flat at
+// minutes-level across tasks regardless of dataset size and setting, while
+// training time varies; at paper scale a fully-supervised search would
+// instead cost GPU-hours per task.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/table.h"
+
+namespace autocts {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  std::cout << "=== Figure 7 — per-task runtime of the zero-shot pipeline "
+               "(seconds; paper reports GPU minutes) ===\n";
+  AutoCtsOptions opts = env.autocts;
+  opts.search.top_k = 1;  // One final model per task keeps the sweep tight.
+  auto framework = PretrainedFramework(env, opts, "default");
+
+  struct Setting {
+    int p, q;
+    bool single;
+  };
+  const Setting settings[] = {
+      {12, 12, false}, {24, 24, false}, {48, 48, false}, {168, 3, true}};
+  TextTable table({"Task", "Embed(s)", "Rank(s)", "Search(s)", "Train(s)"});
+  double max_search = 0.0, min_search = 1e30;
+  for (const Setting& s : settings) {
+    for (const ForecastTask& task :
+         MakeTargetTasks(s.p, s.q, s.single, env.scale)) {
+      std::cerr << "[fig7] " << task.name() << "\n";
+      SearchOutcome outcome = framework->SearchAndTrain(task);
+      double search = outcome.embed_seconds + outcome.rank_seconds;
+      max_search = std::max(max_search, search);
+      min_search = std::min(min_search, search);
+      table.AddRow({task.name(), TextTable::Num(outcome.embed_seconds, 2),
+                    TextTable::Num(outcome.rank_seconds, 2),
+                    TextTable::Num(search, 2),
+                    TextTable::Num(outcome.train_seconds, 2)});
+    }
+  }
+  std::cout << table.ToString();
+  std::cout << "Search-time spread across the 28 tasks: min "
+            << TextTable::Num(min_search, 2) << "s, max "
+            << TextTable::Num(max_search, 2)
+            << "s (paper shape: search time is stable across tasks while "
+               "training time varies)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace autocts
+
+int main() {
+  autocts::bench::Run();
+  return 0;
+}

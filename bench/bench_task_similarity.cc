@@ -1,0 +1,172 @@
+// Regenerates Table 4 (quantitative task-similarity analysis) and Figure 6
+// (two-dimensional visualization of task embeddings).
+//
+// Table 4: the same shared arch-hypers are early-validated on three tasks —
+// a (PEMS08-like subset, P-12/Q-12), b (METR-LA-like subset, P-12/Q-12) and
+// c (Solar-like subset, P-48/Q-48). We report the MAE between normalized
+// accuracy vectors and Spearman's ρ for each task pair. Expected shape:
+// a↔b similar (low MAE, high ρ), both dissimilar from c.
+//
+// Figure 6: source-task embeddings from the pre-trained T-AHC projected to
+// two PCA dimensions, printed as coordinates grouped by dataset family.
+#include <cmath>
+#include <iostream>
+
+#include "bench/harness.h"
+#include "common/table.h"
+#include "model/searched_model.h"
+#include "searchspace/search_space.h"
+
+namespace autocts {
+namespace bench {
+namespace {
+
+/// Early-validation errors of `pool` on `task`, z-score normalized.
+std::vector<double> NormalizedErrors(const std::vector<ArchHyper>& pool,
+                                     const ForecastTask& task,
+                                     const BenchEnv& env, uint64_t seed) {
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  TrainOptions train = env.autocts.collect.train;
+  ModelTrainer trainer(task, train);
+  std::vector<double> errors;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    auto model = BuildSearchedModel(pool[i], spec, env.scale, seed + i);
+    errors.push_back(trainer.EarlyValidationError(
+        model.get(), env.autocts.collect.early_validation_epochs));
+  }
+  double mean = 0.0;
+  for (double e : errors) mean += e;
+  mean /= static_cast<double>(errors.size());
+  double var = 0.0;
+  for (double e : errors) var += (e - mean) * (e - mean);
+  double std_dev = std::sqrt(var / static_cast<double>(errors.size()));
+  if (std_dev < 1e-12) std_dev = 1.0;
+  for (double& e : errors) e = (e - mean) / std_dev;
+  return errors;
+}
+
+double VectorMae(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+/// Projects row vectors to their two leading principal components (power
+/// iteration with deflation; plenty for a scatter plot).
+std::vector<std::pair<double, double>> PcaTwo(
+    const std::vector<std::vector<double>>& rows) {
+  const size_t n = rows.size(), d = rows[0].size();
+  std::vector<double> mean(d, 0.0);
+  for (const auto& r : rows) {
+    for (size_t j = 0; j < d; ++j) mean[j] += r[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  std::vector<std::vector<double>> centered = rows;
+  for (auto& r : centered) {
+    for (size_t j = 0; j < d; ++j) r[j] -= mean[j];
+  }
+  auto power_component = [&](const std::vector<std::vector<double>>& data) {
+    std::vector<double> v(d, 1.0 / std::sqrt(static_cast<double>(d)));
+    for (int it = 0; it < 64; ++it) {
+      std::vector<double> next(d, 0.0);
+      for (const auto& r : data) {
+        double proj = 0.0;
+        for (size_t j = 0; j < d; ++j) proj += r[j] * v[j];
+        for (size_t j = 0; j < d; ++j) next[j] += proj * r[j];
+      }
+      double norm = 0.0;
+      for (double x : next) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (size_t j = 0; j < d; ++j) v[j] = next[j] / norm;
+    }
+    return v;
+  };
+  std::vector<double> pc1 = power_component(centered);
+  // Deflate and find the second component.
+  std::vector<std::vector<double>> deflated = centered;
+  for (auto& r : deflated) {
+    double proj = 0.0;
+    for (size_t j = 0; j < d; ++j) proj += r[j] * pc1[j];
+    for (size_t j = 0; j < d; ++j) r[j] -= proj * pc1[j];
+  }
+  std::vector<double> pc2 = power_component(deflated);
+  std::vector<std::pair<double, double>> coords;
+  for (const auto& r : centered) {
+    double x = 0.0, y = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      x += r[j] * pc1[j];
+      y += r[j] * pc2[j];
+    }
+    coords.push_back({x, y});
+  }
+  return coords;
+}
+
+void Run() {
+  BenchEnv env = BenchEnv::FromEnv();
+  Rng rng(407);
+  JointSearchSpace space;
+
+  // ---- Table 4 ----
+  std::cout << "=== Table 4 — quantitative analysis of task similarities ===\n";
+  const int pool_size = 12;  // Paper: 200 shared arch-hypers.
+  std::vector<ArchHyper> pool = space.SampleDistinct(pool_size, &rng);
+  ForecastTask a = DeriveSubsetTask(MakeSyntheticDataset("PEMS08", env.scale),
+                                    12, 12, false, &rng);
+  ForecastTask b = DeriveSubsetTask(MakeSyntheticDataset("METR-LA", env.scale),
+                                    12, 12, false, &rng);
+  ForecastTask c = DeriveSubsetTask(
+      MakeSyntheticDataset("Solar-Energy", env.scale), 48, 48, false, &rng);
+  std::vector<double> ea = NormalizedErrors(pool, a, env, 11);
+  std::vector<double> eb = NormalizedErrors(pool, b, env, 22);
+  std::vector<double> ec = NormalizedErrors(pool, c, env, 33);
+  TextTable table({"Pair", "MAE (normalized acc.)", "Spearman"});
+  table.AddRow({"a (PEMS08) and b (METR-LA)", TextTable::Num(VectorMae(ea, eb), 4),
+                TextTable::Num(SpearmanRho(ea, eb), 4)});
+  table.AddRow({"a (PEMS08) and c (Solar)", TextTable::Num(VectorMae(ea, ec), 4),
+                TextTable::Num(SpearmanRho(ea, ec), 4)});
+  table.AddRow({"b (METR-LA) and c (Solar)", TextTable::Num(VectorMae(eb, ec), 4),
+                TextTable::Num(SpearmanRho(eb, ec), 4)});
+  std::cout << table.ToString();
+  std::cout << "(paper shape: a~b most similar — lowest MAE, highest rho)\n\n";
+
+  // ---- Figure 6 ----
+  std::cout << "=== Figure 6 — 2-D PCA of task embeddings (pre-trained "
+               "T-AHC) ===\n";
+  auto framework = PretrainedFramework(env);
+  std::vector<std::string> names = {"PEMS04", "PEMS08",       "METR-LA",
+                                    "ETTh1",  "Solar-Energy", "ExchangeRate"};
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> embeds;
+  for (const std::string& name : names) {
+    CtsDatasetPtr d = MakeSyntheticDataset(name, env.scale);
+    for (int p : {12, 48}) {
+      for (int subset = 0; subset < 2; ++subset) {
+        ForecastTask t = DeriveSubsetTask(d, p, p, false, &rng);
+        Tensor e = framework->EmbedTask(t);
+        std::vector<double> row(e.data().begin(), e.data().end());
+        embeds.push_back(std::move(row));
+        labels.push_back(name + (p == 12 ? " o P12" : " ^ P48"));
+      }
+    }
+  }
+  std::vector<std::pair<double, double>> coords = PcaTwo(embeds);
+  TextTable scatter({"Task (o = P-12/Q-12, ^ = P-48/Q-48)", "PC1", "PC2"});
+  for (size_t i = 0; i < coords.size(); ++i) {
+    scatter.AddRow({labels[i], TextTable::Num(coords[i].first, 3),
+                    TextTable::Num(coords[i].second, 3)});
+  }
+  std::cout << scatter.ToString();
+  std::cout << "(paper shape: same-domain tasks cluster; P-12 vs P-48 of "
+               "the same dataset separate)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace autocts
+
+int main() {
+  autocts::bench::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+#ifndef REPRO_BENCH_HARNESS_H_
+#define REPRO_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autocts.h"
+#include "data/synthetic.h"
+
+namespace autocts {
+namespace bench {
+
+/// Shared environment of the paper-table benchmark binaries. Scale knobs
+/// come from ScaleConfig::Bench(); the seed count is REPRO_SEEDS (default 1;
+/// the paper uses 5 — raise it when you have the minutes to spare).
+struct BenchEnv {
+  ScaleConfig scale;
+  int seeds = 1;
+  AutoCtsOptions autocts;
+
+  static BenchEnv FromEnv();
+};
+
+/// The seven unseen target tasks of one forecasting setting (Table 3 order).
+std::vector<ForecastTask> MakeTargetTasks(int p, int q, bool single_step,
+                                          const ScaleConfig& scale);
+ForecastTask MakeTargetTask(const std::string& dataset, int p, int q,
+                            bool single_step, const ScaleConfig& scale);
+
+/// Source tasks for pre-training: subsets of the eleven source datasets
+/// under P-12/Q-12 and P-48/Q-48 (paper §4.1.1; 200 tasks there, scaled
+/// here to `num_tasks`).
+std::vector<ForecastTask> MakeSourceTasks(int num_tasks,
+                                          const ScaleConfig& scale,
+                                          uint64_t seed);
+
+/// Mean/stddev of a metric across seeds.
+struct Aggregate {
+  double mean = 0.0;
+  double std = 0.0;
+};
+Aggregate Aggregated(const std::vector<double>& values);
+
+/// Result of evaluating one method on one task across seeds.
+struct EvalResult {
+  std::vector<ForecastMetrics> per_seed;
+  Aggregate mae, rmse, mape, rrse, corr;
+  double seconds = 0.0;  ///< Total wall time including any grid search.
+};
+EvalResult AggregateMetrics(const std::vector<ForecastMetrics>& per_seed);
+
+/// Trains a named baseline on the task. When `grid_search` is set, first
+/// picks H ∈ {32, 64} × I ∈ {64, 256} by one-epoch early validation — the
+/// hyperparameter grid the paper grants the baselines at unseen settings.
+EvalResult EvaluateBaseline(const std::string& name, const ForecastTask& task,
+                            const BenchEnv& env, bool grid_search,
+                            uint64_t seed);
+
+/// Trains a fixed arch-hyper on the task across seeds.
+EvalResult EvaluateArchHyper(const ArchHyper& ah, const ForecastTask& task,
+                             const BenchEnv& env, uint64_t seed);
+
+/// Trains the AutoCTS++ top-K candidates and reports the winner, per seed.
+EvalResult EvaluateAutoCtsPlusPlus(AutoCtsPlusPlus* framework,
+                                   const ForecastTask& task,
+                                   const BenchEnv& env, uint64_t seed);
+
+/// Builds and pre-trains an AutoCTS++ instance on the standard source-task
+/// mix, logging progress to stdout. When `cache_tag` is non-empty the
+/// pre-trained parameters are cached under
+/// $REPRO_CKPT_DIR/autocts_<tag>.{encoder,tahc} (default dir ".") so sibling
+/// bench binaries reuse one pre-training run; delete the files to retrain.
+std::unique_ptr<AutoCtsPlusPlus> PretrainedFramework(
+    const BenchEnv& env, const std::string& cache_tag = "default");
+std::unique_ptr<AutoCtsPlusPlus> PretrainedFramework(
+    const BenchEnv& env, AutoCtsOptions options,
+    const std::string& cache_tag);
+
+/// "1.234±0.010" cell (matching the paper's mean±std presentation).
+std::string Cell(const Aggregate& agg, int precision = 3);
+
+}  // namespace bench
+}  // namespace autocts
+
+#endif  // REPRO_BENCH_HARNESS_H_

@@ -1,0 +1,20 @@
+#ifndef REPRO_BENCH_PERF_TABLE_H_
+#define REPRO_BENCH_PERF_TABLE_H_
+
+#include <string>
+
+namespace autocts {
+namespace bench {
+
+/// Regenerates one of the paper's performance-comparison tables (5–8):
+/// every target dataset × {AutoCTS++, 8 baselines}, test-set metrics,
+/// mean±std over REPRO_SEEDS runs. `single_step` selects the RRSE/CORR
+/// single-step protocol (Table 8); otherwise MAE/RMSE/MAPE (Tables 5–7).
+/// Baselines receive the paper's H×I grid search at non-default settings.
+void RunPerfTable(int p, int q, bool single_step,
+                  const std::string& table_name);
+
+}  // namespace bench
+}  // namespace autocts
+
+#endif  // REPRO_BENCH_PERF_TABLE_H_

@@ -1,0 +1,198 @@
+// autocts_cli — command-line front end for the library.
+//
+//   pretrain   pre-train a T-AHC on synthetic source tasks and save a
+//              checkpoint:
+//                autocts_cli pretrain --ckpt /tmp/my_tahc [--tasks 8]
+//   search     zero-shot search on a dataset (named synthetic or CSV):
+//                autocts_cli search --ckpt /tmp/my_tahc --dataset PEMS-BAY \
+//                    --p 24 --q 24 [--csv path.csv] [--single]
+//   eval       train + evaluate a specific arch-hyper signature:
+//                autocts_cli eval --dataset Los-Loop --p 12 --q 12 \
+//                    --arch "B2C5H32I64U1d0|0-1:GDCC,0-2:DGCN,2-3:INF-T,3-4:INF-S"
+//   info       print search-space and dataset registry information.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/autocts.h"
+#include "data/csv_loader.h"
+#include "data/synthetic.h"
+#include "model/searched_model.h"
+#include "searchspace/parse.h"
+
+namespace autocts {
+namespace {
+
+/// Minimal --flag value parser; flags without values are booleans.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string key = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+int IntFlag(const std::map<std::string, std::string>& flags,
+            const std::string& key, int fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+std::string StrFlag(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+StatusOr<ForecastTask> BuildTask(
+    const std::map<std::string, std::string>& flags, const ScaleConfig& scale) {
+  ForecastTask task;
+  std::string csv = StrFlag(flags, "csv", "");
+  if (!csv.empty()) {
+    CsvOptions csv_opts;
+    csv_opts.adjacency_path = StrFlag(flags, "adjacency", "");
+    StatusOr<CtsDataset> loaded = LoadCtsCsv(csv, csv_opts);
+    if (!loaded.ok()) return loaded.status();
+    task.data = std::make_shared<CtsDataset>(std::move(loaded).value());
+  } else {
+    std::string name = StrFlag(flags, "dataset", "");
+    if (name.empty()) return Status::Error("need --dataset or --csv");
+    task.data = MakeSyntheticDataset(name, scale);
+  }
+  task.p = IntFlag(flags, "p", 12);
+  task.q = IntFlag(flags, "q", 12);
+  task.single_step = flags.count("single") > 0;
+  if (task.num_windows() <= 0) {
+    return Status::Error("dataset too short for P=" + std::to_string(task.p) +
+                         " Q=" + std::to_string(task.q));
+  }
+  return task;
+}
+
+int Pretrain(const std::map<std::string, std::string>& flags) {
+  ScaleConfig scale = ScaleConfig::Bench();
+  scale.num_source_tasks = IntFlag(flags, "tasks", scale.num_source_tasks);
+  AutoCtsOptions options = AutoCtsOptions::ForScale(scale);
+  std::string ckpt = StrFlag(flags, "ckpt", "./autocts_cli");
+  std::vector<ForecastTask> sources;
+  Rng rng(static_cast<uint64_t>(IntFlag(flags, "seed", 97)));
+  std::vector<std::string> names = SourceDatasetNames();
+  for (int i = 0; i < scale.num_source_tasks; ++i) {
+    const std::string& name = names[static_cast<size_t>(i) % names.size()];
+    int p = i % 2 == 0 ? 12 : 48;
+    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale), p,
+                                       p, false, &rng));
+  }
+  AutoCtsPlusPlus framework(options);
+  std::cout << "pre-training on " << sources.size() << " source tasks...\n";
+  PretrainReport report = framework.Pretrain(sources);
+  std::cout << "pairs trained: " << report.total_pairs_trained
+            << ", final pairwise accuracy: " << report.final_accuracy << "\n";
+  Status saved = framework.SaveCheckpoint(ckpt);
+  if (!saved.ok()) {
+    std::cerr << "error: " << saved.message() << "\n";
+    return 1;
+  }
+  std::cout << "checkpoint written to " << ckpt << ".{encoder,tahc}\n";
+  return 0;
+}
+
+int Search(const std::map<std::string, std::string>& flags) {
+  ScaleConfig scale = ScaleConfig::Bench();
+  AutoCtsOptions options = AutoCtsOptions::ForScale(scale);
+  options.search.top_k = IntFlag(flags, "topk", options.search.top_k);
+  StatusOr<ForecastTask> task = BuildTask(flags, scale);
+  if (!task.ok()) {
+    std::cerr << "error: " << task.status().message() << "\n";
+    return 1;
+  }
+  AutoCtsPlusPlus framework(options);
+  std::string ckpt = StrFlag(flags, "ckpt", "./autocts_cli");
+  Status loaded = framework.LoadCheckpoint(ckpt);
+  if (!loaded.ok()) {
+    std::cerr << "error: cannot load checkpoint " << ckpt << " ("
+              << loaded.message() << "); run `autocts_cli pretrain` first\n";
+    return 1;
+  }
+  std::cout << "searching for " << task.value().name() << "...\n";
+  SearchOutcome outcome = framework.SearchAndTrain(task.value());
+  std::cout << "best arch-hyper: " << outcome.best.Signature() << "\n"
+            << "val MAE " << outcome.best_report.val.mae << " | test MAE "
+            << outcome.best_report.test.mae << ", RMSE "
+            << outcome.best_report.test.rmse << ", MAPE "
+            << outcome.best_report.test.mape << "%\n"
+            << "search " << outcome.embed_seconds + outcome.rank_seconds
+            << "s, final training " << outcome.train_seconds << "s\n";
+  return 0;
+}
+
+int Eval(const std::map<std::string, std::string>& flags) {
+  ScaleConfig scale = ScaleConfig::Bench();
+  AutoCtsOptions options = AutoCtsOptions::ForScale(scale);
+  StatusOr<ForecastTask> task = BuildTask(flags, scale);
+  if (!task.ok()) {
+    std::cerr << "error: " << task.status().message() << "\n";
+    return 1;
+  }
+  StatusOr<ArchHyper> ah = ParseArchHyper(StrFlag(flags, "arch", ""));
+  if (!ah.ok()) {
+    std::cerr << "error: --arch: " << ah.status().message() << "\n";
+    return 1;
+  }
+  ForecasterSpec spec = MakeForecasterSpec(task.value());
+  auto model = BuildSearchedModel(ah.value(), spec, scale,
+                                  static_cast<uint64_t>(IntFlag(flags, "seed", 7)));
+  ModelTrainer trainer(task.value(), options.final_train);
+  TrainReport report = trainer.Train(model.get());
+  std::cout << "params: " << model->NumParameters() << "\n"
+            << "test MAE " << report.test.mae << ", RMSE " << report.test.rmse
+            << ", MAPE " << report.test.mape << "%, RRSE " << report.test.rrse
+            << ", CORR " << report.test.corr << "\n";
+  return 0;
+}
+
+int Info() {
+  JointSearchSpace space;
+  std::cout << "joint search space: 10^" << space.Log10Size()
+            << " arch-hypers\n";
+  std::cout << "operators:";
+  for (int o = 0; o < kNumOpTypes; ++o) {
+    std::cout << " " << OpName(static_cast<OpType>(o));
+  }
+  std::cout << "\nsynthetic datasets:\n  sources:";
+  for (const auto& n : SourceDatasetNames()) std::cout << " " << n;
+  std::cout << "\n  targets:";
+  for (const auto& n : TargetDatasetNames()) std::cout << " " << n;
+  std::cout << "\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: autocts_cli {pretrain|search|eval|info} [--flags]\n"
+                 "see the header of examples/autocts_cli.cpp for details\n";
+    return 2;
+  }
+  std::string command = argv[1];
+  std::map<std::string, std::string> flags = ParseFlags(argc, argv, 2);
+  if (command == "pretrain") return Pretrain(flags);
+  if (command == "search") return Search(flags);
+  if (command == "eval") return Eval(flags);
+  if (command == "info") return Info();
+  std::cerr << "unknown command '" << command << "'\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace autocts
+
+int main(int argc, char** argv) { return autocts::Main(argc, argv); }

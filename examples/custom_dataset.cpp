@@ -1,0 +1,103 @@
+// Bring-your-own data: wrap raw sensor readings in a CtsDataset, search a
+// model with a pre-trained AutoCTS++ checkpoint (or pre-train in-process if
+// no checkpoint exists), and run inference on the held-out tail.
+//
+//   $ ./build/examples/custom_dataset
+//
+// This demonstrates the full downstream-user loop: data in → model out →
+// forecasts, plus checkpoint save/load for reusing the pre-training.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/autocts.h"
+#include "data/synthetic.h"
+#include "model/searched_model.h"
+#include "model/trainer.h"
+
+using namespace autocts;  // Example code; library code never does this.
+
+namespace {
+
+/// Pretend these arrived from your own sensor fleet: 6 correlated series,
+/// 300 steps, daily period of 24 with noise.
+CtsDatasetPtr LoadMyData() {
+  const int n = 6, t = 300;
+  Rng rng(99);
+  std::vector<float> values(static_cast<size_t>(n) * t);
+  std::vector<float> phase(static_cast<size_t>(n));
+  for (auto& p : phase) p = rng.Uniform(0.0f, 1.0f);
+  for (int i = 0; i < n; ++i) {
+    for (int s = 0; s < t; ++s) {
+      values[static_cast<size_t>(i) * t + s] =
+          20.0f + 5.0f * std::sin(2.0f * 3.14159f *
+                                  (s / 24.0f + phase[static_cast<size_t>(i)])) +
+          rng.Normal(0.0f, 0.8f);
+    }
+  }
+  // No sensor-distance information? Start from all-ones adjacency; the
+  // searched models also learn a self-adaptive adjacency on top.
+  std::vector<float> adjacency(static_cast<size_t>(n) * n, 1.0f);
+  return std::make_shared<CtsDataset>("my-sensors", n, t, 1, values,
+                                      adjacency);
+}
+
+}  // namespace
+
+int main() {
+  ScaleConfig scale = ScaleConfig::Test();
+  scale.samples_per_task = 4;
+  scale.early_validation_epochs = 2;
+  AutoCtsOptions options = AutoCtsOptions::ForScale(scale);
+  options.search.ranking_pool = 60;
+  options.search.top_k = 2;
+  options.final_train.epochs = 8;
+  options.final_train.batches_per_epoch = 12;
+
+  AutoCtsPlusPlus framework(options);
+  const std::string checkpoint = "/tmp/autocts_custom_example";
+  if (framework.LoadCheckpoint(checkpoint).ok()) {
+    std::cout << "loaded pre-trained checkpoint\n";
+  } else {
+    std::cout << "no checkpoint found — pre-training (one-off cost)\n";
+    std::vector<ForecastTask> sources;
+    Rng rng(31);
+    for (const std::string& name : {"ETTh1", "Solar-Energy", "PEMS04"}) {
+      sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale),
+                                         12, 12, false, &rng));
+    }
+    framework.Pretrain(sources);
+    Status saved = framework.SaveCheckpoint(checkpoint);
+    std::cout << (saved.ok() ? "checkpoint saved\n"
+                             : "checkpoint save failed: " + saved.message() +
+                                   "\n");
+  }
+
+  ForecastTask task;
+  task.data = LoadMyData();
+  task.p = 24;
+  task.q = 6;
+  SearchOutcome outcome = framework.SearchAndTrain(task);
+  std::cout << "searched model: " << outcome.best.Signature() << "\n"
+            << "test MAE " << outcome.best_report.test.mae << " (series "
+            << "mean is 20 — sanity scale)\n";
+
+  // Inference: forecast the 6 steps after the last full window.
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  auto model = BuildSearchedModel(outcome.best, spec, scale, 41);
+  ModelTrainer trainer(task, options.final_train);
+  trainer.Train(model.get());
+  WindowProvider provider(task);
+  int last_start = task.num_windows() - 1;
+  WindowBatch window = provider.MakeBatch({last_start});
+  model->SetTraining(false);
+  Tensor pred = model->Forward(window.x);
+  std::cout << "next-6-step forecast for sensor 0:";
+  for (int h = 0; h < 6; ++h) {
+    float scaled = pred.at(h);  // [1, N, 6, 1]; sensor 0 occupies the front.
+    std::cout << " "
+              << scaled * provider.std() + provider.mean();
+  }
+  std::cout << "\n";
+  return 0;
+}

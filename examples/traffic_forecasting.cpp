@@ -1,0 +1,94 @@
+// Traffic-speed forecasting, the paper's motivating scenario: compare a
+// zero-shot-searched model against manually designed baselines (MTGNN,
+// AGCRN, PDFormer) on a PEMS-BAY-like sensor network, and against the
+// supernet search (AutoCTS-style) that must be re-run per task.
+//
+//   $ ./build/examples/traffic_forecasting
+#include <iostream>
+
+#include "baselines/registry.h"
+#include "common/table.h"
+#include "core/autocts.h"
+#include "data/synthetic.h"
+#include "model/searched_model.h"
+#include "model/trainer.h"
+#include "supernet/supernet.h"
+
+using namespace autocts;  // Example code; library code never does this.
+
+int main() {
+  ScaleConfig scale = ScaleConfig::Test();
+  scale.num_sensors = 8;
+  scale.num_steps = 400;
+  scale.train_epochs = 4;
+  // A slightly richer comparator diet than the bare test preset: the
+  // search is only as good as the pre-training labels.
+  scale.samples_per_task = 4;
+  scale.early_validation_epochs = 2;
+  AutoCtsOptions options = AutoCtsOptions::ForScale(scale);
+  options.search.ranking_pool = 60;
+  options.search.top_k = 2;
+  options.final_train.epochs = 8;
+  options.final_train.batches_per_epoch = 12;
+
+  // The deployment task: 12-step-ahead speed forecasting on a highway
+  // sensor network with a distance-based adjacency matrix.
+  ForecastTask task;
+  task.data = MakeSyntheticDataset("PEMS-BAY", scale);
+  task.p = 12;
+  task.q = 12;
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  ModelTrainer trainer(task, options.final_train);
+
+  TextTable table({"Model", "Test MAE", "Test RMSE", "Params"});
+
+  // Manually designed baselines.
+  for (const std::string& name : {"MTGNN", "AGCRN", "PDFormer"}) {
+    auto model = MakeBaseline(name, spec, scale, /*seed=*/11);
+    TrainReport report = trainer.Train(model.get());
+    table.AddRow({name, TextTable::Num(report.test.mae),
+                  TextTable::Num(report.test.rmse),
+                  std::to_string(model->NumParameters())});
+  }
+
+  // Supernet search (AutoCTS style): architecture-only, fixed hypers,
+  // trained from scratch for this very task.
+  SupernetOptions supernet_options;
+  supernet_options.epochs = 2;
+  supernet_options.batch_size = 4;
+  supernet_options.batches_per_epoch = 4;
+  ArchHyper supernet_arch = SupernetSearch(task, supernet_options, scale);
+  {
+    auto model = BuildSearchedModel(supernet_arch, spec, scale, 13);
+    model->set_display_name("Supernet (AutoCTS-style)");
+    TrainReport report = trainer.Train(model.get());
+    table.AddRow({model->name(), TextTable::Num(report.test.mae),
+                  TextTable::Num(report.test.rmse),
+                  std::to_string(model->NumParameters())});
+  }
+
+  // AutoCTS++: pre-train on other traffic datasets, search zero-shot here.
+  std::vector<ForecastTask> sources;
+  Rng rng(17);
+  for (const std::string& name : {"PEMS04", "PEMS08", "METR-LA"}) {
+    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale), 12,
+                                       12, false, &rng));
+  }
+  AutoCtsPlusPlus framework(options);
+  framework.Pretrain(sources);
+  SearchOutcome outcome = framework.SearchAndTrain(task);
+  {
+    auto model = BuildSearchedModel(outcome.best, spec, scale, 19);
+    table.AddRow({"AutoCTS++ (zero-shot)",
+                  TextTable::Num(outcome.best_report.test.mae),
+                  TextTable::Num(outcome.best_report.test.rmse),
+                  std::to_string(model->NumParameters())});
+  }
+
+  std::cout << table.ToString();
+  std::cout << "\nAutoCTS++ found " << outcome.best.Signature() << "\n"
+            << "in " << outcome.embed_seconds + outcome.rank_seconds
+            << "s of search — the supernet search, by contrast, retrains "
+               "a whole weight-sharing network per task.\n";
+  return 0;
+}

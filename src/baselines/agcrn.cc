@@ -1,0 +1,57 @@
+#include "baselines/agcrn.h"
+
+#include <algorithm>
+
+#include "model/searched_model.h"
+
+namespace autocts {
+
+AgcrnModel::AgcrnModel(const ForecasterSpec& spec, const ScaleConfig& scale,
+                       uint64_t seed, int hidden_override, int output_override)
+    : spec_(spec), rng_(seed) {
+  hidden_ = std::max(
+      4, (hidden_override > 0 ? hidden_override : 32) / scale.hidden_divisor);
+  int head_hidden = std::max(
+      8, (output_override > 0 ? output_override : 64) / scale.hidden_divisor);
+  input_ = std::make_unique<InputEmbed>(spec, hidden_, kMaxModelTime, &rng_);
+  AddChild(input_.get());
+  node_emb_ = AddParameter(
+      Tensor::Randn({spec.num_sensors, 4}, &rng_, 0.5f, true));
+  gates_w0_ = std::make_unique<Linear>(2 * hidden_, 2 * hidden_, &rng_);
+  gates_w1_ = std::make_unique<Linear>(2 * hidden_, 2 * hidden_, &rng_, false);
+  cand_w0_ = std::make_unique<Linear>(2 * hidden_, hidden_, &rng_);
+  cand_w1_ = std::make_unique<Linear>(2 * hidden_, hidden_, &rng_, false);
+  AddChild(gates_w0_.get());
+  AddChild(gates_w1_.get());
+  AddChild(cand_w0_.get());
+  AddChild(cand_w1_.get());
+  head_ = std::make_unique<OutputHead>(spec, hidden_, head_hidden, &rng_);
+  AddChild(head_.get());
+}
+
+Tensor AgcrnModel::GraphConv(const Tensor& x, const Tensor& adaptive,
+                             const Linear& w0, const Linear& w1) const {
+  return Add(w0.Forward(x), w1.Forward(MatMul(adaptive, x)));
+}
+
+Tensor AgcrnModel::Forward(const Tensor& x) const {
+  const int b = x.dim(0), n = spec_.num_sensors;
+  Tensor embedded = input_->Forward(x);  // [B, N, T', H]
+  const int t = embedded.dim(2);
+  Tensor adaptive =
+      Softmax(Relu(MatMul(node_emb_, Transpose(node_emb_, 0, 1))), -1);
+  Tensor h = Tensor::Zeros({b, n, hidden_});
+  for (int step = 0; step < t; ++step) {
+    Tensor xt = Reshape(Slice(embedded, 2, step, 1), {b, n, hidden_});
+    Tensor cat = Concat({xt, h}, -1);  // [B, N, 2H]
+    Tensor gates = Sigmoid(GraphConv(cat, adaptive, *gates_w0_, *gates_w1_));
+    Tensor r = Slice(gates, -1, 0, hidden_);
+    Tensor z = Slice(gates, -1, hidden_, hidden_);
+    Tensor cand_in = Concat({xt, Mul(r, h)}, -1);
+    Tensor cand = Tanh(GraphConv(cand_in, adaptive, *cand_w0_, *cand_w1_));
+    h = Add(Mul(z, h), Mul(AddScalar(Neg(z), 1.0f), cand));
+  }
+  return head_->Forward(Reshape(h, {b, n, 1, hidden_}));
+}
+
+}  // namespace autocts

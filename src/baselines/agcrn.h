@@ -1,0 +1,43 @@
+#ifndef REPRO_BASELINES_AGCRN_H_
+#define REPRO_BASELINES_AGCRN_H_
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "common/scale_config.h"
+
+namespace autocts {
+
+/// Simplified AGCRN [Bai et al. 2020]: a recurrent model whose GRU gates
+/// are computed with node-adaptive graph convolutions over a learned
+/// adjacency softmax(relu(E·Eᵀ)). Captures the family's inductive bias
+/// (recurrent-temporal + adaptive-graph-spatial).
+class AgcrnModel : public Forecaster {
+ public:
+  AgcrnModel(const ForecasterSpec& spec, const ScaleConfig& scale,
+             uint64_t seed, int hidden_override = 0, int output_override = 0);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "AGCRN"; }
+
+ private:
+  /// Graph conv used inside the gates: W0·x + W1·(A·x).
+  Tensor GraphConv(const Tensor& x, const Tensor& adaptive,
+                   const Linear& w0, const Linear& w1) const;
+
+  ForecasterSpec spec_;
+  int hidden_;
+  mutable Rng rng_;
+  std::unique_ptr<InputEmbed> input_;
+  Tensor node_emb_;
+  // Gate convolutions: (reset|update) and candidate.
+  std::unique_ptr<Linear> gates_w0_;
+  std::unique_ptr<Linear> gates_w1_;
+  std::unique_ptr<Linear> cand_w0_;
+  std::unique_ptr<Linear> cand_w1_;
+  std::unique_ptr<OutputHead> head_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_BASELINES_AGCRN_H_

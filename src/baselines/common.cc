@@ -1,0 +1,82 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autocts {
+
+InputEmbed::InputEmbed(const ForecasterSpec& spec, int hidden, int max_time,
+                       Rng* rng)
+    : spec_(spec),
+      time_pool_((spec.input_len + max_time - 1) / max_time),
+      pooled_len_(spec.input_len / std::max(1, (spec.input_len + max_time - 1) /
+                                                   max_time)),
+      proj_(spec.num_features, hidden, rng) {
+  AddChild(&proj_);
+  CHECK_GT(pooled_len_, 0);
+}
+
+Tensor InputEmbed::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 4);
+  const int b = x.dim(0);
+  Tensor h = x;
+  if (time_pool_ > 1) {
+    int keep = pooled_len_ * time_pool_;
+    if (keep < spec_.input_len) h = Slice(h, 2, spec_.input_len - keep, keep);
+    h = Mean(Reshape(h, {b, spec_.num_sensors, pooled_len_, time_pool_,
+                         spec_.num_features}),
+             3);
+  }
+  return proj_.Forward(h);
+}
+
+OutputHead::OutputHead(const ForecasterSpec& spec, int hidden, int head_hidden,
+                       Rng* rng)
+    : spec_(spec),
+      hidden_(hidden),
+      fc1_(2 * hidden, head_hidden, rng),
+      fc2_(head_hidden, spec.output_len * spec.num_features, rng) {
+  AddChild(&fc1_);
+  AddChild(&fc2_);
+}
+
+Tensor OutputHead::Forward(const Tensor& h) const {
+  CHECK_EQ(h.ndim(), 4);
+  const int b = h.dim(0);
+  const int t = h.dim(2);
+  Tensor last = Slice(h, 2, t - 1, 1);
+  Tensor mean = Mean(h, 2, /*keepdim=*/true);
+  Tensor feats =
+      Reshape(Concat({last, mean}, 3), {b, spec_.num_sensors, 2 * hidden_});
+  Tensor out = fc2_.Forward(Relu(fc1_.Forward(feats)));
+  return Reshape(out,
+                 {b, spec_.num_sensors, spec_.output_len, spec_.num_features});
+}
+
+MaskedSpatialAttention::MaskedSpatialAttention(int dim, const Tensor& adjacency,
+                                               Rng* rng)
+    : dim_(dim),
+      q_proj_(dim, dim, rng),
+      k_proj_(dim, dim, rng),
+      v_proj_(dim, dim, rng) {
+  AddChild(&q_proj_);
+  AddChild(&k_proj_);
+  AddChild(&v_proj_);
+  CHECK(adjacency.defined());
+  std::vector<float> mask = adjacency.data();
+  for (auto& m : mask) m = m > 0.0f ? 0.0f : -1e9f;
+  mask_ = Tensor::FromVector(adjacency.shape(), std::move(mask));
+}
+
+Tensor MaskedSpatialAttention::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 3);
+  Tensor q = q_proj_.Forward(x);
+  Tensor k = k_proj_.Forward(x);
+  Tensor v = v_proj_.Forward(x);
+  float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+  Tensor scores = MulScalar(MatMul(q, Transpose(k, -2, -1)), scale);
+  scores = Add(scores, mask_);  // [R, N, N] + [N, N] broadcast.
+  return MatMul(Softmax(scores, -1), v);
+}
+
+}  // namespace autocts

@@ -1,0 +1,70 @@
+#ifndef REPRO_BASELINES_COMMON_H_
+#define REPRO_BASELINES_COMMON_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "model/forecaster.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+
+/// Input stage shared by the baselines: optional temporal average-pooling
+/// (long histories → at most `max_time` steps) followed by a linear embed
+/// of the feature dimension. Mirrors SearchedModel's input module so the
+/// model families differ only in their backbones.
+class InputEmbed : public Module {
+ public:
+  InputEmbed(const ForecasterSpec& spec, int hidden, int max_time, Rng* rng);
+
+  /// [B, N, P, F] -> [B, N, T', H].
+  Tensor Forward(const Tensor& x) const;
+
+  int pooled_len() const { return pooled_len_; }
+
+ private:
+  ForecasterSpec spec_;
+  int time_pool_;
+  int pooled_len_;
+  Linear proj_;
+};
+
+/// Output stage shared by the baselines: last-step ⊕ temporal-mean features
+/// through a two-layer head to Q_out·F values.
+class OutputHead : public Module {
+ public:
+  OutputHead(const ForecasterSpec& spec, int hidden, int head_hidden,
+             Rng* rng);
+
+  /// [B, N, T', H] -> [B, N, Q_out, F].
+  Tensor Forward(const Tensor& h) const;
+
+ private:
+  ForecasterSpec spec_;
+  int hidden_;
+  Linear fc1_;
+  Linear fc2_;
+};
+
+/// Adjacency-masked scaled-dot-product attention over the sensor axis used
+/// by PDFormer-style spatial mixing: scores at zero-adjacency pairs get
+/// -1e9 before the softmax.
+class MaskedSpatialAttention : public Module {
+ public:
+  MaskedSpatialAttention(int dim, const Tensor& adjacency, Rng* rng);
+
+  /// [R, N, H] -> [R, N, H] where R batches (batch·time).
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int dim_;
+  Tensor mask_;  ///< [N, N]: 0 where connected, -1e9 where not.
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_BASELINES_COMMON_H_

@@ -1,0 +1,69 @@
+#include "baselines/mtgnn.h"
+
+#include <algorithm>
+
+#include "model/searched_model.h"
+
+namespace autocts {
+
+MtgnnModel::MtgnnModel(const ForecasterSpec& spec, const ScaleConfig& scale,
+                       uint64_t seed, int hidden_override, int output_override)
+    : spec_(spec), rng_(seed) {
+  hidden_ = std::max(
+      4, (hidden_override > 0 ? hidden_override : 32) / scale.hidden_divisor);
+  int head_hidden = std::max(
+      8, (output_override > 0 ? output_override : 64) / scale.hidden_divisor);
+  CHECK_EQ(hidden_ % 2, 0) << "inception halves the channels";
+  input_ = std::make_unique<InputEmbed>(spec, hidden_, kMaxModelTime, &rng_);
+  AddChild(input_.get());
+  node_emb_ = AddParameter(
+      Tensor::Randn({spec.num_sensors, 4}, &rng_, 0.5f, true));
+  const int half = hidden_ / 2;
+  for (int l = 0; l < 2; ++l) {
+    Layer layer;
+    layer.filter_a =
+        std::make_unique<CausalConv>(hidden_, half, 2, 1 << l, &rng_);
+    layer.filter_b =
+        std::make_unique<CausalConv>(hidden_, half, 3, 1 << l, &rng_);
+    layer.gate = std::make_unique<CausalConv>(hidden_, hidden_, 2, 1 << l, &rng_);
+    layer.hop0 = std::make_unique<Linear>(hidden_, hidden_, &rng_);
+    layer.hop1 = std::make_unique<Linear>(hidden_, hidden_, &rng_, false);
+    layer.hop2 = std::make_unique<Linear>(hidden_, hidden_, &rng_, false);
+    AddChild(layer.filter_a.get());
+    AddChild(layer.filter_b.get());
+    AddChild(layer.gate.get());
+    AddChild(layer.hop0.get());
+    AddChild(layer.hop1.get());
+    AddChild(layer.hop2.get());
+    layers_.push_back(std::move(layer));
+  }
+  head_ = std::make_unique<OutputHead>(spec, hidden_, head_hidden, &rng_);
+  AddChild(head_.get());
+}
+
+Tensor MtgnnModel::Forward(const Tensor& x) const {
+  const int b = x.dim(0), n = spec_.num_sensors;
+  Tensor h = input_->Forward(x);  // [B, N, T', H]
+  const int t = h.dim(2);
+  Tensor adaptive =
+      Softmax(Relu(MatMul(node_emb_, Transpose(node_emb_, 0, 1))), -1);
+  for (const Layer& layer : layers_) {
+    // Dilated inception: concat of two kernel sizes, gated.
+    Tensor rows = Reshape(h, {b * n, t, hidden_});
+    Tensor filt = Concat(
+        {layer.filter_a->Forward(rows), layer.filter_b->Forward(rows)}, -1);
+    Tensor gated = Mul(Tanh(filt), Sigmoid(layer.gate->Forward(rows)));
+    Tensor ht = Reshape(gated, {b, n, t, hidden_});
+    // Mix-hop GCN on the adaptive adjacency (β-weighted hops).
+    Tensor xt = Transpose(ht, 1, 2);  // [B, T', N, H]
+    Tensor hop1 = MatMul(adaptive, xt);
+    Tensor hop2 = MatMul(adaptive, hop1);
+    Tensor mixed = Add(layer.hop0->Forward(xt),
+                       Add(layer.hop1->Forward(hop1),
+                           layer.hop2->Forward(hop2)));
+    h = Add(h, Transpose(Relu(mixed), 1, 2));  // Residual.
+  }
+  return head_->Forward(h);
+}
+
+}  // namespace autocts

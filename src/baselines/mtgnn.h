@@ -1,0 +1,45 @@
+#ifndef REPRO_BASELINES_MTGNN_H_
+#define REPRO_BASELINES_MTGNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.h"
+#include "common/scale_config.h"
+
+namespace autocts {
+
+/// Simplified MTGNN [Wu et al. 2020]: stacked layers of dilated-inception
+/// gated temporal convolution followed by mix-hop graph convolution over a
+/// learned self-adaptive adjacency, with residual connections. Captures the
+/// family's inductive bias (conv-temporal + static-graph-spatial).
+class MtgnnModel : public Forecaster {
+ public:
+  MtgnnModel(const ForecasterSpec& spec, const ScaleConfig& scale,
+             uint64_t seed, int hidden_override = 0, int output_override = 0);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "MTGNN"; }
+
+ private:
+  struct Layer {
+    std::unique_ptr<CausalConv> filter_a;  // kernel 2
+    std::unique_ptr<CausalConv> filter_b;  // kernel 3 (inception)
+    std::unique_ptr<CausalConv> gate;
+    std::unique_ptr<Linear> hop0;
+    std::unique_ptr<Linear> hop1;
+    std::unique_ptr<Linear> hop2;
+  };
+
+  ForecasterSpec spec_;
+  int hidden_;
+  mutable Rng rng_;
+  std::unique_ptr<InputEmbed> input_;
+  std::vector<Layer> layers_;
+  Tensor node_emb_;  ///< [N, d] for the self-adaptive adjacency.
+  std::unique_ptr<OutputHead> head_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_BASELINES_MTGNN_H_

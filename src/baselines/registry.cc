@@ -1,0 +1,110 @@
+#include "baselines/registry.h"
+
+#include "baselines/agcrn.h"
+#include "baselines/mtgnn.h"
+#include "baselines/transformers.h"
+#include "common/check.h"
+#include "model/searched_model.h"
+
+namespace autocts {
+
+std::vector<std::string> BaselineNames() {
+  return {"AutoSTG+",   "AutoCTS",    "AutoCTS+", "MTGNN",
+          "AGCRN",      "PDFormer",   "Autoformer", "FEDformer"};
+}
+
+ArchHyper TransferredArchHyper(const std::string& name) {
+  ArchHyper ah;
+  if (name == "AutoSTG+") {
+    // METR-LA P-12/Q-12 optimum; DGCN + 1-D convolution space only.
+    ah.hyper = {.num_blocks = 4,
+                .num_nodes = 5,
+                .hidden_dim = 32,
+                .output_dim = 64,
+                .output_mode = 0,
+                .dropout = 0};
+    ah.arch.num_nodes = 5;
+    ah.arch.edges = {{0, 1, OpType::kGdcc},
+                     {0, 2, OpType::kDgcn},
+                     {1, 2, OpType::kGdcc},
+                     {1, 3, OpType::kDgcn},
+                     {2, 3, OpType::kGdcc},
+                     {3, 4, OpType::kDgcn}};
+  } else if (name == "AutoCTS") {
+    // PEMS03 P-12/Q-12 case-study optimum; architecture-only search with
+    // predefined (default) hyperparameters.
+    ah.hyper = {.num_blocks = 4,
+                .num_nodes = 7,
+                .hidden_dim = 32,
+                .output_dim = 64,
+                .output_mode = 0,
+                .dropout = 0};
+    ah.arch.num_nodes = 7;
+    ah.arch.edges = {{0, 1, OpType::kGdcc},  {0, 2, OpType::kDgcn},
+                     {1, 2, OpType::kInfT},  {1, 3, OpType::kGdcc},
+                     {2, 3, OpType::kDgcn},  {2, 4, OpType::kInfT},
+                     {3, 4, OpType::kDgcn},  {3, 5, OpType::kGdcc},
+                     {4, 5, OpType::kInfS},  {4, 6, OpType::kIdentity},
+                     {5, 6, OpType::kDgcn}};
+  } else if (name == "AutoCTS+") {
+    // PEMS08 P-48/Q-48 case-study optimum; joint search, tuned hypers.
+    ah.hyper = {.num_blocks = 6,
+                .num_nodes = 5,
+                .hidden_dim = 48,
+                .output_dim = 256,
+                .output_mode = 1,
+                .dropout = 1};
+    ah.arch.num_nodes = 5;
+    ah.arch.edges = {{0, 1, OpType::kInfT},
+                     {0, 2, OpType::kGdcc},
+                     {1, 2, OpType::kDgcn},
+                     {1, 3, OpType::kInfS},
+                     {2, 3, OpType::kGdcc},
+                     {2, 4, OpType::kDgcn},
+                     {3, 4, OpType::kGdcc}};
+  } else {
+    CHECK(false) << "no transferred model for " << name;
+  }
+  Status valid = ValidateArchHyper(ah);
+  CHECK(valid.ok()) << valid.message();
+  return ah;
+}
+
+std::unique_ptr<Forecaster> MakeBaseline(const std::string& name,
+                                         const ForecasterSpec& spec,
+                                         const ScaleConfig& scale,
+                                         uint64_t seed, int hidden_override,
+                                         int output_override) {
+  if (name == "MTGNN") {
+    return std::make_unique<MtgnnModel>(spec, scale, seed, hidden_override,
+                                        output_override);
+  }
+  if (name == "AGCRN") {
+    return std::make_unique<AgcrnModel>(spec, scale, seed, hidden_override,
+                                        output_override);
+  }
+  if (name == "PDFormer") {
+    return std::make_unique<PdformerModel>(spec, scale, seed, hidden_override,
+                                           output_override);
+  }
+  if (name == "Autoformer") {
+    return std::make_unique<AutoformerModel>(spec, scale, seed,
+                                             hidden_override, output_override);
+  }
+  if (name == "FEDformer") {
+    return std::make_unique<FedformerModel>(spec, scale, seed, hidden_override,
+                                            output_override);
+  }
+  if (name == "AutoSTG+" || name == "AutoCTS" || name == "AutoCTS+") {
+    ArchHyper ah = TransferredArchHyper(name);
+    if (hidden_override > 0) ah.hyper.hidden_dim = hidden_override;
+    if (output_override > 0) ah.hyper.output_dim = output_override;
+    auto model = BuildSearchedModel(ah, spec, scale, seed);
+    model->set_display_name(name);
+    return model;
+  }
+  CHECK(false) << "unknown baseline " << name;
+  return nullptr;
+}
+
+}  // namespace autocts

@@ -1,0 +1,42 @@
+#ifndef REPRO_BASELINES_REGISTRY_H_
+#define REPRO_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/scale_config.h"
+#include "model/forecaster.h"
+#include "searchspace/arch_hyper.h"
+
+namespace autocts {
+
+/// Names of all comparison baselines in the paper's Tables 5–8, in column
+/// order: three automated frameworks (transferred optimal models) and five
+/// manually designed models.
+std::vector<std::string> BaselineNames();
+
+/// Fixed arch-hypers representing the optimal models the automated
+/// baselines transfer into the zero-shot comparison (paper §4.1.3):
+///  - "AutoSTG+": built on METR-LA P-12/Q-12; its space has only DGCN and
+///    1-D convolutions, so the arch uses only those operators.
+///  - "AutoCTS":  built on PEMS03 P-12/Q-12 (architecture-only search,
+///    default hyperparameters).
+///  - "AutoCTS+": built on PEMS08 P-48/Q-48 (joint search, tuned
+///    hyperparameters).
+/// CHECK-fails for other names.
+ArchHyper TransferredArchHyper(const std::string& name);
+
+/// Instantiates a baseline by name. `hidden_override` / `output_override`
+/// implement the grid search over H and I that the paper grants the
+/// baselines at unseen settings (0 = the model family's default).
+std::unique_ptr<Forecaster> MakeBaseline(const std::string& name,
+                                         const ForecasterSpec& spec,
+                                         const ScaleConfig& scale,
+                                         uint64_t seed,
+                                         int hidden_override = 0,
+                                         int output_override = 0);
+
+}  // namespace autocts
+
+#endif  // REPRO_BASELINES_REGISTRY_H_

@@ -1,0 +1,176 @@
+#include "baselines/transformers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/searched_model.h"
+
+namespace autocts {
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+int ScaledHidden(int override_value, int fallback, const ScaleConfig& scale) {
+  return std::max(4, (override_value > 0 ? override_value : fallback) /
+                         scale.hidden_divisor);
+}
+
+}  // namespace
+
+Tensor MovingAverageMatrix(int t, int window) {
+  CHECK_GE(window, 1);
+  std::vector<float> m(static_cast<size_t>(t) * t, 0.0f);
+  int half = window / 2;
+  for (int i = 0; i < t; ++i) {
+    int lo = std::max(0, i - half);
+    int hi = std::min(t - 1, i + half);
+    float w = 1.0f / static_cast<float>(hi - lo + 1);
+    for (int j = lo; j <= hi; ++j) {
+      m[static_cast<size_t>(i) * t + j] = w;
+    }
+  }
+  return Tensor::FromVector({t, t}, std::move(m));
+}
+
+Tensor FourierBasis(int t, int num_modes) {
+  CHECK_GE(num_modes, 1);
+  std::vector<float> b(static_cast<size_t>(t) * 2 * num_modes);
+  float norm = std::sqrt(2.0f / static_cast<float>(t));
+  for (int i = 0; i < t; ++i) {
+    for (int k = 0; k < num_modes; ++k) {
+      float angle = 2.0f * kPi * static_cast<float>((k + 1) * i) /
+                    static_cast<float>(t);
+      b[static_cast<size_t>(i) * 2 * num_modes + 2 * k] =
+          norm * std::cos(angle);
+      b[static_cast<size_t>(i) * 2 * num_modes + 2 * k + 1] =
+          norm * std::sin(angle);
+    }
+  }
+  return Tensor::FromVector({t, 2 * num_modes}, std::move(b));
+}
+
+// ---------------------------------------------------------------- PDFormer
+
+PdformerModel::PdformerModel(const ForecasterSpec& spec,
+                             const ScaleConfig& scale, uint64_t seed,
+                             int hidden_override, int output_override)
+    : spec_(spec), rng_(seed) {
+  hidden_ = ScaledHidden(hidden_override, 32, scale);
+  int head_hidden = ScaledHidden(output_override, 64, scale) * 2;
+  input_ = std::make_unique<InputEmbed>(spec, hidden_, kMaxModelTime, &rng_);
+  AddChild(input_.get());
+  for (int l = 0; l < 2; ++l) {
+    Layer layer;
+    layer.temporal = std::make_unique<MultiHeadAttention>(
+        hidden_, hidden_ % 2 == 0 ? 2 : 1, &rng_);
+    layer.spatial =
+        std::make_unique<MaskedSpatialAttention>(hidden_, spec.adjacency, &rng_);
+    layer.norm1 = std::make_unique<LayerNorm>(hidden_);
+    layer.norm2 = std::make_unique<LayerNorm>(hidden_);
+    layer.ffn = std::make_unique<Mlp>(hidden_, 2 * hidden_, hidden_, &rng_);
+    layer.norm3 = std::make_unique<LayerNorm>(hidden_);
+    AddChild(layer.temporal.get());
+    AddChild(layer.spatial.get());
+    AddChild(layer.norm1.get());
+    AddChild(layer.norm2.get());
+    AddChild(layer.ffn.get());
+    AddChild(layer.norm3.get());
+    layers_.push_back(std::move(layer));
+  }
+  head_ = std::make_unique<OutputHead>(spec, hidden_, head_hidden, &rng_);
+  AddChild(head_.get());
+}
+
+Tensor PdformerModel::Forward(const Tensor& x) const {
+  const int b = x.dim(0), n = spec_.num_sensors;
+  Tensor h = input_->Forward(x);
+  const int t = h.dim(2);
+  for (const Layer& layer : layers_) {
+    // Temporal attention per sensor.
+    Tensor rows = Reshape(h, {b * n, t, hidden_});
+    rows = layer.norm1->Forward(Add(rows, layer.temporal->Forward(rows)));
+    Tensor ht = Reshape(rows, {b, n, t, hidden_});
+    // Adjacency-masked spatial attention per time step.
+    Tensor cols = Reshape(Transpose(ht, 1, 2), {b * t, n, hidden_});
+    cols = layer.norm2->Forward(Add(cols, layer.spatial->Forward(cols)));
+    cols = layer.norm3->Forward(Add(cols, layer.ffn->Forward(cols)));
+    h = Transpose(Reshape(cols, {b, t, n, hidden_}), 1, 2);
+  }
+  return head_->Forward(h);
+}
+
+// -------------------------------------------------------------- Autoformer
+
+AutoformerModel::AutoformerModel(const ForecasterSpec& spec,
+                                 const ScaleConfig& scale, uint64_t seed,
+                                 int hidden_override, int output_override)
+    : spec_(spec), rng_(seed) {
+  hidden_ = ScaledHidden(hidden_override, 32, scale);
+  int head_hidden = ScaledHidden(output_override, 64, scale) * 2;
+  input_ = std::make_unique<InputEmbed>(spec, hidden_, kMaxModelTime, &rng_);
+  AddChild(input_.get());
+  ma_matrix_ = MovingAverageMatrix(input_->pooled_len(), 5);
+  seasonal_attn_ = std::make_unique<MultiHeadAttention>(
+      hidden_, hidden_ % 2 == 0 ? 2 : 1, &rng_);
+  norm_ = std::make_unique<LayerNorm>(hidden_);
+  trend_proj_ = std::make_unique<Linear>(hidden_, hidden_, &rng_);
+  AddChild(seasonal_attn_.get());
+  AddChild(norm_.get());
+  AddChild(trend_proj_.get());
+  head_ = std::make_unique<OutputHead>(spec, hidden_, head_hidden, &rng_);
+  AddChild(head_.get());
+}
+
+Tensor AutoformerModel::Forward(const Tensor& x) const {
+  const int b = x.dim(0), n = spec_.num_sensors;
+  Tensor h = input_->Forward(x);  // [B, N, T', H]
+  const int t = h.dim(2);
+  // Series decomposition along time: trend = MA(h), seasonal = h - trend.
+  Tensor trend = MatMul(ma_matrix_, h);  // [T',T'] x [B,N,T',H]
+  Tensor seasonal = Sub(h, trend);
+  Tensor rows = Reshape(seasonal, {b * n, t, hidden_});
+  rows = norm_->Forward(Add(rows, seasonal_attn_->Forward(rows)));
+  Tensor seasonal_out = Reshape(rows, {b, n, t, hidden_});
+  Tensor trend_out = trend_proj_->Forward(trend);
+  return head_->Forward(Add(seasonal_out, trend_out));
+}
+
+// --------------------------------------------------------------- FEDformer
+
+FedformerModel::FedformerModel(const ForecasterSpec& spec,
+                               const ScaleConfig& scale, uint64_t seed,
+                               int hidden_override, int output_override)
+    : spec_(spec), rng_(seed) {
+  hidden_ = ScaledHidden(hidden_override, 32, scale);
+  int head_hidden = ScaledHidden(output_override, 64, scale) * 2;
+  input_ = std::make_unique<InputEmbed>(spec, hidden_, kMaxModelTime, &rng_);
+  AddChild(input_.get());
+  const int t = input_->pooled_len();
+  ma_matrix_ = MovingAverageMatrix(t, 5);
+  int modes = std::max(1, std::min(t / 2 - 1, 6));
+  basis_ = FourierBasis(t, modes);
+  freq_mix_ = std::make_unique<Linear>(hidden_, hidden_, &rng_);
+  norm_ = std::make_unique<LayerNorm>(hidden_);
+  trend_proj_ = std::make_unique<Linear>(hidden_, hidden_, &rng_);
+  AddChild(freq_mix_.get());
+  AddChild(norm_.get());
+  AddChild(trend_proj_.get());
+  head_ = std::make_unique<OutputHead>(spec, hidden_, head_hidden, &rng_);
+  AddChild(head_.get());
+}
+
+Tensor FedformerModel::Forward(const Tensor& x) const {
+  Tensor h = input_->Forward(x);  // [B, N, T', H]
+  Tensor trend = MatMul(ma_matrix_, h);
+  Tensor seasonal = Sub(h, trend);
+  // Frequency-enhanced block: project the time axis onto the truncated
+  // Fourier basis, mix coefficients, project back.
+  Tensor coeffs = MatMul(Transpose(basis_, 0, 1), seasonal);  // [B,N,2K,H]
+  Tensor mixed = freq_mix_->Forward(coeffs);
+  Tensor recon = MatMul(basis_, mixed);  // [B, N, T', H]
+  Tensor seasonal_out = norm_->Forward(Add(seasonal, recon));
+  Tensor trend_out = trend_proj_->Forward(trend);
+  return head_->Forward(Add(seasonal_out, trend_out));
+}
+
+}  // namespace autocts

@@ -1,0 +1,106 @@
+#ifndef REPRO_BASELINES_TRANSFORMERS_H_
+#define REPRO_BASELINES_TRANSFORMERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.h"
+#include "common/scale_config.h"
+
+namespace autocts {
+
+/// Centered moving-average matrix [T, T] (constant): the Autoformer /
+/// FEDformer series-decomposition kernel, applied by matmul on the time
+/// axis.
+Tensor MovingAverageMatrix(int t, int window);
+
+/// Truncated Fourier basis [T, 2K] (constant): cos/sin columns of the K
+/// lowest non-zero frequencies, used by FEDformer's frequency-enhanced
+/// block.
+Tensor FourierBasis(int t, int num_modes);
+
+/// Simplified PDFormer [Jiang et al. 2023]: stacked layers of temporal
+/// self-attention and adjacency-masked spatial attention (the mask stands
+/// in for the propagation-delay-aware masking of the original) with FFN +
+/// layer-norm residuals.
+class PdformerModel : public Forecaster {
+ public:
+  PdformerModel(const ForecasterSpec& spec, const ScaleConfig& scale,
+                uint64_t seed, int hidden_override = 0,
+                int output_override = 0);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "PDFormer"; }
+
+ private:
+  struct Layer {
+    std::unique_ptr<MultiHeadAttention> temporal;
+    std::unique_ptr<MaskedSpatialAttention> spatial;
+    std::unique_ptr<LayerNorm> norm1;
+    std::unique_ptr<LayerNorm> norm2;
+    std::unique_ptr<Mlp> ffn;
+    std::unique_ptr<LayerNorm> norm3;
+  };
+
+  ForecasterSpec spec_;
+  int hidden_;
+  mutable Rng rng_;
+  std::unique_ptr<InputEmbed> input_;
+  std::vector<Layer> layers_;
+  std::unique_ptr<OutputHead> head_;
+};
+
+/// Simplified Autoformer [Wu et al. 2021]: series decomposition (moving
+/// average trend + seasonal residual); attention (standing in for the
+/// auto-correlation block) on the seasonal part, linear evolution of the
+/// trend part, recombined.
+class AutoformerModel : public Forecaster {
+ public:
+  AutoformerModel(const ForecasterSpec& spec, const ScaleConfig& scale,
+                  uint64_t seed, int hidden_override = 0,
+                  int output_override = 0);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "Autoformer"; }
+
+ private:
+  ForecasterSpec spec_;
+  int hidden_;
+  mutable Rng rng_;
+  std::unique_ptr<InputEmbed> input_;
+  Tensor ma_matrix_;
+  std::unique_ptr<MultiHeadAttention> seasonal_attn_;
+  std::unique_ptr<LayerNorm> norm_;
+  std::unique_ptr<Linear> trend_proj_;
+  std::unique_ptr<OutputHead> head_;
+};
+
+/// Simplified FEDformer [Zhou et al. 2022]: same decomposition backbone as
+/// Autoformer, but the seasonal part is processed in the frequency domain —
+/// projected onto a fixed truncated Fourier basis, mixed by a learned
+/// linear operator on the coefficients, and projected back.
+class FedformerModel : public Forecaster {
+ public:
+  FedformerModel(const ForecasterSpec& spec, const ScaleConfig& scale,
+                 uint64_t seed, int hidden_override = 0,
+                 int output_override = 0);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "FEDformer"; }
+
+ private:
+  ForecasterSpec spec_;
+  int hidden_;
+  mutable Rng rng_;
+  std::unique_ptr<InputEmbed> input_;
+  Tensor ma_matrix_;
+  Tensor basis_;       ///< [T', 2K]
+  std::unique_ptr<Linear> freq_mix_;  ///< Learned mixing of coefficients.
+  std::unique_ptr<LayerNorm> norm_;
+  std::unique_ptr<Linear> trend_proj_;
+  std::unique_ptr<OutputHead> head_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_BASELINES_TRANSFORMERS_H_

@@ -1,0 +1,59 @@
+#ifndef REPRO_COMMON_CHECK_H_
+#define REPRO_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace autocts {
+namespace internal {
+
+/// Accumulates a fatal-error message and aborts the process when destroyed.
+/// Used by the CHECK family of macros; never instantiate directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed expression into void so both ternary branches match.
+/// operator& binds looser than operator<<, so the whole message chain runs
+/// before voidification.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace autocts
+
+/// Aborts with a message if `cond` is false. Streams extra context:
+///   CHECK(i < n) << "index " << i << " out of range";
+#define CHECK(cond)               \
+  (cond) ? (void)0                \
+         : ::autocts::internal::Voidify() &                            \
+               ::autocts::internal::FatalMessage(__FILE__, __LINE__, #cond) \
+                   .stream()
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // REPRO_COMMON_CHECK_H_

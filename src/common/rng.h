@@ -1,0 +1,69 @@
+#ifndef REPRO_COMMON_RNG_H_
+#define REPRO_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace autocts {
+
+/// Deterministic random source threaded explicitly through every stochastic
+/// component (no global RNG state anywhere in the library). Same seed, same
+/// platform, same results.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float Uniform(float lo, float hi) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal (mean 0, stddev 1) scaled/shifted.
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int Int(int lo, int hi) {
+    CHECK_LE(lo, hi);
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    CHECK(!items.empty());
+    return items[static_cast<size_t>(Int(0, static_cast<int>(items.size()) - 1))];
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    std::shuffle(items->begin(), items->end(), engine_);
+  }
+
+  /// A derived seed; lets one top-level seed fan out to independent streams.
+  uint64_t Fork() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_RNG_H_

@@ -1,0 +1,62 @@
+#ifndef REPRO_COMMON_SCALE_CONFIG_H_
+#define REPRO_COMMON_SCALE_CONFIG_H_
+
+namespace autocts {
+
+/// Central scale knobs that map the paper's GPU-scale experiment sizes onto
+/// CPU-minutes. Every benchmark reads one of these presets so the whole
+/// harness can be grown or shrunk coherently. The *ratios* between settings
+/// (e.g., the K_s sweep of Table 13) follow the paper; absolute magnitudes
+/// are divided by a common factor.
+struct ScaleConfig {
+  /// Number of sensors per synthetic dataset (paper: 156–325).
+  int num_sensors = 12;
+  /// Number of time steps per synthetic dataset (paper: 2,016–52,116).
+  int num_steps = 720;
+  /// Hidden-dimension divisor applied to the paper's {32,48,64} grid.
+  int hidden_divisor = 8;
+  /// Epochs for fully training a selected forecasting model.
+  int train_epochs = 5;
+  /// Early-validation epochs k when labeling comparator samples (paper: 5).
+  int early_validation_epochs = 2;
+  /// Source tasks used to pre-train T-AHC (paper: 200).
+  int num_source_tasks = 8;
+  /// Shared + random samples per task, i.e., L (paper: ~25 per side).
+  int samples_per_task = 5;
+  /// Candidates ranked during zero-shot search, i.e., K_s (paper: 300,000;
+  /// the bench preset divides by 1,000).
+  int ranking_pool = 300;
+  /// Evolutionary population size k_p (paper: 10).
+  int population = 8;
+  /// Top-K arch-hypers trained at the end of a search (paper: 3).
+  int top_k = 2;
+  /// Mini-batch size for model training.
+  int batch_size = 8;
+  /// Windows drawn per dataset when embedding a task.
+  int windows_per_task = 16;
+
+  /// Default preset: used by the benchmark binaries. Minutes per bench.
+  static ScaleConfig Bench() { return ScaleConfig{}; }
+
+  /// Tiny preset: used by unit/integration tests. Seconds per test.
+  static ScaleConfig Test() {
+    ScaleConfig c;
+    c.num_sensors = 4;
+    c.num_steps = 160;
+    c.hidden_divisor = 8;
+    c.train_epochs = 2;
+    c.early_validation_epochs = 1;
+    c.num_source_tasks = 2;
+    c.samples_per_task = 2;
+    c.ranking_pool = 24;
+    c.population = 4;
+    c.top_k = 1;
+    c.batch_size = 4;
+    c.windows_per_task = 4;
+    return c;
+  }
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_SCALE_CONFIG_H_

@@ -1,0 +1,76 @@
+#ifndef REPRO_COMMON_STATUS_H_
+#define REPRO_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace autocts {
+
+/// Lightweight error signal for operations whose failure is an expected
+/// outcome (parsing, validation of externally supplied specs). Programmer
+/// errors use CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status carrying a human-readable message.
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Holds either a value or an error Status, mirroring absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: the common, successful path.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. CHECK-fails if the status is OK (an OK
+  /// StatusOr must carry a value).
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    CHECK(!status_.ok()) << "OK status requires a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; CHECK-fails if this holds an error.
+  const T& value() const& {
+    CHECK(ok()) << status_.message();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << status_.message();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << status_.message();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_STATUS_H_

@@ -1,0 +1,56 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace autocts {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c];
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  out << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TextTable::Num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string TextTable::MeanStd(double mean, double std, int precision) {
+  return Num(mean, precision) + "±" + Num(std, precision);
+}
+
+}  // namespace autocts

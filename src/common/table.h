@@ -1,0 +1,34 @@
+#ifndef REPRO_COMMON_TABLE_H_
+#define REPRO_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace autocts {
+
+/// Minimal fixed-width text table used by the benchmark harnesses to print
+/// paper-style result tables to stdout.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with column-aligned cells and a separator rule.
+  std::string ToString() const;
+
+  /// Formats a float with fixed precision (default 3 decimals).
+  static std::string Num(double v, int precision = 3);
+
+  /// Formats "mean±std" the way the paper reports results.
+  static std::string MeanStd(double mean, double std, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_TABLE_H_

@@ -1,0 +1,42 @@
+#include "comparator/gin.h"
+
+#include "tensor/ops.h"
+
+namespace autocts {
+
+GinEncoder::GinEncoder(const Options& options, Rng* rng)
+    : options_(options),
+      op_proj_(kNumOpTypes, options.embed_dim, rng, /*bias=*/false),
+      hyper_proj_(6, options.embed_dim, rng) {
+  AddChild(&op_proj_);
+  AddChild(&hyper_proj_);
+  for (int l = 0; l < options.layers; ++l) {
+    epsilons_.push_back(
+        AddParameter(Tensor::Zeros({1}, /*requires_grad=*/true)));
+    mlps_.push_back(std::make_unique<Mlp>(
+        options.embed_dim, 2 * options.embed_dim, options.embed_dim, rng));
+    AddChild(mlps_.back().get());
+  }
+}
+
+Tensor GinEncoder::Forward(const EncodingBatch& batch) const {
+  const int b = batch.adjacency.dim(0);
+  const int d = options_.embed_dim;
+  // Initial node features: projected one-hots for operator nodes (padding
+  // rows stay zero because op_proj_ is bias-free) with the projected hyper
+  // vector in the last (hyper) slot.
+  Tensor op_features = op_proj_.Forward(batch.op_onehot);  // [B, 14, D]
+  Tensor hyper_feature =
+      Reshape(hyper_proj_.Forward(batch.hyper), {b, 1, d});  // [B, 1, D]
+  Tensor h = Concat(
+      {Slice(op_features, 1, 0, kEncodingNodes - 1), hyper_feature}, 1);
+  for (size_t l = 0; l < mlps_.size(); ++l) {
+    Tensor scaled = Mul(h, AddScalar(epsilons_[l], 1.0f));  // (1+ε)·H
+    Tensor aggregated = MatMul(batch.adjacency, h);         // A·H
+    h = mlps_[l]->Forward(Add(scaled, aggregated));
+  }
+  // Readout: the hyper node's row (it connects to all operator nodes).
+  return Reshape(Slice(h, 1, kEncodingNodes - 1, 1), {b, d});
+}
+
+}  // namespace autocts

@@ -1,0 +1,47 @@
+#ifndef REPRO_COMPARATOR_GIN_H_
+#define REPRO_COMPARATOR_GIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "searchspace/encoding.h"
+
+namespace autocts {
+
+/// Graph Isomorphism Network encoder for arch-hyper graphs (paper Eq. 13–14
+/// plus the learnable input projections of Eq. 7–8).
+///
+/// Input features per node: one-hot operator id projected by W_e for the
+/// operator nodes, the normalized hyperparameter vector projected by W_c
+/// for the Hyper node. Each GIN layer computes
+///   H^(k) = MLP^(k)((1 + ε^(k))·H^(k-1) + A·H^(k-1)).
+/// The arch-hyper representation l_a is the Hyper node's row of the final
+/// layer (that node connects to every operator node).
+class GinEncoder : public Module {
+ public:
+  struct Options {
+    int layers = 3;     ///< L_n (paper uses 4; scaled down).
+    int embed_dim = 16; ///< D (paper uses 128; scaled down).
+  };
+
+  GinEncoder(const Options& options, Rng* rng);
+
+  /// [B, 14, 14] adjacency + features -> arch-hyper embeddings [B, D].
+  Tensor Forward(const EncodingBatch& batch) const;
+
+  int embed_dim() const { return options_.embed_dim; }
+
+ private:
+  Options options_;
+  Linear op_proj_;     ///< W_e: one-hot |O| -> D.
+  Linear hyper_proj_;  ///< W_c: normalized r=6 vector -> D.
+  std::vector<Tensor> epsilons_;           ///< One trainable ε per layer.
+  std::vector<std::unique_ptr<Mlp>> mlps_; ///< One MLP per layer.
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_COMPARATOR_GIN_H_

@@ -1,0 +1,208 @@
+#include "comparator/pretrain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/searched_model.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+
+std::vector<TaskSampleSet> CollectSamples(
+    const std::vector<ForecastTask>& tasks, const JointSearchSpace& space,
+    const TaskEncoder& encoder, const ScaleConfig& scale,
+    const SampleCollectionOptions& options) {
+  CHECK(!tasks.empty());
+  Rng rng(options.seed);
+  // Shared set S_0: the same L arch-hypers are evaluated on every task so
+  // the comparator can observe how rankings shift across tasks.
+  std::vector<ArchHyper> shared_pool =
+      space.SampleDistinct(options.shared_count, &rng);
+
+  std::vector<TaskSampleSet> out;
+  out.reserve(tasks.size());
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    const ForecastTask& task = tasks[ti];
+    TaskSampleSet set;
+    set.task = task;
+    set.preliminary = PreliminaryTaskEmbedding(encoder, task,
+                                               options.windows_per_task, &rng);
+    ForecasterSpec spec = MakeForecasterSpec(task);
+    TrainOptions train = options.train;
+    ModelTrainer trainer(task, train);
+    auto label = [&](const ArchHyper& ah, bool shared) {
+      auto model = BuildSearchedModel(ah, spec, scale, rng.Fork());
+      LabeledSample sample;
+      sample.arch_hyper = ah;
+      sample.r_prime = trainer.EarlyValidationError(
+          model.get(), options.early_validation_epochs);
+      sample.shared = shared;
+      set.samples.push_back(std::move(sample));
+    };
+    for (const ArchHyper& ah : shared_pool) label(ah, /*shared=*/true);
+    for (int i = 0; i < options.random_count; ++i) {
+      label(space.Sample(&rng), /*shared=*/false);
+    }
+    out.push_back(std::move(set));
+  }
+  return out;
+}
+
+namespace {
+
+/// A training pair: indices into one task's sample list.
+struct Pair {
+  int task = 0;
+  int first = 0;
+  int second = 0;
+};
+
+}  // namespace
+
+PretrainReport PretrainComparator(Comparator* comparator,
+                                  const std::vector<TaskSampleSet>& data,
+                                  const PretrainOptions& options) {
+  CHECK(!data.empty());
+  Rng rng(options.seed);
+  Adam::Options adam_opts;
+  adam_opts.lr = options.lr;
+  adam_opts.weight_decay = options.weight_decay;
+  Adam adam(comparator->Parameters(), adam_opts);
+  comparator->SetTraining(true);
+
+  // Pre-encode every sample once (encodings are constants).
+  std::vector<std::vector<ArchHyperEncoding>> encodings(data.size());
+  for (size_t t = 0; t < data.size(); ++t) {
+    for (const LabeledSample& s : data[t].samples) {
+      encodings[t].push_back(EncodeArchHyper(s.arch_hyper));
+    }
+  }
+
+  PretrainReport report;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Curriculum (Alg. 1, line 12): shared samples are always in; the
+    // admitted fraction Δ of random samples grows linearly to 1.
+    float frac = options.epochs <= 1
+                     ? 1.0f
+                     : options.initial_random_fraction +
+                           (1.0f - options.initial_random_fraction) *
+                               static_cast<float>(epoch) /
+                               static_cast<float>(options.epochs - 1);
+    // Dynamic pairing (line 13): fresh random pairs every epoch.
+    std::vector<Pair> pairs;
+    for (size_t t = 0; t < data.size(); ++t) {
+      std::vector<int> pool;
+      std::vector<int> randoms;
+      for (size_t i = 0; i < data[t].samples.size(); ++i) {
+        if (data[t].samples[i].shared) {
+          pool.push_back(static_cast<int>(i));
+        } else {
+          randoms.push_back(static_cast<int>(i));
+        }
+      }
+      rng.Shuffle(&randoms);
+      int admit = static_cast<int>(std::round(frac * randoms.size()));
+      pool.insert(pool.end(), randoms.begin(), randoms.begin() + admit);
+      if (pool.size() < 2) continue;
+      rng.Shuffle(&pool);
+      for (size_t i = 0; i < pool.size(); ++i) {
+        pairs.push_back({static_cast<int>(t), pool[i],
+                         pool[(i + 1) % pool.size()]});
+      }
+    }
+    rng.Shuffle(&pairs);
+
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t begin = 0; begin < pairs.size();
+         begin += static_cast<size_t>(options.batch_size)) {
+      size_t end = std::min(pairs.size(),
+                            begin + static_cast<size_t>(options.batch_size));
+      std::vector<ArchHyperEncoding> first, second;
+      std::vector<float> labels;
+      std::vector<Tensor> task_rows;
+      // Task embeddings are trainable; compute one per task per batch.
+      std::vector<Tensor> cached_embeds(data.size());
+      for (size_t p = begin; p < end; ++p) {
+        const Pair& pair = pairs[p];
+        const TaskSampleSet& set = data[static_cast<size_t>(pair.task)];
+        first.push_back(encodings[static_cast<size_t>(pair.task)]
+                                 [static_cast<size_t>(pair.first)]);
+        second.push_back(encodings[static_cast<size_t>(pair.task)]
+                                  [static_cast<size_t>(pair.second)]);
+        labels.push_back(
+            set.samples[static_cast<size_t>(pair.first)].r_prime <=
+                    set.samples[static_cast<size_t>(pair.second)].r_prime
+                ? 1.0f
+                : 0.0f);
+        if (comparator->options().task_aware) {
+          Tensor& cached = cached_embeds[static_cast<size_t>(pair.task)];
+          if (!cached.defined()) {
+            cached = comparator->EmbedTask(set.preliminary);
+          }
+          task_rows.push_back(
+              Reshape(cached, {1, comparator->options().f2}));
+        }
+      }
+      const int m = static_cast<int>(labels.size());
+      Tensor task_embeds;
+      if (!task_rows.empty()) task_embeds = Concat(task_rows, 0);
+      Tensor logits = comparator->CompareLogits(StackEncodings(first),
+                                                StackEncodings(second),
+                                                task_embeds);
+      Tensor target = Tensor::FromVector({m}, std::move(labels));
+      Tensor loss = BceLoss(Sigmoid(logits), target);
+      adam.ZeroGrad();
+      loss.Backward();
+      adam.Step();
+      epoch_loss += loss.item();
+      ++batches;
+      report.total_pairs_trained += m;
+    }
+    report.epoch_loss.push_back(batches > 0 ? epoch_loss / batches : 0.0);
+  }
+  comparator->SetTraining(false);
+
+  // Final training-set accuracy over all ordered pairs.
+  double correct = 0.0;
+  int total = 0;
+  for (const TaskSampleSet& set : data) {
+    double acc = PairwiseAccuracy(*comparator, set);
+    int n = static_cast<int>(set.samples.size());
+    int pairs_n = n * (n - 1);
+    correct += acc * pairs_n;
+    total += pairs_n;
+  }
+  report.final_accuracy = total > 0 ? correct / total : 0.0;
+  return report;
+}
+
+double PairwiseAccuracy(const Comparator& comparator,
+                        const TaskSampleSet& task_set) {
+  const int n = static_cast<int>(task_set.samples.size());
+  if (n < 2) return 1.0;
+  Tensor task_embed;
+  if (comparator.options().task_aware) {
+    task_embed = comparator.EmbedTask(task_set.preliminary).Detach();
+  }
+  std::vector<ArchHyperEncoding> enc;
+  for (const LabeledSample& s : task_set.samples) {
+    enc.push_back(EncodeArchHyper(s.arch_hyper));
+  }
+  int correct = 0, total = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      bool label = task_set.samples[static_cast<size_t>(i)].r_prime <=
+                   task_set.samples[static_cast<size_t>(j)].r_prime;
+      bool pred = comparator.Prefers(enc[static_cast<size_t>(i)],
+                                     enc[static_cast<size_t>(j)], task_embed);
+      if (pred == label) ++correct;
+      ++total;
+    }
+  }
+  return static_cast<double>(correct) / total;
+}
+
+}  // namespace autocts

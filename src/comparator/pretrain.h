@@ -1,0 +1,83 @@
+#ifndef REPRO_COMPARATOR_PRETRAIN_H_
+#define REPRO_COMPARATOR_PRETRAIN_H_
+
+#include <vector>
+
+#include "common/scale_config.h"
+#include "comparator/comparator.h"
+#include "data/task.h"
+#include "embedding/ts2vec.h"
+#include "model/trainer.h"
+#include "searchspace/search_space.h"
+
+namespace autocts {
+
+/// One labeled pre-training sample: an arch-hyper and its early-validation
+/// error R' (Eq. 22) on the owning task. `shared` marks members of the
+/// cross-task shared set S_0 (§3.2.4 "Selecting Shared Samples").
+struct LabeledSample {
+  ArchHyper arch_hyper;
+  double r_prime = 0.0;  ///< Validation MAE after k epochs; lower is better.
+  bool shared = false;
+};
+
+/// All pre-training material of one source task.
+struct TaskSampleSet {
+  ForecastTask task;
+  Tensor preliminary;  ///< TS2Vec preliminary embedding [W, S, F'], constant.
+  std::vector<LabeledSample> samples;
+};
+
+/// Knobs for sample collection (Alg. 1, lines 1–7).
+struct SampleCollectionOptions {
+  int shared_count = 5;            ///< L shared arch-hypers (same for all).
+  int random_count = 5;            ///< L per-task random arch-hypers.
+  int early_validation_epochs = 2; ///< k of Eq. 22.
+  int windows_per_task = 8;        ///< Windows for the preliminary embedding.
+  TrainOptions train;              ///< Template for the k-epoch trainings.
+  uint64_t seed = 101;
+};
+
+/// Trains and early-validates the shared pool plus per-task random
+/// arch-hypers on every task, and computes each task's preliminary
+/// embedding. This is the expensive, GPU-hours-in-the-paper step.
+std::vector<TaskSampleSet> CollectSamples(
+    const std::vector<ForecastTask>& tasks, const JointSearchSpace& space,
+    const TaskEncoder& encoder, const ScaleConfig& scale,
+    const SampleCollectionOptions& options);
+
+/// Knobs for T-AHC pre-training (Alg. 1, lines 8–18).
+struct PretrainOptions {
+  int epochs = 8;
+  int batch_size = 16;
+  float lr = 1e-3f;
+  float weight_decay = 5e-4f;
+  /// Curriculum: the fraction of random samples admitted grows linearly
+  /// from this value to 1 across epochs (Δ schedule).
+  float initial_random_fraction = 0.0f;
+  uint64_t seed = 202;
+};
+
+/// Pre-training outcome.
+struct PretrainReport {
+  std::vector<double> epoch_loss;
+  /// Pairwise-ranking accuracy over all training pairs after the last
+  /// epoch (sanity signal; ~0.5 means the comparator learned nothing).
+  double final_accuracy = 0.0;
+  int total_pairs_trained = 0;
+};
+
+/// Algorithm 1: data-level curriculum (shared samples first, random samples
+/// phased in), dynamic pairing re-drawn every epoch, BCE objective.
+PretrainReport PretrainComparator(Comparator* comparator,
+                                  const std::vector<TaskSampleSet>& data,
+                                  const PretrainOptions& options);
+
+/// Ranking quality of a comparator on a labeled set: fraction of ordered
+/// pairs it classifies consistently with the R' labels.
+double PairwiseAccuracy(const Comparator& comparator,
+                        const TaskSampleSet& task_set);
+
+}  // namespace autocts
+
+#endif  // REPRO_COMPARATOR_PRETRAIN_H_

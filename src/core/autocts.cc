@@ -1,0 +1,218 @@
+#include "core/autocts.h"
+
+#include <chrono>
+
+#include "data/synthetic.h"
+#include "model/searched_model.h"
+
+namespace autocts {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - from)
+      .count();
+}
+
+}  // namespace
+
+AutoCtsOptions AutoCtsOptions::ForScale(const ScaleConfig& scale) {
+  AutoCtsOptions o;
+  o.scale = scale;
+  o.ts2vec.repr_dim = 8;
+  o.ts2vec.hidden = 8;
+  o.comparator.repr_dim = o.ts2vec.repr_dim;
+  o.comparator.gin.embed_dim = 16;
+  o.comparator.f1 = 16;
+  o.comparator.f2 = 8;
+  o.collect.shared_count = scale.samples_per_task;
+  o.collect.random_count = scale.samples_per_task;
+  o.collect.early_validation_epochs = scale.early_validation_epochs;
+  o.collect.windows_per_task = scale.windows_per_task;
+  o.collect.train.batch_size = scale.batch_size;
+  o.search.ranking_pool = scale.ranking_pool;
+  o.search.population = scale.population;
+  o.search.top_k = scale.top_k;
+  o.pretrain.epochs = 16;
+  o.final_train.epochs = scale.train_epochs;
+  o.final_train.batch_size = scale.batch_size;
+  o.final_train.max_eval_windows = 48;
+  return o;
+}
+
+AutoCtsPlusPlus::AutoCtsPlusPlus(const AutoCtsOptions& options)
+    : options_(options), rng_(options.seed) {
+  CHECK_EQ(options_.comparator.repr_dim, options_.ts2vec.repr_dim)
+      << "comparator must consume the encoder's representation size";
+  if (options_.use_mlp_encoder) {
+    encoder_ = std::make_unique<MlpEncoder>(1, options_.ts2vec.repr_dim,
+                                            &rng_);
+  } else {
+    encoder_ = std::make_unique<Ts2Vec>(1, options_.ts2vec, &rng_);
+  }
+  comparator_ =
+      std::make_unique<Comparator>(options_.comparator, rng_.Fork());
+}
+
+PretrainReport AutoCtsPlusPlus::Pretrain(
+    const std::vector<ForecastTask>& source_tasks) {
+  CHECK(!source_tasks.empty());
+  // Stage 1: contrastive pre-training of TS2Vec on the source corpora
+  // (skipped for the MLP ablation encoder, which is trained implicitly by
+  // virtue of being random-projection features — as in the paper's
+  // ablation, it simply lacks the semantic pre-training).
+  if (auto* ts2vec = dynamic_cast<Ts2Vec*>(encoder_.get())) {
+    std::vector<CtsDatasetPtr> corpora;
+    for (const ForecastTask& t : source_tasks) corpora.push_back(t.data);
+    PretrainTs2Vec(ts2vec, corpora, options_.ts2vec_pretrain, &rng_);
+  }
+  // Stage 2: label collection (Alg. 1 lines 1–7).
+  collected_ = CollectSamples(source_tasks, space_, *encoder_, options_.scale,
+                              options_.collect);
+  // Stage 3: curriculum + dynamic-pairing pre-training (lines 8–18).
+  PretrainReport report =
+      PretrainComparator(comparator_.get(), collected_, options_.pretrain);
+  pretrained_ = true;
+  return report;
+}
+
+PretrainReport AutoCtsPlusPlus::RetrainWithSamples(
+    std::vector<TaskSampleSet> extra) {
+  CHECK(pretrained_) << "RetrainWithSamples extends a prior Pretrain()";
+  CHECK(!collected_.empty())
+      << "no sample bank (checkpoints carry parameters, not samples)";
+  collected_.insert(collected_.end(),
+                    std::make_move_iterator(extra.begin()),
+                    std::make_move_iterator(extra.end()));
+  // Fresh comparator, trained on old + new samples: T-AHC training is the
+  // cheap step, so retraining from scratch avoids stale-optimum drift.
+  comparator_ =
+      std::make_unique<Comparator>(options_.comparator, rng_.Fork());
+  return PretrainComparator(comparator_.get(), collected_, options_.pretrain);
+}
+
+Status AutoCtsPlusPlus::SaveCheckpoint(const std::string& path) const {
+  Status s = SaveParameters(*encoder_, path + ".encoder");
+  if (!s.ok()) return s;
+  return SaveParameters(*comparator_, path + ".tahc");
+}
+
+Status AutoCtsPlusPlus::LoadCheckpoint(const std::string& path) {
+  Status s = LoadParameters(encoder_.get(), path + ".encoder");
+  if (!s.ok()) return s;
+  s = LoadParameters(comparator_.get(), path + ".tahc");
+  if (!s.ok()) return s;
+  pretrained_ = true;
+  return Status::Ok();
+}
+
+Tensor AutoCtsPlusPlus::EmbedTask(const ForecastTask& task) {
+  Tensor preliminary = PreliminaryTaskEmbedding(
+      *encoder_, task, options_.collect.windows_per_task, &rng_);
+  return comparator_->EmbedTask(preliminary).Detach();
+}
+
+std::vector<ArchHyper> AutoCtsPlusPlus::RankTopK(const ForecastTask& task) {
+  return RankTopK(task, options_.search);
+}
+
+std::vector<ArchHyper> AutoCtsPlusPlus::RankTopK(const ForecastTask& task,
+                                                 const SearchOptions& search) {
+  CHECK(pretrained_) << "call Pretrain() before searching";
+  Tensor task_embed = EmbedTask(task);
+  EvolutionarySearcher searcher(comparator_.get(), &space_);
+  // Each task searches its own sampled slice of the joint space: mix the
+  // task identity into the seed (the paper samples K_s candidates fresh
+  // per task too). Still deterministic for a given task.
+  SearchOptions task_search = search;
+  uint64_t h = 1469598103934665603ull;
+  for (char c : task.name()) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  task_search.seed ^= h;
+  return searcher.SearchTopK(task_embed, task_search);
+}
+
+SearchOutcome AutoCtsPlusPlus::SearchAndTrain(const ForecastTask& task) {
+  CHECK(pretrained_) << "call Pretrain() before searching";
+  auto t0 = std::chrono::steady_clock::now();
+  Tensor task_embed = EmbedTask(task);
+  double embed_seconds = Seconds(t0);
+
+  auto t1 = std::chrono::steady_clock::now();
+  EvolutionarySearcher searcher(comparator_.get(), &space_);
+  std::vector<ArchHyper> top_k =
+      searcher.SearchTopK(task_embed, options_.search);
+  double rank_seconds = Seconds(t1);
+
+  SearchOutcome outcome = TrainTopKAndSelect(top_k, task,
+                                             options_.final_train,
+                                             options_.scale, rng_.Fork());
+  outcome.embed_seconds = embed_seconds;
+  outcome.rank_seconds = rank_seconds;
+  return outcome;
+}
+
+AutoCtsPlus::AutoCtsPlus(const AutoCtsOptions& options) : options_(options) {}
+
+SearchOutcome AutoCtsPlus::SearchAndTrain(const ForecastTask& task) {
+  Rng rng(options_.seed);
+  // Fully supervised: labels come from the *target* task itself — this is
+  // what costs GPU hours per task and what AutoCTS++ amortizes away.
+  auto t0 = std::chrono::steady_clock::now();
+  Comparator::Options comp_opts = options_.comparator;
+  comp_opts.task_aware = false;
+  Comparator ahc(comp_opts, rng.Fork());
+  SampleCollectionOptions collect = options_.collect;
+  // AHC needs no task embedding, but CollectSamples computes one; reuse an
+  // untrained MLP encoder as a cheap stand-in.
+  MlpEncoder stub_encoder(1, options_.ts2vec.repr_dim, &rng);
+  std::vector<TaskSampleSet> data = CollectSamples(
+      {task}, space_, stub_encoder, options_.scale, collect);
+  PretrainOptions pre = options_.pretrain;
+  pre.initial_random_fraction = 1.0f;  // No curriculum on a single task.
+  PretrainComparator(&ahc, data, pre);
+  double label_and_fit_seconds = Seconds(t0);
+
+  auto t1 = std::chrono::steady_clock::now();
+  EvolutionarySearcher searcher(&ahc, &space_);
+  std::vector<ArchHyper> top_k =
+      searcher.SearchTopK(Tensor(), options_.search);
+  double rank_seconds = Seconds(t1);
+
+  SearchOutcome outcome = TrainTopKAndSelect(top_k, task,
+                                             options_.final_train,
+                                             options_.scale, rng.Fork());
+  // For AutoCTS+ the per-task supervision is part of the search cost.
+  outcome.embed_seconds = label_and_fit_seconds;
+  outcome.rank_seconds = rank_seconds;
+  return outcome;
+}
+
+SearchOutcome TrainTopKAndSelect(const std::vector<ArchHyper>& top_k,
+                                 const ForecastTask& task,
+                                 const TrainOptions& train,
+                                 const ScaleConfig& scale, uint64_t seed) {
+  CHECK(!top_k.empty());
+  auto t0 = std::chrono::steady_clock::now();
+  SearchOutcome outcome;
+  outcome.top_k = top_k;
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  ModelTrainer trainer(task, train);
+  double best_val = 0.0;
+  bool first = true;
+  for (size_t i = 0; i < top_k.size(); ++i) {
+    auto model = BuildSearchedModel(top_k[i], spec, scale, seed + i);
+    TrainReport report = trainer.Train(model.get());
+    if (first || report.val.mae < best_val) {
+      first = false;
+      best_val = report.val.mae;
+      outcome.best = top_k[i];
+      outcome.best_report = report;
+    }
+  }
+  outcome.train_seconds = Seconds(t0);
+  return outcome;
+}
+
+}  // namespace autocts

@@ -1,0 +1,126 @@
+#ifndef REPRO_CORE_AUTOCTS_H_
+#define REPRO_CORE_AUTOCTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/scale_config.h"
+#include "comparator/pretrain.h"
+#include "nn/serialize.h"
+#include "search/evolutionary.h"
+
+namespace autocts {
+
+/// Everything configurable about the framework, with scaled defaults that
+/// mirror the paper's setup (§4.1.4).
+struct AutoCtsOptions {
+  ScaleConfig scale;
+  Ts2Vec::Options ts2vec;
+  Ts2VecPretrainOptions ts2vec_pretrain;
+  Comparator::Options comparator;
+  SampleCollectionOptions collect;
+  PretrainOptions pretrain;
+  SearchOptions search;
+  /// Full training of the final top-K candidates.
+  TrainOptions final_train;
+  /// Ablation (§4.2.3, "w/o TS2Vec"): encode tasks with a plain MLP.
+  bool use_mlp_encoder = false;
+  uint64_t seed = 1234;
+
+  /// Defaults consistent across sub-configs for a given scale preset.
+  static AutoCtsOptions ForScale(const ScaleConfig& scale);
+};
+
+/// Outcome of one search-and-train run on a task.
+struct SearchOutcome {
+  std::vector<ArchHyper> top_k;   ///< Ranked candidates, best-ranked first.
+  ArchHyper best;                 ///< Winner by validation accuracy.
+  TrainReport best_report;        ///< Val/test metrics of the winner.
+  double embed_seconds = 0.0;     ///< Task-embedding phase (Fig. 7).
+  double rank_seconds = 0.0;      ///< Ranking/evolution phase (Fig. 7).
+  double train_seconds = 0.0;     ///< Final top-K training phase (Fig. 7).
+};
+
+/// AutoCTS++: zero-shot joint neural architecture and hyperparameter
+/// search. Pre-train T-AHC once on a collection of source tasks; then any
+/// unseen task costs only minutes (embedding + comparator-guided ranking +
+/// training of the few top-ranked candidates).
+class AutoCtsPlusPlus {
+ public:
+  explicit AutoCtsPlusPlus(const AutoCtsOptions& options);
+
+  /// Pre-trains the TS2Vec encoder (contrastive) and T-AHC (Alg. 1) on the
+  /// source tasks. Must be called once before any search.
+  PretrainReport Pretrain(const std::vector<ForecastTask>& source_tasks);
+
+  /// Re-trains T-AHC on the union of the previously collected samples and
+  /// `extra` — the sample-reuse workflow of paper §3.1.1 ("the samples
+  /// collected before can be reused when retraining T-AHC", e.g. after
+  /// extending the operator set or adding source tasks). Requires a prior
+  /// Pretrain() in this process (loaded checkpoints carry no sample bank).
+  PretrainReport RetrainWithSamples(std::vector<TaskSampleSet> extra);
+
+  /// The labeled sample bank from the last Pretrain() call.
+  const std::vector<TaskSampleSet>& collected_samples() const {
+    return collected_;
+  }
+
+  /// Zero-shot search on an unseen task (Alg. 2) followed by full training
+  /// of the top-K candidates; returns the validation winner.
+  SearchOutcome SearchAndTrain(const ForecastTask& task);
+
+  /// Task vector E' of an unseen task (embedding phase only).
+  Tensor EmbedTask(const ForecastTask& task);
+
+  /// Ranking phase only: top-K arch-hypers without training them.
+  std::vector<ArchHyper> RankTopK(const ForecastTask& task);
+  std::vector<ArchHyper> RankTopK(const ForecastTask& task,
+                                  const SearchOptions& search);
+
+  /// Persists the pre-trained encoder + T-AHC parameters; LoadCheckpoint
+  /// restores them into an identically configured instance and marks it
+  /// pretrained. Lets one pre-training run serve many search sessions.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+
+  Comparator* comparator() { return comparator_.get(); }
+  TaskEncoder* encoder() { return encoder_.get(); }
+  const JointSearchSpace& space() const { return space_; }
+  const AutoCtsOptions& options() const { return options_; }
+  bool pretrained() const { return pretrained_; }
+
+ private:
+  AutoCtsOptions options_;
+  Rng rng_;
+  JointSearchSpace space_;
+  std::unique_ptr<TaskEncoder> encoder_;
+  std::unique_ptr<Comparator> comparator_;
+  std::vector<TaskSampleSet> collected_;
+  bool pretrained_ = false;
+};
+
+/// AutoCTS+ (the SIGMOD 2023 preliminary system): fully-supervised joint
+/// search for a single given task — collects (ah, R') samples on that very
+/// task, trains a task-blind AHC on them, and searches. No transfer.
+class AutoCtsPlus {
+ public:
+  explicit AutoCtsPlus(const AutoCtsOptions& options);
+
+  SearchOutcome SearchAndTrain(const ForecastTask& task);
+
+ private:
+  AutoCtsOptions options_;
+  JointSearchSpace space_;
+};
+
+/// Trains every candidate in `top_k` fully on the task and returns the
+/// outcome with the validation winner. Shared by both frameworks and the
+/// benchmark harnesses.
+SearchOutcome TrainTopKAndSelect(const std::vector<ArchHyper>& top_k,
+                                 const ForecastTask& task,
+                                 const TrainOptions& train,
+                                 const ScaleConfig& scale, uint64_t seed);
+
+}  // namespace autocts
+
+#endif  // REPRO_CORE_AUTOCTS_H_

@@ -1,0 +1,142 @@
+#include "data/csv_loader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace autocts {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, delim)) cells.push_back(cell);
+  // A trailing delimiter means a final empty cell.
+  if (!line.empty() && line.back() == delim) cells.push_back("");
+  return cells;
+}
+
+StatusOr<float> ParseCell(const std::string& cell, int row, size_t col) {
+  char* end = nullptr;
+  float v = std::strtof(cell.c_str(), &end);
+  // Allow surrounding whitespace; reject anything else.
+  while (end != nullptr && (*end == ' ' || *end == '\t' || *end == '\r')) {
+    ++end;
+  }
+  if (cell.empty() || end == cell.c_str() || (end != nullptr && *end != '\0')) {
+    return Status::Error("non-numeric cell '" + cell + "' at row " +
+                         std::to_string(row) + ", column " +
+                         std::to_string(col));
+  }
+  return v;
+}
+
+StatusOr<std::vector<std::vector<float>>> ReadMatrix(const std::string& path,
+                                                     char delim,
+                                                     bool skip_header) {
+  std::ifstream in(path);
+  if (!in) return Status::Error("cannot open " + path);
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  int row_number = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    ++row_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    std::vector<std::string> cells = SplitLine(line, delim);
+    std::vector<float> values;
+    values.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      StatusOr<float> v = ParseCell(cells[c], row_number, c);
+      if (!v.ok()) return v.status();
+      values.push_back(v.value());
+    }
+    if (!rows.empty() && values.size() != rows.front().size()) {
+      return Status::Error("ragged row " + std::to_string(row_number) +
+                           ": expected " +
+                           std::to_string(rows.front().size()) + " cells, got " +
+                           std::to_string(values.size()));
+    }
+    rows.push_back(std::move(values));
+  }
+  if (rows.empty()) return Status::Error(path + " holds no data rows");
+  return rows;
+}
+
+}  // namespace
+
+StatusOr<CtsDataset> LoadCtsCsv(const std::string& path,
+                                const CsvOptions& options) {
+  StatusOr<std::vector<std::vector<float>>> matrix =
+      ReadMatrix(path, options.delimiter, options.has_header);
+  if (!matrix.ok()) return matrix.status();
+  const auto& rows = matrix.value();
+  const int t = static_cast<int>(rows.size());
+  const int n = static_cast<int>(rows.front().size());
+  // CSV is time-major; CtsDataset stores series-major [n][t][f=1].
+  std::vector<float> values(static_cast<size_t>(n) * t);
+  for (int ti = 0; ti < t; ++ti) {
+    for (int ni = 0; ni < n; ++ni) {
+      values[static_cast<size_t>(ni) * t + ti] =
+          rows[static_cast<size_t>(ti)][static_cast<size_t>(ni)];
+    }
+  }
+  std::vector<float> adjacency;
+  if (!options.adjacency_path.empty()) {
+    StatusOr<std::vector<std::vector<float>>> adj =
+        ReadMatrix(options.adjacency_path, options.delimiter,
+                   /*skip_header=*/false);
+    if (!adj.ok()) return adj.status();
+    if (static_cast<int>(adj.value().size()) != n ||
+        static_cast<int>(adj.value().front().size()) != n) {
+      return Status::Error("adjacency must be " + std::to_string(n) + "x" +
+                           std::to_string(n));
+    }
+    for (const auto& row : adj.value()) {
+      adjacency.insert(adjacency.end(), row.begin(), row.end());
+    }
+  } else {
+    adjacency.assign(static_cast<size_t>(n) * n, 1.0f);
+  }
+  // Strip directory + extension for the dataset name.
+  std::string name = path;
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return CtsDataset(name, n, t, /*num_features=*/1, std::move(values),
+                    std::move(adjacency));
+}
+
+Status SaveCtsCsv(const CtsDataset& dataset, const std::string& path,
+                  char delimiter) {
+  if (dataset.num_features() != 1) {
+    return Status::Error("CSV export supports single-feature datasets");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Error("cannot open " + path + " for writing");
+  for (int n = 0; n < dataset.num_series(); ++n) {
+    if (n > 0) out << delimiter;
+    out << dataset.name() << "_" << n;
+  }
+  out << "\n";
+  for (int t = 0; t < dataset.num_steps(); ++t) {
+    for (int n = 0; n < dataset.num_series(); ++n) {
+      if (n > 0) out << delimiter;
+      out << dataset.value(n, t, 0);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::Error("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace autocts

@@ -1,0 +1,36 @@
+#ifndef REPRO_DATA_CSV_LOADER_H_
+#define REPRO_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/cts_dataset.h"
+
+namespace autocts {
+
+/// Options for reading a CTS dataset from CSV.
+struct CsvOptions {
+  /// First row holds column (series) names and is skipped.
+  bool has_header = true;
+  /// Value separator.
+  char delimiter = ',';
+  /// Path of an optional N×N adjacency CSV (no header). When empty, the
+  /// dataset gets an all-ones adjacency and models rely on their learned
+  /// self-adaptive adjacency instead.
+  std::string adjacency_path;
+};
+
+/// Loads a dataset whose rows are time steps and whose columns are series
+/// (the layout PEMS/METR-LA/Electricity CSV exports use). Fails with a
+/// descriptive Status on ragged rows, non-numeric cells, or empty input.
+StatusOr<CtsDataset> LoadCtsCsv(const std::string& path,
+                                const CsvOptions& options = {});
+
+/// Writes a dataset back out in the same layout (time-major, one column
+/// per series; a header with the dataset name + series index).
+Status SaveCtsCsv(const CtsDataset& dataset, const std::string& path,
+                  char delimiter = ',');
+
+}  // namespace autocts
+
+#endif  // REPRO_DATA_CSV_LOADER_H_

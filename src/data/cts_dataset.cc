@@ -1,0 +1,93 @@
+#include "data/cts_dataset.h"
+
+#include <cmath>
+
+namespace autocts {
+
+CtsDataset::CtsDataset(std::string name, int num_series, int num_steps,
+                       int num_features, std::vector<float> values,
+                       std::vector<float> adjacency)
+    : name_(std::move(name)),
+      num_series_(num_series),
+      num_steps_(num_steps),
+      num_features_(num_features),
+      values_(std::move(values)),
+      adjacency_(std::move(adjacency)) {
+  CHECK_GT(num_series_, 0);
+  CHECK_GT(num_steps_, 0);
+  CHECK_GT(num_features_, 0);
+  CHECK_EQ(values_.size(), static_cast<size_t>(num_series_) * num_steps_ *
+                               num_features_);
+  CHECK_EQ(adjacency_.size(),
+           static_cast<size_t>(num_series_) * num_series_);
+}
+
+void CtsDataset::MeanStd(double fraction, float* mean, float* std) const {
+  int t_max = std::max(1, static_cast<int>(num_steps_ * fraction));
+  double sum = 0.0, sq = 0.0;
+  int64_t count = 0;
+  for (int n = 0; n < num_series_; ++n) {
+    for (int t = 0; t < t_max; ++t) {
+      for (int f = 0; f < num_features_; ++f) {
+        double v = value(n, t, f);
+        sum += v;
+        sq += v * v;
+        ++count;
+      }
+    }
+  }
+  double mu = sum / static_cast<double>(count);
+  double var = std::max(sq / static_cast<double>(count) - mu * mu, 1e-8);
+  *mean = static_cast<float>(mu);
+  *std = static_cast<float>(std::sqrt(var));
+}
+
+CtsDataset CtsDataset::TemporalSlice(int t0, int length) const {
+  CHECK_GE(t0, 0);
+  CHECK_GT(length, 0);
+  CHECK_LE(t0 + length, num_steps_);
+  std::vector<float> sliced(static_cast<size_t>(num_series_) * length *
+                            num_features_);
+  for (int n = 0; n < num_series_; ++n) {
+    for (int t = 0; t < length; ++t) {
+      for (int f = 0; f < num_features_; ++f) {
+        sliced[(static_cast<size_t>(n) * length + t) * num_features_ + f] =
+            value(n, t0 + t, f);
+      }
+    }
+  }
+  return CtsDataset(name_ + "[t" + std::to_string(t0) + "+" +
+                        std::to_string(length) + "]",
+                    num_series_, length, num_features_, std::move(sliced),
+                    adjacency_);
+}
+
+CtsDataset CtsDataset::SelectSensors(const std::vector<int>& sensors) const {
+  CHECK(!sensors.empty());
+  int m = static_cast<int>(sensors.size());
+  std::vector<float> sub_values(static_cast<size_t>(m) * num_steps_ *
+                                num_features_);
+  for (int i = 0; i < m; ++i) {
+    int n = sensors[static_cast<size_t>(i)];
+    CHECK_GE(n, 0);
+    CHECK_LT(n, num_series_);
+    for (int t = 0; t < num_steps_; ++t) {
+      for (int f = 0; f < num_features_; ++f) {
+        sub_values[(static_cast<size_t>(i) * num_steps_ + t) * num_features_ +
+                   f] = value(n, t, f);
+      }
+    }
+  }
+  std::vector<float> sub_adj(static_cast<size_t>(m) * m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      sub_adj[static_cast<size_t>(i) * m + j] =
+          adjacency(sensors[static_cast<size_t>(i)],
+                    sensors[static_cast<size_t>(j)]);
+    }
+  }
+  return CtsDataset(name_ + "[n" + std::to_string(m) + "]", m, num_steps_,
+                    num_features_, std::move(sub_values), std::move(sub_adj));
+}
+
+}  // namespace autocts

@@ -1,0 +1,74 @@
+#ifndef REPRO_DATA_CTS_DATASET_H_
+#define REPRO_DATA_CTS_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace autocts {
+
+/// A correlated time series dataset: N series × T steps × F features plus an
+/// N×N adjacency matrix capturing spatial correlation strength (paper §2.1).
+class CtsDataset {
+ public:
+  CtsDataset(std::string name, int num_series, int num_steps, int num_features,
+             std::vector<float> values, std::vector<float> adjacency);
+
+  const std::string& name() const { return name_; }
+  int num_series() const { return num_series_; }
+  int num_steps() const { return num_steps_; }
+  int num_features() const { return num_features_; }
+
+  /// Value of series n at time t, feature f.
+  float value(int n, int t, int f) const {
+    return values_[FlatIndex(n, t, f)];
+  }
+
+  /// Raw storage, row-major [n][t][f].
+  const std::vector<float>& values() const { return values_; }
+
+  /// Row-major N×N adjacency (self-loops included, weights in [0,1]).
+  const std::vector<float>& adjacency() const { return adjacency_; }
+  float adjacency(int i, int j) const {
+    return adjacency_[static_cast<size_t>(i) * num_series_ + j];
+  }
+
+  /// Mean and (population) standard deviation of values over the first
+  /// `fraction` of time steps (used to fit the scaler on the train split
+  /// only, never on validation/test).
+  void MeanStd(double fraction, float* mean, float* std) const;
+
+  /// Temporally contiguous subset [t0, t0+length) — keeps temporal
+  /// continuity as required by the task-enrichment guidelines (Fig. 5).
+  CtsDataset TemporalSlice(int t0, int length) const;
+
+  /// Subset of sensors with the adjacency re-projected onto them — keeps
+  /// spatial correlation structure as required by Fig. 5.
+  CtsDataset SelectSensors(const std::vector<int>& sensors) const;
+
+ private:
+  size_t FlatIndex(int n, int t, int f) const {
+    CHECK_GE(n, 0);
+    CHECK_LT(n, num_series_);
+    CHECK_GE(t, 0);
+    CHECK_LT(t, num_steps_);
+    CHECK_GE(f, 0);
+    CHECK_LT(f, num_features_);
+    return (static_cast<size_t>(n) * num_steps_ + t) * num_features_ + f;
+  }
+
+  std::string name_;
+  int num_series_;
+  int num_steps_;
+  int num_features_;
+  std::vector<float> values_;
+  std::vector<float> adjacency_;
+};
+
+using CtsDatasetPtr = std::shared_ptr<const CtsDataset>;
+
+}  // namespace autocts
+
+#endif  // REPRO_DATA_CTS_DATASET_H_

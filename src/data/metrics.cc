@@ -1,0 +1,148 @@
+#include "data/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace autocts {
+
+double Mae(const std::vector<float>& pred, const std::vector<float>& target) {
+  CHECK_EQ(pred.size(), target.size());
+  CHECK(!pred.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    sum += std::fabs(static_cast<double>(pred[i]) - target[i]);
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+double Rmse(const std::vector<float>& pred, const std::vector<float>& target) {
+  CHECK_EQ(pred.size(), target.size());
+  CHECK(!pred.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    double d = static_cast<double>(pred[i]) - target[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(pred.size()));
+}
+
+double Mape(const std::vector<float>& pred, const std::vector<float>& target,
+            float mask_threshold) {
+  CHECK_EQ(pred.size(), target.size());
+  double sum = 0.0;
+  int64_t count = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (std::fabs(target[i]) <= mask_threshold) continue;
+    sum += std::fabs((static_cast<double>(pred[i]) - target[i]) / target[i]);
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  return 100.0 * sum / static_cast<double>(count);
+}
+
+double Rrse(const std::vector<float>& pred, const std::vector<float>& target) {
+  CHECK_EQ(pred.size(), target.size());
+  CHECK(!pred.empty());
+  double mean = std::accumulate(target.begin(), target.end(), 0.0) /
+                static_cast<double>(target.size());
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    double d = static_cast<double>(pred[i]) - target[i];
+    num += d * d;
+    double m = static_cast<double>(target[i]) - mean;
+    den += m * m;
+  }
+  if (den <= 0.0) return 0.0;
+  return std::sqrt(num / den);
+}
+
+namespace {
+
+double PearsonCorr(const float* a, const float* b, size_t n) {
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double da = a[i] - ma, db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 1e-12 || vb <= 1e-12) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace
+
+double Corr(const std::vector<float>& pred, const std::vector<float>& target,
+            int stride) {
+  CHECK_EQ(pred.size(), target.size());
+  CHECK(!pred.empty());
+  if (stride <= 0) {
+    return PearsonCorr(pred.data(), target.data(), pred.size());
+  }
+  CHECK_EQ(pred.size() % static_cast<size_t>(stride), 0u);
+  size_t series = pred.size() / static_cast<size_t>(stride);
+  double total = 0.0;
+  int counted = 0;
+  for (size_t s = 0; s < series; ++s) {
+    double c = PearsonCorr(pred.data() + s * stride, target.data() + s * stride,
+                           static_cast<size_t>(stride));
+    total += c;
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+namespace {
+
+std::vector<double> Ranks(const std::vector<double>& v) {
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(v.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    double rank = (static_cast<double>(i) + j) / 2.0 + 1.0;  // Average ties.
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b) {
+  CHECK_EQ(a.size(), b.size());
+  CHECK_GE(a.size(), 2u);
+  std::vector<double> ra = Ranks(a), rb = Ranks(b);
+  std::vector<float> fa(ra.begin(), ra.end()), fb(rb.begin(), rb.end());
+  return PearsonCorr(fa.data(), fb.data(), fa.size());
+}
+
+ForecastMetrics EvaluateForecast(const std::vector<float>& pred,
+                                 const std::vector<float>& target,
+                                 int series_stride) {
+  ForecastMetrics m;
+  m.mae = Mae(pred, target);
+  m.rmse = Rmse(pred, target);
+  // Masked MAPE excluding |y| < 1 — standard practice on traffic/demand
+  // data where near-zero targets make percentage errors meaningless.
+  m.mape = Mape(pred, target, 1.0f);
+  m.rrse = Rrse(pred, target);
+  m.corr = Corr(pred, target, series_stride);
+  return m;
+}
+
+}  // namespace autocts

@@ -1,0 +1,54 @@
+#ifndef REPRO_DATA_METRICS_H_
+#define REPRO_DATA_METRICS_H_
+
+#include <vector>
+
+namespace autocts {
+
+/// Forecast accuracy metrics used in the paper's evaluation (§4.1.2):
+/// MAE/RMSE/MAPE for multi-step forecasting, RRSE/CORR for single-step.
+/// All take flat prediction/target vectors of equal length.
+
+/// Mean absolute error.
+double Mae(const std::vector<float>& pred, const std::vector<float>& target);
+
+/// Root mean squared error.
+double Rmse(const std::vector<float>& pred, const std::vector<float>& target);
+
+/// Mean absolute percentage error in percent; targets with |y| below
+/// `mask_threshold` are excluded (standard practice on traffic data, which
+/// contains zeros).
+double Mape(const std::vector<float>& pred, const std::vector<float>& target,
+            float mask_threshold = 1e-3f);
+
+/// Root relative squared error: RMSE of the forecast relative to predicting
+/// the target mean.
+double Rrse(const std::vector<float>& pred, const std::vector<float>& target);
+
+/// Empirical correlation coefficient averaged over series; `stride` gives
+/// the per-series length (0 = treat as a single series).
+double Corr(const std::vector<float>& pred, const std::vector<float>& target,
+            int stride = 0);
+
+/// Spearman's rank correlation between two score vectors (used by the task
+/// similarity study, Table 4).
+double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Summary of one evaluation pass.
+struct ForecastMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;
+  double rrse = 0.0;
+  double corr = 0.0;
+};
+
+/// Computes every metric at once. `series_stride` is the per-series length
+/// used by CORR (0 = single series).
+ForecastMetrics EvaluateForecast(const std::vector<float>& pred,
+                                 const std::vector<float>& target,
+                                 int series_stride = 0);
+
+}  // namespace autocts
+
+#endif  // REPRO_DATA_METRICS_H_

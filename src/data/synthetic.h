@@ -1,0 +1,61 @@
+#ifndef REPRO_DATA_SYNTHETIC_H_
+#define REPRO_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/scale_config.h"
+#include "data/cts_dataset.h"
+
+namespace autocts {
+
+/// Domain flavour of a synthetic CTS generator. Each flavour reproduces the
+/// signature statistics of the corresponding real dataset family (see
+/// DESIGN.md, substitution table): periodic structure, value range, noise
+/// character, and spatial-correlation strength.
+enum class Domain {
+  kTrafficSpeed,   ///< METR-LA, PEMS-BAY, PEMSD7(M), Los-Loop: bounded speeds
+                   ///< with rush-hour congestion dips.
+  kTrafficFlow,    ///< PEMS03/04/07/08: non-negative volumes, high variance.
+  kElectricity,    ///< Electricity: strong daily+weekly load cycles.
+  kEtt,            ///< ETTh1/2, ETTm1/2: transformer temperature, slow drift.
+  kSolar,          ///< Solar-Energy: day-time production bell, zero at night.
+  kExchangeRate,   ///< ExchangeRate: near-unit random walk, no seasonality.
+  kDemandCount,    ///< NYC-TAXI/BIKE, SZ-TAXI: non-negative demand counts.
+};
+
+/// Fully specifies one synthetic dataset.
+struct DatasetProfile {
+  std::string name;
+  Domain domain = Domain::kTrafficSpeed;
+  int num_series = 8;
+  int num_steps = 400;
+  int period = 48;             ///< Primary (daily-analog) period in steps.
+  int period2 = 0;             ///< Secondary (weekly-analog) period; 0 = none.
+  float spatial_strength = 0.5f;  ///< Diffusion mixing of the latent noise.
+  float noise = 0.1f;          ///< Noise std relative to the signal scale.
+  float scale = 1.0f;          ///< Output amplitude.
+  float offset = 0.0f;         ///< Base level.
+  float trend = 0.0f;          ///< Linear drift over the whole series.
+  uint64_t seed = 0;           ///< Generator seed (deterministic per name).
+};
+
+/// Names of the eleven source datasets (used for T-AHC pre-training).
+std::vector<std::string> SourceDatasetNames();
+
+/// Names of the seven unseen target datasets (Table 3).
+std::vector<std::string> TargetDatasetNames();
+
+/// Profile for a named dataset scaled to `cfg`; CHECK-fails on unknown names.
+DatasetProfile ProfileFor(const std::string& name, const ScaleConfig& cfg);
+
+/// Generates a synthetic dataset from a profile (deterministic).
+CtsDatasetPtr GenerateSynthetic(const DatasetProfile& profile);
+
+/// Convenience: ProfileFor + GenerateSynthetic.
+CtsDatasetPtr MakeSyntheticDataset(const std::string& name,
+                                   const ScaleConfig& cfg);
+
+}  // namespace autocts
+
+#endif  // REPRO_DATA_SYNTHETIC_H_

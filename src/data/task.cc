@@ -1,0 +1,140 @@
+#include "data/task.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace autocts {
+
+std::string ForecastTask::name() const {
+  std::string label = data->name() + " P" + std::to_string(p);
+  if (single_step) {
+    label += "/Q-1(" + std::to_string(q) + "rd)";
+  } else {
+    label += "/Q" + std::to_string(q);
+  }
+  return label;
+}
+
+int ForecastTask::num_windows() const {
+  // A window needs p inputs plus q future steps (the q-th step for
+  // single-step forecasting is also q steps ahead).
+  int n = data->num_steps() - p - q + 1;
+  return std::max(n, 0);
+}
+
+std::vector<int> ForecastTask::SplitStarts(int split) const {
+  CHECK_GE(split, 0);
+  CHECK_LE(split, 2);
+  int total = num_windows();
+  CHECK_GT(total, 0) << "dataset too short for P=" << p << " Q=" << q;
+  int train_end = static_cast<int>(total * train_ratio);
+  int val_end = static_cast<int>(total * (train_ratio + val_ratio));
+  train_end = std::clamp(train_end, 1, total);
+  val_end = std::clamp(val_end, train_end, total);
+  int begin = split == 0 ? 0 : (split == 1 ? train_end : val_end);
+  int end = split == 0 ? train_end : (split == 1 ? val_end : total);
+  if (begin >= end) {  // Degenerate tiny datasets: fall back to all windows.
+    begin = 0;
+    end = total;
+  }
+  std::vector<int> starts(static_cast<size_t>(end - begin));
+  std::iota(starts.begin(), starts.end(), begin);
+  return starts;
+}
+
+WindowProvider::WindowProvider(const ForecastTask& task) : task_(task) {
+  CHECK(task_.data != nullptr);
+  task_.data->MeanStd(task_.train_ratio, &mean_, &std_);
+  if (std_ < 1e-6f) std_ = 1.0f;
+}
+
+WindowBatch WindowProvider::MakeBatch(const std::vector<int>& starts) const {
+  CHECK(!starts.empty());
+  const CtsDataset& d = *task_.data;
+  const int b = static_cast<int>(starts.size());
+  const int n = d.num_series();
+  const int f = d.num_features();
+  const int p = task_.p;
+  const int q_out = task_.single_step ? 1 : task_.q;
+  std::vector<float> xv(static_cast<size_t>(b) * n * p * f);
+  std::vector<float> yv(static_cast<size_t>(b) * n * q_out * f);
+  for (int bi = 0; bi < b; ++bi) {
+    int s = starts[static_cast<size_t>(bi)];
+    CHECK_GE(s, 0);
+    CHECK_LE(s + task_.p + task_.q, d.num_steps());
+    for (int ni = 0; ni < n; ++ni) {
+      for (int t = 0; t < p; ++t) {
+        for (int fi = 0; fi < f; ++fi) {
+          xv[((static_cast<size_t>(bi) * n + ni) * p + t) * f + fi] =
+              (d.value(ni, s + t, fi) - mean_) / std_;
+        }
+      }
+      for (int t = 0; t < q_out; ++t) {
+        // Multi-step targets are steps s+p .. s+p+q-1; the single-step
+        // target is the q-th future step s+p+q-1.
+        int src_t = task_.single_step ? s + p + task_.q - 1 : s + p + t;
+        for (int fi = 0; fi < f; ++fi) {
+          yv[((static_cast<size_t>(bi) * n + ni) * q_out + t) * f + fi] =
+              d.value(ni, src_t, fi);
+        }
+      }
+    }
+  }
+  WindowBatch batch;
+  batch.x = Tensor::FromVector({b, n, p, f}, std::move(xv));
+  batch.y = Tensor::FromVector({b, n, q_out, f}, std::move(yv));
+  return batch;
+}
+
+WindowBatch WindowProvider::SampleTrainBatch(int batch_size, Rng* rng) const {
+  std::vector<int> train = task_.SplitStarts(0);
+  std::vector<int> starts(static_cast<size_t>(batch_size));
+  for (int i = 0; i < batch_size; ++i) starts[static_cast<size_t>(i)] = rng->Choice(train);
+  return MakeBatch(starts);
+}
+
+std::vector<int> WindowProvider::Starts(int split, int max_windows) const {
+  std::vector<int> starts = task_.SplitStarts(split);
+  if (max_windows > 0 && static_cast<int>(starts.size()) > max_windows) {
+    // Evenly spaced subsample keeps coverage of the whole split.
+    std::vector<int> picked;
+    picked.reserve(static_cast<size_t>(max_windows));
+    double step = static_cast<double>(starts.size()) / max_windows;
+    for (int i = 0; i < max_windows; ++i) {
+      picked.push_back(starts[static_cast<size_t>(i * step)]);
+    }
+    return picked;
+  }
+  return starts;
+}
+
+ForecastTask DeriveSubsetTask(const CtsDatasetPtr& source, int p, int q,
+                              bool single_step, Rng* rng) {
+  const CtsDataset& d = *source;
+  // Guideline 1 (Fig. 5): temporal continuity — a contiguous slice whose
+  // length fits the forecasting horizon (longer horizons need more steps).
+  int min_len = std::max(8 * (p + q), d.num_steps() / 4);
+  int len = std::min(d.num_steps(), rng->Int(min_len, std::max(min_len, d.num_steps() / 2 * 2)));
+  len = std::min(len, d.num_steps());
+  int t0 = rng->Int(0, d.num_steps() - len);
+  // Guideline 2: random sensor subset with re-projected adjacency.
+  int keep = std::max(2, d.num_series() / 2 + rng->Int(-1, d.num_series() / 4));
+  keep = std::min(keep, d.num_series());
+  std::vector<int> sensors(static_cast<size_t>(d.num_series()));
+  std::iota(sensors.begin(), sensors.end(), 0);
+  rng->Shuffle(&sensors);
+  sensors.resize(static_cast<size_t>(keep));
+  std::sort(sensors.begin(), sensors.end());
+  auto subset = std::make_shared<CtsDataset>(
+      d.TemporalSlice(t0, len).SelectSensors(sensors));
+  ForecastTask task;
+  task.data = subset;
+  task.p = p;
+  task.q = q;
+  task.single_step = single_step;
+  task.train_ratio = 0.7;
+  task.val_ratio = 0.1;
+  return task;
+}
+
+}  // namespace autocts

@@ -1,0 +1,80 @@
+#ifndef REPRO_DATA_TASK_H_
+#define REPRO_DATA_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/cts_dataset.h"
+#include "tensor/tensor.h"
+
+namespace autocts {
+
+/// A CTS forecasting task T = (D, P, Q, M) per paper Eq. 3: a dataset, the
+/// input length P, the output length (or single-step horizon) Q, and the
+/// mode M (multi-step vs single-step).
+struct ForecastTask {
+  CtsDatasetPtr data;
+  int p = 12;
+  /// Multi-step: predict the next q steps. Single-step: predict only the
+  /// q-th future step (e.g., "P-168/Q-1 (3rd)" has p=168, q=3, single_step).
+  int q = 12;
+  bool single_step = false;
+  /// Train/validation fractions (Table 3 split ratios); test is the rest.
+  double train_ratio = 0.7;
+  double val_ratio = 0.1;
+
+  /// "PEMS-BAY P12/Q12" style label.
+  std::string name() const;
+
+  /// Number of valid window start positions.
+  int num_windows() const;
+
+  /// Window starts of one split. `split` is 0=train, 1=val, 2=test.
+  std::vector<int> SplitStarts(int split) const;
+};
+
+/// Dense window batch for model training: inputs are z-scored with the
+/// train-split scaler, targets stay on the original scale (the trainer
+/// inverse-transforms predictions before the loss, as Graph WaveNet does).
+struct WindowBatch {
+  Tensor x;  ///< [B, N, P, F], scaled.
+  Tensor y;  ///< [B, N, Q_out, F], original scale (Q_out = q or 1).
+};
+
+/// Assembles batches of forecasting windows from a task.
+class WindowProvider {
+ public:
+  explicit WindowProvider(const ForecastTask& task);
+
+  /// Scaler fitted on the train fraction.
+  float mean() const { return mean_; }
+  float std() const { return std_; }
+
+  /// Builds a batch from explicit window starts.
+  WindowBatch MakeBatch(const std::vector<int>& starts) const;
+
+  /// Draws `batch_size` random train-split windows.
+  WindowBatch SampleTrainBatch(int batch_size, Rng* rng) const;
+
+  /// All windows of a split, chunked to at most `max_windows` (0 = all).
+  std::vector<int> Starts(int split, int max_windows = 0) const;
+
+  const ForecastTask& task() const { return task_; }
+
+ private:
+  ForecastTask task_;
+  float mean_ = 0.0f;
+  float std_ = 1.0f;
+};
+
+/// Derives an enriched source task per the paper's Fig. 5 guidelines: a
+/// temporally contiguous slice, a random sensor subset with re-projected
+/// adjacency, and P/Q compatible with the subset length (short datasets get
+/// short horizons).
+ForecastTask DeriveSubsetTask(const CtsDatasetPtr& source, int p, int q,
+                              bool single_step, Rng* rng);
+
+}  // namespace autocts
+
+#endif  // REPRO_DATA_TASK_H_

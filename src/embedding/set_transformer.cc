@@ -1,0 +1,64 @@
+#include "embedding/set_transformer.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace autocts {
+
+SetPool::SetPool(int in_dim, int out_dim, Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      k_proj_(in_dim, in_dim, rng),
+      v_proj_(in_dim, in_dim, rng),
+      out_proj_(in_dim, out_dim, rng),
+      norm_(out_dim) {
+  seed_ = AddParameter(Tensor::Randn({1, in_dim}, rng, 0.5f, true));
+  ffn_ = std::make_unique<Mlp>(out_dim, 2 * out_dim, out_dim, rng);
+  AddChild(&k_proj_);
+  AddChild(&v_proj_);
+  AddChild(&out_proj_);
+  AddChild(ffn_.get());
+  AddChild(&norm_);
+}
+
+Tensor SetPool::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 3);
+  CHECK_EQ(x.dim(2), in_dim_);
+  Tensor k = k_proj_.Forward(x);  // [B, M, D]
+  Tensor v = v_proj_.Forward(x);
+  float scale = 1.0f / std::sqrt(static_cast<float>(in_dim_));
+  // Seed [1, D] against keys: scores [B, 1, M].
+  Tensor scores = MulScalar(MatMul(seed_, Transpose(k, -2, -1)), scale);
+  Tensor attn = Softmax(scores, -1);
+  Tensor pooled = Reshape(MatMul(attn, v), {x.dim(0), in_dim_});  // [B, D]
+  Tensor y = out_proj_.Forward(pooled);
+  return norm_.Forward(Add(y, ffn_->Forward(y)));
+}
+
+TaskEmbedModule::TaskEmbedModule(int repr_dim, int f1, int f2, Rng* rng)
+    : f1_(f1),
+      f2_(f2),
+      intra_(repr_dim, f1, rng),
+      inter_(f1, f2, rng),
+      mean_proj_(repr_dim, f2, rng) {
+  AddChild(&intra_);
+  AddChild(&inter_);
+  AddChild(&mean_proj_);
+}
+
+Tensor TaskEmbedModule::Forward(const Tensor& preliminary) const {
+  CHECK_EQ(preliminary.ndim(), 3);  // [W, S, repr]
+  Tensor window_summaries = intra_.Forward(preliminary);  // [W, f1]
+  const int w = preliminary.dim(0);
+  Tensor task_vec = inter_.Forward(Reshape(window_summaries, {1, w, f1_}));
+  return Reshape(task_vec, {f2_});
+}
+
+Tensor TaskEmbedModule::MeanPoolForward(const Tensor& preliminary) const {
+  CHECK_EQ(preliminary.ndim(), 3);
+  Tensor mean = Mean(Mean(preliminary, 1), 0);  // [repr]
+  return mean_proj_.Forward(mean);
+}
+
+}  // namespace autocts

@@ -1,0 +1,61 @@
+#ifndef REPRO_EMBEDDING_SET_TRANSFORMER_H_
+#define REPRO_EMBEDDING_SET_TRANSFORMER_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace autocts {
+
+/// Pooling-by-Multihead-Attention (PMA) block of the Set-Transformer
+/// [Lee et al. 2019]: a learnable seed vector attends over the elements of
+/// a set, producing a permutation-invariant fixed-size summary.
+class SetPool : public Module {
+ public:
+  SetPool(int in_dim, int out_dim, Rng* rng);
+
+  /// [B, M, in_dim] -> [B, out_dim] (order of the M elements irrelevant).
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  Tensor seed_;  ///< [1, in_dim] learnable query.
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+  std::unique_ptr<Mlp> ffn_;
+  LayerNorm norm_;
+};
+
+/// The task embedding learning module of T-AHC (paper Eq. 10–12): two
+/// stacked Set-Transformer pools. IntraSetPool summarizes each window's
+/// time dimension, InterSetPool aggregates the window summaries into one
+/// task vector E'. Trained end-to-end with the comparator.
+class TaskEmbedModule : public Module {
+ public:
+  /// `repr_dim` is the TS2Vec F'; `f1` and `f2` the paper's F'_1 and F'_2.
+  TaskEmbedModule(int repr_dim, int f1, int f2, Rng* rng);
+
+  /// Preliminary embedding [W, S, repr] -> task vector [f2].
+  Tensor Forward(const Tensor& preliminary) const;
+
+  /// The "w/o Set-Transformer" ablation path: plain mean pooling over both
+  /// time and windows followed by the same output projection size.
+  Tensor MeanPoolForward(const Tensor& preliminary) const;
+
+  int output_dim() const { return f2_; }
+
+ private:
+  int f1_;
+  int f2_;
+  SetPool intra_;
+  SetPool inter_;
+  Linear mean_proj_;  ///< Used only by MeanPoolForward.
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_EMBEDDING_SET_TRANSFORMER_H_

@@ -1,0 +1,160 @@
+#include "embedding/ts2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+
+Ts2Vec::Ts2Vec(int in_features, const Options& options, Rng* rng)
+    : options_(options),
+      input_proj_(in_features, options.hidden, rng),
+      output_proj_(options.hidden, options.repr_dim, rng) {
+  AddChild(&input_proj_);
+  for (int l = 0; l < options.layers; ++l) {
+    convs_.push_back(std::make_unique<CausalConv>(options.hidden,
+                                                  options.hidden, 2, 1 << l,
+                                                  rng));
+    AddChild(convs_.back().get());
+  }
+  AddChild(&output_proj_);
+}
+
+Tensor Ts2Vec::Encode(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 3);
+  Tensor h = input_proj_.Forward(x);
+  for (const auto& conv : convs_) {
+    h = Add(h, Relu(conv->Forward(h)));  // Residual dilated stack.
+  }
+  return output_proj_.Forward(h);
+}
+
+MlpEncoder::MlpEncoder(int in_features, int repr_dim, Rng* rng)
+    : repr_dim_(repr_dim), mlp_(in_features, 2 * repr_dim, repr_dim, rng) {
+  AddChild(&mlp_);
+}
+
+Tensor MlpEncoder::Encode(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 3);
+  return mlp_.Forward(x);
+}
+
+namespace {
+
+/// Draws a [batch, crop, 1] segment batch of z-scored series values.
+Tensor SampleSegments(const std::vector<CtsDatasetPtr>& corpora,
+                      int batch_size, int crop_len, Rng* rng) {
+  std::vector<float> data(static_cast<size_t>(batch_size) * crop_len);
+  for (int b = 0; b < batch_size; ++b) {
+    const CtsDataset& d =
+        *corpora[static_cast<size_t>(rng->Int(0, static_cast<int>(corpora.size()) - 1))];
+    int series = rng->Int(0, d.num_series() - 1);
+    int max_start = std::max(0, d.num_steps() - crop_len);
+    int start = rng->Int(0, max_start);
+    float mean, std;
+    d.MeanStd(1.0, &mean, &std);
+    for (int t = 0; t < crop_len; ++t) {
+      int src = std::min(start + t, d.num_steps() - 1);
+      data[static_cast<size_t>(b) * crop_len + t] =
+          (d.value(series, src, 0) - mean) / std;
+    }
+  }
+  return Tensor::FromVector({batch_size, crop_len, 1}, std::move(data));
+}
+
+/// Random timestamp masking: zeroes whole time steps with prob p.
+Tensor MaskView(const Tensor& x, float p, Rng* rng) {
+  const int b = x.dim(0), l = x.dim(1);
+  std::vector<float> mask(static_cast<size_t>(b) * l);
+  for (auto& m : mask) m = rng->Bernoulli(p) ? 0.0f : 1.0f;
+  return Mul(x, Tensor::FromVector({b, l, 1}, std::move(mask)));
+}
+
+/// -mean(log diag(softmax(S, -1))) where S is [..., M, M]: InfoNCE with the
+/// matching element as the positive.
+Tensor DiagonalNce(const Tensor& scores) {
+  int m = scores.dim(-1);
+  CHECK_EQ(scores.dim(-2), m);
+  std::vector<float> eye(static_cast<size_t>(m) * m, 0.0f);
+  for (int i = 0; i < m; ++i) eye[static_cast<size_t>(i) * m + i] = 1.0f;
+  Tensor identity = Tensor::FromVector({m, m}, std::move(eye));
+  Tensor probs = Softmax(scores, -1);
+  Tensor diag = Sum(Mul(probs, identity), -1);  // [..., M]
+  return Neg(MeanAll(Log(diag, 1e-7f)));
+}
+
+}  // namespace
+
+double PretrainTs2Vec(Ts2Vec* encoder,
+                      const std::vector<CtsDatasetPtr>& corpora,
+                      const Ts2VecPretrainOptions& options, Rng* rng) {
+  CHECK(!corpora.empty());
+  Adam::Options adam_opts;
+  adam_opts.lr = options.lr;
+  Adam adam(encoder->Parameters(), adam_opts);
+  encoder->SetTraining(true);
+  const float inv_temp =
+      1.0f / (options.temperature *
+              std::sqrt(static_cast<float>(encoder->repr_dim())));
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (int step = 0; step < options.batches_per_epoch; ++step) {
+      Tensor x = SampleSegments(corpora, options.batch_size, options.crop_len,
+                                rng);
+      Tensor z1 = encoder->Encode(MaskView(x, options.mask_prob, rng));
+      Tensor z2 = encoder->Encode(MaskView(x, options.mask_prob, rng));
+      // Temporal contrast: same instance, timestamps against each other.
+      Tensor st = MulScalar(MatMul(z1, Transpose(z2, -2, -1)), inv_temp);
+      Tensor temporal_loss = DiagonalNce(st);
+      // Instance contrast: same timestamp, instances against each other.
+      Tensor z1t = Transpose(z1, 0, 1);  // [L, B, D]
+      Tensor z2t = Transpose(z2, 0, 1);
+      Tensor si = MulScalar(MatMul(z1t, Transpose(z2t, -2, -1)), inv_temp);
+      Tensor instance_loss = DiagonalNce(si);
+      Tensor loss = Add(temporal_loss, instance_loss);
+      adam.ZeroGrad();
+      loss.Backward();
+      adam.Step();
+      epoch_loss += loss.item();
+    }
+    last_epoch_loss = epoch_loss / options.batches_per_epoch;
+  }
+  encoder->SetTraining(false);
+  return last_epoch_loss;
+}
+
+Tensor PreliminaryTaskEmbedding(const TaskEncoder& encoder,
+                                const ForecastTask& task, int num_windows,
+                                Rng* rng) {
+  const CtsDataset& d = *task.data;
+  const int s = task.p + task.q;
+  const int n = d.num_series();
+  CHECK_GT(num_windows, 0);
+  float mean, std;
+  d.MeanStd(1.0, &mean, &std);
+  if (std < 1e-6f) std = 1.0f;
+  int max_start = std::max(0, d.num_steps() - s);
+  // Encode all series of all sampled windows in one batch: [W*N, S, F].
+  std::vector<float> data(static_cast<size_t>(num_windows) * n * s);
+  for (int w = 0; w < num_windows; ++w) {
+    int start = rng->Int(0, max_start);
+    for (int ni = 0; ni < n; ++ni) {
+      for (int t = 0; t < s; ++t) {
+        int src = std::min(start + t, d.num_steps() - 1);
+        data[(static_cast<size_t>(w) * n + ni) * s + t] =
+            (d.value(ni, src, 0) - mean) / std;
+      }
+    }
+  }
+  Tensor x = Tensor::FromVector({num_windows * n, s, 1}, std::move(data));
+  Tensor encoded = encoder.Encode(x);  // [W*N, S, D]
+  // Mean over the N series of each window (Eq. 10).
+  Tensor grouped =
+      Reshape(encoded, {num_windows, n, s, encoder.repr_dim()});
+  return Mean(grouped, 1).Detach();  // [W, S, D], constant thereafter.
+}
+
+}  // namespace autocts

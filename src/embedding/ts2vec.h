@@ -1,0 +1,87 @@
+#ifndef REPRO_EMBEDDING_TS2VEC_H_
+#define REPRO_EMBEDDING_TS2VEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/task.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace autocts {
+
+/// Interface of the per-timestep time-series encoders that produce the
+/// preliminary task embeddings (paper Eq. 9). Implemented by the TS2Vec
+/// encoder and by the plain MLP used in the "w/o TS2Vec" ablation.
+class TaskEncoder : public Module {
+ public:
+  /// [R, S, F] -> [R, S, repr_dim].
+  virtual Tensor Encode(const Tensor& x) const = 0;
+  virtual int repr_dim() const = 0;
+};
+
+/// TS2Vec-style encoder [Yue et al. 2022]: input projection followed by a
+/// stack of dilated causal convolutions with residual connections, giving a
+/// representation for every time step of a window.
+class Ts2Vec : public TaskEncoder {
+ public:
+  struct Options {
+    int repr_dim = 16;
+    int hidden = 16;
+    int layers = 3;  ///< Dilations 1, 2, 4, ...
+  };
+
+  Ts2Vec(int in_features, const Options& options, Rng* rng);
+
+  Tensor Encode(const Tensor& x) const override;
+  int repr_dim() const override { return options_.repr_dim; }
+
+ private:
+  Options options_;
+  Linear input_proj_;
+  std::vector<std::unique_ptr<CausalConv>> convs_;
+  Linear output_proj_;
+};
+
+/// Plain per-timestep MLP encoder — the "w/o TS2Vec" ablation (§4.2.3).
+class MlpEncoder : public TaskEncoder {
+ public:
+  MlpEncoder(int in_features, int repr_dim, Rng* rng);
+
+  Tensor Encode(const Tensor& x) const override;
+  int repr_dim() const override { return repr_dim_; }
+
+ private:
+  int repr_dim_;
+  Mlp mlp_;
+};
+
+/// Pre-training knobs for the hierarchical contrastive objective.
+struct Ts2VecPretrainOptions {
+  int epochs = 2;
+  int batches_per_epoch = 8;
+  int batch_size = 8;
+  int crop_len = 24;       ///< Segment length sampled from each series.
+  float mask_prob = 0.15f; ///< Timestamp masking rate for the two views.
+  float lr = 1e-3f;
+  float temperature = 0.5f;
+};
+
+/// Pre-trains a TS2Vec encoder with temporal + instance contrastive losses
+/// over two independently masked context views of random segments drawn
+/// from the given corpora. Returns the mean loss of the final epoch.
+double PretrainTs2Vec(Ts2Vec* encoder,
+                      const std::vector<CtsDatasetPtr>& corpora,
+                      const Ts2VecPretrainOptions& options, Rng* rng);
+
+/// Computes the preliminary embedding of a task (Eq. 9–10): samples
+/// `num_windows` sliding windows of length S = P+Q, encodes every series,
+/// and averages over the N series. Result: a constant [W, S, repr] tensor.
+Tensor PreliminaryTaskEmbedding(const TaskEncoder& encoder,
+                                const ForecastTask& task, int num_windows,
+                                Rng* rng);
+
+}  // namespace autocts
+
+#endif  // REPRO_EMBEDDING_TS2VEC_H_

@@ -1,0 +1,36 @@
+#ifndef REPRO_MODEL_FORECASTER_H_
+#define REPRO_MODEL_FORECASTER_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace autocts {
+
+/// Common interface of every CTS forecasting model in the repo — searched
+/// ST-backbones and the manually designed baselines alike.
+///
+/// Input is a scaled window batch [B, N, P, F]; output is the scaled
+/// prediction [B, N, Q_out, F] (Q_out = Q for multi-step, 1 for
+/// single-step). The trainer owns (un)scaling.
+class Forecaster : public Module {
+ public:
+  virtual Tensor Forward(const Tensor& x) const = 0;
+
+  /// Human-readable model family name for tables.
+  virtual std::string name() const = 0;
+};
+
+/// Geometry every forecaster is compiled against.
+struct ForecasterSpec {
+  int num_sensors = 0;   ///< N
+  int input_len = 12;    ///< P
+  int output_len = 12;   ///< Q_out (1 for single-step)
+  int num_features = 1;  ///< F
+  Tensor adjacency;      ///< [N, N] predefined adjacency (constant).
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_MODEL_FORECASTER_H_

@@ -1,0 +1,150 @@
+#include "model/operators.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+/// Heads for the attention operators: H' is small after scaling, so use 2
+/// heads when divisible, else 1.
+int HeadsFor(int hidden) { return hidden % 2 == 0 ? 2 : 1; }
+
+/// Row-normalizes an [N, N] adjacency tensor into a diffusion support.
+Tensor NormalizeSupport(const Tensor& adjacency) {
+  CHECK_EQ(adjacency.ndim(), 2);
+  int n = adjacency.dim(0);
+  CHECK_EQ(adjacency.dim(1), n);
+  std::vector<float> data = adjacency.data();
+  for (int i = 0; i < n; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) sum += data[static_cast<size_t>(i) * n + j];
+    if (sum > 0.0f) {
+      for (int j = 0; j < n; ++j) data[static_cast<size_t>(i) * n + j] /= sum;
+    }
+  }
+  return Tensor::FromVector({n, n}, std::move(data));
+}
+
+}  // namespace
+
+GdccOp::GdccOp(const OperatorContext& ctx, int dilation)
+    : filter_conv_(ctx.hidden_dim, ctx.hidden_dim, /*kernel=*/2, dilation,
+                   ctx.rng),
+      gate_conv_(ctx.hidden_dim, ctx.hidden_dim, /*kernel=*/2, dilation,
+                 ctx.rng) {
+  AddChild(&filter_conv_);
+  AddChild(&gate_conv_);
+}
+
+Tensor GdccOp::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 4);
+  const int b = x.dim(0), n = x.dim(1), t = x.dim(2), h = x.dim(3);
+  Tensor rows = Reshape(x, {b * n, t, h});
+  Tensor y = Mul(Tanh(filter_conv_.Forward(rows)),
+                 Sigmoid(gate_conv_.Forward(rows)));
+  return Reshape(y, {b, n, t, h});
+}
+
+InfTOp::InfTOp(const OperatorContext& ctx)
+    : attention_(ctx.hidden_dim, HeadsFor(ctx.hidden_dim), ctx.rng,
+                 /*prob_sparse=*/true),
+      norm_(ctx.hidden_dim) {
+  AddChild(&attention_);
+  AddChild(&norm_);
+}
+
+Tensor InfTOp::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 4);
+  const int b = x.dim(0), n = x.dim(1), t = x.dim(2), h = x.dim(3);
+  Tensor rows = Reshape(x, {b * n, t, h});  // Attention along time.
+  Tensor y = norm_.Forward(Add(rows, attention_.Forward(rows)));
+  return Reshape(y, {b, n, t, h});
+}
+
+DgcnOp::DgcnOp(const OperatorContext& ctx, int diffusion_steps,
+               int node_embedding_dim)
+    : diffusion_steps_(diffusion_steps) {
+  CHECK_GT(ctx.num_sensors, 0);
+  CHECK(ctx.adjacency.defined());
+  support_ = NormalizeSupport(ctx.adjacency);
+  node_emb1_ = AddParameter(Tensor::Randn(
+      {ctx.num_sensors, node_embedding_dim}, ctx.rng, 0.5f, true));
+  node_emb2_ = AddParameter(Tensor::Randn(
+      {ctx.num_sensors, node_embedding_dim}, ctx.rng, 0.5f, true));
+  // One projection per diffusion step per support (predefined + adaptive),
+  // plus the k=0 self term.
+  int num_proj = 1 + 2 * diffusion_steps_;
+  step_projections_.reserve(static_cast<size_t>(num_proj));
+  for (int i = 0; i < num_proj; ++i) {
+    step_projections_.push_back(std::make_unique<Linear>(
+        ctx.hidden_dim, ctx.hidden_dim, ctx.rng, /*bias=*/i == 0));
+    AddChild(step_projections_.back().get());
+  }
+}
+
+Tensor DgcnOp::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 4);
+  const int b = x.dim(0), n = x.dim(1), t = x.dim(2), h = x.dim(3);
+  // [B, N, T, H] -> [B, T, N, H] so adjacency multiplies the sensor axis.
+  Tensor xt = Transpose(x, 1, 2);
+  // Self-adaptive adjacency: softmax(relu(E1 E2ᵀ)) rows.
+  Tensor adaptive = Softmax(Relu(MatMul(node_emb1_, Transpose(node_emb2_, 0, 1))), -1);
+  Tensor acc = step_projections_[0]->Forward(xt);
+  Tensor z_pre = xt;
+  Tensor z_ada = xt;
+  size_t proj = 1;
+  for (int k = 1; k <= diffusion_steps_; ++k) {
+    z_pre = MatMul(support_, z_pre);   // [N,N] x [B,T,N,H]
+    acc = Add(acc, step_projections_[proj++]->Forward(z_pre));
+    z_ada = MatMul(adaptive, z_ada);
+    acc = Add(acc, step_projections_[proj++]->Forward(z_ada));
+  }
+  Tensor y = Relu(acc);
+  (void)b;
+  (void)t;
+  (void)n;
+  (void)h;
+  return Transpose(y, 1, 2);
+}
+
+InfSOp::InfSOp(const OperatorContext& ctx)
+    : attention_(ctx.hidden_dim, HeadsFor(ctx.hidden_dim), ctx.rng,
+                 /*prob_sparse=*/false),
+      norm_(ctx.hidden_dim) {
+  AddChild(&attention_);
+  AddChild(&norm_);
+}
+
+Tensor InfSOp::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 4);
+  const int b = x.dim(0), n = x.dim(1), t = x.dim(2), h = x.dim(3);
+  // [B, N, T, H] -> [B, T, N, H] -> rows of sensors per (batch, time).
+  Tensor rows = Reshape(Transpose(x, 1, 2), {b * t, n, h});
+  Tensor y = norm_.Forward(Add(rows, attention_.Forward(rows)));
+  return Transpose(Reshape(y, {b, t, n, h}), 1, 2);
+}
+
+std::unique_ptr<StOperator> MakeOperator(OpType type,
+                                         const OperatorContext& ctx,
+                                         int position) {
+  switch (type) {
+    case OpType::kIdentity:
+      return std::make_unique<IdentityOp>();
+    case OpType::kGdcc: {
+      int dilation = 1 << (position % 3);  // 1, 2, 4 cycling by position.
+      return std::make_unique<GdccOp>(ctx, dilation);
+    }
+    case OpType::kInfT:
+      return std::make_unique<InfTOp>(ctx);
+    case OpType::kDgcn:
+      return std::make_unique<DgcnOp>(ctx);
+    case OpType::kInfS:
+      return std::make_unique<InfSOp>(ctx);
+  }
+  CHECK(false) << "unknown operator";
+  return nullptr;
+}
+
+}  // namespace autocts

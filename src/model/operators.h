@@ -1,0 +1,101 @@
+#ifndef REPRO_MODEL_OPERATORS_H_
+#define REPRO_MODEL_OPERATORS_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "searchspace/arch_hyper.h"
+#include "tensor/tensor.h"
+
+namespace autocts {
+
+/// Context shared by all operators of one model instance.
+struct OperatorContext {
+  int num_sensors = 0;    ///< N of the task's dataset.
+  int hidden_dim = 0;     ///< Compiled hidden width H'.
+  Tensor adjacency;       ///< [N, N] predefined adjacency (constant).
+  Rng* rng = nullptr;     ///< Init + dropout randomness.
+};
+
+/// Common interface of the candidate S/T-operators (paper §3.1.1). Every
+/// operator maps a latent representation [B, N, T, H'] to the same shape so
+/// that DAG nodes can sum their incoming edges (Eq. 6).
+class StOperator : public Module {
+ public:
+  virtual Tensor Forward(const Tensor& x) const = 0;
+};
+
+/// Skip connection.
+class IdentityOp : public StOperator {
+ public:
+  Tensor Forward(const Tensor& x) const override { return x; }
+};
+
+/// Gated Dilated Causal Convolution (GDCC): tanh(conv) ⊙ sigmoid(conv),
+/// the Graph WaveNet temporal operator for short-term dependencies.
+class GdccOp : public StOperator {
+ public:
+  GdccOp(const OperatorContext& ctx, int dilation);
+
+  Tensor Forward(const Tensor& x) const override;
+
+ private:
+  CausalConv filter_conv_;
+  CausalConv gate_conv_;
+};
+
+/// Informer temporal attention (INF-T): ProbSparse multi-head attention
+/// along the time axis per sensor, for long-term dependencies.
+class InfTOp : public StOperator {
+ public:
+  explicit InfTOp(const OperatorContext& ctx);
+
+  Tensor Forward(const Tensor& x) const override;
+
+ private:
+  MultiHeadAttention attention_;
+  LayerNorm norm_;
+};
+
+/// Diffusion Graph Convolution (DGCN): K-step diffusion over both the
+/// predefined adjacency and a learned self-adaptive adjacency
+/// softmax(relu(E1·E2ᵀ)), for static spatial correlations.
+class DgcnOp : public StOperator {
+ public:
+  DgcnOp(const OperatorContext& ctx, int diffusion_steps = 2,
+         int node_embedding_dim = 4);
+
+  Tensor Forward(const Tensor& x) const override;
+
+ private:
+  int diffusion_steps_;
+  Tensor support_;      ///< Row-normalized predefined adjacency, constant.
+  Tensor node_emb1_;    ///< [N, d] learnable.
+  Tensor node_emb2_;    ///< [N, d] learnable.
+  std::vector<std::unique_ptr<Linear>> step_projections_;
+};
+
+/// Informer spatial attention (INF-S): attention across sensors per time
+/// step, for dynamic spatial correlations.
+class InfSOp : public StOperator {
+ public:
+  explicit InfSOp(const OperatorContext& ctx);
+
+  Tensor Forward(const Tensor& x) const override;
+
+ private:
+  MultiHeadAttention attention_;
+  LayerNorm norm_;
+};
+
+/// Factory used by the ST-block compiler. `position` indexes the edge
+/// within its block and sets the GDCC dilation (1, 2, 4, ... cycling).
+std::unique_ptr<StOperator> MakeOperator(OpType type,
+                                         const OperatorContext& ctx,
+                                         int position);
+
+}  // namespace autocts
+
+#endif  // REPRO_MODEL_OPERATORS_H_

@@ -1,0 +1,128 @@
+#include "model/searched_model.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace autocts {
+
+StBlock::StBlock(const ArchSpec& arch, int output_mode,
+                 const OperatorContext& ctx)
+    : arch_(arch), output_mode_(output_mode) {
+  operators_.reserve(arch_.edges.size());
+  for (size_t e = 0; e < arch_.edges.size(); ++e) {
+    operators_.push_back(
+        MakeOperator(arch_.edges[e].op, ctx, static_cast<int>(e)));
+    AddChild(operators_.back().get());
+  }
+}
+
+Tensor StBlock::Forward(const Tensor& x) const {
+  std::vector<Tensor> nodes(static_cast<size_t>(arch_.num_nodes));
+  nodes[0] = x;
+  for (int j = 1; j < arch_.num_nodes; ++j) {
+    Tensor acc;
+    for (size_t e = 0; e < arch_.edges.size(); ++e) {
+      const ArchEdge& edge = arch_.edges[e];
+      if (edge.dst != j) continue;
+      Tensor contribution =
+          operators_[e]->Forward(nodes[static_cast<size_t>(edge.src)]);
+      acc = acc.defined() ? Add(acc, contribution) : contribution;
+    }
+    CHECK(acc.defined()) << "node " << j << " has no incoming edge";
+    nodes[static_cast<size_t>(j)] = acc;
+  }
+  if (output_mode_ == 0) {
+    return nodes[static_cast<size_t>(arch_.num_nodes - 1)];
+  }
+  // U=1: sum of all non-input nodes (Graph WaveNet style skip sum).
+  Tensor sum = nodes[1];
+  for (int j = 2; j < arch_.num_nodes; ++j) {
+    sum = Add(sum, nodes[static_cast<size_t>(j)]);
+  }
+  return sum;
+}
+
+SearchedModel::SearchedModel(const ArchHyper& ah, const ForecasterSpec& spec,
+                             const ScaleConfig& scale, uint64_t seed)
+    : arch_hyper_(ah), spec_(spec), rng_(seed) {
+  Status valid = ValidateArchHyper(ah);
+  CHECK(valid.ok()) << valid.message();
+  hidden_ = std::max(4, ah.hyper.hidden_dim / scale.hidden_divisor);
+  output_hidden_ = std::max(8, ah.hyper.output_dim / scale.hidden_divisor);
+  // Long inputs are average-pooled down to at most kMaxModelTime steps.
+  time_pool_ = (spec.input_len + kMaxModelTime - 1) / kMaxModelTime;
+  pooled_len_ = spec.input_len / time_pool_;
+  CHECK_GT(pooled_len_, 0);
+
+  input_proj_ = std::make_unique<Linear>(spec.num_features, hidden_, &rng_);
+  AddChild(input_proj_.get());
+
+  OperatorContext ctx;
+  ctx.num_sensors = spec.num_sensors;
+  ctx.hidden_dim = hidden_;
+  ctx.adjacency = spec.adjacency;
+  ctx.rng = &rng_;
+  for (int b = 0; b < ah.hyper.num_blocks; ++b) {
+    blocks_.push_back(
+        std::make_unique<StBlock>(ah.arch, ah.hyper.output_mode, ctx));
+    AddChild(blocks_.back().get());
+    block_norms_.push_back(std::make_unique<LayerNorm>(hidden_));
+    AddChild(block_norms_.back().get());
+  }
+  block_dropout_ = std::make_unique<DropoutLayer>(
+      ah.hyper.dropout == 1 ? 0.1f : 0.0f, &rng_);
+  AddChild(block_dropout_.get());
+
+  out1_ = std::make_unique<Linear>(2 * hidden_, output_hidden_, &rng_);
+  out2_ = std::make_unique<Linear>(
+      output_hidden_, spec.output_len * spec.num_features, &rng_);
+  AddChild(out1_.get());
+  AddChild(out2_.get());
+}
+
+Tensor SearchedModel::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 4);
+  const int b = x.dim(0);
+  CHECK_EQ(x.dim(1), spec_.num_sensors);
+  CHECK_EQ(x.dim(2), spec_.input_len);
+  CHECK_EQ(x.dim(3), spec_.num_features);
+
+  Tensor h = x;
+  if (time_pool_ > 1) {
+    int keep = pooled_len_ * time_pool_;
+    if (keep < spec_.input_len) {
+      // Drop the oldest steps so the length divides evenly.
+      h = Slice(h, 2, spec_.input_len - keep, keep);
+    }
+    h = Mean(Reshape(h, {b, spec_.num_sensors, pooled_len_, time_pool_,
+                         spec_.num_features}),
+             3);
+  }
+  h = input_proj_->Forward(h);  // [B, N, T', H']
+
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    Tensor y = blocks_[b]->Forward(h);
+    // Residual backbone with post-norm: stable regardless of how many
+    // operators the sampled block stacks.
+    h = block_dropout_->Forward(block_norms_[b]->Forward(Add(h, y)));
+  }
+
+  // Output module: last time step ⊕ temporal mean → MLP → Q_out·F.
+  Tensor last = Slice(h, 2, pooled_len_ - 1, 1);       // [B, N, 1, H']
+  Tensor mean = Mean(h, 2, /*keepdim=*/true);          // [B, N, 1, H']
+  Tensor feats = Reshape(Concat({last, mean}, 3),
+                         {b, spec_.num_sensors, 2 * hidden_});
+  Tensor out = out2_->Forward(Relu(out1_->Forward(feats)));
+  return Reshape(out,
+                 {b, spec_.num_sensors, spec_.output_len, spec_.num_features});
+}
+
+std::unique_ptr<SearchedModel> BuildSearchedModel(const ArchHyper& ah,
+                                                  const ForecasterSpec& spec,
+                                                  const ScaleConfig& scale,
+                                                  uint64_t seed) {
+  return std::make_unique<SearchedModel>(ah, spec, scale, seed);
+}
+
+}  // namespace autocts

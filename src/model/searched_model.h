@@ -1,0 +1,85 @@
+#ifndef REPRO_MODEL_SEARCHED_MODEL_H_
+#define REPRO_MODEL_SEARCHED_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/scale_config.h"
+#include "model/forecaster.h"
+#include "model/operators.h"
+#include "nn/layers.h"
+#include "searchspace/arch_hyper.h"
+
+namespace autocts {
+
+/// One ST-block compiled from an ArchSpec: latent node h_j is the sum of
+/// op(h_i) over the block's incoming edges (Eq. 6 with the supernet
+/// replaced by the selected operator). Output mode U selects the last node
+/// (AutoCTS style) or the sum of all non-input nodes (Graph WaveNet style).
+class StBlock : public Module {
+ public:
+  StBlock(const ArchSpec& arch, int output_mode, const OperatorContext& ctx);
+
+  /// [B, N, T, H'] -> [B, N, T, H'].
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  ArchSpec arch_;
+  int output_mode_;
+  std::vector<std::unique_ptr<StOperator>> operators_;  // One per edge.
+};
+
+/// A complete CTS forecasting model compiled from an arch-hyper: input
+/// module (time pooling + linear embed), B sequential ST-blocks with
+/// residual connections and optional dropout (δ), and an output module
+/// (last + mean time features → I' → Q_out·F).
+class SearchedModel : public Forecaster {
+ public:
+  SearchedModel(const ArchHyper& ah, const ForecasterSpec& spec,
+                const ScaleConfig& scale, uint64_t seed);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return display_name_; }
+  /// Overrides the table label (e.g. "AutoCTS" for a transferred model).
+  void set_display_name(std::string name) { display_name_ = std::move(name); }
+
+  const ArchHyper& arch_hyper() const { return arch_hyper_; }
+  /// Compiled hidden width H' = H / hidden_divisor (floored at 4).
+  int compiled_hidden() const { return hidden_; }
+  /// Temporal pooling factor applied by the input module (1 = none).
+  int time_pool() const { return time_pool_; }
+
+ private:
+  ArchHyper arch_hyper_;
+  ForecasterSpec spec_;
+  std::string display_name_ = "Searched";
+  int hidden_;
+  int output_hidden_;
+  int time_pool_;
+  int pooled_len_;
+  mutable Rng rng_;
+  std::unique_ptr<Linear> input_proj_;
+  std::vector<std::unique_ptr<StBlock>> blocks_;
+  /// Post-residual layer norms keep deep sampled backbones (B=6, C=7)
+  /// numerically stable on CPU-scale training budgets.
+  std::vector<std::unique_ptr<LayerNorm>> block_norms_;
+  std::unique_ptr<DropoutLayer> block_dropout_;
+  std::unique_ptr<Linear> out1_;
+  std::unique_ptr<Linear> out2_;
+};
+
+/// Compiles an arch-hyper into a ready-to-train forecasting model.
+std::unique_ptr<SearchedModel> BuildSearchedModel(const ArchHyper& ah,
+                                                  const ForecasterSpec& spec,
+                                                  const ScaleConfig& scale,
+                                                  uint64_t seed);
+
+/// Largest time length the compiled models attend over; longer inputs are
+/// average-pooled by the input module (documented substitution: keeps the
+/// P-168 single-step setting tractable on CPU).
+inline constexpr int kMaxModelTime = 48;
+
+}  // namespace autocts
+
+#endif  // REPRO_MODEL_SEARCHED_MODEL_H_

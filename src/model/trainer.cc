@@ -1,0 +1,117 @@
+#include "model/trainer.h"
+
+#include <chrono>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+
+ForecasterSpec MakeForecasterSpec(const ForecastTask& task) {
+  ForecasterSpec spec;
+  spec.num_sensors = task.data->num_series();
+  spec.input_len = task.p;
+  spec.output_len = task.single_step ? 1 : task.q;
+  spec.num_features = task.data->num_features();
+  spec.adjacency = Tensor::FromVector(
+      {spec.num_sensors, spec.num_sensors}, task.data->adjacency());
+  return spec;
+}
+
+ModelTrainer::ModelTrainer(const ForecastTask& task, TrainOptions options)
+    : task_(task), options_(options), provider_(task) {}
+
+void ModelTrainer::RunEpochs(Forecaster* model, int epochs,
+                             std::vector<double>* losses) const {
+  Rng rng(options_.seed);
+  Adam::Options opt;
+  opt.lr = options_.lr;
+  opt.weight_decay = options_.weight_decay;
+  Adam adam(model->Parameters(), opt);
+  model->SetTraining(true);
+  const float mean = provider_.mean();
+  const float std = provider_.std();
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (int step = 0; step < options_.batches_per_epoch; ++step) {
+      WindowBatch batch =
+          provider_.SampleTrainBatch(options_.batch_size, &rng);
+      adam.ZeroGrad();
+      Tensor pred_scaled = model->Forward(batch.x);
+      // Inverse transform inside the graph; loss on the original scale.
+      Tensor pred = AddScalar(MulScalar(pred_scaled, std), mean);
+      Tensor loss = MaeLoss(pred, batch.y);
+      epoch_loss += loss.item();
+      loss.Backward();
+      adam.Step();
+    }
+    if (losses != nullptr) {
+      losses->push_back(epoch_loss / options_.batches_per_epoch);
+    }
+  }
+}
+
+TrainReport ModelTrainer::Train(Forecaster* model) const {
+  TrainReport report;
+  auto start = std::chrono::steady_clock::now();
+  RunEpochs(model, options_.epochs, &report.epoch_train_loss);
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  report.val = Evaluate(*model, 1);
+  report.test = Evaluate(*model, 2);
+  return report;
+}
+
+double ModelTrainer::EarlyValidationError(Forecaster* model,
+                                          int k_epochs) const {
+  RunEpochs(model, k_epochs, nullptr);
+  return Evaluate(*model, 1).mae;
+}
+
+ForecastMetrics ModelTrainer::Evaluate(const Forecaster& model,
+                                       int split) const {
+  // SetTraining is non-const by design; evaluation flips the flag briefly.
+  Forecaster& mutable_model = const_cast<Forecaster&>(model);
+  bool was_training = model.training();
+  mutable_model.SetTraining(false);
+
+  std::vector<int> starts = provider_.Starts(split, options_.max_eval_windows);
+  const float mean = provider_.mean();
+  const float std = provider_.std();
+  const int n = task_.data->num_series();
+  const int q_out = task_.single_step ? 1 : task_.q;
+  const int f = task_.data->num_features();
+  const int per_window = q_out * f;
+  const int total_windows = static_cast<int>(starts.size());
+
+  // Sensor-major layout so CORR gets contiguous per-series vectors.
+  std::vector<float> preds(static_cast<size_t>(n) * total_windows * per_window);
+  std::vector<float> targets(preds.size());
+
+  int done = 0;
+  while (done < total_windows) {
+    int take = std::min(options_.batch_size, total_windows - done);
+    std::vector<int> chunk(starts.begin() + done, starts.begin() + done + take);
+    WindowBatch batch = provider_.MakeBatch(chunk);
+    Tensor pred = model.Forward(batch.x);
+    const auto& pv = pred.data();
+    const auto& tv = batch.y.data();
+    for (int bi = 0; bi < take; ++bi) {
+      for (int ni = 0; ni < n; ++ni) {
+        for (int k = 0; k < per_window; ++k) {
+          size_t src = (static_cast<size_t>(bi) * n + ni) * per_window + k;
+          size_t dst = (static_cast<size_t>(ni) * total_windows + done + bi) *
+                           per_window + k;
+          preds[dst] = pv[src] * std + mean;
+          targets[dst] = tv[src];
+        }
+      }
+    }
+    done += take;
+  }
+  mutable_model.SetTraining(was_training);
+  return EvaluateForecast(preds, targets, total_windows * per_window);
+}
+
+}  // namespace autocts

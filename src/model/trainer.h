@@ -1,0 +1,68 @@
+#ifndef REPRO_MODEL_TRAINER_H_
+#define REPRO_MODEL_TRAINER_H_
+
+#include <vector>
+
+#include "data/metrics.h"
+#include "data/task.h"
+#include "model/forecaster.h"
+
+namespace autocts {
+
+/// Knobs for one model-training run (paper §4.1.4: Adam, lr 1e-3, weight
+/// decay 1e-4, MAE objective, batch 64 — batch and epochs are scaled).
+struct TrainOptions {
+  int epochs = 6;
+  int batch_size = 8;
+  int batches_per_epoch = 10;
+  float lr = 1e-3f;
+  float weight_decay = 1e-4f;
+  /// Evaluation subsamples each split to at most this many windows (0=all).
+  int max_eval_windows = 64;
+  uint64_t seed = 17;
+};
+
+/// Outcome of a training run.
+struct TrainReport {
+  ForecastMetrics val;
+  ForecastMetrics test;
+  double train_seconds = 0.0;
+  std::vector<double> epoch_train_loss;
+};
+
+/// Builds the geometry a Forecaster is compiled against from a task.
+ForecasterSpec MakeForecasterSpec(const ForecastTask& task);
+
+/// Trains and evaluates forecasting models on one task. Handles scaling:
+/// models operate in z-scored space; predictions are inverse-transformed
+/// before the (original-scale) MAE loss and all metrics, as in Graph
+/// WaveNet and the paper's setup.
+class ModelTrainer {
+ public:
+  ModelTrainer(const ForecastTask& task, TrainOptions options);
+
+  /// Full training run followed by val/test evaluation.
+  TrainReport Train(Forecaster* model) const;
+
+  /// Early-validation metric R' (paper Eq. 22): validation MAE after only
+  /// `k_epochs` epochs of training — the cheap label source for AHC/T-AHC
+  /// pre-training. Lower is better.
+  double EarlyValidationError(Forecaster* model, int k_epochs) const;
+
+  /// Metrics of the (already trained) model on split 0/1/2.
+  ForecastMetrics Evaluate(const Forecaster& model, int split) const;
+
+  const WindowProvider& provider() const { return provider_; }
+
+ private:
+  void RunEpochs(Forecaster* model, int epochs,
+                 std::vector<double>* losses) const;
+
+  ForecastTask task_;
+  TrainOptions options_;
+  WindowProvider provider_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_MODEL_TRAINER_H_

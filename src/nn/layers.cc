@@ -1,0 +1,179 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace autocts {
+namespace {
+
+/// Glorot/Xavier uniform initialization.
+Tensor XavierWeight(std::vector<int> shape, int fan_in, int fan_out,
+                    Rng* rng) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand(std::move(shape), rng, -limit, limit,
+                      /*requires_grad=*/true);
+}
+
+}  // namespace
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng, bool bias)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  weight_ = AddParameter(XavierWeight({in_dim, out_dim}, in_dim, out_dim, rng));
+  if (bias) {
+    bias_ = AddParameter(Tensor::Zeros({out_dim}, /*requires_grad=*/true));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  CHECK_EQ(x.dim(-1), in_dim_);
+  Tensor y;
+  if (x.ndim() == 1) {
+    y = MatMul(Reshape(x, {1, in_dim_}), weight_);
+    y = Reshape(y, {out_dim_});
+  } else {
+    y = MatMul(x, weight_);
+  }
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+CausalConv::CausalConv(int c_in, int c_out, int kernel, int dilation, Rng* rng,
+                       bool bias)
+    : dilation_(dilation) {
+  CHECK_GE(kernel, 1);
+  CHECK_GE(dilation, 1);
+  weight_ = AddParameter(
+      XavierWeight({kernel, c_in, c_out}, kernel * c_in, c_out, rng));
+  if (bias) {
+    bias_ = AddParameter(Tensor::Zeros({c_out}, /*requires_grad=*/true));
+  }
+}
+
+Tensor CausalConv::Forward(const Tensor& x) const {
+  return CausalConv1d(x, weight_, bias_, dilation_);
+}
+
+LayerNorm::LayerNorm(int dim, float eps) : eps_(eps) {
+  gamma_ = AddParameter(Tensor::Full({dim}, 1.0f, /*requires_grad=*/true));
+  beta_ = AddParameter(Tensor::Zeros({dim}, /*requires_grad=*/true));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  Tensor mu = Mean(x, -1, /*keepdim=*/true);
+  Tensor centered = Sub(x, mu);
+  Tensor var = Mean(Square(centered), -1, /*keepdim=*/true);
+  Tensor norm = Div(centered, Sqrt(AddScalar(var, eps_)));
+  return Add(Mul(norm, gamma_), beta_);
+}
+
+Mlp::Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng)
+    : fc1_(in_dim, hidden_dim, rng), fc2_(hidden_dim, out_dim, rng) {
+  AddChild(&fc1_);
+  AddChild(&fc2_);
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  return fc2_.Forward(Relu(fc1_.Forward(x)));
+}
+
+GruCell::GruCell(int in_dim, int hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      gates_x_(in_dim, 3 * hidden_dim, rng),
+      gates_h_(hidden_dim, 3 * hidden_dim, rng, /*bias=*/false) {
+  AddChild(&gates_x_);
+  AddChild(&gates_h_);
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  Tensor gx = gates_x_.Forward(x);  // [B, 3H]
+  Tensor gh = gates_h_.Forward(h);
+  int hd = hidden_dim_;
+  Tensor r = Sigmoid(Add(Slice(gx, 1, 0, hd), Slice(gh, 1, 0, hd)));
+  Tensor z = Sigmoid(Add(Slice(gx, 1, hd, hd), Slice(gh, 1, hd, hd)));
+  Tensor n =
+      Tanh(Add(Slice(gx, 1, 2 * hd, hd), Mul(r, Slice(gh, 1, 2 * hd, hd))));
+  // h' = (1-z)*n + z*h
+  return Add(Mul(AddScalar(Neg(z), 1.0f), n), Mul(z, h));
+}
+
+MultiHeadAttention::MultiHeadAttention(int dim, int heads, Rng* rng,
+                                       bool prob_sparse, float dropout)
+    : dim_(dim),
+      heads_(heads),
+      prob_sparse_(prob_sparse),
+      q_proj_(dim, dim, rng),
+      k_proj_(dim, dim, rng),
+      v_proj_(dim, dim, rng),
+      out_proj_(dim, dim, rng),
+      attn_dropout_(dropout, rng),
+      rng_(rng) {
+  CHECK_EQ(dim % heads, 0) << "dim must divide evenly into heads";
+  AddChild(&q_proj_);
+  AddChild(&k_proj_);
+  AddChild(&v_proj_);
+  AddChild(&out_proj_);
+  AddChild(&attn_dropout_);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 3);
+  const int b = x.dim(0), l = x.dim(1);
+  CHECK_EQ(x.dim(2), dim_);
+  const int dh = dim_ / heads_;
+  auto split_heads = [&](const Tensor& t) {
+    // [B, L, D] -> [B, H, L, Dh]
+    return Transpose(Reshape(t, {b, l, heads_, dh}), 1, 2);
+  };
+  Tensor q = split_heads(q_proj_.Forward(x));
+  Tensor k = split_heads(k_proj_.Forward(x));
+  Tensor v = split_heads(v_proj_.Forward(x));
+  float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Tensor scores = MulScalar(MatMul(q, Transpose(k, -2, -1)), scale);
+  Tensor attn = attn_dropout_.Forward(Softmax(scores, -1));
+  Tensor out = MatMul(attn, v);  // [B, H, L, Dh]
+
+  if (prob_sparse_ && l > 2) {
+    // Sparsity measurement M(q_i) = max_j s_ij - mean_j s_ij per (b, h),
+    // computed off-tape; only the top-u queries keep their attention
+    // output, the rest fall back to mean(V).
+    int u = std::max(1, static_cast<int>(std::ceil(std::log2(l))));
+    if (u < l) {
+      const auto& sd = scores.data();
+      std::vector<float> mask_data(static_cast<size_t>(b) * heads_ * l, 0.0f);
+      std::vector<std::pair<float, int>> m(static_cast<size_t>(l));
+      for (int bi = 0; bi < b; ++bi) {
+        for (int hi = 0; hi < heads_; ++hi) {
+          int64_t base = ((static_cast<int64_t>(bi) * heads_) + hi) *
+                         static_cast<int64_t>(l) * l;
+          for (int i = 0; i < l; ++i) {
+            float mx = -1e30f, mean = 0.0f;
+            for (int j = 0; j < l; ++j) {
+              float s = sd[static_cast<size_t>(base + static_cast<int64_t>(i) * l + j)];
+              mx = std::max(mx, s);
+              mean += s;
+            }
+            mean /= static_cast<float>(l);
+            m[static_cast<size_t>(i)] = {mx - mean, i};
+          }
+          std::partial_sort(m.begin(), m.begin() + u, m.end(),
+                            [](auto& a2, auto& b2) { return a2.first > b2.first; });
+          for (int t = 0; t < u; ++t) {
+            mask_data[(static_cast<size_t>(bi) * heads_ + hi) * l +
+                      m[static_cast<size_t>(t)].second] = 1.0f;
+          }
+        }
+      }
+      Tensor mask = Tensor::FromVector({b, heads_, l, 1}, std::move(mask_data));
+      Tensor mean_v = Mean(v, 2, /*keepdim=*/true);  // [B, H, 1, Dh]
+      Tensor inv_mask = AddScalar(Neg(mask), 1.0f);
+      out = Add(Mul(mask, out), Mul(inv_mask, mean_v));
+    }
+  }
+
+  // [B, H, L, Dh] -> [B, L, D]
+  Tensor merged = Reshape(Transpose(out, 1, 2), {b, l, dim_});
+  return out_proj_.Forward(merged);
+}
+
+}  // namespace autocts

@@ -1,0 +1,127 @@
+#ifndef REPRO_NN_LAYERS_H_
+#define REPRO_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace autocts {
+
+/// Fully connected layer: y = x·W + b for x of shape [..., in_dim].
+class Linear : public Module {
+ public:
+  Linear(int in_dim, int out_dim, Rng* rng, bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+/// Causal dilated temporal convolution over x of shape [rows, T, c_in].
+class CausalConv : public Module {
+ public:
+  CausalConv(int c_in, int c_out, int kernel, int dilation, Rng* rng,
+             bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int dilation() const { return dilation_; }
+
+ private:
+  int dilation_;
+  Tensor weight_;  // [kernel, c_in, c_out]
+  Tensor bias_;    // [c_out] or undefined
+};
+
+/// Layer normalization over the last dimension with learnable affine.
+class LayerNorm : public Module {
+ public:
+  LayerNorm(int dim, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  float eps_;
+  Tensor gamma_;  // [dim]
+  Tensor beta_;   // [dim]
+};
+
+/// Inverted dropout keyed off the enclosing module's training flag.
+class DropoutLayer : public Module {
+ public:
+  DropoutLayer(float p, Rng* rng) : p_(p), rng_(rng) {}
+
+  Tensor Forward(const Tensor& x) const {
+    return Dropout(x, p_, rng_, training());
+  }
+
+ private:
+  float p_;
+  Rng* rng_;
+};
+
+/// Two-layer perceptron with ReLU, the classifier workhorse of AHC/T-AHC.
+class Mlp : public Module {
+ public:
+  Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+/// Gated recurrent unit cell: h' = GRU(x, h) for x [B, in], h [B, hidden].
+class GruCell : public Module {
+ public:
+  GruCell(int in_dim, int hidden_dim, Rng* rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int hidden_dim_;
+  Linear gates_x_;  // in -> 3*hidden (reset, update, candidate)
+  Linear gates_h_;  // hidden -> 3*hidden
+};
+
+/// Multi-head scaled-dot-product self-attention over x [B, L, D].
+///
+/// With `prob_sparse` set, only the top-u queries (largest max-mean score
+/// sparsity measurement, computed off-tape) attend; the remaining positions
+/// output the mean of V — the Informer approximation [Zhou et al. 2021].
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int dim, int heads, Rng* rng, bool prob_sparse = false,
+                     float dropout = 0.0f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int dim_;
+  int heads_;
+  bool prob_sparse_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+  DropoutLayer attn_dropout_;
+  Rng* rng_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_NN_LAYERS_H_

@@ -1,0 +1,80 @@
+#ifndef REPRO_NN_MODULE_H_
+#define REPRO_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace autocts {
+
+/// Base class for neural-network building blocks.
+///
+/// A Module owns trainable parameters (registered with AddParameter) and may
+/// contain child modules (registered with AddChild; children are members of
+/// the subclass, the registry is non-owning). Parameters(), SetTraining()
+/// and ZeroGrad() recurse through children. Forward signatures differ per
+/// subclass, so there is no virtual Forward here.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its descendants.
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> out = params_;
+    for (const Module* child : children_) {
+      std::vector<Tensor> sub = child->Parameters();
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+
+  /// Total number of scalar parameters (reported in case studies).
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const Tensor& p : Parameters()) n += p.numel();
+    return n;
+  }
+
+  /// Switches train/eval behaviour (dropout etc.) recursively.
+  void SetTraining(bool training) {
+    training_ = training;
+    for (Module* child : children_) child->SetTraining(training);
+  }
+
+  bool training() const { return training_; }
+
+  /// Zeroes every parameter gradient recursively.
+  void ZeroGrad() {
+    for (Tensor& p : params_) p.ZeroGrad();
+    for (Module* child : children_) child->ZeroGrad();
+  }
+
+ protected:
+  Module() = default;
+
+  /// Registers a trainable parameter and returns the (aliasing) handle.
+  Tensor AddParameter(Tensor t) {
+    CHECK(t.defined());
+    CHECK(t.requires_grad()) << "parameters must require grad";
+    params_.push_back(t);
+    return t;
+  }
+
+  /// Registers a child module (must outlive this module; typically a member).
+  void AddChild(Module* child) {
+    CHECK(child != nullptr);
+    children_.push_back(child);
+  }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;
+  bool training_ = true;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_NN_MODULE_H_

@@ -1,0 +1,59 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autocts {
+
+Adam::Adam(std::vector<Tensor> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    CHECK(p.defined());
+    m_.emplace_back(p.data().size(), 0.0f);
+    v_.emplace_back(p.data().size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  // Optional global-norm gradient clipping.
+  if (options_.clip_norm > 0.0f) {
+    double sq = 0.0;
+    for (Tensor& p : params_) {
+      for (float g : p.grad()) sq += static_cast<double>(g) * g;
+    }
+    double norm = std::sqrt(sq);
+    if (norm > options_.clip_norm) {
+      float scale = options_.clip_norm / static_cast<float>(norm);
+      for (Tensor& p : params_) {
+        for (float& g : p.grad()) g *= scale;
+      }
+    }
+  }
+  const float b1 = options_.beta1, b2 = options_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      float g = grad[j] + options_.weight_decay * data[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * g;
+      v[j] = b2 * v[j] + (1.0f - b2) * g * g;
+      float m_hat = m[j] / bc1;
+      float v_hat = v[j] / bc2;
+      data[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+}  // namespace autocts

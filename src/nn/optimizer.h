@@ -1,0 +1,47 @@
+#ifndef REPRO_NN_OPTIMIZER_H_
+#define REPRO_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace autocts {
+
+/// Adam optimizer [Kingma & Ba 2014] with decoupled-style L2 weight decay
+/// applied to the gradient (the paper trains both forecasting models and
+/// T-AHC with Adam + weight decay).
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+    /// Gradients are clipped to this L2 norm when > 0 (stabilizes the
+    /// small-batch CPU training runs).
+    float clip_norm = 5.0f;
+  };
+
+  Adam(std::vector<Tensor> params, Options options);
+
+  /// Applies one update from the accumulated gradients.
+  void Step();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  int64_t step_count() const { return step_; }
+  Options& options() { return options_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  Options options_;
+  int64_t step_ = 0;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_NN_OPTIMIZER_H_

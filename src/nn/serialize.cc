@@ -1,0 +1,65 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace autocts {
+namespace {
+
+constexpr uint64_t kMagic = 0x4155544f43545321ull;  // "AUTOCTS!"
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Error("cannot open " + path + " for writing");
+  std::vector<Tensor> params = module.Parameters();
+  uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& p : params) {
+    uint64_t numel = static_cast<uint64_t>(p.numel());
+    out.write(reinterpret_cast<const char*>(&numel), sizeof(numel));
+    out.write(reinterpret_cast<const char*>(p.data().data()),
+              static_cast<std::streamsize>(numel * sizeof(float)));
+  }
+  if (!out) return Status::Error("write failed for " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open " + path);
+  uint64_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) return Status::Error("bad checkpoint magic");
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::vector<Tensor> params = module->Parameters();
+  if (count != params.size()) {
+    return Status::Error("checkpoint holds " + std::to_string(count) +
+                         " tensors, module has " +
+                         std::to_string(params.size()));
+  }
+  // Stage into buffers first so a truncated file cannot half-update.
+  std::vector<std::vector<float>> staged;
+  staged.reserve(params.size());
+  for (const Tensor& p : params) {
+    uint64_t numel = 0;
+    in.read(reinterpret_cast<char*>(&numel), sizeof(numel));
+    if (!in || numel != static_cast<uint64_t>(p.numel())) {
+      return Status::Error("tensor size mismatch in " + path);
+    }
+    std::vector<float> buf(numel);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in) return Status::Error("truncated checkpoint " + path);
+    staged.push_back(std::move(buf));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].data() = std::move(staged[i]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace autocts

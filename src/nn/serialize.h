@@ -1,0 +1,23 @@
+#ifndef REPRO_NN_SERIALIZE_H_
+#define REPRO_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace autocts {
+
+/// Writes all parameters of a module (recursively, in registration order)
+/// to a binary file: a magic header, the tensor count, then each tensor's
+/// element count and raw float data. Architecture is NOT stored — loading
+/// requires an identically constructed module.
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Restores parameters written by SaveParameters. Fails (without partial
+/// mutation of later tensors) on magic/count/shape mismatch.
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace autocts
+
+#endif  // REPRO_NN_SERIALIZE_H_

@@ -1,0 +1,169 @@
+#include "search/evolutionary.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace autocts {
+
+EvolutionarySearcher::EvolutionarySearcher(const Comparator* comparator,
+                                           const JointSearchSpace* space)
+    : comparator_(comparator), space_(space) {
+  CHECK(comparator_ != nullptr);
+  CHECK(space_ != nullptr);
+}
+
+std::vector<bool> EvolutionarySearcher::ComparePairs(
+    const std::vector<ArchHyperEncoding>& enc,
+    const std::vector<std::pair<int, int>>& pairs, const Tensor& task_embed,
+    int compare_batch) const {
+  std::vector<bool> wins(pairs.size());
+  const bool task_aware = comparator_->options().task_aware;
+  const int f2 = comparator_->options().f2;
+  Tensor task_row;
+  if (task_aware) {
+    CHECK(task_embed.defined());
+    task_row = Reshape(task_embed, {1, f2});
+  }
+  for (size_t begin = 0; begin < pairs.size();
+       begin += static_cast<size_t>(compare_batch)) {
+    size_t end =
+        std::min(pairs.size(), begin + static_cast<size_t>(compare_batch));
+    std::vector<ArchHyperEncoding> first, second;
+    for (size_t p = begin; p < end; ++p) {
+      first.push_back(enc[static_cast<size_t>(pairs[p].first)]);
+      second.push_back(enc[static_cast<size_t>(pairs[p].second)]);
+    }
+    const int m = static_cast<int>(end - begin);
+    Tensor task_embeds;
+    if (task_aware) {
+      std::vector<Tensor> rows(static_cast<size_t>(m), task_row);
+      task_embeds = Concat(rows, 0);
+    }
+    Tensor logits = comparator_->CompareLogits(
+        StackEncodings(first), StackEncodings(second), task_embeds);
+    for (int i = 0; i < m; ++i) {
+      wins[begin + static_cast<size_t>(i)] = logits.at(i) >= 0.0f;
+    }
+  }
+  return wins;
+}
+
+std::vector<int> EvolutionarySearcher::SparseWinCounts(
+    const std::vector<ArchHyper>& pool, const Tensor& task_embed,
+    int opponents, int compare_batch, Rng* rng) const {
+  const int n = static_cast<int>(pool.size());
+  std::vector<ArchHyperEncoding> enc;
+  enc.reserve(pool.size());
+  for (const ArchHyper& ah : pool) enc.push_back(EncodeArchHyper(ah));
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int o = 0; o < opponents; ++o) {
+      int j = rng->Int(0, n - 1);
+      if (j == i) j = (j + 1) % n;
+      pairs.push_back({i, j});
+    }
+  }
+  std::vector<bool> outcomes =
+      ComparePairs(enc, pairs, task_embed, compare_batch);
+  std::vector<int> wins(static_cast<size_t>(n), 0);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    // Credit both sides: the winner of each duel gets a point.
+    if (outcomes[p]) {
+      ++wins[static_cast<size_t>(pairs[p].first)];
+    } else {
+      ++wins[static_cast<size_t>(pairs[p].second)];
+    }
+  }
+  return wins;
+}
+
+std::vector<int> EvolutionarySearcher::RoundRobinWins(
+    const std::vector<ArchHyper>& candidates, const Tensor& task_embed,
+    int compare_batch) const {
+  const int n = static_cast<int>(candidates.size());
+  std::vector<ArchHyperEncoding> enc;
+  enc.reserve(candidates.size());
+  for (const ArchHyper& ah : candidates) enc.push_back(EncodeArchHyper(ah));
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) pairs.push_back({i, j});
+    }
+  }
+  std::vector<bool> outcomes =
+      ComparePairs(enc, pairs, task_embed, compare_batch);
+  std::vector<int> wins(static_cast<size_t>(n), 0);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (outcomes[p]) ++wins[static_cast<size_t>(pairs[p].first)];
+  }
+  return wins;
+}
+
+namespace {
+
+/// Indices of the top-k values, descending.
+std::vector<int> TopIndices(const std::vector<int>& scores, int k) {
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+  });
+  order.resize(static_cast<size_t>(std::min<int>(k, static_cast<int>(order.size()))));
+  return order;
+}
+
+}  // namespace
+
+std::vector<ArchHyper> EvolutionarySearcher::SearchTopK(
+    const Tensor& task_embed, const SearchOptions& options) const {
+  Rng rng(options.seed);
+  // Stage 1: sample K_s candidates and rank them by sparse tournament.
+  std::vector<ArchHyper> pool =
+      space_->SampleDistinct(options.ranking_pool, &rng);
+  std::vector<int> wins =
+      SparseWinCounts(pool, task_embed, options.opponents_per_candidate,
+                      options.compare_batch, &rng);
+  std::vector<ArchHyper> population;
+  for (int idx : TopIndices(wins, options.population)) {
+    population.push_back(pool[static_cast<size_t>(idx)]);
+  }
+
+  // Stage 2: evolution — offspring via crossover/mutation, survivors by
+  // comparator round-robin within the (small) population.
+  for (int gen = 0; gen < options.generations; ++gen) {
+    std::vector<ArchHyper> offspring;
+    for (const ArchHyper& parent : population) {
+      ArchHyper child = parent;
+      if (rng.Bernoulli(options.crossover_prob)) {
+        const ArchHyper& other = rng.Choice(population);
+        child = space_->Crossover(child, other, &rng);
+      }
+      if (rng.Bernoulli(options.mutation_prob)) {
+        child = space_->Mutate(child, &rng);
+      }
+      offspring.push_back(std::move(child));
+    }
+    std::vector<ArchHyper> merged = population;
+    merged.insert(merged.end(), offspring.begin(), offspring.end());
+    std::vector<int> rr =
+        RoundRobinWins(merged, task_embed, options.compare_batch);
+    std::vector<ArchHyper> next;
+    for (int idx : TopIndices(rr, options.population)) {
+      next.push_back(merged[static_cast<size_t>(idx)]);
+    }
+    population = std::move(next);
+  }
+
+  // Stage 3: transitivity-free top-K by round-robin wins (Alg. 2).
+  std::vector<int> final_wins =
+      RoundRobinWins(population, task_embed, options.compare_batch);
+  std::vector<ArchHyper> top;
+  for (int idx : TopIndices(final_wins, options.top_k)) {
+    top.push_back(population[static_cast<size_t>(idx)]);
+  }
+  return top;
+}
+
+}  // namespace autocts

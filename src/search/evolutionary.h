@@ -1,0 +1,65 @@
+#ifndef REPRO_SEARCH_EVOLUTIONARY_H_
+#define REPRO_SEARCH_EVOLUTIONARY_H_
+
+#include <vector>
+
+#include "comparator/comparator.h"
+#include "searchspace/search_space.h"
+
+namespace autocts {
+
+/// Knobs of the zero-shot search (paper §3.3 / Alg. 2 and §4.1.4).
+struct SearchOptions {
+  /// K_s: candidates sampled from the joint space for the initial ranking
+  /// (paper default 300,000; scaled down by default here).
+  int ranking_pool = 600;
+  /// Opponents per candidate for the initial sparse-tournament ranking.
+  /// (A full K_s² round-robin is infeasible at paper scale too.)
+  int opponents_per_candidate = 8;
+  int population = 8;        ///< k_p.
+  int generations = 5;       ///< Evolution steps.
+  float crossover_prob = 0.8f;  ///< p1.
+  float mutation_prob = 0.2f;   ///< p2.
+  int top_k = 2;             ///< Final candidates to fully train.
+  int compare_batch = 64;    ///< Comparator minibatch for ranking.
+  uint64_t seed = 303;
+};
+
+/// Comparator-guided evolutionary search over the joint search space for a
+/// fixed task embedding (undefined tensor for a plain, task-blind AHC).
+class EvolutionarySearcher {
+ public:
+  EvolutionarySearcher(const Comparator* comparator,
+                       const JointSearchSpace* space);
+
+  /// Runs Alg. 2 and returns the top-K arch-hypers, best first.
+  std::vector<ArchHyper> SearchTopK(const Tensor& task_embed,
+                                    const SearchOptions& options) const;
+
+  /// Win counts of each candidate against `opponents` random others —
+  /// the sparse-tournament ranking of the initial pool. Exposed for tests
+  /// and benchmarks.
+  std::vector<int> SparseWinCounts(const std::vector<ArchHyper>& pool,
+                                   const Tensor& task_embed, int opponents,
+                                   int compare_batch, Rng* rng) const;
+
+  /// Full round-robin win counts (Alg. 2's transitivity-free top-K rule);
+  /// use only on small candidate sets.
+  std::vector<int> RoundRobinWins(const std::vector<ArchHyper>& candidates,
+                                  const Tensor& task_embed,
+                                  int compare_batch) const;
+
+ private:
+  /// Batched "first beats second" decisions for index pairs into `enc`.
+  std::vector<bool> ComparePairs(
+      const std::vector<ArchHyperEncoding>& enc,
+      const std::vector<std::pair<int, int>>& pairs, const Tensor& task_embed,
+      int compare_batch) const;
+
+  const Comparator* comparator_;
+  const JointSearchSpace* space_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_SEARCH_EVOLUTIONARY_H_

@@ -1,0 +1,166 @@
+#include "searchspace/arch_hyper.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace autocts {
+
+const char* OpName(OpType op) {
+  switch (op) {
+    case OpType::kIdentity:
+      return "ID";
+    case OpType::kGdcc:
+      return "GDCC";
+    case OpType::kInfT:
+      return "INF-T";
+    case OpType::kDgcn:
+      return "DGCN";
+    case OpType::kInfS:
+      return "INF-S";
+  }
+  return "?";
+}
+
+bool IsTemporalOp(OpType op) {
+  return op == OpType::kGdcc || op == OpType::kInfT;
+}
+
+bool IsSpatialOp(OpType op) {
+  return op == OpType::kDgcn || op == OpType::kInfS;
+}
+
+const std::vector<int>& HyperParams::BlockChoices() {
+  static const std::vector<int> kChoices = {2, 4, 6};
+  return kChoices;
+}
+const std::vector<int>& HyperParams::NodeChoices() {
+  static const std::vector<int> kChoices = {5, 7};
+  return kChoices;
+}
+const std::vector<int>& HyperParams::HiddenChoices() {
+  static const std::vector<int> kChoices = {32, 48, 64};
+  return kChoices;
+}
+const std::vector<int>& HyperParams::OutputChoices() {
+  static const std::vector<int> kChoices = {64, 128, 256};
+  return kChoices;
+}
+const std::vector<int>& HyperParams::ModeChoices() {
+  static const std::vector<int> kChoices = {0, 1};
+  return kChoices;
+}
+const std::vector<int>& HyperParams::DropoutChoices() {
+  static const std::vector<int> kChoices = {0, 1};
+  return kChoices;
+}
+
+namespace {
+
+float MinMax(int value, const std::vector<int>& choices) {
+  int lo = choices.front(), hi = choices.back();
+  if (hi == lo) return 0.0f;
+  return static_cast<float>(value - lo) / static_cast<float>(hi - lo);
+}
+
+}  // namespace
+
+std::vector<float> HyperParams::Normalized() const {
+  return {MinMax(num_blocks, BlockChoices()),
+          MinMax(num_nodes, NodeChoices()),
+          MinMax(hidden_dim, HiddenChoices()),
+          MinMax(output_dim, OutputChoices()),
+          MinMax(output_mode, ModeChoices()),
+          MinMax(dropout, DropoutChoices())};
+}
+
+std::string ArchHyper::Signature() const {
+  std::ostringstream out;
+  out << "B" << hyper.num_blocks << "C" << hyper.num_nodes << "H"
+      << hyper.hidden_dim << "I" << hyper.output_dim << "U"
+      << hyper.output_mode << "d" << hyper.dropout << "|";
+  for (size_t i = 0; i < arch.edges.size(); ++i) {
+    if (i > 0) out << ",";
+    const ArchEdge& e = arch.edges[i];
+    out << e.src << "-" << e.dst << ":" << OpName(e.op);
+  }
+  return out.str();
+}
+
+namespace {
+
+bool Contains(const std::vector<int>& choices, int v) {
+  return std::find(choices.begin(), choices.end(), v) != choices.end();
+}
+
+}  // namespace
+
+Status ValidateArchHyper(const ArchHyper& ah) {
+  const HyperParams& h = ah.hyper;
+  if (!Contains(HyperParams::BlockChoices(), h.num_blocks)) {
+    return Status::Error("B outside Table-2 domain");
+  }
+  if (!Contains(HyperParams::NodeChoices(), h.num_nodes)) {
+    return Status::Error("C outside Table-2 domain");
+  }
+  if (!Contains(HyperParams::HiddenChoices(), h.hidden_dim)) {
+    return Status::Error("H outside Table-2 domain");
+  }
+  if (!Contains(HyperParams::OutputChoices(), h.output_dim)) {
+    return Status::Error("I outside Table-2 domain");
+  }
+  if (!Contains(HyperParams::ModeChoices(), h.output_mode)) {
+    return Status::Error("U outside Table-2 domain");
+  }
+  if (!Contains(HyperParams::DropoutChoices(), h.dropout)) {
+    return Status::Error("dropout outside Table-2 domain");
+  }
+  const ArchSpec& a = ah.arch;
+  if (a.num_nodes != h.num_nodes) {
+    return Status::Error("arch node count disagrees with hyperparameter C");
+  }
+  std::vector<int> in_degree(static_cast<size_t>(a.num_nodes), 0);
+  std::vector<std::vector<bool>> used(
+      static_cast<size_t>(a.num_nodes),
+      std::vector<bool>(static_cast<size_t>(a.num_nodes), false));
+  for (const ArchEdge& e : a.edges) {
+    if (e.src < 0 || e.dst >= a.num_nodes || e.src >= e.dst) {
+      return Status::Error("edge violates forward-flow rule");
+    }
+    if (used[static_cast<size_t>(e.src)][static_cast<size_t>(e.dst)]) {
+      return Status::Error("duplicate edge between node pair");
+    }
+    used[static_cast<size_t>(e.src)][static_cast<size_t>(e.dst)] = true;
+    ++in_degree[static_cast<size_t>(e.dst)];
+  }
+  for (int j = 1; j < a.num_nodes; ++j) {
+    if (in_degree[static_cast<size_t>(j)] < 1) {
+      return Status::Error("node " + std::to_string(j) + " has no input");
+    }
+    if (in_degree[static_cast<size_t>(j)] > 2) {
+      return Status::Error("node " + std::to_string(j) +
+                           " exceeds two incoming edges");
+    }
+  }
+  // Canonical ordering keeps signatures unique.
+  for (size_t i = 1; i < a.edges.size(); ++i) {
+    const ArchEdge& prev = a.edges[i - 1];
+    const ArchEdge& cur = a.edges[i];
+    if (std::pair(prev.dst, prev.src) >= std::pair(cur.dst, cur.src)) {
+      return Status::Error("edges not in canonical (dst, src) order");
+    }
+  }
+  return Status::Ok();
+}
+
+bool HasSpatialAndTemporal(const ArchSpec& arch) {
+  bool spatial = false, temporal = false;
+  for (const ArchEdge& e : arch.edges) {
+    spatial = spatial || IsSpatialOp(e.op);
+    temporal = temporal || IsTemporalOp(e.op);
+  }
+  return spatial && temporal;
+}
+
+}  // namespace autocts

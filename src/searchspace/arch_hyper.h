@@ -1,0 +1,92 @@
+#ifndef REPRO_SEARCHSPACE_ARCH_HYPER_H_
+#define REPRO_SEARCHSPACE_ARCH_HYPER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace autocts {
+
+/// Candidate S/T-operators of the architecture search space (paper §3.1.1).
+enum class OpType {
+  kIdentity = 0,  ///< Skip connection.
+  kGdcc,          ///< Gated dilated causal convolution (T, short-term).
+  kInfT,          ///< Informer attention over time (T, long-term).
+  kDgcn,          ///< Diffusion graph convolution (S, static correlations).
+  kInfS,          ///< Informer attention over sensors (S, dynamic).
+};
+
+inline constexpr int kNumOpTypes = 5;
+
+const char* OpName(OpType op);
+bool IsTemporalOp(OpType op);
+bool IsSpatialOp(OpType op);
+
+/// One directed edge of an ST-block DAG: `op` transforms node `src` into a
+/// contribution to node `dst` (src < dst; node 0 is the block input).
+struct ArchEdge {
+  int src = 0;
+  int dst = 0;
+  OpType op = OpType::kIdentity;
+
+  friend bool operator==(const ArchEdge&, const ArchEdge&) = default;
+};
+
+/// The architecture half of an arch-hyper: a DAG over `num_nodes` latent
+/// representations obeying the topology rules of §3.1.1 — at most one edge
+/// per ordered pair, forward-only edges, and (following AutoCTS) at most
+/// two incoming edges per node, at least one.
+struct ArchSpec {
+  int num_nodes = 5;
+  std::vector<ArchEdge> edges;  ///< Sorted by (dst, src).
+
+  friend bool operator==(const ArchSpec&, const ArchSpec&) = default;
+};
+
+/// The hyperparameter half (Table 2). Values are the paper's raw domains;
+/// the model compiler rescales H and I by ScaleConfig::hidden_divisor.
+struct HyperParams {
+  int num_blocks = 2;      ///< B ∈ {2, 4, 6}
+  int num_nodes = 5;       ///< C ∈ {5, 7}
+  int hidden_dim = 32;     ///< H ∈ {32, 48, 64}
+  int output_dim = 64;     ///< I ∈ {64, 128, 256}
+  int output_mode = 0;     ///< U ∈ {0: last node, 1: sum of nodes}
+  int dropout = 0;         ///< δ ∈ {0, 1}
+
+  static const std::vector<int>& BlockChoices();
+  static const std::vector<int>& NodeChoices();
+  static const std::vector<int>& HiddenChoices();
+  static const std::vector<int>& OutputChoices();
+  static const std::vector<int>& ModeChoices();
+  static const std::vector<int>& DropoutChoices();
+
+  /// Min-max normalized r=6 feature vector (paper Eq. 7 input).
+  std::vector<float> Normalized() const;
+
+  friend bool operator==(const HyperParams&, const HyperParams&) = default;
+};
+
+/// A point of the joint search space: an architecture plus its accompanying
+/// hyperparameter setting ("arch-hyper", paper §3.1).
+struct ArchHyper {
+  ArchSpec arch;
+  HyperParams hyper;
+
+  /// Compact canonical string, e.g. "B4C5H32I64U1d0|0-1:GDCC,0-2:DGCN,...".
+  /// Equal signatures ⇔ equal arch-hypers; used for dedup and case studies.
+  std::string Signature() const;
+
+  friend bool operator==(const ArchHyper&, const ArchHyper&) = default;
+};
+
+/// Structural validity rules shared by sampling, mutation, and decoding.
+Status ValidateArchHyper(const ArchHyper& ah);
+
+/// True when the architecture has at least one spatial and one temporal
+/// operator — the paper prunes candidates without both (§3.3).
+bool HasSpatialAndTemporal(const ArchSpec& arch);
+
+}  // namespace autocts
+
+#endif  // REPRO_SEARCHSPACE_ARCH_HYPER_H_

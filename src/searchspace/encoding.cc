@@ -1,0 +1,74 @@
+#include "searchspace/encoding.h"
+
+#include "common/check.h"
+
+namespace autocts {
+
+ArchHyperEncoding EncodeArchHyper(const ArchHyper& ah) {
+  Status valid = ValidateArchHyper(ah);
+  CHECK(valid.ok()) << valid.message();
+  const int n_ops = static_cast<int>(ah.arch.edges.size());
+  const int n = n_ops + 1;  // + hyper node
+  CHECK_LE(n, kEncodingNodes) << "arch-hyper exceeds encoding padding";
+
+  ArchHyperEncoding enc;
+  enc.num_nodes = n;
+  enc.hyper_index = kEncodingNodes - 1;
+  enc.adjacency.assign(static_cast<size_t>(kEncodingNodes) * kEncodingNodes,
+                       0.0f);
+  enc.op_onehot.assign(static_cast<size_t>(kEncodingNodes) * kNumOpTypes,
+                       0.0f);
+  enc.hyper_features = ah.hyper.Normalized();
+
+  auto set_adj = [&](int i, int j) {
+    enc.adjacency[static_cast<size_t>(i) * kEncodingNodes + j] = 1.0f;
+  };
+  // Dual graph: operator u feeds operator v iff u's destination latent node
+  // is v's source latent node.
+  for (int u = 0; u < n_ops; ++u) {
+    set_adj(u, u);  // self-loop
+    enc.op_onehot[static_cast<size_t>(u) * kNumOpTypes +
+                  static_cast<int>(ah.arch.edges[static_cast<size_t>(u)].op)] =
+        1.0f;
+    for (int v = 0; v < n_ops; ++v) {
+      if (u == v) continue;
+      if (ah.arch.edges[static_cast<size_t>(u)].dst ==
+          ah.arch.edges[static_cast<size_t>(v)].src) {
+        set_adj(u, v);
+      }
+    }
+  }
+  // The Hyper node connects (symmetrically) to every operator node.
+  set_adj(enc.hyper_index, enc.hyper_index);
+  for (int u = 0; u < n_ops; ++u) {
+    set_adj(enc.hyper_index, u);
+    set_adj(u, enc.hyper_index);
+  }
+  return enc;
+}
+
+EncodingBatch StackEncodings(const std::vector<ArchHyperEncoding>& encodings) {
+  CHECK(!encodings.empty());
+  const int b = static_cast<int>(encodings.size());
+  std::vector<float> adj;
+  std::vector<float> ops;
+  std::vector<float> hyper;
+  adj.reserve(static_cast<size_t>(b) * kEncodingNodes * kEncodingNodes);
+  ops.reserve(static_cast<size_t>(b) * kEncodingNodes * kNumOpTypes);
+  hyper.reserve(static_cast<size_t>(b) * 6);
+  for (const ArchHyperEncoding& e : encodings) {
+    adj.insert(adj.end(), e.adjacency.begin(), e.adjacency.end());
+    ops.insert(ops.end(), e.op_onehot.begin(), e.op_onehot.end());
+    hyper.insert(hyper.end(), e.hyper_features.begin(),
+                 e.hyper_features.end());
+  }
+  EncodingBatch batch;
+  batch.adjacency =
+      Tensor::FromVector({b, kEncodingNodes, kEncodingNodes}, std::move(adj));
+  batch.op_onehot =
+      Tensor::FromVector({b, kEncodingNodes, kNumOpTypes}, std::move(ops));
+  batch.hyper = Tensor::FromVector({b, 6}, std::move(hyper));
+  return batch;
+}
+
+}  // namespace autocts

@@ -1,0 +1,98 @@
+#include "searchspace/parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace autocts {
+namespace {
+
+/// Splits "s" on a delimiter.
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= s.size()) {
+    size_t end = s.find(delim, begin);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(begin));
+      break;
+    }
+    out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+/// Reads the integer following prefix `tag` at position `*pos`; advances.
+bool ReadTaggedInt(const std::string& s, size_t* pos, char tag, int* value) {
+  if (*pos >= s.size() || s[*pos] != tag) return false;
+  ++*pos;
+  size_t digits = 0;
+  int v = 0;
+  while (*pos + digits < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[*pos + digits]))) {
+    v = v * 10 + (s[*pos + digits] - '0');
+    ++digits;
+  }
+  if (digits == 0) return false;
+  *pos += digits;
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<OpType> ParseOpName(const std::string& name) {
+  for (int o = 0; o < kNumOpTypes; ++o) {
+    OpType op = static_cast<OpType>(o);
+    if (name == OpName(op)) return op;
+  }
+  return Status::Error("unknown operator name '" + name + "'");
+}
+
+StatusOr<ArchHyper> ParseArchHyper(const std::string& signature) {
+  std::vector<std::string> halves = Split(signature, '|');
+  if (halves.size() != 2) {
+    return Status::Error("signature must contain exactly one '|'");
+  }
+  ArchHyper ah;
+  const std::string& hyper = halves[0];
+  size_t pos = 0;
+  if (!ReadTaggedInt(hyper, &pos, 'B', &ah.hyper.num_blocks) ||
+      !ReadTaggedInt(hyper, &pos, 'C', &ah.hyper.num_nodes) ||
+      !ReadTaggedInt(hyper, &pos, 'H', &ah.hyper.hidden_dim) ||
+      !ReadTaggedInt(hyper, &pos, 'I', &ah.hyper.output_dim) ||
+      !ReadTaggedInt(hyper, &pos, 'U', &ah.hyper.output_mode) ||
+      !ReadTaggedInt(hyper, &pos, 'd', &ah.hyper.dropout) ||
+      pos != hyper.size()) {
+    return Status::Error("malformed hyperparameter prefix '" + hyper + "'");
+  }
+  ah.arch.num_nodes = ah.hyper.num_nodes;
+  if (!halves[1].empty()) {
+    for (const std::string& edge_str : Split(halves[1], ',')) {
+      // "src-dst:OPNAME"
+      size_t dash = edge_str.find('-');
+      size_t colon = edge_str.find(':');
+      if (dash == std::string::npos || colon == std::string::npos ||
+          colon < dash) {
+        return Status::Error("malformed edge '" + edge_str + "'");
+      }
+      ArchEdge edge;
+      char* end = nullptr;
+      edge.src = static_cast<int>(
+          std::strtol(edge_str.substr(0, dash).c_str(), &end, 10));
+      edge.dst = static_cast<int>(std::strtol(
+          edge_str.substr(dash + 1, colon - dash - 1).c_str(), &end, 10));
+      StatusOr<OpType> op = ParseOpName(edge_str.substr(colon + 1));
+      if (!op.ok()) return op.status();
+      edge.op = op.value();
+      ah.arch.edges.push_back(edge);
+    }
+  }
+  Status valid = ValidateArchHyper(ah);
+  if (!valid.ok()) {
+    return Status::Error("parsed arch-hyper invalid: " + valid.message());
+  }
+  return ah;
+}
+
+}  // namespace autocts

@@ -1,0 +1,24 @@
+#ifndef REPRO_SEARCHSPACE_PARSE_H_
+#define REPRO_SEARCHSPACE_PARSE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "searchspace/arch_hyper.h"
+
+namespace autocts {
+
+/// Parses the compact signature produced by ArchHyper::Signature(), e.g.
+///   "B4C5H32I64U1d0|0-1:GDCC,0-2:DGCN,2-3:INF-T,3-4:INF-S"
+/// back into an ArchHyper. The result is validated (Table-2 domains,
+/// topology rules); malformed or invalid inputs yield an error Status.
+/// Round trip: ParseArchHyper(ah.Signature()) == ah for every valid ah.
+StatusOr<ArchHyper> ParseArchHyper(const std::string& signature);
+
+/// Parses one operator name as printed by OpName ("ID", "GDCC", "INF-T",
+/// "DGCN", "INF-S").
+StatusOr<OpType> ParseOpName(const std::string& name);
+
+}  // namespace autocts
+
+#endif  // REPRO_SEARCHSPACE_PARSE_H_

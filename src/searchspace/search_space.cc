@@ -1,0 +1,231 @@
+#include "searchspace/search_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace autocts {
+namespace {
+
+OpType RandomOp(Rng* rng) {
+  return static_cast<OpType>(rng->Int(0, kNumOpTypes - 1));
+}
+
+void SortEdges(std::vector<ArchEdge>* edges) {
+  std::sort(edges->begin(), edges->end(),
+            [](const ArchEdge& a, const ArchEdge& b) {
+              return std::pair(a.dst, a.src) < std::pair(b.dst, b.src);
+            });
+}
+
+}  // namespace
+
+ArchSpec JointSearchSpace::SampleArch(int num_nodes, Rng* rng) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ArchSpec arch;
+    arch.num_nodes = num_nodes;
+    for (int j = 1; j < num_nodes; ++j) {
+      int in_degree = j == 1 ? 1 : rng->Int(1, 2);
+      std::vector<int> sources(static_cast<size_t>(j));
+      for (int s = 0; s < j; ++s) sources[static_cast<size_t>(s)] = s;
+      rng->Shuffle(&sources);
+      in_degree = std::min(in_degree, j);
+      for (int e = 0; e < in_degree; ++e) {
+        arch.edges.push_back(
+            {sources[static_cast<size_t>(e)], j, RandomOp(rng)});
+      }
+    }
+    SortEdges(&arch.edges);
+    if (HasSpatialAndTemporal(arch)) return arch;
+  }
+  // Degenerate RNG streaks cannot persist for 64 attempts with 5 op types;
+  // force the property on the last sample instead of looping forever.
+  ArchSpec arch;
+  arch.num_nodes = num_nodes;
+  for (int j = 1; j < num_nodes; ++j) {
+    arch.edges.push_back({j - 1, j, j % 2 == 1 ? OpType::kGdcc : OpType::kDgcn});
+  }
+  SortEdges(&arch.edges);
+  return arch;
+}
+
+HyperParams JointSearchSpace::SampleHyper(Rng* rng) const {
+  HyperParams h;
+  h.num_blocks = rng->Choice(HyperParams::BlockChoices());
+  h.num_nodes = rng->Choice(HyperParams::NodeChoices());
+  h.hidden_dim = rng->Choice(HyperParams::HiddenChoices());
+  h.output_dim = rng->Choice(HyperParams::OutputChoices());
+  h.output_mode = rng->Choice(HyperParams::ModeChoices());
+  h.dropout = rng->Choice(HyperParams::DropoutChoices());
+  return h;
+}
+
+ArchHyper JointSearchSpace::Sample(Rng* rng) const {
+  ArchHyper ah;
+  ah.hyper = SampleHyper(rng);
+  ah.arch = SampleArch(ah.hyper.num_nodes, rng);
+  CHECK(ValidateArchHyper(ah).ok());
+  return ah;
+}
+
+std::vector<ArchHyper> JointSearchSpace::SampleDistinct(int count,
+                                                        Rng* rng) const {
+  std::vector<ArchHyper> out;
+  std::unordered_set<std::string> seen;
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < count && attempts < count * 50) {
+    ++attempts;
+    ArchHyper ah = Sample(rng);
+    if (seen.insert(ah.Signature()).second) out.push_back(std::move(ah));
+  }
+  CHECK_EQ(static_cast<int>(out.size()), count)
+      << "search space too small for " << count << " distinct samples";
+  return out;
+}
+
+ArchHyper JointSearchSpace::Mutate(const ArchHyper& parent, Rng* rng) const {
+  ArchHyper child = parent;
+  // Gene classes: 0..5 hyperparameters, 6 edge-op flip, 7 edge rewire.
+  int gene = rng->Int(0, 7);
+  switch (gene) {
+    case 0:
+      child.hyper.num_blocks = rng->Choice(HyperParams::BlockChoices());
+      break;
+    case 1: {
+      int c = rng->Choice(HyperParams::NodeChoices());
+      if (c != child.hyper.num_nodes) {
+        child.hyper.num_nodes = c;
+        child.arch = SampleArch(c, rng);
+      }
+      break;
+    }
+    case 2:
+      child.hyper.hidden_dim = rng->Choice(HyperParams::HiddenChoices());
+      break;
+    case 3:
+      child.hyper.output_dim = rng->Choice(HyperParams::OutputChoices());
+      break;
+    case 4:
+      child.hyper.output_mode = rng->Choice(HyperParams::ModeChoices());
+      break;
+    case 5:
+      child.hyper.dropout = rng->Choice(HyperParams::DropoutChoices());
+      break;
+    case 6: {
+      // Flip the operator of a random edge, keeping S+T coverage.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        ArchSpec trial = parent.arch;
+        size_t e = static_cast<size_t>(
+            rng->Int(0, static_cast<int>(trial.edges.size()) - 1));
+        trial.edges[e].op = RandomOp(rng);
+        if (HasSpatialAndTemporal(trial)) {
+          child.arch = trial;
+          break;
+        }
+      }
+      break;
+    }
+    case 7: {
+      // Rewire a random edge to a different valid source.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        ArchSpec trial = parent.arch;
+        size_t e = static_cast<size_t>(
+            rng->Int(0, static_cast<int>(trial.edges.size()) - 1));
+        int dst = trial.edges[e].dst;
+        int new_src = rng->Int(0, dst - 1);
+        bool duplicate = false;
+        for (size_t k = 0; k < trial.edges.size(); ++k) {
+          if (k != e && trial.edges[k].dst == dst &&
+              trial.edges[k].src == new_src) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        trial.edges[e].src = new_src;
+        std::sort(trial.edges.begin(), trial.edges.end(),
+                  [](const ArchEdge& a, const ArchEdge& b) {
+                    return std::pair(a.dst, a.src) < std::pair(b.dst, b.src);
+                  });
+        child.arch = trial;
+        break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  Status valid = ValidateArchHyper(child);
+  if (!valid.ok() || !HasSpatialAndTemporal(child.arch)) return parent;
+  return child;
+}
+
+ArchHyper JointSearchSpace::Crossover(const ArchHyper& a, const ArchHyper& b,
+                                      Rng* rng) const {
+  ArchHyper child;
+  child.hyper.num_blocks =
+      rng->Bernoulli(0.5) ? a.hyper.num_blocks : b.hyper.num_blocks;
+  child.hyper.hidden_dim =
+      rng->Bernoulli(0.5) ? a.hyper.hidden_dim : b.hyper.hidden_dim;
+  child.hyper.output_dim =
+      rng->Bernoulli(0.5) ? a.hyper.output_dim : b.hyper.output_dim;
+  child.hyper.output_mode =
+      rng->Bernoulli(0.5) ? a.hyper.output_mode : b.hyper.output_mode;
+  child.hyper.dropout = rng->Bernoulli(0.5) ? a.hyper.dropout : b.hyper.dropout;
+  const ArchHyper& arch_parent = rng->Bernoulli(0.5) ? a : b;
+  const ArchHyper& other = &arch_parent == &a ? b : a;
+  child.hyper.num_nodes = arch_parent.hyper.num_nodes;
+  child.arch = arch_parent.arch;
+  if (arch_parent.hyper.num_nodes == other.hyper.num_nodes) {
+    // Same topology size: node-wise mixing of incoming edge sets.
+    std::vector<ArchEdge> mixed;
+    for (int j = 1; j < child.arch.num_nodes; ++j) {
+      const ArchSpec& donor =
+          rng->Bernoulli(0.5) ? arch_parent.arch : other.arch;
+      for (const ArchEdge& e : donor.edges) {
+        if (e.dst == j) mixed.push_back(e);
+      }
+    }
+    std::sort(mixed.begin(), mixed.end(),
+              [](const ArchEdge& x, const ArchEdge& y) {
+                return std::pair(x.dst, x.src) < std::pair(y.dst, y.src);
+              });
+    ArchSpec trial;
+    trial.num_nodes = child.arch.num_nodes;
+    trial.edges = std::move(mixed);
+    ArchHyper candidate = child;
+    candidate.arch = trial;
+    if (ValidateArchHyper(candidate).ok() &&
+        HasSpatialAndTemporal(trial)) {
+      child.arch = trial;
+    }
+  }
+  CHECK(ValidateArchHyper(child).ok());
+  return child;
+}
+
+double JointSearchSpace::Log10Size() const {
+  // Architectures per C: node j has j choices of 1 in-edge or C(j,2) of 2,
+  // each edge one of |O| ops. Multiply by hyper domain sizes (excluding C,
+  // which is counted by the per-C sum).
+  double total = 0.0;
+  for (int c : HyperParams::NodeChoices()) {
+    double archs = 1.0;
+    for (int j = 1; j < c; ++j) {
+      double one = static_cast<double>(j) * kNumOpTypes;
+      double two = j >= 2 ? (static_cast<double>(j) * (j - 1) / 2.0) *
+                                kNumOpTypes * kNumOpTypes
+                          : 0.0;
+      archs *= (one + two);
+    }
+    total += archs;
+  }
+  double hyper = static_cast<double>(HyperParams::BlockChoices().size()) *
+                 HyperParams::HiddenChoices().size() *
+                 HyperParams::OutputChoices().size() *
+                 HyperParams::ModeChoices().size() *
+                 HyperParams::DropoutChoices().size();
+  return std::log10(total * hyper);
+}
+
+}  // namespace autocts

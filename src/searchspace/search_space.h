@@ -1,0 +1,47 @@
+#ifndef REPRO_SEARCHSPACE_SEARCH_SPACE_H_
+#define REPRO_SEARCHSPACE_SEARCH_SPACE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "searchspace/arch_hyper.h"
+
+namespace autocts {
+
+/// The joint architecture–hyperparameter search space (paper §3.1): uniform
+/// sampling, mutation, and crossover over valid arch-hypers. All sampled
+/// candidates satisfy ValidateArchHyper and contain at least one spatial
+/// and one temporal operator (the pruning rule of §3.3).
+class JointSearchSpace {
+ public:
+  JointSearchSpace() = default;
+
+  /// Uniformly samples a valid arch-hyper.
+  ArchHyper Sample(Rng* rng) const;
+
+  /// Samples `count` distinct arch-hypers (by signature).
+  std::vector<ArchHyper> SampleDistinct(int count, Rng* rng) const;
+
+  /// Evolutionary mutation: perturbs one hyperparameter or one edge. When
+  /// the node count C changes, the architecture is resampled with the new
+  /// C (the spaces are coupled through C).
+  ArchHyper Mutate(const ArchHyper& parent, Rng* rng) const;
+
+  /// Evolutionary crossover: each hyperparameter gene comes from a random
+  /// parent; the architecture comes from the parent whose C won.
+  ArchHyper Crossover(const ArchHyper& a, const ArchHyper& b, Rng* rng) const;
+
+  /// Random architecture for a fixed node count.
+  ArchSpec SampleArch(int num_nodes, Rng* rng) const;
+
+  /// Random hyperparameter setting.
+  HyperParams SampleHyper(Rng* rng) const;
+
+  /// Log10 of the total number of arch-hypers in the space (for reporting;
+  /// the paper's space holds ~10^10 candidates).
+  double Log10Size() const;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_SEARCHSPACE_SEARCH_SPACE_H_

@@ -1,0 +1,215 @@
+#include "supernet/supernet.h"
+
+#include <algorithm>
+
+#include "model/searched_model.h"
+#include "model/trainer.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+
+Supernet::Supernet(const SupernetOptions& options, const ForecasterSpec& spec,
+                   const ScaleConfig& scale)
+    : options_(options), spec_(spec), rng_(options.seed) {
+  hidden_ = std::max(4, options.hidden_dim / scale.hidden_divisor);
+  output_hidden_ = std::max(8, options.output_dim / scale.hidden_divisor);
+  time_pool_ = (spec.input_len + kMaxModelTime - 1) / kMaxModelTime;
+  pooled_len_ = spec.input_len / time_pool_;
+
+  input_proj_ = std::make_unique<Linear>(spec.num_features, hidden_, &rng_);
+  AddChild(input_proj_.get());
+
+  OperatorContext ctx;
+  ctx.num_sensors = spec.num_sensors;
+  ctx.hidden_dim = hidden_;
+  ctx.adjacency = spec.adjacency;
+  ctx.rng = &rng_;
+
+  block_ops_.resize(static_cast<size_t>(options.num_blocks));
+  for (int b = 0; b < options.num_blocks; ++b) {
+    auto& pairs = block_ops_[static_cast<size_t>(b)];
+    pairs.resize(static_cast<size_t>(NumPairs()));
+    for (int i = 0; i < options.num_nodes; ++i) {
+      for (int j = i + 1; j < options.num_nodes; ++j) {
+        auto& ops = pairs[static_cast<size_t>(EdgeIndex(i, j))];
+        for (int o = 0; o < kNumOpTypes; ++o) {
+          ops.push_back(MakeOperator(static_cast<OpType>(o), ctx, j - 1));
+          AddChild(ops.back().get());
+        }
+      }
+    }
+  }
+  for (int b = 0; b < options.num_blocks; ++b) {
+    block_norms_.push_back(std::make_unique<LayerNorm>(hidden_));
+    AddChild(block_norms_.back().get());
+  }
+  // α initialized near zero → near-uniform mixture at the start.
+  for (int p = 0; p < NumPairs(); ++p) {
+    alphas_.push_back(AddParameter(
+        Tensor::Randn({kNumOpTypes}, &rng_, 1e-3f, /*requires_grad=*/true)));
+  }
+
+  out1_ = std::make_unique<Linear>(2 * hidden_, output_hidden_, &rng_);
+  out2_ = std::make_unique<Linear>(
+      output_hidden_, spec.output_len * spec.num_features, &rng_);
+  AddChild(out1_.get());
+  AddChild(out2_.get());
+}
+
+int Supernet::EdgeIndex(int i, int j) const {
+  CHECK_LT(i, j);
+  // Pairs ordered (0,1),(0,2),(1,2),(0,3),(1,3),(2,3),...
+  return j * (j - 1) / 2 + i;
+}
+
+int Supernet::NumPairs() const {
+  return options_.num_nodes * (options_.num_nodes - 1) / 2;
+}
+
+std::vector<Tensor> Supernet::WeightParameters() const {
+  std::vector<Tensor> all = Parameters();
+  // Everything AddParameter'd directly on this module is an α; children
+  // hold the weights. Filter by identity against alphas_.
+  std::vector<Tensor> weights;
+  for (const Tensor& p : all) {
+    bool is_alpha = false;
+    for (const Tensor& a : alphas_) {
+      if (p.impl() == a.impl()) is_alpha = true;
+    }
+    if (!is_alpha) weights.push_back(p);
+  }
+  return weights;
+}
+
+Tensor Supernet::Forward(const Tensor& x) const {
+  CHECK_EQ(x.ndim(), 4);
+  const int b = x.dim(0);
+  Tensor h = x;
+  if (time_pool_ > 1) {
+    int keep = pooled_len_ * time_pool_;
+    if (keep < spec_.input_len) h = Slice(h, 2, spec_.input_len - keep, keep);
+    h = Mean(Reshape(h, {b, spec_.num_sensors, pooled_len_, time_pool_,
+                         spec_.num_features}),
+             3);
+  }
+  h = input_proj_->Forward(h);
+
+  for (int blk = 0; blk < options_.num_blocks; ++blk) {
+    const auto& pairs = block_ops_[static_cast<size_t>(blk)];
+    std::vector<Tensor> nodes(static_cast<size_t>(options_.num_nodes));
+    nodes[0] = h;
+    for (int j = 1; j < options_.num_nodes; ++j) {
+      Tensor acc;
+      for (int i = 0; i < j; ++i) {
+        const auto& ops = pairs[static_cast<size_t>(EdgeIndex(i, j))];
+        Tensor weights = Softmax(alphas_[static_cast<size_t>(EdgeIndex(i, j))], 0);
+        Tensor mixed;
+        for (int o = 0; o < kNumOpTypes; ++o) {
+          Tensor w = Slice(weights, 0, o, 1);  // [1], broadcasts everywhere
+          Tensor term = Mul(ops[static_cast<size_t>(o)]->Forward(
+                                nodes[static_cast<size_t>(i)]),
+                            w);
+          mixed = mixed.defined() ? Add(mixed, term) : term;
+        }
+        acc = acc.defined() ? Add(acc, mixed) : mixed;
+      }
+      nodes[static_cast<size_t>(j)] = acc;
+    }
+    h = block_norms_[static_cast<size_t>(blk)]->Forward(
+        Add(h, nodes[static_cast<size_t>(options_.num_nodes - 1)]));
+  }
+
+  Tensor last = Slice(h, 2, pooled_len_ - 1, 1);
+  Tensor mean = Mean(h, 2, /*keepdim=*/true);
+  Tensor feats = Reshape(Concat({last, mean}, 3),
+                         {b, spec_.num_sensors, 2 * hidden_});
+  Tensor out = out2_->Forward(Relu(out1_->Forward(feats)));
+  return Reshape(out,
+                 {b, spec_.num_sensors, spec_.output_len, spec_.num_features});
+}
+
+ArchSpec Supernet::DeriveArch() const {
+  ArchSpec arch;
+  arch.num_nodes = options_.num_nodes;
+  for (int j = 1; j < options_.num_nodes; ++j) {
+    // Rank incoming edges by their strongest operator weight.
+    std::vector<std::pair<float, std::pair<int, OpType>>> ranked;
+    for (int i = 0; i < j; ++i) {
+      const Tensor& alpha = alphas_[static_cast<size_t>(EdgeIndex(i, j))];
+      // Softmax is monotone; argmax over raw α works on data directly.
+      int best_op = 0;
+      float best = alpha.at(0);
+      for (int o = 1; o < kNumOpTypes; ++o) {
+        if (alpha.at(o) > best) {
+          best = alpha.at(o);
+          best_op = o;
+        }
+      }
+      ranked.push_back({best, {i, static_cast<OpType>(best_op)}});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    int keep = std::min<int>(2, static_cast<int>(ranked.size()));
+    for (int k = 0; k < keep; ++k) {
+      arch.edges.push_back(
+          {ranked[static_cast<size_t>(k)].second.first, j,
+           ranked[static_cast<size_t>(k)].second.second});
+    }
+  }
+  std::sort(arch.edges.begin(), arch.edges.end(),
+            [](const ArchEdge& a, const ArchEdge& b) {
+              return std::pair(a.dst, a.src) < std::pair(b.dst, b.src);
+            });
+  return arch;
+}
+
+ArchHyper SupernetSearch(const ForecastTask& task,
+                         const SupernetOptions& options,
+                         const ScaleConfig& scale) {
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  Supernet supernet(options, spec, scale);
+  WindowProvider provider(task);
+  Rng rng(options.seed + 1);
+
+  Adam::Options w_opt;
+  w_opt.lr = options.weight_lr;
+  Adam weight_adam(supernet.WeightParameters(), w_opt);
+  Adam::Options a_opt;
+  a_opt.lr = options.alpha_lr;
+  Adam alpha_adam(supernet.ArchParameters(), a_opt);
+
+  const float mean = provider.mean();
+  const float std = provider.std();
+  std::vector<int> val_starts = provider.Starts(1, 64);
+  auto step = [&](Adam* adam, const WindowBatch& batch) {
+    supernet.ZeroGrad();
+    Tensor pred = AddScalar(MulScalar(supernet.Forward(batch.x), std), mean);
+    MaeLoss(pred, batch.y).Backward();
+    adam->Step();
+  };
+  // First-order alternating optimization (DARTS style): weights on the
+  // train split, architecture parameters on the validation split.
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int it = 0; it < options.batches_per_epoch; ++it) {
+      step(&weight_adam, provider.SampleTrainBatch(options.batch_size, &rng));
+      std::vector<int> vb;
+      for (int k = 0; k < options.batch_size; ++k) {
+        vb.push_back(rng.Choice(val_starts));
+      }
+      step(&alpha_adam, provider.MakeBatch(vb));
+    }
+  }
+
+  ArchHyper ah;
+  ah.arch = supernet.DeriveArch();
+  ah.hyper.num_blocks = options.num_blocks;
+  ah.hyper.num_nodes = options.num_nodes;
+  ah.hyper.hidden_dim = options.hidden_dim;
+  ah.hyper.output_dim = options.output_dim;
+  ah.hyper.output_mode = 0;
+  ah.hyper.dropout = 0;
+  return ah;
+}
+
+}  // namespace autocts

@@ -1,0 +1,87 @@
+#ifndef REPRO_SUPERNET_SUPERNET_H_
+#define REPRO_SUPERNET_SUPERNET_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/scale_config.h"
+#include "data/task.h"
+#include "model/forecaster.h"
+#include "model/operators.h"
+#include "searchspace/arch_hyper.h"
+
+namespace autocts {
+
+/// Configuration of a supernet search (the fully-supervised baseline
+/// framework of paper §2.3, used by AutoCTS and AutoSTG+).
+struct SupernetOptions {
+  /// Node count C is fixed up front — the limitation AutoCTS+ lifts.
+  /// Defaults to 5 so derived arch-hypers stay inside the joint space.
+  int num_nodes = 5;
+  int num_blocks = 2;
+  int hidden_dim = 32;   ///< Paper-scale value; divided by hidden_divisor.
+  int output_dim = 64;
+  /// Alternating optimization epochs (weights on train, α on validation).
+  int epochs = 4;
+  int batch_size = 8;
+  int batches_per_epoch = 8;
+  float weight_lr = 1e-3f;
+  float alpha_lr = 3e-3f;
+  uint64_t seed = 29;
+};
+
+/// A differentiable supernet over one task: every ordered node pair (i, j)
+/// carries all |O| candidate operators, combined with softmax(α) weights
+/// (Eq. 5); each node sums its incoming mixed edges (Eq. 6).
+class Supernet : public Forecaster {
+ public:
+  Supernet(const SupernetOptions& options, const ForecasterSpec& spec,
+           const ScaleConfig& scale);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "Supernet"; }
+
+  /// Architecture parameters α (one [|O|] vector per node pair, shared
+  /// across blocks, as in DARTS/AutoCTS).
+  std::vector<Tensor> ArchParameters() const { return alphas_; }
+
+  /// Network weights (everything except α).
+  std::vector<Tensor> WeightParameters() const;
+
+  /// Discretizes the supernet: per node keep the top-2 incoming edges by
+  /// maximum operator weight, each edge keeping its argmax operator.
+  ArchSpec DeriveArch() const;
+
+ private:
+  SupernetOptions options_;
+  ForecasterSpec spec_;
+  int hidden_;
+  int output_hidden_;
+  int time_pool_;
+  int pooled_len_;
+  mutable Rng rng_;
+  std::unique_ptr<Linear> input_proj_;
+  /// operators_[pair][op]; pair index = EdgeIndex(i, j). Shared by blocks?
+  /// No — each block owns its operator weights; α is shared.
+  std::vector<std::vector<std::vector<std::unique_ptr<StOperator>>>>
+      block_ops_;  ///< [block][pair][op]
+  std::vector<Tensor> alphas_;  ///< [pair] -> shape {kNumOpTypes}
+  std::vector<std::unique_ptr<LayerNorm>> block_norms_;
+  std::unique_ptr<Linear> out1_;
+  std::unique_ptr<Linear> out2_;
+
+  int EdgeIndex(int i, int j) const;
+  int NumPairs() const;
+};
+
+/// Runs the full supernet-based search on a task: alternating optimization
+/// of weights and α, then architecture derivation. Returns the derived
+/// arch paired with the fixed hyperparameters — exactly the
+/// "architecture-only, predefined hyperparameters" regime of AutoCTS.
+ArchHyper SupernetSearch(const ForecastTask& task,
+                         const SupernetOptions& options,
+                         const ScaleConfig& scale);
+
+}  // namespace autocts
+
+#endif  // REPRO_SUPERNET_SUPERNET_H_

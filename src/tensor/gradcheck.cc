@@ -1,0 +1,51 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace autocts {
+
+GradCheckResult GradCheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon, double tolerance) {
+  // Analytic pass.
+  for (Tensor& in : inputs) {
+    CHECK(in.requires_grad()) << "gradcheck inputs must require grad";
+    in.ZeroGrad();
+  }
+  Tensor loss = fn(inputs);
+  CHECK_EQ(loss.numel(), 1) << "gradcheck expects a scalar loss";
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (Tensor& in : inputs) analytic.push_back(in.grad());
+
+  GradCheckResult result;
+  for (size_t ii = 0; ii < inputs.size(); ++ii) {
+    Tensor& in = inputs[ii];
+    for (int64_t e = 0; e < in.numel(); ++e) {
+      float original = in.data()[static_cast<size_t>(e)];
+      in.data()[static_cast<size_t>(e)] =
+          original + static_cast<float>(epsilon);
+      double plus = fn(inputs).item();
+      in.data()[static_cast<size_t>(e)] =
+          original - static_cast<float>(epsilon);
+      double minus = fn(inputs).item();
+      in.data()[static_cast<size_t>(e)] = original;
+      double numeric = (plus - minus) / (2.0 * epsilon);
+      double got = analytic[ii][static_cast<size_t>(e)];
+      double rel =
+          std::fabs(got - numeric) / std::max(1.0, std::fabs(numeric));
+      if (rel > result.max_relative_error) {
+        result.max_relative_error = rel;
+        result.worst_input = static_cast<int>(ii);
+        result.worst_element = e;
+      }
+    }
+  }
+  result.ok = result.max_relative_error <= tolerance;
+  return result;
+}
+
+}  // namespace autocts

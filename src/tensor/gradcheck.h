@@ -1,0 +1,32 @@
+#ifndef REPRO_TENSOR_GRADCHECK_H_
+#define REPRO_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace autocts {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool ok = true;
+  /// Largest |analytic - numeric| / max(1, |numeric|) over all inputs.
+  double max_relative_error = 0.0;
+  /// Flat index (input #, element #) where the worst error occurred.
+  int worst_input = -1;
+  int64_t worst_element = -1;
+};
+
+/// Verifies the autograd tape against central finite differences.
+///
+/// `fn` maps the given inputs to a scalar tensor. Each input must have
+/// requires_grad set. Tolerance is relative; epsilon is the FD step.
+GradCheckResult GradCheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon = 1e-3,
+    double tolerance = 5e-2);
+
+}  // namespace autocts
+
+#endif  // REPRO_TENSOR_GRADCHECK_H_

@@ -1,0 +1,781 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace autocts {
+namespace {
+
+/// Broadcast shape of two operand shapes (numpy rules).
+std::vector<int> BroadcastShape(const std::vector<int>& a,
+                                const std::vector<int>& b) {
+  size_t n = std::max(a.size(), b.size());
+  std::vector<int> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    int da = i < n - a.size() ? 1 : a[i - (n - a.size())];
+    int db = i < n - b.size() ? 1 : b[i - (n - b.size())];
+    CHECK(da == db || da == 1 || db == 1)
+        << "incompatible broadcast dims " << da << " vs " << db;
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+/// Strides of `shape` aligned to an out-shape of rank `out_rank`, with 0 for
+/// broadcast (size-1 or missing) dimensions.
+std::vector<int64_t> AlignedStrides(const std::vector<int>& shape,
+                                    const std::vector<int>& out_shape) {
+  std::vector<int64_t> strides(out_shape.size(), 0);
+  std::vector<int64_t> own = Strides(shape);
+  size_t off = out_shape.size() - shape.size();
+  for (size_t i = 0; i < shape.size(); ++i) {
+    strides[off + i] = (shape[i] == 1 && out_shape[off + i] != 1) ? 0 : own[i];
+  }
+  return strides;
+}
+
+int64_t MapOffset(int64_t out_idx, const std::vector<int>& out_shape,
+                  const std::vector<int64_t>& out_strides,
+                  const std::vector<int64_t>& op_strides) {
+  int64_t off = 0;
+  for (size_t d = 0; d < out_shape.size(); ++d) {
+    int64_t coord = (out_idx / out_strides[d]) % out_shape[d];
+    off += coord * op_strides[d];
+  }
+  return off;
+}
+
+/// Generic differentiable elementwise binary op with broadcasting.
+/// fwd(av, bv) -> out value; da(av, bv) and db(av, bv) are local partials.
+template <typename F, typename DA, typename DB>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
+  std::vector<int> out_shape = BroadcastShape(a.shape(), b.shape());
+  int64_t n = NumElements(out_shape);
+  std::vector<float> out(n);
+  const bool same = a.shape() == b.shape();
+  if (same) {
+    const auto& av = a.data();
+    const auto& bv = b.data();
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] =
+          fwd(av[static_cast<size_t>(i)], bv[static_cast<size_t>(i)]);
+    }
+  } else {
+    std::vector<int64_t> os = Strides(out_shape);
+    std::vector<int64_t> as = AlignedStrides(a.shape(), out_shape);
+    std::vector<int64_t> bs = AlignedStrides(b.shape(), out_shape);
+    const auto& av = a.data();
+    const auto& bv = b.data();
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] =
+          fwd(av[static_cast<size_t>(MapOffset(i, out_shape, os, as))],
+              bv[static_cast<size_t>(MapOffset(i, out_shape, os, bs))]);
+    }
+  }
+  Tensor ta = a, tb = b;
+  auto backward = [ta, tb, out_shape, same, da,
+                   db](internal::TensorImpl& node) mutable {
+    const auto& g = node.grad;
+    auto& ga = ta.grad();
+    auto& gb = tb.grad();
+    const auto& av = ta.data();
+    const auto& bv = tb.data();
+    if (same) {
+      for (size_t i = 0; i < g.size(); ++i) {
+        ga[i] += g[i] * da(av[i], bv[i]);
+        gb[i] += g[i] * db(av[i], bv[i]);
+      }
+    } else {
+      std::vector<int64_t> os = Strides(out_shape);
+      std::vector<int64_t> as = AlignedStrides(ta.shape(), out_shape);
+      std::vector<int64_t> bs = AlignedStrides(tb.shape(), out_shape);
+      int64_t n2 = static_cast<int64_t>(g.size());
+      for (int64_t i = 0; i < n2; ++i) {
+        size_t ia = static_cast<size_t>(MapOffset(i, out_shape, os, as));
+        size_t ib = static_cast<size_t>(MapOffset(i, out_shape, os, bs));
+        ga[ia] += g[static_cast<size_t>(i)] * da(av[ia], bv[ib]);
+        gb[ib] += g[static_cast<size_t>(i)] * db(av[ia], bv[ib]);
+      }
+    }
+  };
+  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {a, b},
+                            std::move(backward));
+}
+
+/// Generic differentiable elementwise unary op. dydx receives (x, y).
+template <typename F, typename D>
+Tensor UnaryOp(const Tensor& x, F fwd, D dydx) {
+  std::vector<float> out(x.data().size());
+  const auto& xv = x.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(xv[i]);
+  Tensor tx = x;
+  std::vector<float> yv = out;
+  auto backward = [tx, yv, dydx](internal::TensorImpl& node) mutable {
+    const auto& g = node.grad;
+    auto& gx = tx.grad();
+    const auto& xd = tx.data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      gx[i] += g[i] * dydx(xd[i], yv[i]);
+    }
+  };
+  return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
+                            std::move(backward));
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+Tensor Neg(const Tensor& x) { return MulScalar(x, -1.0f); }
+
+Tensor Exp(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::exp(v); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& x, float eps) {
+  return UnaryOp(
+      x, [eps](float v) { return std::log(std::max(v, eps)); },
+      [eps](float v, float) { return 1.0f / std::max(v, eps); });
+}
+
+Tensor Sqrt(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::sqrt(v); },
+      [](float, float y) { return 0.5f / std::max(y, 1e-12f); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Relu(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& x, float slope) {
+  return UnaryOp(
+      x, [slope](float v) { return v > 0.0f ? v : slope * v; },
+      [slope](float v, float) { return v > 0.0f ? 1.0f : slope; });
+}
+
+Tensor Abs(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::fabs(v); },
+      [](float v, float) { return v > 0.0f ? 1.0f : (v < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor Square(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return v * v; },
+      [](float v, float) { return 2.0f * v; });
+}
+
+namespace {
+
+/// Parsed batched-matmul geometry shared by forward and backward.
+struct MatMulPlan {
+  int m = 0, k = 0, n = 0;
+  int64_t batch = 1;        // Number of output batch matrices.
+  bool a_broadcast = false;  // a is 2-D and reused for every batch.
+  bool b_broadcast = false;
+  std::vector<int> out_shape;
+};
+
+MatMulPlan PlanMatMul(const Tensor& a, const Tensor& b) {
+  CHECK_GE(a.ndim(), 2);
+  CHECK_GE(b.ndim(), 2);
+  MatMulPlan p;
+  p.m = a.dim(-2);
+  p.k = a.dim(-1);
+  CHECK_EQ(b.dim(-2), p.k) << "matmul inner dims";
+  p.n = b.dim(-1);
+  std::vector<int> a_batch(a.shape().begin(), a.shape().end() - 2);
+  std::vector<int> b_batch(b.shape().begin(), b.shape().end() - 2);
+  std::vector<int> out_batch;
+  if (a_batch == b_batch) {
+    out_batch = a_batch;
+  } else if (a_batch.empty()) {
+    out_batch = b_batch;
+    p.a_broadcast = true;
+  } else if (b_batch.empty()) {
+    out_batch = a_batch;
+    p.b_broadcast = true;
+  } else {
+    CHECK(false) << "matmul batch dims mismatch";
+  }
+  p.batch = NumElements(out_batch);
+  p.out_shape = out_batch;
+  p.out_shape.push_back(p.m);
+  p.out_shape.push_back(p.n);
+  return p;
+}
+
+/// C[m,n] += A[m,k] * B[k,n] over raw pointers.
+void GemmAcc(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * k;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<int64_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,n] += A[m,k] * B[k,n]ᵀ-style products for backward:
+/// dA[m,k] += dC[m,n] * Bᵀ[n,k]  (i.e., dA[i,kk] += Σ_j dC[i,j] B[kk,j])
+void GemmAccBT(const float* dc, const float* b, float* da, int m, int k,
+               int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* dcrow = dc + static_cast<int64_t>(i) * n;
+    float* darow = da + static_cast<int64_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const float* brow = b + static_cast<int64_t>(kk) * n;
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+      darow[kk] += acc;
+    }
+  }
+}
+
+/// dB[k,n] += Aᵀ[k,m] * dC[m,n]  (i.e., dB[kk,j] += Σ_i A[i,kk] dC[i,j])
+void GemmAccAT(const float* a, const float* dc, float* db, int m, int k,
+               int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * k;
+    const float* dcrow = dc + static_cast<int64_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* dbrow = db + static_cast<int64_t>(kk) * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MatMulPlan p = PlanMatMul(a, b);
+  std::vector<float> out(NumElements(p.out_shape), 0.0f);
+  const int64_t a_stride = p.a_broadcast ? 0 : static_cast<int64_t>(p.m) * p.k;
+  const int64_t b_stride = p.b_broadcast ? 0 : static_cast<int64_t>(p.k) * p.n;
+  const int64_t c_stride = static_cast<int64_t>(p.m) * p.n;
+  for (int64_t bi = 0; bi < p.batch; ++bi) {
+    GemmAcc(a.data().data() + bi * a_stride, b.data().data() + bi * b_stride,
+            out.data() + bi * c_stride, p.m, p.k, p.n);
+  }
+  Tensor ta = a, tb = b;
+  auto backward = [ta, tb, p, a_stride, b_stride,
+                   c_stride](internal::TensorImpl& node) mutable {
+    auto& ga = ta.grad();
+    auto& gb = tb.grad();
+    for (int64_t bi = 0; bi < p.batch; ++bi) {
+      const float* dc = node.grad.data() + bi * c_stride;
+      GemmAccBT(dc, tb.data().data() + bi * b_stride,
+                ga.data() + bi * a_stride, p.m, p.k, p.n);
+      GemmAccAT(ta.data().data() + bi * a_stride, dc,
+                gb.data() + bi * b_stride, p.m, p.k, p.n);
+    }
+  };
+  return Tensor::MakeFromOp(p.out_shape, std::move(out), {a, b},
+                            std::move(backward));
+}
+
+Tensor Transpose(const Tensor& x, int d0, int d1) {
+  int nd = x.ndim();
+  if (d0 < 0) d0 += nd;
+  if (d1 < 0) d1 += nd;
+  CHECK_GE(d0, 0);
+  CHECK_LT(d0, nd);
+  CHECK_GE(d1, 0);
+  CHECK_LT(d1, nd);
+  std::vector<int> out_shape = x.shape();
+  std::swap(out_shape[static_cast<size_t>(d0)],
+            out_shape[static_cast<size_t>(d1)]);
+  std::vector<int64_t> in_strides = Strides(x.shape());
+  std::vector<int64_t> perm_strides = in_strides;
+  std::swap(perm_strides[static_cast<size_t>(d0)],
+            perm_strides[static_cast<size_t>(d1)]);
+  std::vector<int64_t> out_strides = Strides(out_shape);
+  int64_t n = x.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const auto& xv = x.data();
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t src = MapOffset(i, out_shape, out_strides, perm_strides);
+    out[static_cast<size_t>(i)] = xv[static_cast<size_t>(src)];
+  }
+  Tensor tx = x;
+  auto backward = [tx, out_shape, out_strides,
+                   perm_strides](internal::TensorImpl& node) mutable {
+    auto& gx = tx.grad();
+    int64_t n2 = static_cast<int64_t>(node.grad.size());
+    for (int64_t i = 0; i < n2; ++i) {
+      int64_t src = MapOffset(i, out_shape, out_strides, perm_strides);
+      gx[static_cast<size_t>(src)] += node.grad[static_cast<size_t>(i)];
+    }
+  };
+  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
+                            std::move(backward));
+}
+
+Tensor Reshape(const Tensor& x, std::vector<int> shape) {
+  int64_t known = 1;
+  int infer = -1;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      CHECK_EQ(infer, -1) << "at most one -1 in reshape";
+      infer = static_cast<int>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (infer >= 0) {
+    CHECK_GT(known, 0);
+    CHECK_EQ(x.numel() % known, 0);
+    shape[static_cast<size_t>(infer)] = static_cast<int>(x.numel() / known);
+  }
+  CHECK_EQ(NumElements(shape), x.numel());
+  Tensor tx = x;
+  auto backward = [tx](internal::TensorImpl& node) mutable {
+    auto& gx = tx.grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) gx[i] += node.grad[i];
+  };
+  return Tensor::MakeFromOp(std::move(shape), x.data(), {x},
+                            std::move(backward));
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  CHECK(!parts.empty());
+  int nd = parts[0].ndim();
+  if (axis < 0) axis += nd;
+  CHECK_GE(axis, 0);
+  CHECK_LT(axis, nd);
+  std::vector<int> out_shape = parts[0].shape();
+  int total_axis = 0;
+  for (const Tensor& p : parts) {
+    CHECK_EQ(p.ndim(), nd);
+    for (int d = 0; d < nd; ++d) {
+      if (d != axis) CHECK_EQ(p.dim(d), out_shape[static_cast<size_t>(d)]);
+    }
+    total_axis += p.dim(axis);
+  }
+  out_shape[static_cast<size_t>(axis)] = total_axis;
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= out_shape[static_cast<size_t>(d)];
+  for (int d = axis + 1; d < nd; ++d) inner *= out_shape[static_cast<size_t>(d)];
+  std::vector<float> out(NumElements(out_shape));
+  std::vector<int> axis_sizes;
+  for (const Tensor& p : parts) axis_sizes.push_back(p.dim(axis));
+  for (int64_t o = 0; o < outer; ++o) {
+    int64_t dst_axis_off = 0;
+    for (size_t pi = 0; pi < parts.size(); ++pi) {
+      const auto& pv = parts[pi].data();
+      int an = axis_sizes[pi];
+      const float* src = pv.data() + o * an * inner;
+      float* dst = out.data() + (o * total_axis + dst_axis_off) * inner;
+      std::copy(src, src + an * inner, dst);
+      dst_axis_off += an;
+    }
+  }
+  std::vector<Tensor> parents = parts;
+  auto backward = [parents, axis_sizes, outer, inner,
+                   total_axis](internal::TensorImpl& node) mutable {
+    for (int64_t o = 0; o < outer; ++o) {
+      int64_t src_axis_off = 0;
+      for (size_t pi = 0; pi < parents.size(); ++pi) {
+        auto& gp = parents[pi].grad();
+        int an = axis_sizes[pi];
+        const float* g =
+            node.grad.data() + (o * total_axis + src_axis_off) * inner;
+        float* dst = gp.data() + o * an * inner;
+        for (int64_t i = 0; i < static_cast<int64_t>(an) * inner; ++i) {
+          dst[i] += g[i];
+        }
+        src_axis_off += an;
+      }
+    }
+  };
+  return Tensor::MakeFromOp(std::move(out_shape), std::move(out),
+                            std::move(parents), std::move(backward));
+}
+
+Tensor Slice(const Tensor& x, int axis, int start, int length) {
+  int nd = x.ndim();
+  if (axis < 0) axis += nd;
+  CHECK_GE(axis, 0);
+  CHECK_LT(axis, nd);
+  int an = x.dim(axis);
+  CHECK_GE(start, 0);
+  CHECK_GT(length, 0);
+  CHECK_LE(start + length, an);
+  std::vector<int> out_shape = x.shape();
+  out_shape[static_cast<size_t>(axis)] = length;
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= x.dim(d);
+  for (int d = axis + 1; d < nd; ++d) inner *= x.dim(d);
+  std::vector<float> out(NumElements(out_shape));
+  const auto& xv = x.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = xv.data() + (o * an + start) * inner;
+    float* dst = out.data() + o * length * inner;
+    std::copy(src, src + static_cast<int64_t>(length) * inner, dst);
+  }
+  Tensor tx = x;
+  auto backward = [tx, outer, inner, an, start,
+                   length](internal::TensorImpl& node) mutable {
+    auto& gx = tx.grad();
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* g = node.grad.data() + o * length * inner;
+      float* dst = gx.data() + (o * an + start) * inner;
+      for (int64_t i = 0; i < static_cast<int64_t>(length) * inner; ++i) {
+        dst[i] += g[i];
+      }
+    }
+  };
+  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
+                            std::move(backward));
+}
+
+Tensor IndexSelect(const Tensor& x, int axis, const std::vector<int>& indices) {
+  int nd = x.ndim();
+  if (axis < 0) axis += nd;
+  CHECK_GE(axis, 0);
+  CHECK_LT(axis, nd);
+  int an = x.dim(axis);
+  for (int idx : indices) {
+    CHECK_GE(idx, 0);
+    CHECK_LT(idx, an);
+  }
+  std::vector<int> out_shape = x.shape();
+  out_shape[static_cast<size_t>(axis)] = static_cast<int>(indices.size());
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < axis; ++d) outer *= x.dim(d);
+  for (int d = axis + 1; d < nd; ++d) inner *= x.dim(d);
+  std::vector<float> out(NumElements(out_shape));
+  const auto& xv = x.data();
+  int64_t k = static_cast<int64_t>(indices.size());
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < k; ++j) {
+      const float* src = xv.data() + (o * an + indices[static_cast<size_t>(j)]) * inner;
+      float* dst = out.data() + (o * k + j) * inner;
+      std::copy(src, src + inner, dst);
+    }
+  }
+  Tensor tx = x;
+  std::vector<int> idx = indices;
+  auto backward = [tx, idx, outer, inner, an,
+                   k](internal::TensorImpl& node) mutable {
+    auto& gx = tx.grad();
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t j = 0; j < k; ++j) {
+        const float* g = node.grad.data() + (o * k + j) * inner;
+        float* dst = gx.data() + (o * an + idx[static_cast<size_t>(j)]) * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += g[i];
+      }
+    }
+  };
+  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
+                            std::move(backward));
+}
+
+namespace {
+
+/// Decomposes shape into [outer, axis, inner] around `axis` (normalized).
+void AxisGeometry(const Tensor& x, int* axis, int64_t* outer, int64_t* n,
+                  int64_t* inner) {
+  int nd = x.ndim();
+  if (*axis < 0) *axis += nd;
+  CHECK_GE(*axis, 0);
+  CHECK_LT(*axis, nd);
+  *outer = 1;
+  *inner = 1;
+  for (int d = 0; d < *axis; ++d) *outer *= x.dim(d);
+  *n = x.dim(*axis);
+  for (int d = *axis + 1; d < nd; ++d) *inner *= x.dim(d);
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& x, int axis, bool keepdim) {
+  int ax = axis;
+  int64_t outer, n, inner;
+  AxisGeometry(x, &ax, &outer, &n, &inner);
+  std::vector<int> out_shape;
+  for (int d = 0; d < x.ndim(); ++d) {
+    if (d == ax) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(x.dim(d));
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
+  const auto& xv = x.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float* src = xv.data() + (o * n + j) * inner;
+      float* dst = out.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  Tensor tx = x;
+  auto backward = [tx, outer, n, inner](internal::TensorImpl& node) mutable {
+    auto& gx = tx.grad();
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* g = node.grad.data() + o * inner;
+      for (int64_t j = 0; j < n; ++j) {
+        float* dst = gx.data() + (o * n + j) * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += g[i];
+      }
+    }
+  };
+  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
+                            std::move(backward));
+}
+
+Tensor Mean(const Tensor& x, int axis, bool keepdim) {
+  int ax = axis < 0 ? axis + x.ndim() : axis;
+  float inv = 1.0f / static_cast<float>(x.dim(ax));
+  return MulScalar(Sum(x, axis, keepdim), inv);
+}
+
+Tensor SumAll(const Tensor& x) {
+  float total = 0.0f;
+  for (float v : x.data()) total += v;
+  Tensor tx = x;
+  auto backward = [tx](internal::TensorImpl& node) mutable {
+    auto& gx = tx.grad();
+    float g = node.grad[0];
+    for (auto& v : gx) v += g;
+  };
+  return Tensor::MakeFromOp({1}, {total}, {x}, std::move(backward));
+}
+
+Tensor MeanAll(const Tensor& x) {
+  return MulScalar(SumAll(x), 1.0f / static_cast<float>(x.numel()));
+}
+
+Tensor Softmax(const Tensor& x, int axis) {
+  int ax = axis;
+  int64_t outer, n, inner;
+  AxisGeometry(x, &ax, &outer, &n, &inner);
+  std::vector<float> out(x.data().size());
+  const auto& xv = x.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float mx = -std::numeric_limits<float>::infinity();
+      for (int64_t j = 0; j < n; ++j) {
+        mx = std::max(mx, xv[static_cast<size_t>((o * n + j) * inner + i)]);
+      }
+      float denom = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        size_t idx = static_cast<size_t>((o * n + j) * inner + i);
+        out[idx] = std::exp(xv[idx] - mx);
+        denom += out[idx];
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        out[static_cast<size_t>((o * n + j) * inner + i)] /= denom;
+      }
+    }
+  }
+  Tensor tx = x;
+  std::vector<float> yv = out;
+  auto backward = [tx, yv, outer, n, inner](internal::TensorImpl& node) mutable {
+    auto& gx = tx.grad();
+    const auto& g = node.grad;
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        float dot = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+          size_t idx = static_cast<size_t>((o * n + j) * inner + i);
+          dot += g[idx] * yv[idx];
+        }
+        for (int64_t j = 0; j < n; ++j) {
+          size_t idx = static_cast<size_t>((o * n + j) * inner + i);
+          gx[idx] += yv[idx] * (g[idx] - dot);
+        }
+      }
+    }
+  };
+  return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
+                            std::move(backward));
+}
+
+Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
+                    int dilation) {
+  CHECK_EQ(x.ndim(), 3);
+  CHECK_EQ(w.ndim(), 3);
+  CHECK_GE(dilation, 1);
+  const int rows = x.dim(0), t_len = x.dim(1), c_in = x.dim(2);
+  const int kernel = w.dim(0), c_out = w.dim(2);
+  CHECK_EQ(w.dim(1), c_in);
+  if (b.defined()) {
+    CHECK_EQ(b.ndim(), 1);
+    CHECK_EQ(b.dim(0), c_out);
+  }
+  std::vector<int> out_shape = {rows, t_len, c_out};
+  std::vector<float> out(NumElements(out_shape), 0.0f);
+  const auto& xv = x.data();
+  const auto& wv = w.data();
+  for (int r = 0; r < rows; ++r) {
+    for (int t = 0; t < t_len; ++t) {
+      float* dst = out.data() + (static_cast<int64_t>(r) * t_len + t) * c_out;
+      if (b.defined()) {
+        const auto& bv = b.data();
+        for (int o = 0; o < c_out; ++o) dst[o] = bv[static_cast<size_t>(o)];
+      }
+      for (int k = 0; k < kernel; ++k) {
+        int tau = t - k * dilation;
+        if (tau < 0) continue;
+        const float* src =
+            xv.data() + (static_cast<int64_t>(r) * t_len + tau) * c_in;
+        const float* wk = wv.data() + static_cast<int64_t>(k) * c_in * c_out;
+        for (int ci = 0; ci < c_in; ++ci) {
+          float sv = src[ci];
+          if (sv == 0.0f) continue;
+          const float* wrow = wk + static_cast<int64_t>(ci) * c_out;
+          for (int o = 0; o < c_out; ++o) dst[o] += sv * wrow[o];
+        }
+      }
+    }
+  }
+  Tensor tx = x, tw = w, tb = b;
+  std::vector<Tensor> parents = {x, w};
+  if (b.defined()) parents.push_back(b);
+  auto backward = [tx, tw, tb, rows, t_len, c_in, kernel, c_out,
+                   dilation](internal::TensorImpl& node) mutable {
+    auto& gx = tx.grad();
+    auto& gw = tw.grad();
+    const auto& xv = tx.data();
+    const auto& wv = tw.data();
+    const auto& g = node.grad;
+    for (int r = 0; r < rows; ++r) {
+      for (int t = 0; t < t_len; ++t) {
+        const float* grow =
+            g.data() + (static_cast<int64_t>(r) * t_len + t) * c_out;
+        for (int k = 0; k < kernel; ++k) {
+          int tau = t - k * dilation;
+          if (tau < 0) continue;
+          const float* src =
+              xv.data() + (static_cast<int64_t>(r) * t_len + tau) * c_in;
+          float* gsrc =
+              gx.data() + (static_cast<int64_t>(r) * t_len + tau) * c_in;
+          const float* wk = wv.data() + static_cast<int64_t>(k) * c_in * c_out;
+          float* gwk = gw.data() + static_cast<int64_t>(k) * c_in * c_out;
+          for (int ci = 0; ci < c_in; ++ci) {
+            const float* wrow = wk + static_cast<int64_t>(ci) * c_out;
+            float* gwrow = gwk + static_cast<int64_t>(ci) * c_out;
+            float acc = 0.0f;
+            for (int o = 0; o < c_out; ++o) {
+              acc += grow[o] * wrow[o];
+              gwrow[o] += grow[o] * src[ci];
+            }
+            gsrc[ci] += acc;
+          }
+        }
+      }
+    }
+    if (tb.defined()) {
+      auto& gb = tb.grad();
+      for (int r = 0; r < rows; ++r) {
+        for (int t = 0; t < t_len; ++t) {
+          const float* grow =
+              g.data() + (static_cast<int64_t>(r) * t_len + t) * c_out;
+          for (int o = 0; o < c_out; ++o) gb[static_cast<size_t>(o)] += grow[o];
+        }
+      }
+    }
+  };
+  return Tensor::MakeFromOp(std::move(out_shape), std::move(out),
+                            std::move(parents), std::move(backward));
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return MulScalar(x, 1.0f);
+  CHECK_LT(p, 1.0f);
+  float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(x.data().size());
+  for (auto& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
+  std::vector<float> out(x.data().size());
+  const auto& xv = x.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = xv[i] * mask[i];
+  Tensor tx = x;
+  auto backward = [tx, mask](internal::TensorImpl& node) mutable {
+    auto& gx = tx.grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      gx[i] += node.grad[i] * mask[i];
+    }
+  };
+  return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
+                            std::move(backward));
+}
+
+Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
+  CHECK(pred.shape() == target.shape());
+  return MeanAll(Abs(Sub(pred, target)));
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  CHECK(pred.shape() == target.shape());
+  return MeanAll(Square(Sub(pred, target)));
+}
+
+Tensor BceLoss(const Tensor& prob, const Tensor& target) {
+  CHECK(prob.shape() == target.shape());
+  Tensor one_minus_p = AddScalar(Neg(prob), 1.0f);
+  Tensor one_minus_t = AddScalar(Neg(target), 1.0f);
+  Tensor ll = Add(Mul(target, Log(prob)), Mul(one_minus_t, Log(one_minus_p)));
+  return Neg(MeanAll(ll));
+}
+
+}  // namespace autocts

@@ -1,0 +1,101 @@
+#ifndef REPRO_TENSOR_OPS_H_
+#define REPRO_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace autocts {
+
+/// Differentiable tensor operations. All ops return fresh tensors on the
+/// autograd tape (when any input requires grad) and CHECK-fail on shape
+/// mismatches. Elementwise binaries follow numpy broadcasting.
+
+/// ---- Elementwise binary (broadcasting) ----------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// ---- Scalar variants -----------------------------------------------------
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+/// ---- Elementwise unary ----------------------------------------------------
+Tensor Neg(const Tensor& x);
+Tensor Exp(const Tensor& x);
+/// Natural log of max(x, eps) for numeric safety.
+Tensor Log(const Tensor& x, float eps = 1e-12f);
+Tensor Sqrt(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Sigmoid(const Tensor& x);
+Tensor Relu(const Tensor& x);
+Tensor LeakyRelu(const Tensor& x, float slope = 0.01f);
+Tensor Abs(const Tensor& x);
+Tensor Square(const Tensor& x);
+
+/// ---- Linear algebra -------------------------------------------------------
+
+/// Matrix product. Supports [m,k]x[k,n], and batched [B...,m,k]x[B...,k,n]
+/// with identical batch dims; a 2-D operand broadcasts across the other's
+/// batch dims.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Swaps dimensions d0 and d1 (materializing; negative indices allowed).
+Tensor Transpose(const Tensor& x, int d0, int d1);
+
+/// ---- Shape --------------------------------------------------------------
+
+/// Reshapes to `shape`; a single -1 entry is inferred.
+Tensor Reshape(const Tensor& x, std::vector<int> shape);
+
+/// Concatenates tensors along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+/// Contiguous sub-range [start, start+length) along `axis`.
+Tensor Slice(const Tensor& x, int axis, int start, int length);
+
+/// Rows of `x` along `axis` at the given indices (duplicates allowed).
+/// Backward scatter-adds, so it doubles as embedding lookup.
+Tensor IndexSelect(const Tensor& x, int axis, const std::vector<int>& indices);
+
+/// ---- Reductions -----------------------------------------------------------
+
+/// Sum over one axis. With keepdim the axis stays with size 1.
+Tensor Sum(const Tensor& x, int axis, bool keepdim = false);
+Tensor Mean(const Tensor& x, int axis, bool keepdim = false);
+/// Sum/mean of all elements → scalar (shape {1}).
+Tensor SumAll(const Tensor& x);
+Tensor MeanAll(const Tensor& x);
+
+/// Numerically stable softmax along `axis`.
+Tensor Softmax(const Tensor& x, int axis);
+
+/// ---- Convolution -----------------------------------------------------------
+
+/// Causal dilated 1-D convolution.
+///   x: [rows, T, c_in]   w: [kernel, c_in, c_out]   b: [c_out] or undefined
+/// Tap k of the kernel reads x at time t - k*dilation (zero-padded), so the
+/// output never looks into the future and keeps length T.
+Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
+                    int dilation);
+
+/// ---- Regularization ---------------------------------------------------------
+
+/// Inverted dropout: keeps each element with prob 1-p and rescales by
+/// 1/(1-p). Identity when !training or p == 0.
+Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training);
+
+/// ---- Losses (scalar outputs) -------------------------------------------------
+
+/// Mean absolute error between pred and target (same shape).
+Tensor MaeLoss(const Tensor& pred, const Tensor& target);
+/// Mean squared error.
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+/// Binary cross entropy on probabilities in (0,1); target in [0,1].
+Tensor BceLoss(const Tensor& prob, const Tensor& target);
+
+}  // namespace autocts
+
+#endif  // REPRO_TENSOR_OPS_H_

@@ -1,0 +1,227 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace autocts {
+
+int64_t NumElements(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (int d : shape) {
+    CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> Strides(const std::vector<int>& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+namespace {
+
+std::shared_ptr<internal::TensorImpl> NewImpl(std::vector<int> shape,
+                                              std::vector<float> data,
+                                              bool requires_grad) {
+  CHECK_EQ(static_cast<int64_t>(data.size()), NumElements(shape));
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
+  int64_t n = NumElements(shape);
+  return Tensor(NewImpl(std::move(shape), std::vector<float>(n, 0.0f),
+                        requires_grad));
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float value, bool requires_grad) {
+  int64_t n = NumElements(shape);
+  return Tensor(NewImpl(std::move(shape), std::vector<float>(n, value),
+                        requires_grad));
+}
+
+Tensor Tensor::FromVector(std::vector<int> shape, std::vector<float> data,
+                          bool requires_grad) {
+  return Tensor(NewImpl(std::move(shape), std::move(data), requires_grad));
+}
+
+Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, float stddev,
+                     bool requires_grad) {
+  int64_t n = NumElements(shape);
+  std::vector<float> data(n);
+  for (auto& v : data) v = rng->Normal(0.0f, stddev);
+  return Tensor(NewImpl(std::move(shape), std::move(data), requires_grad));
+}
+
+Tensor Tensor::Rand(std::vector<int> shape, Rng* rng, float lo, float hi,
+                    bool requires_grad) {
+  int64_t n = NumElements(shape);
+  std::vector<float> data(n);
+  for (auto& v : data) v = rng->Uniform(lo, hi);
+  return Tensor(NewImpl(std::move(shape), std::move(data), requires_grad));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector({1}, {value}, requires_grad);
+}
+
+const std::vector<int>& Tensor::shape() const {
+  CHECK(defined());
+  return impl_->shape;
+}
+
+int Tensor::ndim() const { return static_cast<int>(shape().size()); }
+
+int Tensor::dim(int i) const {
+  int n = ndim();
+  if (i < 0) i += n;
+  CHECK_GE(i, 0);
+  CHECK_LT(i, n);
+  return impl_->shape[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::numel() const {
+  CHECK(defined());
+  return static_cast<int64_t>(impl_->data.size());
+}
+
+std::vector<float>& Tensor::data() {
+  CHECK(defined());
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  CHECK(defined());
+  return impl_->data;
+}
+
+std::vector<float>& Tensor::grad() {
+  CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+bool Tensor::requires_grad() const {
+  CHECK(defined());
+  return impl_->requires_grad;
+}
+
+float Tensor::item() const {
+  CHECK(defined());
+  CHECK_EQ(numel(), 1) << "item() requires a single-element tensor";
+  return impl_->data[0];
+}
+
+float Tensor::at(int64_t flat_index) const {
+  CHECK(defined());
+  CHECK_GE(flat_index, 0);
+  CHECK_LT(flat_index, numel());
+  return impl_->data[static_cast<size_t>(flat_index)];
+}
+
+void Tensor::Backward() {
+  CHECK(defined());
+  // Topological order over the tape via iterative post-order DFS.
+  std::vector<internal::TensorImpl*> order;
+  std::unordered_set<internal::TensorImpl*> visited;
+  std::vector<std::pair<internal::TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      internal::TensorImpl* child = node->parents[next_child].impl();
+      ++next_child;
+      if (child != nullptr && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // Seed this node's gradient with ones and run closures root-to-leaf.
+  impl_->EnsureGrad();
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::TensorImpl* node = *it;
+    if (node->backward) {
+      node->EnsureGrad();
+      node->backward(*node);
+    }
+  }
+}
+
+void Tensor::ZeroGrad() {
+  CHECK(defined());
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+Tensor Tensor::Detach() const {
+  CHECK(defined());
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // Copies; keeps the detached view stable.
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const {
+  CHECK(defined());
+  return FromVector(impl_->shape, impl_->data, false);
+}
+
+std::string Tensor::ToString(int max_elements) const {
+  if (!defined()) return "<undefined tensor>";
+  std::ostringstream out;
+  out << "<shape [";
+  for (size_t i = 0; i < impl_->shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << impl_->shape[i];
+  }
+  out << "] data [";
+  int64_t n = std::min<int64_t>(numel(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << impl_->data[static_cast<size_t>(i)];
+  }
+  if (n < numel()) out << ", ...";
+  out << "]>";
+  return out.str();
+}
+
+Tensor Tensor::MakeFromOp(std::vector<int> shape, std::vector<float> data,
+                          std::vector<Tensor> parents,
+                          std::function<void(internal::TensorImpl&)> backward) {
+  bool any_grad = false;
+  for (const Tensor& p : parents) {
+    CHECK(p.defined());
+    if (p.requires_grad() || p.impl()->backward) any_grad = true;
+  }
+  auto impl = NewImpl(std::move(shape), std::move(data), any_grad);
+  if (any_grad) {
+    impl->parents = std::move(parents);
+    impl->backward = std::move(backward);
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace autocts

@@ -1,0 +1,143 @@
+#ifndef REPRO_TENSOR_TENSOR_H_
+#define REPRO_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace autocts {
+
+namespace internal {
+struct TensorImpl;
+}  // namespace internal
+
+/// A dense n-dimensional float tensor with reverse-mode autograd.
+///
+/// Tensor is a cheap, value-semantic handle (shared_ptr to the storage), so
+/// copies alias the same buffer — the same convention as torch.Tensor. The
+/// autograd tape is dynamic: every op that produces a Tensor records a
+/// backward closure and its parents, and `Backward()` replays the tape in
+/// reverse topological order, accumulating gradients into every node that
+/// (transitively) requires them.
+///
+/// Scope: float32 only, contiguous row-major storage, CPU only. This is all
+/// the AutoCTS++ reproduction needs; keeping the surface small keeps it
+/// verifiable (see tests/tensor_gradcheck_test.cc).
+class Tensor {
+ public:
+  /// An empty (undefined) tensor. Most APIs CHECK that operands are defined.
+  Tensor() = default;
+
+  /// ---- Factories -------------------------------------------------------
+
+  static Tensor Zeros(std::vector<int> shape, bool requires_grad = false);
+  static Tensor Full(std::vector<int> shape, float value,
+                     bool requires_grad = false);
+  /// Takes ownership of `data`; its length must equal the shape's element
+  /// count.
+  static Tensor FromVector(std::vector<int> shape, std::vector<float> data,
+                           bool requires_grad = false);
+  /// I.i.d. normal entries.
+  static Tensor Randn(std::vector<int> shape, Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor Rand(std::vector<int> shape, Rng* rng, float lo, float hi,
+                     bool requires_grad = false);
+  /// A scalar (shape {1}) tensor.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  /// ---- Introspection ---------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int>& shape() const;
+  /// Number of dimensions.
+  int ndim() const;
+  /// Size along dimension `i`; negative indices count from the back.
+  int dim(int i) const;
+  /// Total number of elements.
+  int64_t numel() const;
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+  /// Gradient buffer (same length as data). Zeros until Backward() ran.
+  std::vector<float>& grad();
+  const std::vector<float>& grad() const;
+
+  bool requires_grad() const;
+
+  /// Single-element access for tests and glue code (row-major flat index).
+  float item() const;
+  float at(int64_t flat_index) const;
+
+  /// ---- Autograd --------------------------------------------------------
+
+  /// Runs reverse-mode differentiation from this tensor, seeding its own
+  /// gradient with ones. Usually called on a scalar loss.
+  void Backward();
+
+  /// Clears this tensor's gradient buffer.
+  void ZeroGrad();
+
+  /// A view of the same data that is cut off from the autograd tape.
+  Tensor Detach() const;
+
+  /// Deep copy of the data (not on the tape).
+  Tensor Clone() const;
+
+  /// "<shape [2, 3] data [ ... ]>" — for debugging and test failure output.
+  std::string ToString(int max_elements = 16) const;
+
+  /// ---- Internal (used by ops) ------------------------------------------
+
+  /// Creates a tensor that is the result of an op. `parents` are the inputs
+  /// whose gradients `backward` populates; `backward` receives the output
+  /// node so it can read the upstream gradient. If no parent requires grad
+  /// the closure is dropped and the result is a constant leaf.
+  static Tensor MakeFromOp(std::vector<int> shape, std::vector<float> data,
+                           std::vector<Tensor> parents,
+                           std::function<void(internal::TensorImpl&)> backward);
+
+  internal::TensorImpl* impl() const { return impl_.get(); }
+
+ private:
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+namespace internal {
+
+/// Shared storage + tape node behind a Tensor handle.
+struct TensorImpl {
+  std::vector<int> shape;
+  std::vector<float> data;
+  /// Lazily sized to data.size() when gradients first flow.
+  std::vector<float> grad;
+  bool requires_grad = false;
+  /// Inputs of the op that produced this node (empty for leaves).
+  std::vector<Tensor> parents;
+  /// Accumulates parent gradients given this node's grad; null for leaves.
+  std::function<void(TensorImpl&)> backward;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// Number of elements implied by a shape.
+int64_t NumElements(const std::vector<int>& shape);
+
+/// Row-major strides for a shape.
+std::vector<int64_t> Strides(const std::vector<int>& shape);
+
+}  // namespace autocts
+
+#endif  // REPRO_TENSOR_TENSOR_H_

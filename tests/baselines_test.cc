@@ -1,0 +1,154 @@
+#include "baselines/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/transformers.h"
+#include "data/synthetic.h"
+#include "model/trainer.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+ForecastTask SmallTask() {
+  ScaleConfig cfg = ScaleConfig::Test();
+  ForecastTask task;
+  task.data = MakeSyntheticDataset("Los-Loop", cfg);
+  task.p = 12;
+  task.q = 12;
+  return task;
+}
+
+class BaselineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineTest, ForwardShapeMatchesTarget) {
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  auto model = MakeBaseline(GetParam(), spec, ScaleConfig::Test(), 5);
+  EXPECT_EQ(model->name(), GetParam());
+  WindowProvider provider(task);
+  WindowBatch batch = provider.MakeBatch({0, 2});
+  EXPECT_EQ(model->Forward(batch.x).shape(), batch.y.shape());
+}
+
+TEST_P(BaselineTest, SingleStepShape) {
+  ForecastTask task = SmallTask();
+  task.p = 24;
+  task.q = 3;
+  task.single_step = true;
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  auto model = MakeBaseline(GetParam(), spec, ScaleConfig::Test(), 5);
+  WindowProvider provider(task);
+  WindowBatch batch = provider.MakeBatch({0});
+  EXPECT_EQ(model->Forward(batch.x).shape(),
+            (std::vector<int>{1, task.data->num_series(), 1, 1}));
+}
+
+TEST_P(BaselineTest, GradientsFlowToAllParameters) {
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  auto model = MakeBaseline(GetParam(), spec, ScaleConfig::Test(), 5);
+  WindowProvider provider(task);
+  WindowBatch batch = provider.MakeBatch({0, 1});
+  model->ZeroGrad();
+  SumAll(Square(model->Forward(batch.x))).Backward();
+  int with_grad = 0, total = 0;
+  for (const Tensor& p : model->Parameters()) {
+    ++total;
+    for (float g : p.grad()) {
+      if (g != 0.0f) {
+        ++with_grad;
+        break;
+      }
+    }
+  }
+  // Nearly all parameters should receive gradient (biases of dead ReLUs can
+  // occasionally stall; demand at least 80%).
+  EXPECT_GE(with_grad * 10, total * 8) << with_grad << "/" << total;
+}
+
+TEST_P(BaselineTest, ShortTrainingReducesLoss) {
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  auto model = MakeBaseline(GetParam(), spec, ScaleConfig::Test(), 5);
+  TrainOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 4;
+  opts.batches_per_epoch = 6;
+  ModelTrainer trainer(task, opts);
+  TrainReport report = trainer.Train(model.get());
+  EXPECT_LT(report.epoch_train_loss.back(),
+            report.epoch_train_loss.front() * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineTest,
+                         ::testing::Values("MTGNN", "AGCRN", "PDFormer",
+                                           "Autoformer", "FEDformer",
+                                           "AutoSTG+", "AutoCTS", "AutoCTS+"),
+                         [](const auto& info) {
+                           std::string out;
+                           for (char c : info.param) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) {
+                               out += c;
+                             } else if (c == '+') {
+                               out += "Plus";
+                             }
+                           }
+                           return out;
+                         });
+
+TEST(TransferredArchTest, AutoStgUsesOnlyItsSearchSpace) {
+  ArchHyper ah = TransferredArchHyper("AutoSTG+");
+  for (const ArchEdge& e : ah.arch.edges) {
+    EXPECT_TRUE(e.op == OpType::kGdcc || e.op == OpType::kDgcn)
+        << OpName(e.op);
+  }
+}
+
+TEST(TransferredArchTest, AllTransferredModelsValid) {
+  for (const char* name : {"AutoSTG+", "AutoCTS", "AutoCTS+"}) {
+    ArchHyper ah = TransferredArchHyper(name);
+    EXPECT_TRUE(ValidateArchHyper(ah).ok()) << name;
+    EXPECT_TRUE(HasSpatialAndTemporal(ah.arch)) << name;
+  }
+}
+
+TEST(TransferredArchTest, AutoCtsPlusHasTunedHypers) {
+  // The joint-searched transfer model must differ from the default
+  // hyperparameters (that's the point of joint search).
+  ArchHyper plus = TransferredArchHyper("AutoCTS+");
+  ArchHyper arch_only = TransferredArchHyper("AutoCTS");
+  EXPECT_NE(plus.hyper.hidden_dim, arch_only.hyper.hidden_dim);
+  EXPECT_NE(plus.hyper.output_dim, arch_only.hyper.output_dim);
+}
+
+TEST(DecompositionTest, MovingAverageMatrixRowsSumToOne) {
+  Tensor m = MovingAverageMatrix(6, 3);
+  for (int i = 0; i < 6; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < 6; ++j) sum += m.at(i * 6 + j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(DecompositionTest, MovingAverageSmoothsConstantExactly) {
+  Tensor m = MovingAverageMatrix(5, 3);
+  Tensor x = Tensor::Full({1, 1, 5, 2}, 3.0f);
+  Tensor y = MatMul(m, x);
+  for (float v : y.data()) EXPECT_NEAR(v, 3.0f, 1e-5f);
+}
+
+TEST(FourierBasisTest, ColumnsAreOrthonormal) {
+  int t = 16, k = 3;
+  Tensor b = FourierBasis(t, k);
+  Tensor gram = MatMul(Transpose(b, 0, 1), b);  // [2K, 2K]
+  for (int i = 0; i < 2 * k; ++i) {
+    for (int j = 0; j < 2 * k; ++j) {
+      float expect = i == j ? 1.0f : 0.0f;
+      EXPECT_NEAR(gram.at(i * 2 * k + j), expect, 1e-4f) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autocts

@@ -1,0 +1,129 @@
+#include "common/check.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/scale_config.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace autocts {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  CHECK(true) << "never shown";
+  CHECK_EQ(1, 1);
+  CHECK_LT(1, 2);
+  SUCCEED();
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(CHECK(false) << "boom", "boom");
+  EXPECT_DEATH(CHECK_EQ(1, 2), "1 vs 2");
+  EXPECT_DEATH(CHECK_GE(3, 5), "CHECK failed");
+}
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status err = Status::Error("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "nope");
+}
+
+TEST(StatusOrTest, ValueAndErrorPaths) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  StatusOr<int> e = Status::Error("bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().message(), "bad");
+  EXPECT_DEATH(e.value(), "bad");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> s = std::string("payload");
+  std::string taken = std::move(s).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Int(0, 1000), b.Int(0, 1000));
+  }
+}
+
+TEST(RngTest, IntBoundsInclusive) {
+  Rng rng(6);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    int v = rng.Int(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // All of {2, 3, 4} appear.
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ForkGivesIndependentStreams) {
+  Rng parent(8);
+  Rng child_a(parent.Fork());
+  Rng child_b(parent.Fork());
+  // Extremely unlikely to collide if streams differ.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child_a.Int(0, 1 << 20) != child_b.Int(0, 1 << 20)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end()), b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TableTest, AlignsAndSeparates) {
+  TextTable t({"A", "Long header"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "2"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| A      | Long header |"), std::string::npos);
+  EXPECT_NE(s.find("|--------|-------------|"), std::string::npos);
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  TextTable t({"A", "B"});
+  EXPECT_DEATH(t.AddRow({"only one"}), "CHECK");
+}
+
+TEST(TableTest, Formatting) {
+  EXPECT_EQ(TextTable::Num(1.23456, 3), "1.235");
+  EXPECT_EQ(TextTable::Num(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::MeanStd(1.5, 0.25, 2), "1.50±0.25");
+}
+
+TEST(ScaleConfigTest, TestPresetIsSmallerThanBench) {
+  ScaleConfig bench = ScaleConfig::Bench();
+  ScaleConfig test = ScaleConfig::Test();
+  EXPECT_LT(test.num_sensors, bench.num_sensors);
+  EXPECT_LT(test.num_steps, bench.num_steps);
+  EXPECT_LT(test.ranking_pool, bench.ranking_pool);
+  EXPECT_LE(test.train_epochs, bench.train_epochs);
+}
+
+}  // namespace
+}  // namespace autocts

@@ -1,0 +1,169 @@
+#include "core/autocts.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace autocts {
+namespace {
+
+AutoCtsOptions TinyOptions() {
+  ScaleConfig cfg = ScaleConfig::Test();
+  AutoCtsOptions opts = AutoCtsOptions::ForScale(cfg);
+  opts.ts2vec.repr_dim = 4;
+  opts.ts2vec.hidden = 4;
+  opts.ts2vec_pretrain.epochs = 1;
+  opts.ts2vec_pretrain.batches_per_epoch = 2;
+  opts.ts2vec_pretrain.batch_size = 2;
+  opts.comparator.repr_dim = 4;
+  opts.comparator.gin.embed_dim = 8;
+  opts.comparator.f1 = 8;
+  opts.comparator.f2 = 4;
+  opts.collect.train.batches_per_epoch = 2;
+  opts.pretrain.epochs = 2;
+  opts.search.ranking_pool = 16;
+  opts.search.opponents_per_candidate = 2;
+  opts.search.population = 4;
+  opts.search.generations = 1;
+  opts.search.top_k = 1;
+  opts.final_train.epochs = 1;
+  opts.final_train.batches_per_epoch = 2;
+  opts.final_train.batch_size = 2;
+  return opts;
+}
+
+std::vector<ForecastTask> TinySourceTasks() {
+  ScaleConfig cfg = ScaleConfig::Test();
+  std::vector<ForecastTask> tasks;
+  for (const char* name : {"PEMS04", "ETTh1"}) {
+    ForecastTask t;
+    t.data = MakeSyntheticDataset(name, cfg);
+    t.p = 12;
+    t.q = 12;
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+ForecastTask UnseenTask() {
+  ScaleConfig cfg = ScaleConfig::Test();
+  ForecastTask t;
+  t.data = MakeSyntheticDataset("Los-Loop", cfg);
+  t.p = 12;
+  t.q = 12;
+  return t;
+}
+
+TEST(AutoCtsPlusPlusTest, EndToEndZeroShot) {
+  AutoCtsPlusPlus framework(TinyOptions());
+  EXPECT_FALSE(framework.pretrained());
+  PretrainReport pre = framework.Pretrain(TinySourceTasks());
+  EXPECT_TRUE(framework.pretrained());
+  EXPECT_GT(pre.total_pairs_trained, 0);
+
+  SearchOutcome outcome = framework.SearchAndTrain(UnseenTask());
+  EXPECT_EQ(outcome.top_k.size(), 1u);
+  EXPECT_TRUE(ValidateArchHyper(outcome.best).ok());
+  EXPECT_GT(outcome.best_report.test.mae, 0.0);
+  EXPECT_GT(outcome.embed_seconds, 0.0);
+  EXPECT_GT(outcome.rank_seconds, 0.0);
+  EXPECT_GT(outcome.train_seconds, 0.0);
+}
+
+TEST(AutoCtsPlusPlusTest, SearchBeforePretrainDies) {
+  AutoCtsPlusPlus framework(TinyOptions());
+  EXPECT_DEATH(framework.RankTopK(UnseenTask()), "Pretrain");
+}
+
+TEST(AutoCtsPlusPlusTest, EmbedTaskProducesTaskVector) {
+  AutoCtsPlusPlus framework(TinyOptions());
+  framework.Pretrain(TinySourceTasks());
+  Tensor e = framework.EmbedTask(UnseenTask());
+  EXPECT_EQ(e.shape(), (std::vector<int>{4}));
+  EXPECT_FALSE(e.requires_grad());
+}
+
+TEST(AutoCtsPlusPlusTest, DifferentTasksDifferentEmbeddings) {
+  AutoCtsPlusPlus framework(TinyOptions());
+  framework.Pretrain(TinySourceTasks());
+  ForecastTask a = UnseenTask();
+  ForecastTask b = UnseenTask();
+  b.p = 24;
+  b.q = 24;
+  Tensor ea = framework.EmbedTask(a);
+  Tensor eb = framework.EmbedTask(b);
+  double diff = 0.0;
+  for (int i = 0; i < 4; ++i) diff += std::fabs(ea.at(i) - eb.at(i));
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(AutoCtsPlusPlusTest, MlpEncoderAblationWorks) {
+  AutoCtsOptions opts = TinyOptions();
+  opts.use_mlp_encoder = true;
+  AutoCtsPlusPlus framework(opts);
+  framework.Pretrain(TinySourceTasks());
+  std::vector<ArchHyper> top = framework.RankTopK(UnseenTask());
+  EXPECT_EQ(top.size(), 1u);
+}
+
+TEST(AutoCtsPlusTest, FullySupervisedSearchRuns) {
+  AutoCtsOptions opts = TinyOptions();
+  AutoCtsPlus framework(opts);
+  SearchOutcome outcome = framework.SearchAndTrain(UnseenTask());
+  EXPECT_TRUE(ValidateArchHyper(outcome.best).ok());
+  EXPECT_GT(outcome.best_report.val.mae, 0.0);
+}
+
+TEST(TrainTopKTest, PicksValidationWinner) {
+  ForecastTask task = UnseenTask();
+  JointSearchSpace space;
+  Rng rng(31);
+  std::vector<ArchHyper> candidates = space.SampleDistinct(2, &rng);
+  TrainOptions train;
+  train.epochs = 1;
+  train.batch_size = 2;
+  train.batches_per_epoch = 2;
+  SearchOutcome outcome =
+      TrainTopKAndSelect(candidates, task, train, ScaleConfig::Test(), 5);
+  bool matches_one = outcome.best == candidates[0] ||
+                     outcome.best == candidates[1];
+  EXPECT_TRUE(matches_one);
+}
+
+TEST(AutoCtsPlusPlusTest, RetrainWithSamplesExtendsBank) {
+  AutoCtsPlusPlus framework(TinyOptions());
+  framework.Pretrain(TinySourceTasks());
+  size_t before = framework.collected_samples().size();
+  // Extra samples from one more source task (the §3.1.1 reuse workflow,
+  // e.g. after adding an operator or a new source domain).
+  ScaleConfig cfg = ScaleConfig::Test();
+  ForecastTask extra_task;
+  extra_task.data = MakeSyntheticDataset("Solar-Energy", cfg);
+  extra_task.p = 12;
+  extra_task.q = 12;
+  Rng rng(77);
+  MlpEncoder encoder(1, 4, &rng);
+  JointSearchSpace space;
+  SampleCollectionOptions collect;
+  collect.shared_count = 2;
+  collect.random_count = 0;
+  collect.early_validation_epochs = 1;
+  collect.windows_per_task = 2;
+  collect.train.batch_size = 2;
+  collect.train.batches_per_epoch = 2;
+  std::vector<TaskSampleSet> extra =
+      CollectSamples({extra_task}, space, encoder, cfg, collect);
+  PretrainReport report = framework.RetrainWithSamples(std::move(extra));
+  EXPECT_EQ(framework.collected_samples().size(), before + 1);
+  EXPECT_GT(report.total_pairs_trained, 0);
+  // The retrained framework still searches.
+  EXPECT_EQ(framework.RankTopK(UnseenTask()).size(), 1u);
+}
+
+TEST(AutoCtsPlusPlusTest, RetrainWithoutPretrainDies) {
+  AutoCtsPlusPlus framework(TinyOptions());
+  EXPECT_DEATH(framework.RetrainWithSamples({}), "Pretrain");
+}
+
+}  // namespace
+}  // namespace autocts

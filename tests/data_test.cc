@@ -1,0 +1,266 @@
+#include "data/cts_dataset.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/metrics.h"
+#include "data/synthetic.h"
+#include "data/task.h"
+
+namespace autocts {
+namespace {
+
+CtsDatasetPtr TinyDataset() {
+  // 2 series, 6 steps, 1 feature. Series 0 = 0..5, series 1 = 10..15.
+  std::vector<float> v = {0, 1, 2, 3, 4, 5, 10, 11, 12, 13, 14, 15};
+  std::vector<float> adj = {1, 0.5f, 0.5f, 1};
+  return std::make_shared<CtsDataset>("tiny", 2, 6, 1, v, adj);
+}
+
+TEST(CtsDatasetTest, AccessorsAndChecks) {
+  auto d = TinyDataset();
+  EXPECT_EQ(d->num_series(), 2);
+  EXPECT_EQ(d->num_steps(), 6);
+  EXPECT_EQ(d->value(0, 3, 0), 3.0f);
+  EXPECT_EQ(d->value(1, 0, 0), 10.0f);
+  EXPECT_EQ(d->adjacency(0, 1), 0.5f);
+}
+
+TEST(CtsDatasetTest, TemporalSlicePreservesValues) {
+  auto d = TinyDataset();
+  CtsDataset s = d->TemporalSlice(2, 3);
+  EXPECT_EQ(s.num_steps(), 3);
+  EXPECT_EQ(s.value(0, 0, 0), 2.0f);
+  EXPECT_EQ(s.value(1, 2, 0), 14.0f);
+  EXPECT_EQ(s.adjacency(0, 1), 0.5f);
+}
+
+TEST(CtsDatasetTest, SelectSensorsReprojectsAdjacency) {
+  auto d = TinyDataset();
+  CtsDataset s = d->SelectSensors({1});
+  EXPECT_EQ(s.num_series(), 1);
+  EXPECT_EQ(s.value(0, 0, 0), 10.0f);
+  EXPECT_EQ(s.adjacency(0, 0), 1.0f);
+}
+
+TEST(CtsDatasetTest, MeanStdOnTrainFraction) {
+  auto d = TinyDataset();
+  float mean, std;
+  d->MeanStd(0.5, &mean, &std);  // First 3 steps: {0,1,2,10,11,12}.
+  EXPECT_NEAR(mean, 6.0f, 1e-5f);
+  EXPECT_GT(std, 0.0f);
+}
+
+TEST(TaskTest, WindowCountAndSplits) {
+  ForecastTask task;
+  task.data = TinyDataset();
+  task.p = 2;
+  task.q = 1;
+  task.train_ratio = 0.5;
+  task.val_ratio = 0.25;
+  EXPECT_EQ(task.num_windows(), 4);
+  EXPECT_EQ(task.SplitStarts(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(task.SplitStarts(1), (std::vector<int>{2}));
+  EXPECT_EQ(task.SplitStarts(2), (std::vector<int>{3}));
+}
+
+TEST(TaskTest, NameEncodesSetting) {
+  ForecastTask task;
+  task.data = TinyDataset();
+  task.p = 2;
+  task.q = 1;
+  EXPECT_NE(task.name().find("P2/Q1"), std::string::npos);
+  task.single_step = true;
+  EXPECT_NE(task.name().find("(1rd)"), std::string::npos);
+}
+
+TEST(WindowProviderTest, BatchShapesMultiStep) {
+  ForecastTask task;
+  task.data = TinyDataset();
+  task.p = 2;
+  task.q = 2;
+  WindowProvider provider(task);
+  WindowBatch b = provider.MakeBatch({0, 1});
+  EXPECT_EQ(b.x.shape(), (std::vector<int>{2, 2, 2, 1}));
+  EXPECT_EQ(b.y.shape(), (std::vector<int>{2, 2, 2, 1}));
+  // Targets are on the original scale.
+  EXPECT_EQ(b.y.at(0), 2.0f);  // window 0, series 0, step p+0
+  EXPECT_EQ(b.y.at(1), 3.0f);
+}
+
+TEST(WindowProviderTest, InputIsScaled) {
+  ForecastTask task;
+  task.data = TinyDataset();
+  task.p = 2;
+  task.q = 2;
+  WindowProvider provider(task);
+  WindowBatch b = provider.MakeBatch({0});
+  float expect = (0.0f - provider.mean()) / provider.std();
+  EXPECT_NEAR(b.x.at(0), expect, 1e-5f);
+}
+
+TEST(WindowProviderTest, SingleStepTargetsQthStep) {
+  ForecastTask task;
+  task.data = TinyDataset();
+  task.p = 2;
+  task.q = 3;  // 3rd future step
+  task.single_step = true;
+  WindowProvider provider(task);
+  WindowBatch b = provider.MakeBatch({0});
+  EXPECT_EQ(b.y.shape(), (std::vector<int>{1, 2, 1, 1}));
+  EXPECT_EQ(b.y.at(0), 4.0f);   // series 0: steps 0,1 input; target step 4
+  EXPECT_EQ(b.y.at(1), 14.0f);  // series 1
+}
+
+TEST(WindowProviderTest, StartsSubsamplesEvenly) {
+  ForecastTask task;
+  task.data = std::make_shared<CtsDataset>(
+      "long", 1, 100, 1, std::vector<float>(100, 1.0f),
+      std::vector<float>{1.0f});
+  task.p = 4;
+  task.q = 4;
+  WindowProvider provider(task);
+  std::vector<int> all = provider.Starts(0);
+  std::vector<int> some = provider.Starts(0, 10);
+  EXPECT_EQ(some.size(), 10u);
+  EXPECT_LT(some.back(), all.back() + 1);
+  EXPECT_TRUE(std::is_sorted(some.begin(), some.end()));
+}
+
+TEST(MetricsTest, KnownValues) {
+  std::vector<float> pred = {1, 2, 3};
+  std::vector<float> tgt = {2, 2, 5};
+  EXPECT_NEAR(Mae(pred, tgt), 1.0, 1e-9);
+  EXPECT_NEAR(Rmse(pred, tgt), std::sqrt(5.0 / 3.0), 1e-9);
+  EXPECT_NEAR(Mape(pred, tgt), 100.0 * (0.5 + 0.0 + 0.4) / 3.0, 1e-6);
+}
+
+TEST(MetricsTest, MapeMasksZeros) {
+  std::vector<float> pred = {5, 1};
+  std::vector<float> tgt = {0, 2};
+  EXPECT_NEAR(Mape(pred, tgt), 50.0, 1e-9);
+}
+
+TEST(MetricsTest, RrsePerfectAndMeanPredictor) {
+  std::vector<float> tgt = {1, 2, 3, 4};
+  EXPECT_NEAR(Rrse(tgt, tgt), 0.0, 1e-9);
+  std::vector<float> mean_pred(4, 2.5f);
+  EXPECT_NEAR(Rrse(mean_pred, tgt), 1.0, 1e-6);
+}
+
+TEST(MetricsTest, CorrSignAndStride) {
+  std::vector<float> a = {1, 2, 3, 4};
+  std::vector<float> b = {2, 4, 6, 8};
+  EXPECT_NEAR(Corr(a, b), 1.0, 1e-6);
+  std::vector<float> c = {4, 3, 2, 1};
+  EXPECT_NEAR(Corr(a, c), -1.0, 1e-6);
+  // Two series of length 2, each perfectly correlated.
+  EXPECT_NEAR(Corr(a, b, 2), 1.0, 1e-6);
+}
+
+TEST(MetricsTest, SpearmanHandlesMonotoneAndTies) {
+  EXPECT_NEAR(SpearmanRho({1, 2, 3}, {10, 20, 30}), 1.0, 1e-9);
+  EXPECT_NEAR(SpearmanRho({1, 2, 3}, {30, 20, 10}), -1.0, 1e-9);
+  double rho = SpearmanRho({1, 1, 2, 3}, {1, 1, 2, 3});
+  EXPECT_NEAR(rho, 1.0, 1e-9);
+}
+
+TEST(SyntheticTest, AllNamedDatasetsGenerate) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  for (const auto& name : SourceDatasetNames()) {
+    auto d = MakeSyntheticDataset(name, cfg);
+    EXPECT_GE(d->num_series(), 3) << name;
+    EXPECT_GE(d->num_steps(), 200) << name;
+  }
+  for (const auto& name : TargetDatasetNames()) {
+    auto d = MakeSyntheticDataset(name, cfg);
+    EXPECT_GE(d->num_series(), 3) << name;
+  }
+}
+
+TEST(SyntheticTest, Deterministic) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  auto a = MakeSyntheticDataset("PEMS-BAY", cfg);
+  auto b = MakeSyntheticDataset("PEMS-BAY", cfg);
+  EXPECT_EQ(a->values(), b->values());
+  EXPECT_EQ(a->adjacency(), b->adjacency());
+}
+
+TEST(SyntheticTest, DomainSignatures) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  // Traffic speeds stay within physical bounds.
+  auto speed = MakeSyntheticDataset("PEMS-BAY", cfg);
+  for (float v : speed->values()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 80.0f);
+  }
+  // Solar has exact zeros (night) and positive values (day).
+  auto solar = MakeSyntheticDataset("Solar-Energy", cfg);
+  int zeros = 0, positives = 0;
+  for (float v : solar->values()) {
+    if (v == 0.0f) ++zeros;
+    if (v > 1.0f) ++positives;
+  }
+  EXPECT_GT(zeros, 0);
+  EXPECT_GT(positives, 0);
+  // Demand counts are non-negative.
+  auto taxi = MakeSyntheticDataset("NYC-TAXI", cfg);
+  for (float v : taxi->values()) EXPECT_GE(v, 0.0f);
+  // Electricity scale is much larger than traffic-speed scale.
+  auto elec = MakeSyntheticDataset("Electricity", cfg);
+  float ms, ss, me, se;
+  speed->MeanStd(1.0, &ms, &ss);
+  elec->MeanStd(1.0, &me, &se);
+  EXPECT_GT(me, 2.0f * ms);
+}
+
+TEST(SyntheticTest, SpatialCorrelationFollowsAdjacency) {
+  ScaleConfig cfg;
+  cfg.num_sensors = 8;
+  cfg.num_steps = 400;
+  auto d = MakeSyntheticDataset("PEMS-BAY", cfg);
+  // Average |corr| between strongly-connected pairs should exceed that of
+  // disconnected pairs.
+  int n = d->num_series(), t_len = d->num_steps();
+  auto series_corr = [&](int i, int j) {
+    std::vector<float> a(static_cast<size_t>(t_len)), b(static_cast<size_t>(t_len));
+    for (int t = 0; t < t_len; ++t) {
+      a[static_cast<size_t>(t)] = d->value(i, t, 0);
+      b[static_cast<size_t>(t)] = d->value(j, t, 0);
+    }
+    return Corr(a, b);
+  };
+  double linked = 0.0, unlinked = 0.0;
+  int nl = 0, nu = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double c = series_corr(i, j);
+      if (d->adjacency(i, j) > 0.5f) {
+        linked += c;
+        ++nl;
+      } else if (d->adjacency(i, j) == 0.0f) {
+        unlinked += c;
+        ++nu;
+      }
+    }
+  }
+  if (nl > 0 && nu > 0) {
+    EXPECT_GE(linked / nl, unlinked / nu - 0.05);
+  }
+}
+
+TEST(SubsetTaskTest, DeriveSubsetKeepsStructure) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  auto d = MakeSyntheticDataset("PEMS04", cfg);
+  Rng rng(3);
+  ForecastTask task = DeriveSubsetTask(d, 12, 12, false, &rng);
+  EXPECT_LE(task.data->num_series(), d->num_series());
+  EXPECT_GE(task.data->num_series(), 2);
+  EXPECT_LE(task.data->num_steps(), d->num_steps());
+  EXPECT_GT(task.num_windows(), 0);
+}
+
+}  // namespace
+}  // namespace autocts

@@ -1,0 +1,167 @@
+#include "embedding/ts2vec.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "embedding/set_transformer.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+TEST(Ts2VecTest, EncodeShape) {
+  Rng rng(1);
+  Ts2Vec::Options opts;
+  opts.repr_dim = 8;
+  Ts2Vec enc(1, opts, &rng);
+  Tensor x = Tensor::Randn({3, 10, 1}, &rng);
+  Tensor z = enc.Encode(x);
+  EXPECT_EQ(z.shape(), (std::vector<int>{3, 10, 8}));
+}
+
+TEST(Ts2VecTest, CausalRepresentation) {
+  // Changing the future must not change past representations (dilated
+  // causal convolutions only look backward).
+  Rng rng(2);
+  Ts2Vec::Options opts;
+  opts.repr_dim = 4;
+  Ts2Vec enc(1, opts, &rng);
+  Rng data_rng(3);
+  Tensor x1 = Tensor::Randn({1, 8, 1}, &data_rng);
+  Tensor x2 = x1.Clone();
+  x2.data()[7] += 5.0f;  // Perturb only the last step.
+  Tensor z1 = enc.Encode(x1);
+  Tensor z2 = enc.Encode(x2);
+  for (int t = 0; t < 7; ++t) {
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_NEAR(z1.at(t * 4 + d), z2.at(t * 4 + d), 1e-6f) << t;
+    }
+  }
+}
+
+TEST(Ts2VecTest, PretrainingReducesContrastiveLoss) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  std::vector<CtsDatasetPtr> corpora = {
+      MakeSyntheticDataset("PEMS04", cfg),
+      MakeSyntheticDataset("ETTh1", cfg),
+  };
+  Rng rng(4);
+  Ts2Vec::Options opts;
+  opts.repr_dim = 8;
+  Ts2Vec enc(1, opts, &rng);
+  Ts2VecPretrainOptions pre;
+  pre.epochs = 1;
+  pre.batches_per_epoch = 4;
+  pre.batch_size = 4;
+  pre.crop_len = 16;
+  double first = PretrainTs2Vec(&enc, corpora, pre, &rng);
+  pre.epochs = 4;
+  Rng rng2(4);
+  Ts2Vec enc2(1, opts, &rng2);
+  double longer = PretrainTs2Vec(&enc2, corpora, pre, &rng2);
+  EXPECT_LT(longer, first + 0.5);  // Loss trends down (allow noise).
+}
+
+TEST(Ts2VecTest, MlpEncoderAblationInterface) {
+  Rng rng(5);
+  MlpEncoder enc(1, 8, &rng);
+  Tensor x = Tensor::Randn({2, 6, 1}, &rng);
+  EXPECT_EQ(enc.Encode(x).shape(), (std::vector<int>{2, 6, 8}));
+  EXPECT_EQ(enc.repr_dim(), 8);
+}
+
+TEST(PreliminaryEmbeddingTest, ShapeAndConstness) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  ForecastTask task;
+  task.data = MakeSyntheticDataset("PEMS04", cfg);
+  task.p = 12;
+  task.q = 12;
+  Rng rng(6);
+  Ts2Vec::Options opts;
+  opts.repr_dim = 8;
+  Ts2Vec enc(1, opts, &rng);
+  Tensor e = PreliminaryTaskEmbedding(enc, task, 5, &rng);
+  EXPECT_EQ(e.shape(), (std::vector<int>{5, 24, 8}));
+  EXPECT_FALSE(e.requires_grad());  // Detached: constant input to T-AHC.
+}
+
+TEST(PreliminaryEmbeddingTest, DifferentSettingsGiveDifferentShapes) {
+  // Same dataset, different P/Q → different window length S = P+Q, hence
+  // different embeddings (objective (i) of §3.2.2).
+  ScaleConfig cfg = ScaleConfig::Test();
+  ForecastTask t12;
+  t12.data = MakeSyntheticDataset("PEMS04", cfg);
+  t12.p = 12;
+  t12.q = 12;
+  ForecastTask t24 = t12;
+  t24.p = 24;
+  t24.q = 24;
+  Rng rng(7);
+  Ts2Vec::Options opts;
+  Ts2Vec enc(1, opts, &rng);
+  Tensor e12 = PreliminaryTaskEmbedding(enc, t12, 3, &rng);
+  Tensor e24 = PreliminaryTaskEmbedding(enc, t24, 3, &rng);
+  EXPECT_EQ(e12.dim(1), 24);
+  EXPECT_EQ(e24.dim(1), 48);
+}
+
+TEST(SetPoolTest, OutputShape) {
+  Rng rng(8);
+  SetPool pool(8, 6, &rng);
+  Tensor x = Tensor::Randn({3, 7, 8}, &rng);
+  EXPECT_EQ(pool.Forward(x).shape(), (std::vector<int>{3, 6}));
+}
+
+TEST(SetPoolTest, PermutationInvariant) {
+  Rng rng(9);
+  SetPool pool(4, 4, &rng);
+  Tensor x = Tensor::Randn({1, 5, 4}, &rng);
+  // Reverse the element order.
+  Tensor reversed = IndexSelect(x, 1, {4, 3, 2, 1, 0});
+  Tensor y1 = pool.Forward(x);
+  Tensor y2 = pool.Forward(reversed);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(y1.at(i), y2.at(i), 1e-5f);
+  }
+}
+
+TEST(TaskEmbedModuleTest, EndToEndShapes) {
+  Rng rng(10);
+  TaskEmbedModule mod(8, 12, 6, &rng);
+  Tensor preliminary = Tensor::Randn({4, 10, 8}, &rng);
+  Tensor e = mod.Forward(preliminary);
+  EXPECT_EQ(e.shape(), (std::vector<int>{6}));
+  Tensor m = mod.MeanPoolForward(preliminary);
+  EXPECT_EQ(m.shape(), (std::vector<int>{6}));
+}
+
+TEST(TaskEmbedModuleTest, GradientsFlowToSetTransformer) {
+  Rng rng(11);
+  TaskEmbedModule mod(4, 6, 4, &rng);
+  Tensor preliminary = Tensor::Randn({3, 5, 4}, &rng);
+  mod.ZeroGrad();
+  SumAll(Square(mod.Forward(preliminary))).Backward();
+  bool any = false;
+  for (const Tensor& p : mod.Parameters()) {
+    for (float g : p.grad()) {
+      if (g != 0.0f) any = true;
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(TaskEmbedModuleTest, DistinguishesTasks) {
+  // Embeddings of clearly different preliminary inputs differ.
+  Rng rng(12);
+  TaskEmbedModule mod(4, 6, 4, &rng);
+  Tensor a = Tensor::Full({3, 5, 4}, 0.0f);
+  Tensor b = Tensor::Full({3, 5, 4}, 2.0f);
+  Tensor ea = mod.Forward(a);
+  Tensor eb = mod.Forward(b);
+  double diff = 0.0;
+  for (int i = 0; i < 4; ++i) diff += std::fabs(ea.at(i) - eb.at(i));
+  EXPECT_GT(diff, 1e-4);
+}
+
+}  // namespace
+}  // namespace autocts

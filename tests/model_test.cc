@@ -1,0 +1,242 @@
+#include "model/searched_model.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "model/trainer.h"
+#include "searchspace/search_space.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+OperatorContext TestContext(Rng* rng, int n = 3, int h = 4) {
+  OperatorContext ctx;
+  ctx.num_sensors = n;
+  ctx.hidden_dim = h;
+  std::vector<float> adj(static_cast<size_t>(n) * n, 0.3f);
+  for (int i = 0; i < n; ++i) adj[static_cast<size_t>(i) * n + i] = 1.0f;
+  ctx.adjacency = Tensor::FromVector({n, n}, std::move(adj));
+  ctx.rng = rng;
+  return ctx;
+}
+
+class OperatorShapeTest : public ::testing::TestWithParam<OpType> {};
+
+TEST_P(OperatorShapeTest, PreservesShape) {
+  Rng rng(1);
+  OperatorContext ctx = TestContext(&rng);
+  auto op = MakeOperator(GetParam(), ctx, 0);
+  Tensor x = Tensor::Randn({2, 3, 5, 4}, &rng);
+  Tensor y = op->Forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST_P(OperatorShapeTest, GradientsReachParameters) {
+  Rng rng(2);
+  OperatorContext ctx = TestContext(&rng);
+  auto op = MakeOperator(GetParam(), ctx, 1);
+  if (op->Parameters().empty()) GTEST_SKIP() << "identity has no params";
+  Tensor x = Tensor::Randn({1, 3, 4, 4}, &rng);
+  SumAll(Square(op->Forward(x))).Backward();
+  bool any_nonzero = false;
+  for (const Tensor& p : op->Parameters()) {
+    for (float g : p.grad()) {
+      if (g != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, OperatorShapeTest,
+                         ::testing::Values(OpType::kIdentity, OpType::kGdcc,
+                                           OpType::kInfT, OpType::kDgcn,
+                                           OpType::kInfS),
+                         [](const auto& info) {
+                           return std::string(OpName(info.param)) == "INF-T"
+                                      ? "InfT"
+                                  : std::string(OpName(info.param)) == "INF-S"
+                                      ? "InfS"
+                                      : OpName(info.param);
+                         });
+
+TEST(GdccTest, OutputIsGatedBounded) {
+  // tanh * sigmoid lies in (-1, 1).
+  Rng rng(3);
+  OperatorContext ctx = TestContext(&rng);
+  GdccOp op(ctx, 1);
+  Tensor x = Tensor::Randn({2, 3, 6, 4}, &rng, 3.0f);
+  Tensor y = op.Forward(x);
+  for (float v : y.data()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(DgcnTest, MixesInformationAcrossSensors) {
+  // With non-zero adjacency, perturbing sensor 0's input changes sensor 1's
+  // output (spatial information flow).
+  Rng rng(4);
+  OperatorContext ctx = TestContext(&rng);
+  DgcnOp op(ctx);
+  Tensor x = Tensor::Zeros({1, 3, 2, 4});
+  Tensor y0 = op.Forward(x);
+  Tensor x2 = Tensor::Zeros({1, 3, 2, 4});
+  for (int k = 0; k < 8; ++k) x2.data()[static_cast<size_t>(k)] = 1.0f;  // sensor 0
+  Tensor y1 = op.Forward(x2);
+  double diff = 0.0;
+  // Sensor 1 slice: [0, 1, :, :] = elements [8, 16).
+  for (int k = 8; k < 16; ++k) {
+    diff += std::fabs(y1.at(k) - y0.at(k));
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+ArchHyper SmallArchHyper() {
+  ArchHyper ah;
+  ah.hyper.num_blocks = 2;
+  ah.hyper.num_nodes = 5;
+  ah.hyper.hidden_dim = 32;
+  ah.hyper.output_dim = 64;
+  ah.hyper.output_mode = 1;
+  ah.hyper.dropout = 1;
+  ah.arch.num_nodes = 5;
+  ah.arch.edges = {{0, 1, OpType::kGdcc},
+                   {0, 2, OpType::kDgcn},
+                   {1, 2, OpType::kIdentity},
+                   {2, 3, OpType::kInfT},
+                   {3, 4, OpType::kInfS}};
+  return ah;
+}
+
+ForecastTask SmallTask() {
+  ScaleConfig cfg = ScaleConfig::Test();
+  ForecastTask task;
+  task.data = MakeSyntheticDataset("Los-Loop", cfg);
+  task.p = 12;
+  task.q = 12;
+  return task;
+}
+
+TEST(SearchedModelTest, ForwardShape) {
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  auto model = BuildSearchedModel(SmallArchHyper(), spec,
+                                  ScaleConfig::Test(), 7);
+  WindowProvider provider(task);
+  WindowBatch batch = provider.MakeBatch({0, 5});
+  Tensor pred = model->Forward(batch.x);
+  EXPECT_EQ(pred.shape(), batch.y.shape());
+}
+
+TEST(SearchedModelTest, TimePoolingForLongInputs) {
+  ForecastTask task = SmallTask();
+  task.p = 168;
+  task.q = 3;
+  task.single_step = true;
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  auto model = BuildSearchedModel(SmallArchHyper(), spec,
+                                  ScaleConfig::Test(), 7);
+  EXPECT_GT(model->time_pool(), 1);
+  WindowProvider provider(task);
+  WindowBatch batch = provider.MakeBatch({0});
+  Tensor pred = model->Forward(batch.x);
+  EXPECT_EQ(pred.shape(), (std::vector<int>{1, task.data->num_series(), 1, 1}));
+}
+
+TEST(SearchedModelTest, HyperparametersShapeTheModel) {
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  ArchHyper small = SmallArchHyper();
+  ArchHyper big = small;
+  big.hyper.num_blocks = 6;
+  big.hyper.hidden_dim = 64;
+  auto m_small = BuildSearchedModel(small, spec, ScaleConfig::Test(), 7);
+  auto m_big = BuildSearchedModel(big, spec, ScaleConfig::Test(), 7);
+  EXPECT_GT(m_big->NumParameters(), m_small->NumParameters());
+}
+
+TEST(SearchedModelTest, RandomSampledModelsAllRun) {
+  JointSearchSpace space;
+  Rng rng(5);
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  WindowProvider provider(task);
+  WindowBatch batch = provider.MakeBatch({0});
+  for (int i = 0; i < 5; ++i) {
+    ArchHyper ah = space.Sample(&rng);
+    auto model = BuildSearchedModel(ah, spec, ScaleConfig::Test(), 11 + i);
+    Tensor pred = model->Forward(batch.x);
+    EXPECT_EQ(pred.shape(), batch.y.shape()) << ah.Signature();
+  }
+}
+
+TEST(TrainerTest, TrainingReducesLoss) {
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  auto model = BuildSearchedModel(SmallArchHyper(), spec,
+                                  ScaleConfig::Test(), 7);
+  TrainOptions opts;
+  opts.epochs = 8;
+  opts.batch_size = 4;
+  opts.batches_per_epoch = 8;
+  ModelTrainer trainer(task, opts);
+  TrainReport report = trainer.Train(model.get());
+  ASSERT_EQ(report.epoch_train_loss.size(), 8u);
+  // Minibatch losses are noisy at this scale; compare the best of the last
+  // three epochs against the first.
+  double last = std::min({report.epoch_train_loss[5], report.epoch_train_loss[6],
+                          report.epoch_train_loss[7]});
+  EXPECT_LT(last, report.epoch_train_loss.front());
+  EXPECT_GT(report.val.mae, 0.0);
+  EXPECT_GT(report.test.mae, 0.0);
+}
+
+TEST(TrainerTest, TrainedModelBeatsUntrained) {
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  TrainOptions opts;
+  opts.epochs = 5;
+  opts.batch_size = 4;
+  opts.batches_per_epoch = 8;
+  ModelTrainer trainer(task, opts);
+  auto fresh = BuildSearchedModel(SmallArchHyper(), spec,
+                                  ScaleConfig::Test(), 7);
+  double untrained = trainer.Evaluate(*fresh, 1).mae;
+  trainer.Train(fresh.get());
+  double trained = trainer.Evaluate(*fresh, 1).mae;
+  EXPECT_LT(trained, untrained);
+}
+
+TEST(TrainerTest, EarlyValidationIsCheapProxy) {
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  TrainOptions opts;
+  opts.batch_size = 4;
+  opts.batches_per_epoch = 6;
+  ModelTrainer trainer(task, opts);
+  auto model = BuildSearchedModel(SmallArchHyper(), spec,
+                                  ScaleConfig::Test(), 7);
+  double r_prime = trainer.EarlyValidationError(model.get(), 1);
+  EXPECT_GT(r_prime, 0.0);
+}
+
+TEST(TrainerTest, DeterministicGivenSeed) {
+  ForecastTask task = SmallTask();
+  ForecasterSpec spec = MakeForecasterSpec(task);
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 4;
+  opts.batches_per_epoch = 4;
+  ModelTrainer trainer(task, opts);
+  auto m1 = BuildSearchedModel(SmallArchHyper(), spec, ScaleConfig::Test(), 7);
+  auto m2 = BuildSearchedModel(SmallArchHyper(), spec, ScaleConfig::Test(), 7);
+  TrainReport r1 = trainer.Train(m1.get());
+  TrainReport r2 = trainer.Train(m2.get());
+  EXPECT_DOUBLE_EQ(r1.val.mae, r2.val.mae);
+}
+
+}  // namespace
+}  // namespace autocts

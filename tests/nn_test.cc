@@ -1,0 +1,196 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear fc(3, 2, &rng);
+  Tensor x = Tensor::FromVector({2, 3}, {1, 0, 0, 0, 1, 0});
+  Tensor y = fc.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 2}));
+  Tensor x3 = Tensor::Zeros({4, 5, 3});
+  EXPECT_EQ(fc.Forward(x3).shape(), (std::vector<int>{4, 5, 2}));
+  Tensor x1 = Tensor::Zeros({3});
+  EXPECT_EQ(fc.Forward(x1).shape(), (std::vector<int>{2}));
+}
+
+TEST(LinearTest, ParametersRegistered) {
+  Rng rng(1);
+  Linear fc(3, 2, &rng);
+  EXPECT_EQ(fc.Parameters().size(), 2u);  // weight + bias
+  EXPECT_EQ(fc.NumParameters(), 3 * 2 + 2);
+  Linear no_bias(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(no_bias.Parameters().size(), 1u);
+}
+
+TEST(CausalConvTest, PreservesLength) {
+  Rng rng(2);
+  CausalConv conv(3, 5, /*kernel=*/2, /*dilation=*/2, &rng);
+  Tensor x = Tensor::Zeros({4, 7, 3});
+  EXPECT_EQ(conv.Forward(x).shape(), (std::vector<int>{4, 7, 5}));
+}
+
+TEST(LayerNormTest, NormalizesLastDim) {
+  LayerNorm ln(4);
+  Tensor x = Tensor::FromVector({1, 4}, {1, 2, 3, 4});
+  Tensor y = ln.Forward(x);
+  float mean = 0.0f, var = 0.0f;
+  for (int i = 0; i < 4; ++i) mean += y.at(i);
+  mean /= 4.0f;
+  for (int i = 0; i < 4; ++i) var += (y.at(i) - mean) * (y.at(i) - mean);
+  var /= 4.0f;
+  EXPECT_NEAR(mean, 0.0f, 1e-5f);
+  EXPECT_NEAR(var, 1.0f, 1e-3f);
+}
+
+TEST(GruCellTest, StateShapeAndBounds) {
+  Rng rng(3);
+  GruCell cell(3, 4, &rng);
+  Tensor x = Tensor::Randn({2, 3}, &rng);
+  Tensor h = Tensor::Zeros({2, 4});
+  Tensor h2 = cell.Forward(x, h);
+  EXPECT_EQ(h2.shape(), (std::vector<int>{2, 4}));
+  // GRU state is a convex-ish combination of tanh candidates: bounded.
+  for (float v : h2.data()) {
+    EXPECT_LE(std::fabs(v), 1.0f);
+  }
+}
+
+TEST(AttentionTest, ShapePreserved) {
+  Rng rng(4);
+  MultiHeadAttention attn(8, 2, &rng);
+  Tensor x = Tensor::Randn({2, 5, 8}, &rng);
+  EXPECT_EQ(attn.Forward(x).shape(), (std::vector<int>{2, 5, 8}));
+}
+
+TEST(AttentionTest, ProbSparseShapePreserved) {
+  Rng rng(5);
+  MultiHeadAttention attn(8, 2, &rng, /*prob_sparse=*/true);
+  Tensor x = Tensor::Randn({2, 9, 8}, &rng);
+  EXPECT_EQ(attn.Forward(x).shape(), (std::vector<int>{2, 9, 8}));
+}
+
+TEST(AttentionTest, UniformInputGivesUniformAttention) {
+  // With identical tokens, attention output must be identical per position.
+  Rng rng(6);
+  MultiHeadAttention attn(4, 1, &rng);
+  Tensor x = Tensor::Full({1, 6, 4}, 0.5f);
+  Tensor y = attn.Forward(x);
+  for (int t = 1; t < 6; ++t) {
+    for (int d = 0; d < 4; ++d) {
+      EXPECT_NEAR(y.at(t * 4 + d), y.at(d), 1e-5f);
+    }
+  }
+}
+
+TEST(ModuleTest, TrainingFlagPropagates) {
+  Rng rng(7);
+  Mlp mlp(4, 8, 2, &rng);
+  EXPECT_TRUE(mlp.training());
+  mlp.SetTraining(false);
+  EXPECT_FALSE(mlp.training());
+}
+
+TEST(GradCheckModules, LinearLayerNormChain) {
+  Rng rng(8);
+  auto fc = std::make_shared<Linear>(3, 3, &rng);
+  auto ln = std::make_shared<LayerNorm>(3);
+  GradCheckResult r = GradCheck(
+      [fc, ln](const std::vector<Tensor>& in) {
+        return SumAll(Square(ln->Forward(fc->Forward(in[0]))));
+      },
+      {Tensor::Rand({2, 3}, &rng, -1, 1, true)});
+  EXPECT_TRUE(r.ok) << r.max_relative_error;
+}
+
+TEST(GradCheckModules, AttentionEndToEnd) {
+  Rng rng(9);
+  auto attn = std::make_shared<MultiHeadAttention>(4, 2, &rng);
+  GradCheckResult r = GradCheck(
+      [attn](const std::vector<Tensor>& in) {
+        return SumAll(Square(attn->Forward(in[0])));
+      },
+      {Tensor::Rand({1, 3, 4}, &rng, -1, 1, true)});
+  EXPECT_TRUE(r.ok) << r.max_relative_error;
+}
+
+TEST(GradCheckModules, GruCellEndToEnd) {
+  Rng rng(10);
+  auto cell = std::make_shared<GruCell>(2, 3, &rng);
+  GradCheckResult r = GradCheck(
+      [cell](const std::vector<Tensor>& in) {
+        return SumAll(Square(cell->Forward(in[0], in[1])));
+      },
+      {Tensor::Rand({2, 2}, &rng, -1, 1, true),
+       Tensor::Rand({2, 3}, &rng, -1, 1, true)});
+  EXPECT_TRUE(r.ok) << r.max_relative_error;
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize (w - 3)^2; Adam should drive w near 3.
+  Tensor w = Tensor::Scalar(0.0f, /*requires_grad=*/true);
+  Adam::Options opts;
+  opts.lr = 0.1f;
+  Adam adam({w}, opts);
+  for (int i = 0; i < 200; ++i) {
+    adam.ZeroGrad();
+    Tensor loss = Square(AddScalar(w, -3.0f));
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(w.item(), 3.0f, 0.05f);
+}
+
+TEST(AdamTest, WeightDecayShrinksUnusedParam) {
+  Tensor w = Tensor::Scalar(5.0f, /*requires_grad=*/true);
+  Adam::Options opts;
+  opts.lr = 0.05f;
+  opts.weight_decay = 0.1f;
+  Adam adam({w}, opts);
+  for (int i = 0; i < 300; ++i) {
+    adam.ZeroGrad();
+    // Gradient of the loss itself is zero; only decay acts.
+    w.grad()[0] = 0.0f;
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(w.item()), 1.0f);
+}
+
+TEST(TrainingIntegration, MlpLearnsXor) {
+  Rng rng(12);
+  Mlp mlp(2, 16, 1, &rng);
+  Tensor x = Tensor::FromVector({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor t = Tensor::FromVector({4, 1}, {0, 1, 1, 0});
+  Adam::Options opts;
+  opts.lr = 0.1f;
+  Adam adam(mlp.Parameters(), opts);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    adam.ZeroGrad();
+    Tensor pred = Sigmoid(mlp.Forward(x));
+    Tensor loss = BceLoss(pred, t);
+    if (epoch == 0) first_loss = loss.item();
+    last_loss = loss.item();
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, 0.1f);
+  EXPECT_LT(last_loss, first_loss);
+  Tensor pred = Sigmoid(mlp.Forward(x));
+  EXPECT_LT(pred.at(0), 0.5f);
+  EXPECT_GT(pred.at(1), 0.5f);
+  EXPECT_GT(pred.at(2), 0.5f);
+  EXPECT_LT(pred.at(3), 0.5f);
+}
+
+}  // namespace
+}  // namespace autocts

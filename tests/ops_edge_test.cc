@@ -1,0 +1,133 @@
+// Edge cases of the tensor substrate that the main op tests don't cover:
+// single-element tensors, degenerate axes, extreme values, and tape reuse.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+TEST(OpsEdgeTest, ScalarBroadcastsAgainstMatrix) {
+  Tensor s = Tensor::Scalar(2.0f);
+  Tensor m = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor y = Mul(m, Reshape(s, {1, 1}));
+  EXPECT_EQ(y.data(), (std::vector<float>{2, 4, 6, 8}));
+}
+
+TEST(OpsEdgeTest, SizeOneAxisReductions) {
+  Tensor x = Tensor::FromVector({3, 1}, {1, 2, 3});
+  Tensor s = Sum(x, 1);
+  EXPECT_EQ(s.shape(), (std::vector<int>{3}));
+  EXPECT_EQ(s.data(), x.data());
+  Tensor m = Mean(x, 1, /*keepdim=*/true);
+  EXPECT_EQ(m.shape(), (std::vector<int>{3, 1}));
+}
+
+TEST(OpsEdgeTest, SoftmaxOverSingleElementAxisIsOne) {
+  Tensor x = Tensor::FromVector({2, 1}, {-5.0f, 100.0f});
+  Tensor y = Softmax(x, 1);
+  EXPECT_FLOAT_EQ(y.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 1.0f);
+}
+
+TEST(OpsEdgeTest, SoftmaxExtremeValuesStayFinite) {
+  Tensor x = Tensor::FromVector({1, 3}, {-1e30f, 0.0f, 1e30f});
+  Tensor y = Softmax(x, -1);
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(y.at(2), 1.0f, 1e-6f);
+}
+
+TEST(OpsEdgeTest, ConcatSinglePartIsIdentityCopy) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor c = Concat({a}, 0);
+  EXPECT_EQ(c.data(), a.data());
+}
+
+TEST(OpsEdgeTest, SliceWholeAxis) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = Slice(a, 1, 0, 3);
+  EXPECT_EQ(s.data(), a.data());
+}
+
+TEST(OpsEdgeTest, IndexSelectEmptyAxisDies) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_DEATH(IndexSelect(a, 0, {5}), "CHECK");
+}
+
+TEST(OpsEdgeTest, MatMulSingleRowColumn) {
+  Tensor row = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor col = Tensor::FromVector({3, 1}, {4, 5, 6});
+  Tensor dot = MatMul(row, col);
+  EXPECT_EQ(dot.shape(), (std::vector<int>{1, 1}));
+  EXPECT_FLOAT_EQ(dot.item(), 32.0f);
+  Tensor outer = MatMul(col, row);
+  EXPECT_EQ(outer.shape(), (std::vector<int>{3, 3}));
+  EXPECT_FLOAT_EQ(outer.at(8), 18.0f);
+}
+
+TEST(OpsEdgeTest, MatMulMismatchedInnerDies) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({4, 2});
+  EXPECT_DEATH(MatMul(a, b), "inner");
+}
+
+TEST(OpsEdgeTest, BroadcastIncompatibleDies) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({2, 4});
+  EXPECT_DEATH(Add(a, b), "broadcast");
+}
+
+TEST(OpsEdgeTest, BackwardTwiceAccumulates) {
+  // Calling Backward on two losses sharing a leaf accumulates gradients —
+  // the semantics the trainer's ZeroGrad discipline depends on.
+  Tensor x = Tensor::Scalar(3.0f, /*requires_grad=*/true);
+  SumAll(MulScalar(x, 2.0f)).Backward();
+  SumAll(MulScalar(x, 4.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+}
+
+TEST(OpsEdgeTest, DetachedBranchGetsNoGradient) {
+  Tensor x = Tensor::Scalar(2.0f, /*requires_grad=*/true);
+  Tensor frozen = x.Detach();
+  Tensor loss = Add(Mul(x, x), Mul(frozen, frozen));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);  // Only the live branch: d(x²)/dx.
+}
+
+TEST(OpsEdgeTest, LogClampsNonPositive) {
+  Tensor x = Tensor::FromVector({2}, {0.0f, -1.0f});
+  Tensor y = Log(x);
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(OpsEdgeTest, DivByTinyStaysFinite) {
+  Tensor a = Tensor::FromVector({1}, {1.0f});
+  Tensor b = Tensor::FromVector({1}, {1e-30f});
+  Tensor y = Div(a, b);
+  // Result is huge but the op itself must not crash; IEEE inf is allowed.
+  EXPECT_GT(y.item(), 1e20f);
+}
+
+TEST(OpsEdgeTest, ReshapeZeroDimProductDies) {
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  EXPECT_DEATH(Reshape(a, {3}), "CHECK");
+}
+
+TEST(OpsEdgeTest, CausalConvLengthOneSeries) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn({2, 1, 3}, &rng);
+  Tensor w = Tensor::Randn({2, 3, 3}, &rng);
+  Tensor y = CausalConv1d(x, w, Tensor(), 4);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 1, 3}));
+}
+
+TEST(OpsEdgeTest, TransposeSameDimIsIdentity) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor t = Transpose(a, 1, 1);
+  EXPECT_EQ(t.data(), a.data());
+}
+
+}  // namespace
+}  // namespace autocts

@@ -1,0 +1,150 @@
+#include "searchspace/parse.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/csv_loader.h"
+#include "searchspace/search_space.h"
+
+namespace autocts {
+namespace {
+
+TEST(ParseOpTest, AllNamesRoundTrip) {
+  for (int o = 0; o < kNumOpTypes; ++o) {
+    OpType op = static_cast<OpType>(o);
+    StatusOr<OpType> parsed = ParseOpName(OpName(op));
+    ASSERT_TRUE(parsed.ok()) << OpName(op);
+    EXPECT_EQ(parsed.value(), op);
+  }
+  EXPECT_FALSE(ParseOpName("CONV9000").ok());
+}
+
+TEST(ParseArchHyperTest, SignatureRoundTripProperty) {
+  // Property: Parse(Signature(ah)) == ah for a large random sample.
+  JointSearchSpace space;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    ArchHyper ah = space.Sample(&rng);
+    StatusOr<ArchHyper> parsed = ParseArchHyper(ah.Signature());
+    ASSERT_TRUE(parsed.ok()) << ah.Signature() << ": "
+                             << parsed.status().message();
+    EXPECT_EQ(parsed.value(), ah) << ah.Signature();
+  }
+}
+
+TEST(ParseArchHyperTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(ParseArchHyper("").ok());
+  EXPECT_FALSE(ParseArchHyper("B4C5H32I64U1d0").ok());       // no '|'
+  EXPECT_FALSE(ParseArchHyper("B4C5H32|0-1:GDCC").ok());     // short prefix
+  EXPECT_FALSE(ParseArchHyper("B4C5H32I64U1d0|0:GDCC").ok());  // bad edge
+  EXPECT_FALSE(ParseArchHyper("B4C5H32I64U1d0|0-1:WAT").ok());  // bad op
+}
+
+TEST(ParseArchHyperTest, RejectsValidSyntaxInvalidSemantics) {
+  // Node 3 has no input; syntax fine, topology invalid.
+  EXPECT_FALSE(
+      ParseArchHyper("B4C5H32I64U1d0|0-1:GDCC,1-2:DGCN,2-4:GDCC").ok());
+  // Hyperparameter outside the Table-2 domain.
+  EXPECT_FALSE(
+      ParseArchHyper("B3C5H32I64U1d0|0-1:GDCC,1-2:DGCN,2-3:GDCC,3-4:DGCN")
+          .ok());
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CsvLoaderTest, LoadsTimeMajorCsv) {
+  std::string path = TempPath("data.csv");
+  std::ofstream(path) << "s0,s1\n1,10\n2,20\n3,30\n";
+  StatusOr<CtsDataset> d = LoadCtsCsv(path);
+  ASSERT_TRUE(d.ok()) << d.status().message();
+  EXPECT_EQ(d.value().num_series(), 2);
+  EXPECT_EQ(d.value().num_steps(), 3);
+  EXPECT_EQ(d.value().value(0, 1, 0), 2.0f);
+  EXPECT_EQ(d.value().value(1, 2, 0), 30.0f);
+  EXPECT_EQ(d.value().name(), "data");
+  // Default adjacency: all ones.
+  EXPECT_EQ(d.value().adjacency(0, 1), 1.0f);
+}
+
+TEST(CsvLoaderTest, NoHeaderOption) {
+  std::string path = TempPath("nohead.csv");
+  std::ofstream(path) << "1,10\n2,20\n";
+  CsvOptions opts;
+  opts.has_header = false;
+  StatusOr<CtsDataset> d = LoadCtsCsv(path, opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().num_steps(), 2);
+}
+
+TEST(CsvLoaderTest, LoadsAdjacency) {
+  std::string data = TempPath("wadj.csv");
+  std::ofstream(data) << "a,b\n1,2\n3,4\n";
+  std::string adj = TempPath("adj.csv");
+  std::ofstream(adj) << "1,0.5\n0.5,1\n";
+  CsvOptions opts;
+  opts.adjacency_path = adj;
+  StatusOr<CtsDataset> d = LoadCtsCsv(data, opts);
+  ASSERT_TRUE(d.ok()) << d.status().message();
+  EXPECT_EQ(d.value().adjacency(0, 1), 0.5f);
+}
+
+TEST(CsvLoaderTest, RejectsRaggedRows) {
+  std::string path = TempPath("ragged.csv");
+  std::ofstream(path) << "a,b\n1,2\n3\n";
+  StatusOr<CtsDataset> d = LoadCtsCsv(path);
+  EXPECT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("ragged"), std::string::npos);
+}
+
+TEST(CsvLoaderTest, RejectsNonNumericCell) {
+  std::string path = TempPath("text.csv");
+  std::ofstream(path) << "a,b\n1,hello\n";
+  EXPECT_FALSE(LoadCtsCsv(path).ok());
+}
+
+TEST(CsvLoaderTest, RejectsEmptyAndMissing) {
+  std::string path = TempPath("empty.csv");
+  std::ofstream(path) << "";
+  EXPECT_FALSE(LoadCtsCsv(path).ok());
+  EXPECT_FALSE(LoadCtsCsv(TempPath("does_not_exist.csv")).ok());
+}
+
+TEST(CsvLoaderTest, RejectsWrongSizeAdjacency) {
+  std::string data = TempPath("w2.csv");
+  std::ofstream(data) << "a,b\n1,2\n";
+  std::string adj = TempPath("adj3.csv");
+  std::ofstream(adj) << "1,0,0\n0,1,0\n0,0,1\n";
+  CsvOptions opts;
+  opts.adjacency_path = adj;
+  EXPECT_FALSE(LoadCtsCsv(data, opts).ok());
+}
+
+TEST(CsvLoaderTest, SaveLoadRoundTrip) {
+  std::vector<float> v = {1, 2, 3, 10, 20, 30};
+  CtsDataset original("round", 2, 3, 1, v, {1, 0.5f, 0.5f, 1});
+  std::string path = TempPath("round.csv");
+  ASSERT_TRUE(SaveCtsCsv(original, path).ok());
+  StatusOr<CtsDataset> loaded = LoadCtsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_series(), 2);
+  EXPECT_EQ(loaded.value().num_steps(), 3);
+  for (int n = 0; n < 2; ++n) {
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_EQ(loaded.value().value(n, t, 0), original.value(n, t, 0));
+    }
+  }
+}
+
+TEST(CsvLoaderTest, HandlesCrlfAndWhitespace) {
+  std::string path = TempPath("crlf.csv");
+  std::ofstream(path) << "a,b\r\n1 ,2\r\n3,4 \r\n";
+  StatusOr<CtsDataset> d = LoadCtsCsv(path);
+  ASSERT_TRUE(d.ok()) << d.status().message();
+  EXPECT_EQ(d.value().value(1, 1, 0), 4.0f);
+}
+
+}  // namespace
+}  // namespace autocts

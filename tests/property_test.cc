@@ -1,0 +1,215 @@
+// Property-based sweeps over the substrate: algebraic identities of the
+// tensor ops, structural invariants of the search space under repeated
+// mutation/crossover, and metric identities — each checked across many
+// random instances (TEST_P / seed loops).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/metrics.h"
+#include "searchspace/encoding.h"
+#include "searchspace/parse.h"
+#include "searchspace/search_space.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+// ---------------------------------------------------------------- tensors
+
+class OpsAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OpsAlgebraTest, AddCommutes) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({3, 4}, &rng);
+  Tensor b = Tensor::Randn({3, 4}, &rng);
+  EXPECT_EQ(Add(a, b).data(), Add(b, a).data());
+}
+
+TEST_P(OpsAlgebraTest, MulDistributesOverAdd) {
+  Rng rng(GetParam() + 100);
+  Tensor a = Tensor::Randn({2, 3}, &rng);
+  Tensor b = Tensor::Randn({2, 3}, &rng);
+  Tensor c = Tensor::Randn({2, 3}, &rng);
+  Tensor lhs = Mul(a, Add(b, c));
+  Tensor rhs = Add(Mul(a, b), Mul(a, c));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.at(i), rhs.at(i), 1e-4f);
+  }
+}
+
+TEST_P(OpsAlgebraTest, TransposeIsInvolution) {
+  Rng rng(GetParam() + 200);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor back = Transpose(Transpose(a, 1, 2), 1, 2);
+  EXPECT_EQ(back.data(), a.data());
+}
+
+TEST_P(OpsAlgebraTest, MatMulAssociatesWithinTolerance) {
+  Rng rng(GetParam() + 300);
+  Tensor a = Tensor::Randn({2, 3}, &rng);
+  Tensor b = Tensor::Randn({3, 4}, &rng);
+  Tensor c = Tensor::Randn({4, 2}, &rng);
+  Tensor lhs = MatMul(MatMul(a, b), c);
+  Tensor rhs = MatMul(a, MatMul(b, c));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.at(i), rhs.at(i), 1e-3f);
+  }
+}
+
+TEST_P(OpsAlgebraTest, ConcatThenSliceRecovers) {
+  Rng rng(GetParam() + 400);
+  Tensor a = Tensor::Randn({2, 3}, &rng);
+  Tensor b = Tensor::Randn({2, 5}, &rng);
+  Tensor cat = Concat({a, b}, 1);
+  EXPECT_EQ(Slice(cat, 1, 0, 3).data(), a.data());
+  EXPECT_EQ(Slice(cat, 1, 3, 5).data(), b.data());
+}
+
+TEST_P(OpsAlgebraTest, SumAxesMatchSumAll) {
+  Rng rng(GetParam() + 500);
+  Tensor a = Tensor::Randn({3, 4}, &rng);
+  float via_axis = SumAll(Sum(a, 0)).item();
+  float direct = SumAll(a).item();
+  EXPECT_NEAR(via_axis, direct, 1e-4f);
+}
+
+TEST_P(OpsAlgebraTest, SoftmaxInvariantToShift) {
+  Rng rng(GetParam() + 600);
+  Tensor a = Tensor::Randn({2, 5}, &rng);
+  Tensor shifted = AddScalar(a, 3.7f);
+  Tensor ya = Softmax(a, -1);
+  Tensor yb = Softmax(shifted, -1);
+  for (int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_NEAR(ya.at(i), yb.at(i), 1e-5f);
+  }
+}
+
+TEST_P(OpsAlgebraTest, BackwardOfSumIsOnes) {
+  Rng rng(GetParam() + 700);
+  Tensor a = Tensor::Randn({4, 4}, &rng, 1.0f, /*requires_grad=*/true);
+  SumAll(a).Backward();
+  for (float g : a.grad()) EXPECT_EQ(g, 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsAlgebraTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ----------------------------------------------------------- search space
+
+class SpaceInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpaceInvariantTest, MutationChainStaysValid) {
+  JointSearchSpace space;
+  Rng rng(GetParam());
+  ArchHyper ah = space.Sample(&rng);
+  for (int step = 0; step < 50; ++step) {
+    ah = space.Mutate(ah, &rng);
+    ASSERT_TRUE(ValidateArchHyper(ah).ok()) << "step " << step;
+    ASSERT_TRUE(HasSpatialAndTemporal(ah.arch)) << "step " << step;
+  }
+}
+
+TEST_P(SpaceInvariantTest, CrossoverChainStaysValid) {
+  JointSearchSpace space;
+  Rng rng(GetParam() + 50);
+  ArchHyper a = space.Sample(&rng);
+  ArchHyper b = space.Sample(&rng);
+  for (int step = 0; step < 30; ++step) {
+    ArchHyper child = space.Crossover(a, b, &rng);
+    ASSERT_TRUE(ValidateArchHyper(child).ok());
+    a = b;
+    b = child;
+  }
+}
+
+TEST_P(SpaceInvariantTest, SignatureParseEncodeAgree) {
+  // Signature round trip and encoding determinism, chained.
+  JointSearchSpace space;
+  Rng rng(GetParam() + 99);
+  ArchHyper ah = space.Sample(&rng);
+  StatusOr<ArchHyper> parsed = ParseArchHyper(ah.Signature());
+  ASSERT_TRUE(parsed.ok());
+  ArchHyperEncoding e1 = EncodeArchHyper(ah);
+  ArchHyperEncoding e2 = EncodeArchHyper(parsed.value());
+  EXPECT_EQ(e1.adjacency, e2.adjacency);
+  EXPECT_EQ(e1.op_onehot, e2.op_onehot);
+  EXPECT_EQ(e1.hyper_features, e2.hyper_features);
+}
+
+TEST_P(SpaceInvariantTest, EncodingAdjacencySymmetricOnHyperRowOnly) {
+  JointSearchSpace space;
+  Rng rng(GetParam() + 123);
+  ArchHyperEncoding enc = EncodeArchHyper(space.Sample(&rng));
+  int h = enc.hyper_index;
+  for (int u = 0; u < kEncodingNodes; ++u) {
+    // Hyper links are symmetric by construction.
+    EXPECT_EQ(enc.adjacency[static_cast<size_t>(h) * kEncodingNodes + u],
+              enc.adjacency[static_cast<size_t>(u) * kEncodingNodes + h]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpaceInvariantTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------------------------------------------------------------- metrics
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, MetricsVanishOnPerfectForecast) {
+  Rng rng(GetParam());
+  std::vector<float> t(50);
+  for (auto& v : t) v = rng.Uniform(1.0f, 10.0f);
+  EXPECT_EQ(Mae(t, t), 0.0);
+  EXPECT_EQ(Rmse(t, t), 0.0);
+  EXPECT_EQ(Mape(t, t), 0.0);
+  EXPECT_EQ(Rrse(t, t), 0.0);
+  EXPECT_NEAR(Corr(t, t), 1.0, 1e-9);
+}
+
+TEST_P(MetricPropertyTest, RmseDominatesMae) {
+  Rng rng(GetParam() + 10);
+  std::vector<float> p(40), t(40);
+  for (size_t i = 0; i < p.size(); ++i) {
+    p[i] = rng.Normal();
+    t[i] = rng.Normal();
+  }
+  EXPECT_GE(Rmse(p, t) + 1e-12, Mae(p, t));  // Jensen.
+}
+
+TEST_P(MetricPropertyTest, MetricsShiftInvariance) {
+  // MAE/RMSE are translation-invariant in the error; CORR is invariant to
+  // affine rescaling of predictions.
+  Rng rng(GetParam() + 20);
+  std::vector<float> p(30), t(30), p2(30);
+  for (size_t i = 0; i < p.size(); ++i) {
+    p[i] = rng.Normal();
+    t[i] = rng.Normal();
+    p2[i] = 2.0f * p[i] + 3.0f;
+  }
+  std::vector<float> ps(30), ts(30);
+  for (size_t i = 0; i < p.size(); ++i) {
+    ps[i] = p[i] + 5.0f;
+    ts[i] = t[i] + 5.0f;
+  }
+  EXPECT_NEAR(Mae(ps, ts), Mae(p, t), 1e-5);
+  EXPECT_NEAR(Rmse(ps, ts), Rmse(p, t), 1e-5);
+  EXPECT_NEAR(Corr(p2, t), Corr(p, t), 1e-5);
+}
+
+TEST_P(MetricPropertyTest, SpearmanInvariantToMonotoneTransform) {
+  Rng rng(GetParam() + 30);
+  std::vector<double> a(20), b(20), a_exp(20);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+    a_exp[i] = std::exp(a[i]);  // Strictly monotone.
+  }
+  EXPECT_NEAR(SpearmanRho(a, b), SpearmanRho(a_exp, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Values(7u, 8u, 9u));
+
+}  // namespace
+}  // namespace autocts

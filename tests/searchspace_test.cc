@@ -1,0 +1,237 @@
+#include "searchspace/search_space.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "searchspace/encoding.h"
+
+namespace autocts {
+namespace {
+
+ArchHyper SimpleArchHyper() {
+  ArchHyper ah;
+  ah.hyper.num_nodes = 5;
+  ah.arch.num_nodes = 5;
+  ah.arch.edges = {{0, 1, OpType::kGdcc},
+                   {0, 2, OpType::kDgcn},
+                   {1, 2, OpType::kIdentity},
+                   {2, 3, OpType::kInfT},
+                   {3, 4, OpType::kInfS}};
+  return ah;
+}
+
+TEST(ArchHyperTest, OperatorTaxonomy) {
+  EXPECT_TRUE(IsTemporalOp(OpType::kGdcc));
+  EXPECT_TRUE(IsTemporalOp(OpType::kInfT));
+  EXPECT_TRUE(IsSpatialOp(OpType::kDgcn));
+  EXPECT_TRUE(IsSpatialOp(OpType::kInfS));
+  EXPECT_FALSE(IsSpatialOp(OpType::kIdentity));
+  EXPECT_FALSE(IsTemporalOp(OpType::kIdentity));
+}
+
+TEST(ArchHyperTest, NormalizedHyperVectorInUnitRange) {
+  HyperParams h;
+  h.num_blocks = 6;
+  h.num_nodes = 7;
+  h.hidden_dim = 64;
+  h.output_dim = 256;
+  h.output_mode = 1;
+  h.dropout = 1;
+  std::vector<float> v = h.Normalized();
+  ASSERT_EQ(v.size(), 6u);
+  for (float x : v) EXPECT_EQ(x, 1.0f);  // All maxima.
+  HyperParams lo;  // All defaults are minima.
+  for (float x : lo.Normalized()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(ArchHyperTest, SignatureRoundTripsIdentity) {
+  ArchHyper a = SimpleArchHyper();
+  ArchHyper b = SimpleArchHyper();
+  EXPECT_EQ(a.Signature(), b.Signature());
+  b.arch.edges[0].op = OpType::kInfT;
+  EXPECT_NE(a.Signature(), b.Signature());
+}
+
+TEST(ValidateTest, AcceptsValidSpec) {
+  EXPECT_TRUE(ValidateArchHyper(SimpleArchHyper()).ok());
+}
+
+TEST(ValidateTest, RejectsBackwardEdge) {
+  ArchHyper ah = SimpleArchHyper();
+  ah.arch.edges[0] = {3, 1, OpType::kGdcc};
+  EXPECT_FALSE(ValidateArchHyper(ah).ok());
+}
+
+TEST(ValidateTest, RejectsNodeWithoutInput) {
+  ArchHyper ah = SimpleArchHyper();
+  ah.arch.edges.erase(ah.arch.edges.begin() + 3);  // node 3 loses its input
+  EXPECT_FALSE(ValidateArchHyper(ah).ok());
+}
+
+TEST(ValidateTest, RejectsTooManyIncoming) {
+  ArchHyper ah = SimpleArchHyper();
+  ah.arch.edges.push_back({0, 4, OpType::kGdcc});
+  ah.arch.edges.push_back({1, 4, OpType::kGdcc});
+  std::sort(ah.arch.edges.begin(), ah.arch.edges.end(),
+            [](const ArchEdge& a, const ArchEdge& b) {
+              return std::pair(a.dst, a.src) < std::pair(b.dst, b.src);
+            });
+  EXPECT_FALSE(ValidateArchHyper(ah).ok());
+}
+
+TEST(ValidateTest, RejectsHyperOutsideDomain) {
+  ArchHyper ah = SimpleArchHyper();
+  ah.hyper.hidden_dim = 100;
+  EXPECT_FALSE(ValidateArchHyper(ah).ok());
+}
+
+TEST(ValidateTest, RejectsArchHyperNodeMismatch) {
+  ArchHyper ah = SimpleArchHyper();
+  ah.hyper.num_nodes = 7;
+  EXPECT_FALSE(ValidateArchHyper(ah).ok());
+}
+
+TEST(SearchSpaceTest, SamplesAreValidAndCoverBothOpKinds) {
+  JointSearchSpace space;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    ArchHyper ah = space.Sample(&rng);
+    EXPECT_TRUE(ValidateArchHyper(ah).ok());
+    EXPECT_TRUE(HasSpatialAndTemporal(ah.arch));
+  }
+}
+
+TEST(SearchSpaceTest, SampleDistinctHasNoDuplicates) {
+  JointSearchSpace space;
+  Rng rng(2);
+  std::vector<ArchHyper> pool = space.SampleDistinct(100, &rng);
+  std::unordered_set<std::string> sigs;
+  for (const ArchHyper& ah : pool) sigs.insert(ah.Signature());
+  EXPECT_EQ(sigs.size(), 100u);
+}
+
+TEST(SearchSpaceTest, SampleCoversHyperDomains) {
+  JointSearchSpace space;
+  Rng rng(3);
+  std::set<int> blocks, nodes, hiddens;
+  for (int i = 0; i < 300; ++i) {
+    ArchHyper ah = space.Sample(&rng);
+    blocks.insert(ah.hyper.num_blocks);
+    nodes.insert(ah.hyper.num_nodes);
+    hiddens.insert(ah.hyper.hidden_dim);
+  }
+  EXPECT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(hiddens.size(), 3u);
+}
+
+TEST(SearchSpaceTest, MutationProducesValidChildren) {
+  JointSearchSpace space;
+  Rng rng(4);
+  ArchHyper parent = space.Sample(&rng);
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) {
+    ArchHyper child = space.Mutate(parent, &rng);
+    EXPECT_TRUE(ValidateArchHyper(child).ok());
+    EXPECT_TRUE(HasSpatialAndTemporal(child.arch));
+    if (!(child == parent)) ++changed;
+  }
+  EXPECT_GT(changed, 50);  // Mutation is not a no-op most of the time.
+}
+
+TEST(SearchSpaceTest, CrossoverMixesGenes) {
+  JointSearchSpace space;
+  Rng rng(5);
+  ArchHyper a = space.Sample(&rng);
+  ArchHyper b = space.Sample(&rng);
+  for (int i = 0; i < 50; ++i) {
+    ArchHyper child = space.Crossover(a, b, &rng);
+    EXPECT_TRUE(ValidateArchHyper(child).ok());
+    // Every gene must come from one of the parents.
+    EXPECT_TRUE(child.hyper.num_blocks == a.hyper.num_blocks ||
+                child.hyper.num_blocks == b.hyper.num_blocks);
+    EXPECT_TRUE(child.hyper.hidden_dim == a.hyper.hidden_dim ||
+                child.hyper.hidden_dim == b.hyper.hidden_dim);
+  }
+}
+
+TEST(SearchSpaceTest, SpaceIsLarge) {
+  JointSearchSpace space;
+  EXPECT_GT(space.Log10Size(), 9.0);  // Billions of candidates.
+}
+
+TEST(EncodingTest, DualGraphStructure) {
+  ArchHyper ah = SimpleArchHyper();
+  ArchHyperEncoding enc = EncodeArchHyper(ah);
+  EXPECT_EQ(enc.num_nodes, 6);  // 5 operator nodes + hyper
+  EXPECT_EQ(enc.hyper_index, kEncodingNodes - 1);
+  auto adj = [&](int i, int j) {
+    return enc.adjacency[static_cast<size_t>(i) * kEncodingNodes + j];
+  };
+  // Edge list order: (0,1,GDCC)=op0, (0,2,DGCN)=op1, (1,2,ID)=op2,
+  // (2,3,INF-T)=op3, (3,4,INF-S)=op4.
+  EXPECT_EQ(adj(0, 2), 1.0f);  // op0 (0->1) feeds op2 (1->2)
+  EXPECT_EQ(adj(1, 3), 1.0f);  // op1 (0->2) feeds op3 (2->3)
+  EXPECT_EQ(adj(2, 3), 1.0f);  // op2 (1->2) feeds op3 (2->3)
+  EXPECT_EQ(adj(3, 4), 1.0f);  // op3 feeds op4
+  EXPECT_EQ(adj(0, 3), 0.0f);  // no latent-node connection
+  // Self loops and hyper connectivity (hyper sits at the last slot and
+  // links to the 5 operator nodes).
+  EXPECT_EQ(adj(enc.hyper_index, enc.hyper_index), 1.0f);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(adj(i, i), 1.0f);
+    EXPECT_EQ(adj(enc.hyper_index, i), 1.0f);
+    EXPECT_EQ(adj(i, enc.hyper_index), 1.0f);
+  }
+  // Padding rows (between the operator nodes and the hyper slot) are zero.
+  for (int i = 5; i < enc.hyper_index; ++i) {
+    for (int j = 0; j < kEncodingNodes; ++j) EXPECT_EQ(adj(i, j), 0.0f);
+  }
+}
+
+TEST(EncodingTest, OneHotMatchesOps) {
+  ArchHyper ah = SimpleArchHyper();
+  ArchHyperEncoding enc = EncodeArchHyper(ah);
+  auto onehot = [&](int node, OpType op) {
+    return enc.op_onehot[static_cast<size_t>(node) * kNumOpTypes +
+                         static_cast<int>(op)];
+  };
+  EXPECT_EQ(onehot(0, OpType::kGdcc), 1.0f);
+  EXPECT_EQ(onehot(1, OpType::kDgcn), 1.0f);
+  EXPECT_EQ(onehot(2, OpType::kIdentity), 1.0f);
+  // Hyper node row is all zero.
+  for (int k = 0; k < kNumOpTypes; ++k) {
+    EXPECT_EQ(enc.op_onehot[static_cast<size_t>(enc.hyper_index) *
+                                kNumOpTypes + k], 0.0f);
+  }
+}
+
+TEST(EncodingTest, MaxSizeArchFitsPadding) {
+  // C=7 with two incoming edges everywhere possible: 1+2*5 = 11 operator
+  // nodes + hyper = 12 ≤ 14.
+  JointSearchSpace space;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    ArchHyper ah = space.Sample(&rng);
+    ArchHyperEncoding enc = EncodeArchHyper(ah);
+    EXPECT_LE(enc.num_nodes, kEncodingNodes);
+  }
+}
+
+TEST(EncodingTest, StackShapes) {
+  JointSearchSpace space;
+  Rng rng(7);
+  std::vector<ArchHyperEncoding> encs;
+  for (int i = 0; i < 3; ++i) encs.push_back(EncodeArchHyper(space.Sample(&rng)));
+  EncodingBatch batch = StackEncodings(encs);
+  EXPECT_EQ(batch.adjacency.shape(),
+            (std::vector<int>{3, kEncodingNodes, kEncodingNodes}));
+  EXPECT_EQ(batch.op_onehot.shape(),
+            (std::vector<int>{3, kEncodingNodes, kNumOpTypes}));
+  EXPECT_EQ(batch.hyper.shape(), (std::vector<int>{3, 6}));
+}
+
+}  // namespace
+}  // namespace autocts

@@ -1,0 +1,173 @@
+#include "tensor/gradcheck.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+/// Every differentiable op gets a finite-difference check on small random
+/// inputs. These tests pin the correctness of the whole training substrate.
+
+Tensor RandIn(std::vector<int> shape, uint64_t seed, float lo = -1.0f,
+              float hi = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Rand(std::move(shape), &rng, lo, hi, /*requires_grad=*/true);
+}
+
+void ExpectGradOk(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs) {
+  GradCheckResult r = GradCheck(fn, std::move(inputs));
+  EXPECT_TRUE(r.ok) << "max relative error " << r.max_relative_error
+                    << " at input " << r.worst_input << " element "
+                    << r.worst_element;
+}
+
+TEST(GradCheckTest, Add) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Add(in[0], in[1]));
+  }, {RandIn({2, 3}, 1), RandIn({2, 3}, 2)});
+}
+
+TEST(GradCheckTest, AddBroadcast) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Add(in[0], in[1])));
+  }, {RandIn({2, 3}, 3), RandIn({3}, 4)});
+}
+
+TEST(GradCheckTest, MulBroadcastColumn) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Mul(in[0], in[1]));
+  }, {RandIn({2, 3}, 5), RandIn({2, 1}, 6)});
+}
+
+TEST(GradCheckTest, Div) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Div(in[0], in[1]));
+  }, {RandIn({2, 2}, 7), RandIn({2, 2}, 8, 1.0f, 2.0f)});
+}
+
+TEST(GradCheckTest, MatMul2D) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(MatMul(in[0], in[1])));
+  }, {RandIn({3, 4}, 9), RandIn({4, 2}, 10)});
+}
+
+TEST(GradCheckTest, MatMulBatchedBroadcast) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(MatMul(in[0], in[1])));
+  }, {RandIn({2, 3, 4}, 11), RandIn({4, 2}, 12)});
+}
+
+TEST(GradCheckTest, MatMulBatchedBoth) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(MatMul(in[0], in[1])));
+  }, {RandIn({2, 2, 3}, 13), RandIn({2, 3, 2}, 14)});
+}
+
+TEST(GradCheckTest, Transpose) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Transpose(in[0], 0, 1)));
+  }, {RandIn({3, 2}, 15)});
+}
+
+TEST(GradCheckTest, Reshape) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Reshape(in[0], {3, 2})));
+  }, {RandIn({2, 3}, 16)});
+}
+
+TEST(GradCheckTest, Concat) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Concat({in[0], in[1]}, 1)));
+  }, {RandIn({2, 2}, 17), RandIn({2, 3}, 18)});
+}
+
+TEST(GradCheckTest, Slice) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Slice(in[0], 1, 1, 2)));
+  }, {RandIn({2, 4}, 19)});
+}
+
+TEST(GradCheckTest, IndexSelectWithDuplicates) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(IndexSelect(in[0], 0, {0, 2, 2})));
+  }, {RandIn({3, 2}, 20)});
+}
+
+TEST(GradCheckTest, SumAxisKeepdim) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Sum(in[0], 1, true)));
+  }, {RandIn({2, 3}, 21)});
+}
+
+TEST(GradCheckTest, MeanAxis) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(Mean(in[0], 0)));
+  }, {RandIn({3, 2}, 22)});
+}
+
+TEST(GradCheckTest, Softmax) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    Tensor y = Softmax(in[0], -1);
+    // Weighted sum makes the gradient non-trivial.
+    return SumAll(Mul(y, y));
+  }, {RandIn({2, 4}, 23)});
+}
+
+TEST(GradCheckTest, UnaryFunctions) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    Tensor x = in[0];
+    Tensor y = Add(Tanh(x), Sigmoid(x));
+    y = Add(y, Exp(MulScalar(x, 0.3f)));
+    y = Add(y, LeakyRelu(x, 0.1f));
+    return SumAll(y);
+  }, {RandIn({3, 3}, 24)});
+}
+
+TEST(GradCheckTest, LogSqrtOnPositive) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Add(Log(in[0]), Sqrt(in[0])));
+  }, {RandIn({4}, 25, 0.5f, 2.0f)});
+}
+
+TEST(GradCheckTest, CausalConv) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return SumAll(Square(CausalConv1d(in[0], in[1], in[2], 2)));
+  }, {RandIn({2, 5, 3}, 26), RandIn({2, 3, 4}, 27), RandIn({4}, 28)});
+}
+
+TEST(GradCheckTest, MaeLossAwayFromKink) {
+  // |x| is non-differentiable at 0; keep pred-target away from it.
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return MaeLoss(in[0], in[1]);
+  }, {RandIn({6}, 29, 1.0f, 2.0f), RandIn({6}, 30, -2.0f, -1.0f)});
+}
+
+TEST(GradCheckTest, MseLoss) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    return MseLoss(in[0], in[1]);
+  }, {RandIn({6}, 31), RandIn({6}, 32)});
+}
+
+TEST(GradCheckTest, BceLoss) {
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    Tensor p = Sigmoid(in[0]);
+    return BceLoss(p, in[1]);
+  }, {RandIn({6}, 33), RandIn({6}, 34, 0.1f, 0.9f)});
+}
+
+TEST(GradCheckTest, CompositeAttentionLikeGraph) {
+  // Mimics a scaled-dot-product attention cell end to end.
+  ExpectGradOk([](const std::vector<Tensor>& in) {
+    Tensor q = in[0], k = in[1], v = in[2];
+    Tensor scores = MulScalar(MatMul(q, Transpose(k, -2, -1)), 0.5f);
+    Tensor attn = Softmax(scores, -1);
+    return SumAll(Square(MatMul(attn, v)));
+  }, {RandIn({2, 3, 4}, 35), RandIn({2, 3, 4}, 36), RandIn({2, 3, 4}, 37)});
+}
+
+}  // namespace
+}  // namespace autocts

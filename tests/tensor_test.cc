@@ -1,0 +1,266 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+TEST(TensorTest, FactoriesAndShape) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.ndim(), 2);
+  EXPECT_EQ(z.dim(0), 2);
+  EXPECT_EQ(z.dim(1), 3);
+  EXPECT_EQ(z.dim(-1), 3);
+  EXPECT_EQ(z.numel(), 6);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (float v : f.data()) EXPECT_EQ(v, 2.5f);
+
+  Tensor s = Tensor::Scalar(3.0f);
+  EXPECT_EQ(s.item(), 3.0f);
+}
+
+TEST(TensorTest, FromVectorChecksSize) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(3), 4.0f);
+  EXPECT_DEATH(Tensor::FromVector({2, 2}, {1, 2, 3}), "CHECK");
+}
+
+TEST(TensorTest, HandleSemanticsAlias) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = a;
+  b.data()[0] = 7.0f;
+  EXPECT_EQ(a.at(0), 7.0f);
+  Tensor c = a.Clone();
+  c.data()[0] = 9.0f;
+  EXPECT_EQ(a.at(0), 7.0f);
+}
+
+TEST(TensorTest, RandomFactoriesAreDeterministic) {
+  Rng r1(42), r2(42);
+  Tensor a = Tensor::Randn({8}, &r1);
+  Tensor b = Tensor::Randn({8}, &r2);
+  EXPECT_EQ(a.data(), b.data());
+  Rng r3(7);
+  Tensor u = Tensor::Rand({64}, &r3, -1.0f, 1.0f);
+  for (float v : u.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  Tensor c = Add(a, b);
+  EXPECT_EQ(c.data(), (std::vector<float>{11, 22, 33, 44}));
+}
+
+TEST(OpsTest, AddBroadcastBias) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor y = Add(x, bias);
+  EXPECT_EQ(y.data(), (std::vector<float>{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(OpsTest, BroadcastLeadingOnes) {
+  Tensor x = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor col = Tensor::FromVector({2, 1}, {10, 100});
+  Tensor y = Mul(x, col);
+  EXPECT_EQ(y.data(), (std::vector<float>{10, 20, 300, 400}));
+}
+
+TEST(OpsTest, MatMul2D) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int>{2, 2}));
+  EXPECT_EQ(c.data(), (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(OpsTest, MatMulBatched) {
+  // Two batches of 2x2 times 2x2 identity-like matrices.
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor eye = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Tensor c = MatMul(a, eye);  // b broadcast across batch
+  EXPECT_EQ(c.shape(), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(c.data(), a.data());
+}
+
+TEST(OpsTest, MatMulBroadcastLhs) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Tensor b = Tensor::FromVector({3, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int>{3, 2, 2}));
+  EXPECT_EQ(c.data(), b.data());
+}
+
+TEST(OpsTest, TransposeSwapsDims) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a, 0, 1);
+  EXPECT_EQ(t.shape(), (std::vector<int>{3, 2}));
+  EXPECT_EQ(t.data(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(OpsTest, TransposeInner3D) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a, -2, -1);
+  EXPECT_EQ(t.shape(), (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(t.data(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(OpsTest, ReshapeInfers) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, -1});
+  EXPECT_EQ(r.shape(), (std::vector<int>{3, 2}));
+  EXPECT_EQ(r.data(), a.data());
+}
+
+TEST(OpsTest, ConcatAxis0And1) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (std::vector<int>{2, 2}));
+  EXPECT_EQ(c0.data(), (std::vector<float>{1, 2, 3, 4}));
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (std::vector<int>{1, 4}));
+  EXPECT_EQ(c1.data(), (std::vector<float>{1, 2, 3, 4}));
+}
+
+TEST(OpsTest, SliceMiddle) {
+  Tensor a = Tensor::FromVector({1, 4, 1}, {1, 2, 3, 4});
+  Tensor s = Slice(a, 1, 1, 2);
+  EXPECT_EQ(s.shape(), (std::vector<int>{1, 2, 1}));
+  EXPECT_EQ(s.data(), (std::vector<float>{2, 3}));
+}
+
+TEST(OpsTest, IndexSelectGathers) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = IndexSelect(a, 0, {2, 0, 2});
+  EXPECT_EQ(g.shape(), (std::vector<int>{3, 2}));
+  EXPECT_EQ(g.data(), (std::vector<float>{5, 6, 1, 2, 5, 6}));
+}
+
+TEST(OpsTest, SumMeanAxis) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = Sum(a, 0);
+  EXPECT_EQ(s0.shape(), (std::vector<int>{3}));
+  EXPECT_EQ(s0.data(), (std::vector<float>{5, 7, 9}));
+  Tensor s1 = Sum(a, 1, /*keepdim=*/true);
+  EXPECT_EQ(s1.shape(), (std::vector<int>{2, 1}));
+  EXPECT_EQ(s1.data(), (std::vector<float>{6, 15}));
+  Tensor m = Mean(a, -1);
+  EXPECT_EQ(m.shape(), (std::vector<int>{2}));
+  EXPECT_FLOAT_EQ(m.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(1), 5.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a).item(), 3.5f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 1000, 1001, 1002});
+  Tensor y = Softmax(a, -1);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) sum += y.at(r * 3 + c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  // Large inputs must not overflow (stability shift).
+  EXPECT_NEAR(y.at(3), y.at(0), 1e-5f);
+}
+
+TEST(OpsTest, CausalConvIdentityKernel) {
+  // Kernel size 1 with identity weights reproduces input.
+  Tensor x = Tensor::FromVector({1, 3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor w = Tensor::FromVector({1, 2, 2}, {1, 0, 0, 1});
+  Tensor y = CausalConv1d(x, w, Tensor(), 1);
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(OpsTest, CausalConvIsCausal) {
+  // Kernel [w0=0, w1=1] with dilation 1 shifts the series one step back.
+  Tensor x = Tensor::FromVector({1, 4, 1}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromVector({2, 1, 1}, {0, 1});
+  Tensor y = CausalConv1d(x, w, Tensor(), 1);
+  EXPECT_EQ(y.data(), (std::vector<float>{0, 1, 2, 3}));
+}
+
+TEST(OpsTest, CausalConvDilation) {
+  Tensor x = Tensor::FromVector({1, 5, 1}, {1, 2, 3, 4, 5});
+  Tensor w = Tensor::FromVector({2, 1, 1}, {0, 1});
+  Tensor y = CausalConv1d(x, w, Tensor(), 2);
+  EXPECT_EQ(y.data(), (std::vector<float>{0, 0, 1, 2, 3}));
+}
+
+TEST(OpsTest, DropoutEvalIsIdentity) {
+  Rng rng(1);
+  Tensor x = Tensor::FromVector({4}, {1, 2, 3, 4});
+  Tensor y = Dropout(x, 0.5f, &rng, /*training=*/false);
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(OpsTest, DropoutTrainKeepsExpectation) {
+  Rng rng(1);
+  Tensor x = Tensor::Full({20000}, 1.0f);
+  Tensor y = Dropout(x, 0.3f, &rng, /*training=*/true);
+  double mean = 0.0;
+  for (float v : y.data()) mean += v;
+  mean /= static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, 1.0, 0.05);
+}
+
+TEST(OpsTest, Losses) {
+  Tensor pred = Tensor::FromVector({2}, {1.0f, 3.0f});
+  Tensor tgt = Tensor::FromVector({2}, {2.0f, 1.0f});
+  EXPECT_FLOAT_EQ(MaeLoss(pred, tgt).item(), 1.5f);
+  EXPECT_FLOAT_EQ(MseLoss(pred, tgt).item(), 2.5f);
+  Tensor p = Tensor::FromVector({2}, {0.9f, 0.1f});
+  Tensor t = Tensor::FromVector({2}, {1.0f, 0.0f});
+  EXPECT_NEAR(BceLoss(p, t).item(), -std::log(0.9f), 1e-5f);
+}
+
+TEST(AutogradTest, BackwardThroughChain) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Tensor y = MulScalar(x, 3.0f);
+  Tensor loss = SumAll(y);
+  loss.Backward();
+  EXPECT_EQ(x.grad(), (std::vector<float>{3.0f, 3.0f}));
+}
+
+TEST(AutogradTest, GradAccumulatesOnSharedInput) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}, /*requires_grad=*/true);
+  Tensor y = Mul(x, x);  // dy/dx = 2x = 4
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+}
+
+TEST(AutogradTest, DetachStopsGradient) {
+  Tensor x = Tensor::FromVector({1}, {3.0f}, /*requires_grad=*/true);
+  Tensor d = x.Detach();
+  Tensor y = Mul(d, d);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(AutogradTest, DiamondGraph) {
+  // z = (x+x) * x → dz/dx = 4x.
+  Tensor x = Tensor::FromVector({1}, {5.0f}, /*requires_grad=*/true);
+  Tensor z = Mul(Add(x, x), x);
+  z.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 20.0f);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Tensor x = Tensor::FromVector({1}, {1.0f}, /*requires_grad=*/true);
+  SumAll(MulScalar(x, 2.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace autocts
