@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perf_p12q12.cc" "bench/CMakeFiles/bench_perf_p12q12.dir/bench_perf_p12q12.cc.o" "gcc" "bench/CMakeFiles/bench_perf_p12q12.dir/bench_perf_p12q12.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/repro_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/repro_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/comparator/CMakeFiles/repro_comparator.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/repro_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/supernet/CMakeFiles/repro_supernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/repro_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/repro_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/repro_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/repro_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/repro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

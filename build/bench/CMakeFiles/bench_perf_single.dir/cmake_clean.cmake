@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_single.dir/bench_perf_single.cc.o"
+  "CMakeFiles/bench_perf_single.dir/bench_perf_single.cc.o.d"
+  "bench_perf_single"
+  "bench_perf_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sample_limited.dir/bench_sample_limited.cc.o"
+  "CMakeFiles/bench_sample_limited.dir/bench_sample_limited.cc.o.d"
+  "bench_sample_limited"
+  "bench_sample_limited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sample_limited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_task_similarity.dir/bench_task_similarity.cc.o"
+  "CMakeFiles/bench_task_similarity.dir/bench_task_similarity.cc.o.d"
+  "bench_task_similarity"
+  "bench_task_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/repro_bench_harness.dir/harness.cc.o.d"
+  "CMakeFiles/repro_bench_harness.dir/perf_table.cc.o"
+  "CMakeFiles/repro_bench_harness.dir/perf_table.cc.o.d"
+  "librepro_bench_harness.a"
+  "librepro_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

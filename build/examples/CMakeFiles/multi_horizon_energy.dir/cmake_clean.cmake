@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_horizon_energy.dir/multi_horizon_energy.cpp.o"
+  "CMakeFiles/multi_horizon_energy.dir/multi_horizon_energy.cpp.o.d"
+  "multi_horizon_energy"
+  "multi_horizon_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_horizon_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

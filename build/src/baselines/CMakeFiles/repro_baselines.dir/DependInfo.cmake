@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/agcrn.cc" "src/baselines/CMakeFiles/repro_baselines.dir/agcrn.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/agcrn.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/repro_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/mtgnn.cc" "src/baselines/CMakeFiles/repro_baselines.dir/mtgnn.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/mtgnn.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/repro_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/transformers.cc" "src/baselines/CMakeFiles/repro_baselines.dir/transformers.cc.o" "gcc" "src/baselines/CMakeFiles/repro_baselines.dir/transformers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/repro_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/repro_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchspace/CMakeFiles/repro_searchspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/repro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

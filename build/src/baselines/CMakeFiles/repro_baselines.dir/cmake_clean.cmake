@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_baselines.dir/agcrn.cc.o"
+  "CMakeFiles/repro_baselines.dir/agcrn.cc.o.d"
+  "CMakeFiles/repro_baselines.dir/common.cc.o"
+  "CMakeFiles/repro_baselines.dir/common.cc.o.d"
+  "CMakeFiles/repro_baselines.dir/mtgnn.cc.o"
+  "CMakeFiles/repro_baselines.dir/mtgnn.cc.o.d"
+  "CMakeFiles/repro_baselines.dir/registry.cc.o"
+  "CMakeFiles/repro_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/repro_baselines.dir/transformers.cc.o"
+  "CMakeFiles/repro_baselines.dir/transformers.cc.o.d"
+  "librepro_baselines.a"
+  "librepro_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_comparator.dir/comparator.cc.o"
+  "CMakeFiles/repro_comparator.dir/comparator.cc.o.d"
+  "CMakeFiles/repro_comparator.dir/gin.cc.o"
+  "CMakeFiles/repro_comparator.dir/gin.cc.o.d"
+  "CMakeFiles/repro_comparator.dir/pretrain.cc.o"
+  "CMakeFiles/repro_comparator.dir/pretrain.cc.o.d"
+  "librepro_comparator.a"
+  "librepro_comparator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_comparator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_loader.cc" "src/data/CMakeFiles/repro_data.dir/csv_loader.cc.o" "gcc" "src/data/CMakeFiles/repro_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/data/cts_dataset.cc" "src/data/CMakeFiles/repro_data.dir/cts_dataset.cc.o" "gcc" "src/data/CMakeFiles/repro_data.dir/cts_dataset.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "src/data/CMakeFiles/repro_data.dir/metrics.cc.o" "gcc" "src/data/CMakeFiles/repro_data.dir/metrics.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/repro_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/repro_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/task.cc" "src/data/CMakeFiles/repro_data.dir/task.cc.o" "gcc" "src/data/CMakeFiles/repro_data.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/repro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

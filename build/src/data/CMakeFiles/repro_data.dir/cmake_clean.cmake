@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_data.dir/csv_loader.cc.o"
+  "CMakeFiles/repro_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/repro_data.dir/cts_dataset.cc.o"
+  "CMakeFiles/repro_data.dir/cts_dataset.cc.o.d"
+  "CMakeFiles/repro_data.dir/metrics.cc.o"
+  "CMakeFiles/repro_data.dir/metrics.cc.o.d"
+  "CMakeFiles/repro_data.dir/synthetic.cc.o"
+  "CMakeFiles/repro_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/repro_data.dir/task.cc.o"
+  "CMakeFiles/repro_data.dir/task.cc.o.d"
+  "librepro_data.a"
+  "librepro_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_embedding.dir/set_transformer.cc.o"
+  "CMakeFiles/repro_embedding.dir/set_transformer.cc.o.d"
+  "CMakeFiles/repro_embedding.dir/ts2vec.cc.o"
+  "CMakeFiles/repro_embedding.dir/ts2vec.cc.o.d"
+  "librepro_embedding.a"
+  "librepro_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_model.dir/operators.cc.o"
+  "CMakeFiles/repro_model.dir/operators.cc.o.d"
+  "CMakeFiles/repro_model.dir/searched_model.cc.o"
+  "CMakeFiles/repro_model.dir/searched_model.cc.o.d"
+  "CMakeFiles/repro_model.dir/trainer.cc.o"
+  "CMakeFiles/repro_model.dir/trainer.cc.o.d"
+  "librepro_model.a"
+  "librepro_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_nn.dir/layers.cc.o"
+  "CMakeFiles/repro_nn.dir/layers.cc.o.d"
+  "CMakeFiles/repro_nn.dir/optimizer.cc.o"
+  "CMakeFiles/repro_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/repro_nn.dir/serialize.cc.o"
+  "CMakeFiles/repro_nn.dir/serialize.cc.o.d"
+  "librepro_nn.a"
+  "librepro_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_search.dir/evolutionary.cc.o"
+  "CMakeFiles/repro_search.dir/evolutionary.cc.o.d"
+  "librepro_search.a"
+  "librepro_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

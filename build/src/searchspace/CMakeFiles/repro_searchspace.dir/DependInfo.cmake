@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/searchspace/arch_hyper.cc" "src/searchspace/CMakeFiles/repro_searchspace.dir/arch_hyper.cc.o" "gcc" "src/searchspace/CMakeFiles/repro_searchspace.dir/arch_hyper.cc.o.d"
+  "/root/repo/src/searchspace/encoding.cc" "src/searchspace/CMakeFiles/repro_searchspace.dir/encoding.cc.o" "gcc" "src/searchspace/CMakeFiles/repro_searchspace.dir/encoding.cc.o.d"
+  "/root/repo/src/searchspace/parse.cc" "src/searchspace/CMakeFiles/repro_searchspace.dir/parse.cc.o" "gcc" "src/searchspace/CMakeFiles/repro_searchspace.dir/parse.cc.o.d"
+  "/root/repo/src/searchspace/search_space.cc" "src/searchspace/CMakeFiles/repro_searchspace.dir/search_space.cc.o" "gcc" "src/searchspace/CMakeFiles/repro_searchspace.dir/search_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/repro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_searchspace.dir/arch_hyper.cc.o"
+  "CMakeFiles/repro_searchspace.dir/arch_hyper.cc.o.d"
+  "CMakeFiles/repro_searchspace.dir/encoding.cc.o"
+  "CMakeFiles/repro_searchspace.dir/encoding.cc.o.d"
+  "CMakeFiles/repro_searchspace.dir/parse.cc.o"
+  "CMakeFiles/repro_searchspace.dir/parse.cc.o.d"
+  "CMakeFiles/repro_searchspace.dir/search_space.cc.o"
+  "CMakeFiles/repro_searchspace.dir/search_space.cc.o.d"
+  "librepro_searchspace.a"
+  "librepro_searchspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_searchspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_supernet.dir/supernet.cc.o"
+  "CMakeFiles/repro_supernet.dir/supernet.cc.o.d"
+  "librepro_supernet.a"
+  "librepro_supernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_supernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

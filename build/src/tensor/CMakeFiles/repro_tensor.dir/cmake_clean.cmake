@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/repro_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/repro_tensor.dir/ops.cc.o"
+  "CMakeFiles/repro_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/repro_tensor.dir/tensor.cc.o"
+  "CMakeFiles/repro_tensor.dir/tensor.cc.o.d"
+  "librepro_tensor.a"
+  "librepro_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_csv_test.dir/parse_csv_test.cc.o"
+  "CMakeFiles/parse_csv_test.dir/parse_csv_test.cc.o.d"
+  "parse_csv_test"
+  "parse_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/searchspace_test.dir/searchspace_test.cc.o"
+  "CMakeFiles/searchspace_test.dir/searchspace_test.cc.o.d"
+  "searchspace_test"
+  "searchspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/searchspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

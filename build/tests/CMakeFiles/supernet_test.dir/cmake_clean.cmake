@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernet_test.dir/supernet_test.cc.o"
+  "CMakeFiles/supernet_test.dir/supernet_test.cc.o.d"
+  "supernet_test"
+  "supernet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
