@@ -37,7 +37,7 @@ void Run() {
   std::cout << "\nSource datasets (pre-training corpora):\n";
   TextTable sources({"Dataset", "N", "T"});
   for (const std::string& name : SourceDatasetNames()) {
-    CtsDatasetPtr d = MakeSyntheticDataset(name, env.scale);
+    CtsDatasetPtr d = MakeSyntheticDataset(name, env.scale).value();
     sources.AddRow({name, std::to_string(d->num_series()),
                     std::to_string(d->num_steps())});
   }

@@ -4,6 +4,7 @@
 // paper's efficiency claims (Fig. 7, Table 13 TIME column) decompose into.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "comparator/comparator.h"
 #include "data/synthetic.h"
 #include "model/operators.h"
@@ -17,8 +18,13 @@
 namespace autocts {
 namespace {
 
+// Kernel benches take a trailing thread-count argument: a local pool is
+// installed for the timed region, so `--benchmark_filter=BM_MatMul` compares
+// the serial path (1) against the fan-out path (4) on the same sizes.
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  ThreadPool pool(static_cast<int>(state.range(1)));
+  ExecScope scope(ExecContext{&pool, 0});
   Rng rng(1);
   Tensor a = Tensor::Randn({n, n}, &rng);
   Tensor b = Tensor::Randn({n, n}, &rng);
@@ -27,10 +33,12 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->ArgsProduct({{16, 64, 128, 256}, {1, 4}});
 
 void BM_MatMulBackward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  ThreadPool pool(static_cast<int>(state.range(1)));
+  ExecScope scope(ExecContext{&pool, 0});
   Rng rng(2);
   Tensor a = Tensor::Randn({n, n}, &rng, 1.0f, true);
   Tensor b = Tensor::Randn({n, n}, &rng, 1.0f, true);
@@ -41,7 +49,40 @@ void BM_MatMulBackward(benchmark::State& state) {
     b.ZeroGrad();
   }
 }
-BENCHMARK(BM_MatMulBackward)->Arg(16)->Arg(64);
+BENCHMARK(BM_MatMulBackward)->ArgsProduct({{16, 64, 128}, {1, 4}});
+
+void BM_CausalConv(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  ThreadPool pool(static_cast<int>(state.range(1)));
+  ExecScope scope(ExecContext{&pool, 0});
+  Rng rng(6);
+  Tensor x = Tensor::Randn({rows, 64, 8}, &rng);
+  Tensor w = Tensor::Randn({3, 8, 16}, &rng);
+  Tensor b = Tensor::Randn({16}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CausalConv1d(x, w, b, /*dilation=*/2).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{rows} * 64 * 3 * 8 * 16);
+}
+BENCHMARK(BM_CausalConv)->ArgsProduct({{8, 32}, {1, 4}});
+
+void BM_CausalConvBackward(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  ThreadPool pool(static_cast<int>(state.range(1)));
+  ExecScope scope(ExecContext{&pool, 0});
+  Rng rng(8);
+  Tensor x = Tensor::Randn({rows, 64, 8}, &rng, 1.0f, true);
+  Tensor w = Tensor::Randn({3, 8, 16}, &rng, 1.0f, true);
+  Tensor b = Tensor::Randn({16}, &rng, 1.0f, true);
+  for (auto _ : state) {
+    Tensor loss = SumAll(CausalConv1d(x, w, b, /*dilation=*/2));
+    loss.Backward();
+    x.ZeroGrad();
+    w.ZeroGrad();
+    b.ZeroGrad();
+  }
+}
+BENCHMARK(BM_CausalConvBackward)->ArgsProduct({{8, 32}, {1, 4}});
 
 OperatorContext MicroContext(Rng* rng) {
   OperatorContext ctx;
@@ -108,7 +149,7 @@ BENCHMARK(BM_ComparatorRankingThroughput);
 void BM_ModelTrainStep(benchmark::State& state) {
   ScaleConfig cfg = ScaleConfig::Test();
   ForecastTask task;
-  task.data = MakeSyntheticDataset("Los-Loop", cfg);
+  task.data = MakeSyntheticDataset("Los-Loop", cfg).value();
   task.p = 12;
   task.q = 12;
   ForecasterSpec spec = MakeForecasterSpec(task);
@@ -130,7 +171,7 @@ BENCHMARK(BM_ModelTrainStep);
 void BM_SupernetStep(benchmark::State& state) {
   ScaleConfig cfg = ScaleConfig::Test();
   ForecastTask task;
-  task.data = MakeSyntheticDataset("Los-Loop", cfg);
+  task.data = MakeSyntheticDataset("Los-Loop", cfg).value();
   task.p = 12;
   task.q = 12;
   ForecasterSpec spec = MakeForecasterSpec(task);

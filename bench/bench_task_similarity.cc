@@ -112,12 +112,12 @@ void Run() {
   std::cout << "=== Table 4 — quantitative analysis of task similarities ===\n";
   const int pool_size = 12;  // Paper: 200 shared arch-hypers.
   std::vector<ArchHyper> pool = space.SampleDistinct(pool_size, &rng);
-  ForecastTask a = DeriveSubsetTask(MakeSyntheticDataset("PEMS08", env.scale),
+  ForecastTask a = DeriveSubsetTask(MakeSyntheticDataset("PEMS08", env.scale).value(),
                                     12, 12, false, &rng);
-  ForecastTask b = DeriveSubsetTask(MakeSyntheticDataset("METR-LA", env.scale),
+  ForecastTask b = DeriveSubsetTask(MakeSyntheticDataset("METR-LA", env.scale).value(),
                                     12, 12, false, &rng);
   ForecastTask c = DeriveSubsetTask(
-      MakeSyntheticDataset("Solar-Energy", env.scale), 48, 48, false, &rng);
+      MakeSyntheticDataset("Solar-Energy", env.scale).value(), 48, 48, false, &rng);
   std::vector<double> ea = NormalizedErrors(pool, a, env, 11);
   std::vector<double> eb = NormalizedErrors(pool, b, env, 22);
   std::vector<double> ec = NormalizedErrors(pool, c, env, 33);
@@ -140,7 +140,7 @@ void Run() {
   std::vector<std::string> labels;
   std::vector<std::vector<double>> embeds;
   for (const std::string& name : names) {
-    CtsDatasetPtr d = MakeSyntheticDataset(name, env.scale);
+    CtsDatasetPtr d = MakeSyntheticDataset(name, env.scale).value();
     for (int p : {12, 48}) {
       for (int subset = 0; subset < 2; ++subset) {
         ForecastTask t = DeriveSubsetTask(d, p, p, false, &rng);

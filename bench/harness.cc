@@ -33,7 +33,7 @@ BenchEnv BenchEnv::FromEnv() {
 ForecastTask MakeTargetTask(const std::string& dataset, int p, int q,
                             bool single_step, const ScaleConfig& scale) {
   ForecastTask task;
-  task.data = MakeSyntheticDataset(dataset, scale);
+  task.data = MakeSyntheticDataset(dataset, scale).value();
   task.p = p;
   task.q = q;
   task.single_step = single_step;
@@ -67,7 +67,7 @@ std::vector<ForecastTask> MakeSourceTasks(int num_tasks,
   std::vector<ForecastTask> tasks;
   for (int i = 0; i < num_tasks; ++i) {
     const std::string& name = names[static_cast<size_t>(i) % names.size()];
-    CtsDatasetPtr source = MakeSyntheticDataset(name, scale);
+    CtsDatasetPtr source = MakeSyntheticDataset(name, scale).value();
     // Alternate the two pre-training settings P-12/Q-12 and P-48/Q-48.
     bool long_horizon = (i / names.size()) % 2 == 1 || rng.Bernoulli(0.5);
     int p = long_horizon ? 48 : 12;
@@ -171,7 +171,8 @@ EvalResult EvaluateAutoCtsPlusPlus(AutoCtsPlusPlus* framework,
   std::vector<ForecastMetrics> per_seed;
   for (int s = 0; s < env.seeds; ++s) {
     SearchOutcome outcome = TrainTopKAndSelect(
-        top_k, task, env.autocts.final_train, env.scale, seed + s);
+        top_k, task, env.autocts.final_train, env.scale,
+        framework->exec_context().WithSeed(seed + s));
     per_seed.push_back(outcome.best_report.test);
   }
   EvalResult result = AggregateMetrics(per_seed);

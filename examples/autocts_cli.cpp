@@ -66,7 +66,9 @@ StatusOr<ForecastTask> BuildTask(
   } else {
     std::string name = StrFlag(flags, "dataset", "");
     if (name.empty()) return Status::Error("need --dataset or --csv");
-    task.data = MakeSyntheticDataset(name, scale);
+    StatusOr<CtsDatasetPtr> data = MakeSyntheticDataset(name, scale);
+    if (!data.ok()) return data.status();
+    task.data = std::move(data).value();
   }
   task.p = IntFlag(flags, "p", 12);
   task.q = IntFlag(flags, "q", 12);
@@ -89,7 +91,7 @@ int Pretrain(const std::map<std::string, std::string>& flags) {
   for (int i = 0; i < scale.num_source_tasks; ++i) {
     const std::string& name = names[static_cast<size_t>(i) % names.size()];
     int p = i % 2 == 0 ? 12 : 48;
-    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale), p,
+    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale).value(), p,
                                        p, false, &rng));
   }
   AutoCtsPlusPlus framework(options);

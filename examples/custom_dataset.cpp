@@ -63,7 +63,7 @@ int main() {
     std::vector<ForecastTask> sources;
     Rng rng(31);
     for (const std::string& name : {"ETTh1", "Solar-Energy", "PEMS04"}) {
-      sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale),
+      sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale).value(),
                                          12, 12, false, &rng));
     }
     framework.Pretrain(sources);

@@ -29,13 +29,13 @@ int main() {
   Rng rng(23);
   for (const std::string& name : {"PEMS04", "ETTh1", "Solar-Energy",
                                   "ExchangeRate"}) {
-    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale), 12,
+    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale).value(), 12,
                                        12, false, &rng));
   }
   AutoCtsPlusPlus framework(options);
   framework.Pretrain(sources);
 
-  CtsDatasetPtr electricity = MakeSyntheticDataset("Electricity", scale);
+  CtsDatasetPtr electricity = MakeSyntheticDataset("Electricity", scale).value();
   struct Setting {
     const char* label;
     int p, q;

@@ -23,7 +23,7 @@ int main() {
   std::vector<ForecastTask> sources;
   Rng rng(7);
   for (const std::string& name : {"PEMS04", "METR-LA", "ETTh1", "Solar-Energy"}) {
-    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale),
+    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale).value(),
                                        /*p=*/12, /*q=*/12,
                                        /*single_step=*/false, &rng));
   }
@@ -38,7 +38,7 @@ int main() {
   // 4. Zero-shot search on an unseen task: a dataset and P/Q setting the
   //    comparator has never observed.
   ForecastTask unseen;
-  unseen.data = MakeSyntheticDataset("Los-Loop", scale);
+  unseen.data = MakeSyntheticDataset("Los-Loop", scale).value();
   unseen.p = 24;
   unseen.q = 24;
   SearchOutcome outcome = framework.SearchAndTrain(unseen);

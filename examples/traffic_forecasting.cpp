@@ -34,7 +34,7 @@ int main() {
   // The deployment task: 12-step-ahead speed forecasting on a highway
   // sensor network with a distance-based adjacency matrix.
   ForecastTask task;
-  task.data = MakeSyntheticDataset("PEMS-BAY", scale);
+  task.data = MakeSyntheticDataset("PEMS-BAY", scale).value();
   task.p = 12;
   task.q = 12;
   ForecasterSpec spec = MakeForecasterSpec(task);
@@ -71,7 +71,7 @@ int main() {
   std::vector<ForecastTask> sources;
   Rng rng(17);
   for (const std::string& name : {"PEMS04", "PEMS08", "METR-LA"}) {
-    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale), 12,
+    sources.push_back(DeriveSubsetTask(MakeSyntheticDataset(name, scale).value(), 12,
                                        12, false, &rng));
   }
   AutoCtsPlusPlus framework(options);

@@ -1,0 +1,220 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+
+namespace autocts {
+namespace {
+
+/// Set while the current thread executes a ParallelFor chunk.
+thread_local bool t_in_parallel_region = false;
+
+/// ExecScope-installed pool for the current thread (null = default pool).
+thread_local ThreadPool* t_scope_pool = nullptr;
+
+/// Marks a chunk execution; restores the previous state on scope exit so
+/// top-level calls on worker threads behave like nested calls.
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard() : previous_(t_in_parallel_region) {
+    t_in_parallel_region = true;
+  }
+  ~ParallelRegionGuard() { t_in_parallel_region = previous_; }
+
+ private:
+  bool previous_;
+};
+
+int ResolveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+/// All fields are guarded by the owning pool's mu_ — chunks are coarse
+/// (at most a few per lane), so per-claim locking costs nothing measurable.
+struct ThreadPool::Job {
+  int num_chunks = 0;
+  int next = 0;       ///< First unclaimed chunk.
+  int completed = 0;  ///< Chunks fully executed.
+  const std::function<void(int)>* fn = nullptr;
+  std::exception_ptr error;
+  int error_chunk = std::numeric_limits<int>::max();
+  std::condition_variable done;
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  int lanes = ResolveThreads(num_threads);
+  workers_.reserve(static_cast<size_t>(lanes - 1));
+  for (int i = 0; i < lanes - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    wake_.wait(lock, [this] {
+      return shutdown_ || (job_ != nullptr && job_->next < job_->num_chunks);
+    });
+    if (shutdown_) return;
+    Job* job = job_;
+    while (job_ == job && job->next < job->num_chunks) {
+      int chunk = job->next++;
+      lock.unlock();
+      std::exception_ptr error;
+      {
+        ParallelRegionGuard region;
+        try {
+          (*job->fn)(chunk);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      lock.lock();
+      if (error && chunk < job->error_chunk) {
+        job->error = error;
+        job->error_chunk = chunk;
+      }
+      if (++job->completed == job->num_chunks) job->done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunChunks(int num_chunks, const std::function<void(int)>& fn) {
+  CHECK_GT(num_chunks, 0);
+  Job job;
+  job.num_chunks = num_chunks;
+  job.fn = &fn;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // One bulk job at a time; a second caller queues behind the first.
+    wake_.wait(lock, [this] { return job_ == nullptr; });
+    job_ = &job;
+  }
+  wake_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (job.next < job.num_chunks) {
+      int chunk = job.next++;
+      lock.unlock();
+      std::exception_ptr error;
+      {
+        ParallelRegionGuard region;
+        try {
+          fn(chunk);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      lock.lock();
+      if (error && chunk < job.error_chunk) {
+        job.error = error;
+        job.error_chunk = chunk;
+      }
+      ++job.completed;
+    }
+    job.done.wait(lock, [&job] { return job.completed == job.num_chunks; });
+    job_ = nullptr;
+  }
+  // A waiting RunChunks caller (queued above) may need the slot.
+  wake_.notify_all();
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+namespace {
+
+std::unique_ptr<ThreadPool>& DefaultPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& DefaultPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+int InitialDefaultThreads() {
+  const char* env = std::getenv("AUTOCTS_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 0;  // Hardware concurrency.
+}
+
+}  // namespace
+
+ThreadPool* DefaultPool() {
+  std::lock_guard<std::mutex> lock(DefaultPoolMutex());
+  std::unique_ptr<ThreadPool>& pool = DefaultPoolSlot();
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(InitialDefaultThreads());
+  return pool.get();
+}
+
+void SetDefaultPoolThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(DefaultPoolMutex());
+  DefaultPoolSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+ThreadPool* CurrentPool() {
+  return t_scope_pool != nullptr ? t_scope_pool : DefaultPool();
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  // Nested and single-lane calls run inline: the serial path *is* the
+  // parallel path with one chunk, which is what makes num_threads=1
+  // byte-identical to the pre-threading code.
+  if (t_in_parallel_region || range <= grain) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool* pool = CurrentPool();
+  const int lanes = pool->num_threads();
+  if (lanes <= 1) {
+    fn(begin, end);
+    return;
+  }
+  int64_t chunks = std::min<int64_t>(static_cast<int64_t>(lanes) * 4,
+                                     (range + grain - 1) / grain);
+  pool->RunChunks(static_cast<int>(chunks), [&](int i) {
+    int64_t c0 = begin + range * i / chunks;
+    int64_t c1 = begin + range * (i + 1) / chunks;
+    if (c0 < c1) fn(c0, c1);
+  });
+}
+
+std::vector<uint64_t> ForkSeeds(Rng* rng, int n) {
+  CHECK_GE(n, 0);
+  std::vector<uint64_t> seeds(static_cast<size_t>(n));
+  for (uint64_t& s : seeds) s = rng->Fork();
+  return seeds;
+}
+
+ExecScope::ExecScope(const ExecContext& ctx) : previous_(t_scope_pool) {
+  t_scope_pool = ctx.effective_pool();
+}
+
+ExecScope::~ExecScope() { t_scope_pool = previous_; }
+
+}  // namespace autocts

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "model/searched_model.h"
 #include "nn/optimizer.h"
@@ -12,40 +14,75 @@ namespace autocts {
 std::vector<TaskSampleSet> CollectSamples(
     const std::vector<ForecastTask>& tasks, const JointSearchSpace& space,
     const TaskEncoder& encoder, const ScaleConfig& scale,
-    const SampleCollectionOptions& options) {
+    const SampleCollectionOptions& options, const ExecContext& ctx) {
   CHECK(!tasks.empty());
+  ExecScope scope(ctx);
   Rng rng(options.seed);
   // Shared set S_0: the same L arch-hypers are evaluated on every task so
   // the comparator can observe how rankings shift across tasks.
   std::vector<ArchHyper> shared_pool =
       space.SampleDistinct(options.shared_count, &rng);
 
-  std::vector<TaskSampleSet> out;
-  out.reserve(tasks.size());
+  // Serial pass: every RNG draw (embeddings, arch-hyper sampling, model
+  // seeds) happens here in the exact single-threaded order, so the pending
+  // work list is independent of how it later fans out.
+  struct PendingSample {
+    int task = 0;
+    int slot = 0;  ///< Index into the task's sample list.
+    ArchHyper arch_hyper;
+    uint64_t model_seed = 0;
+    bool shared = false;
+  };
+  std::vector<TaskSampleSet> out(tasks.size());
+  std::vector<std::unique_ptr<ModelTrainer>> trainers;
+  std::vector<PendingSample> pending;
   for (size_t ti = 0; ti < tasks.size(); ++ti) {
     const ForecastTask& task = tasks[ti];
-    TaskSampleSet set;
+    TaskSampleSet& set = out[ti];
     set.task = task;
     set.preliminary = PreliminaryTaskEmbedding(encoder, task,
                                                options.windows_per_task, &rng);
-    ForecasterSpec spec = MakeForecasterSpec(task);
-    TrainOptions train = options.train;
-    ModelTrainer trainer(task, train);
-    auto label = [&](const ArchHyper& ah, bool shared) {
-      auto model = BuildSearchedModel(ah, spec, scale, rng.Fork());
-      LabeledSample sample;
-      sample.arch_hyper = ah;
-      sample.r_prime = trainer.EarlyValidationError(
-          model.get(), options.early_validation_epochs);
-      sample.shared = shared;
-      set.samples.push_back(std::move(sample));
-    };
-    for (const ArchHyper& ah : shared_pool) label(ah, /*shared=*/true);
-    for (int i = 0; i < options.random_count; ++i) {
-      label(space.Sample(&rng), /*shared=*/false);
+    set.samples.resize(shared_pool.size() +
+                       static_cast<size_t>(options.random_count));
+    trainers.push_back(
+        std::make_unique<ModelTrainer>(task, options.train, ctx));
+    int slot = 0;
+    for (const ArchHyper& ah : shared_pool) {
+      pending.push_back({static_cast<int>(ti), slot++, ah, rng.Fork(), true});
     }
-    out.push_back(std::move(set));
+    for (int i = 0; i < options.random_count; ++i) {
+      ArchHyper ah = space.Sample(&rng);
+      pending.push_back(
+          {static_cast<int>(ti), slot++, std::move(ah), rng.Fork(), false});
+    }
   }
+
+  // Parallel pass: each pending sample trains its own model and writes its
+  // own slot. The trainers are shared per task but their methods are pure
+  // (fresh RNG + optimizer per call).
+  std::vector<ForecasterSpec> specs;
+  for (const ForecastTask& task : tasks) {
+    specs.push_back(MakeForecasterSpec(task));
+  }
+  ParallelFor(
+      0, static_cast<int64_t>(pending.size()), 1,
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+          const PendingSample& ps = pending[static_cast<size_t>(p)];
+          auto model =
+              BuildSearchedModel(ps.arch_hyper, specs[static_cast<size_t>(
+                                                    ps.task)],
+                                 scale, ps.model_seed);
+          LabeledSample sample;
+          sample.arch_hyper = ps.arch_hyper;
+          sample.r_prime =
+              trainers[static_cast<size_t>(ps.task)]->EarlyValidationError(
+                  model.get(), options.early_validation_epochs);
+          sample.shared = ps.shared;
+          out[static_cast<size_t>(ps.task)]
+              .samples[static_cast<size_t>(ps.slot)] = std::move(sample);
+        }
+      });
   return out;
 }
 
@@ -62,8 +99,13 @@ struct Pair {
 
 PretrainReport PretrainComparator(Comparator* comparator,
                                   const std::vector<TaskSampleSet>& data,
-                                  const PretrainOptions& options) {
+                                  const PretrainOptions& options,
+                                  const ExecContext& ctx) {
   CHECK(!data.empty());
+  // The pairing curriculum is a sequential RNG stream and the optimizer
+  // steps are ordered, so the epoch loop stays serial; the scope still lets
+  // the tensor kernels under each batch fan out.
+  ExecScope scope(ctx);
   Rng rng(options.seed);
   Adam::Options adam_opts;
   adam_opts.lr = options.lr;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/scale_config.h"
 #include "comparator/comparator.h"
 #include "data/task.h"
@@ -40,11 +41,14 @@ struct SampleCollectionOptions {
 
 /// Trains and early-validates the shared pool plus per-task random
 /// arch-hypers on every task, and computes each task's preliminary
-/// embedding. This is the expensive, GPU-hours-in-the-paper step.
+/// embedding. This is the expensive, GPU-hours-in-the-paper step, so the
+/// per-sample trainings fan out across `ctx`'s pool: all RNG streams are
+/// forked up front in the serial draw order, which makes the collected
+/// samples identical for every pool size.
 std::vector<TaskSampleSet> CollectSamples(
     const std::vector<ForecastTask>& tasks, const JointSearchSpace& space,
     const TaskEncoder& encoder, const ScaleConfig& scale,
-    const SampleCollectionOptions& options);
+    const SampleCollectionOptions& options, const ExecContext& ctx = {});
 
 /// Knobs for T-AHC pre-training (Alg. 1, lines 8–18).
 struct PretrainOptions {
@@ -71,7 +75,8 @@ struct PretrainReport {
 /// phased in), dynamic pairing re-drawn every epoch, BCE objective.
 PretrainReport PretrainComparator(Comparator* comparator,
                                   const std::vector<TaskSampleSet>& data,
-                                  const PretrainOptions& options);
+                                  const PretrainOptions& options,
+                                  const ExecContext& ctx = {});
 
 /// Ranking quality of a comparator on a labeled set: fraction of ordered
 /// pairs it classifies consistently with the R' labels.

@@ -40,7 +40,9 @@ AutoCtsOptions AutoCtsOptions::ForScale(const ScaleConfig& scale) {
 }
 
 AutoCtsPlusPlus::AutoCtsPlusPlus(const AutoCtsOptions& options)
-    : options_(options), rng_(options.seed) {
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      rng_(options.seed) {
   CHECK_EQ(options_.comparator.repr_dim, options_.ts2vec.repr_dim)
       << "comparator must consume the encoder's representation size";
   if (options_.use_mlp_encoder) {
@@ -56,6 +58,8 @@ AutoCtsPlusPlus::AutoCtsPlusPlus(const AutoCtsOptions& options)
 PretrainReport AutoCtsPlusPlus::Pretrain(
     const std::vector<ForecastTask>& source_tasks) {
   CHECK(!source_tasks.empty());
+  ExecContext ctx = exec_context();
+  ExecScope scope(ctx);
   // Stage 1: contrastive pre-training of TS2Vec on the source corpora
   // (skipped for the MLP ablation encoder, which is trained implicitly by
   // virtue of being random-projection features — as in the paper's
@@ -67,10 +71,10 @@ PretrainReport AutoCtsPlusPlus::Pretrain(
   }
   // Stage 2: label collection (Alg. 1 lines 1–7).
   collected_ = CollectSamples(source_tasks, space_, *encoder_, options_.scale,
-                              options_.collect);
+                              options_.collect, ctx);
   // Stage 3: curriculum + dynamic-pairing pre-training (lines 8–18).
-  PretrainReport report =
-      PretrainComparator(comparator_.get(), collected_, options_.pretrain);
+  PretrainReport report = PretrainComparator(comparator_.get(), collected_,
+                                             options_.pretrain, ctx);
   pretrained_ = true;
   return report;
 }
@@ -87,7 +91,8 @@ PretrainReport AutoCtsPlusPlus::RetrainWithSamples(
   // cheap step, so retraining from scratch avoids stale-optimum drift.
   comparator_ =
       std::make_unique<Comparator>(options_.comparator, rng_.Fork());
-  return PretrainComparator(comparator_.get(), collected_, options_.pretrain);
+  return PretrainComparator(comparator_.get(), collected_, options_.pretrain,
+                            exec_context());
 }
 
 Status AutoCtsPlusPlus::SaveCheckpoint(const std::string& path) const {
@@ -106,6 +111,7 @@ Status AutoCtsPlusPlus::LoadCheckpoint(const std::string& path) {
 }
 
 Tensor AutoCtsPlusPlus::EmbedTask(const ForecastTask& task) {
+  ExecScope scope(exec_context());
   Tensor preliminary = PreliminaryTaskEmbedding(
       *encoder_, task, options_.collect.windows_per_task, &rng_);
   return comparator_->EmbedTask(preliminary).Detach();
@@ -119,7 +125,7 @@ std::vector<ArchHyper> AutoCtsPlusPlus::RankTopK(const ForecastTask& task,
                                                  const SearchOptions& search) {
   CHECK(pretrained_) << "call Pretrain() before searching";
   Tensor task_embed = EmbedTask(task);
-  EvolutionarySearcher searcher(comparator_.get(), &space_);
+  EvolutionarySearcher searcher(comparator_.get(), &space_, exec_context());
   // Each task searches its own sampled slice of the joint space: mix the
   // task identity into the seed (the paper samples K_s candidates fresh
   // per task too). Still deterministic for a given task.
@@ -140,22 +146,26 @@ SearchOutcome AutoCtsPlusPlus::SearchAndTrain(const ForecastTask& task) {
   double embed_seconds = Seconds(t0);
 
   auto t1 = std::chrono::steady_clock::now();
-  EvolutionarySearcher searcher(comparator_.get(), &space_);
+  EvolutionarySearcher searcher(comparator_.get(), &space_, exec_context());
   std::vector<ArchHyper> top_k =
       searcher.SearchTopK(task_embed, options_.search);
   double rank_seconds = Seconds(t1);
 
-  SearchOutcome outcome = TrainTopKAndSelect(top_k, task,
-                                             options_.final_train,
-                                             options_.scale, rng_.Fork());
+  SearchOutcome outcome =
+      TrainTopKAndSelect(top_k, task, options_.final_train, options_.scale,
+                         exec_context().WithSeed(rng_.Fork()));
   outcome.embed_seconds = embed_seconds;
   outcome.rank_seconds = rank_seconds;
   return outcome;
 }
 
-AutoCtsPlus::AutoCtsPlus(const AutoCtsOptions& options) : options_(options) {}
+AutoCtsPlus::AutoCtsPlus(const AutoCtsOptions& options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
 
 SearchOutcome AutoCtsPlus::SearchAndTrain(const ForecastTask& task) {
+  ExecContext ctx{pool_.get(), options_.seed};
+  ExecScope scope(ctx);
   Rng rng(options_.seed);
   // Fully supervised: labels come from the *target* task itself — this is
   // what costs GPU hours per task and what AutoCTS++ amortizes away.
@@ -168,21 +178,21 @@ SearchOutcome AutoCtsPlus::SearchAndTrain(const ForecastTask& task) {
   // untrained MLP encoder as a cheap stand-in.
   MlpEncoder stub_encoder(1, options_.ts2vec.repr_dim, &rng);
   std::vector<TaskSampleSet> data = CollectSamples(
-      {task}, space_, stub_encoder, options_.scale, collect);
+      {task}, space_, stub_encoder, options_.scale, collect, ctx);
   PretrainOptions pre = options_.pretrain;
   pre.initial_random_fraction = 1.0f;  // No curriculum on a single task.
-  PretrainComparator(&ahc, data, pre);
+  PretrainComparator(&ahc, data, pre, ctx);
   double label_and_fit_seconds = Seconds(t0);
 
   auto t1 = std::chrono::steady_clock::now();
-  EvolutionarySearcher searcher(&ahc, &space_);
+  EvolutionarySearcher searcher(&ahc, &space_, ctx);
   std::vector<ArchHyper> top_k =
       searcher.SearchTopK(Tensor(), options_.search);
   double rank_seconds = Seconds(t1);
 
-  SearchOutcome outcome = TrainTopKAndSelect(top_k, task,
-                                             options_.final_train,
-                                             options_.scale, rng.Fork());
+  SearchOutcome outcome = TrainTopKAndSelect(top_k, task, options_.final_train,
+                                             options_.scale,
+                                             ctx.WithSeed(rng.Fork()));
   // For AutoCTS+ the per-task supervision is part of the search cost.
   outcome.embed_seconds = label_and_fit_seconds;
   outcome.rank_seconds = rank_seconds;
@@ -192,23 +202,37 @@ SearchOutcome AutoCtsPlus::SearchAndTrain(const ForecastTask& task) {
 SearchOutcome TrainTopKAndSelect(const std::vector<ArchHyper>& top_k,
                                  const ForecastTask& task,
                                  const TrainOptions& train,
-                                 const ScaleConfig& scale, uint64_t seed) {
+                                 const ScaleConfig& scale,
+                                 const ExecContext& ctx) {
   CHECK(!top_k.empty());
+  ExecScope scope(ctx);
   auto t0 = std::chrono::steady_clock::now();
   SearchOutcome outcome;
   outcome.top_k = top_k;
   ForecasterSpec spec = MakeForecasterSpec(task);
-  ModelTrainer trainer(task, train);
+  ModelTrainer trainer(task, train, ctx);
+  // Candidates are independent runs (seed = ctx.seed + i), so they fan out
+  // across the pool; the winner is selected serially afterwards with the
+  // original first-wins tie-break.
+  std::vector<TrainReport> reports(top_k.size());
+  ParallelFor(0, static_cast<int64_t>(top_k.size()), 1,
+              [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i) {
+                  auto model = BuildSearchedModel(
+                      top_k[static_cast<size_t>(i)], spec, scale,
+                      ctx.seed + static_cast<uint64_t>(i));
+                  reports[static_cast<size_t>(i)] =
+                      trainer.Train(model.get());
+                }
+              });
   double best_val = 0.0;
   bool first = true;
   for (size_t i = 0; i < top_k.size(); ++i) {
-    auto model = BuildSearchedModel(top_k[i], spec, scale, seed + i);
-    TrainReport report = trainer.Train(model.get());
-    if (first || report.val.mae < best_val) {
+    if (first || reports[i].val.mae < best_val) {
       first = false;
-      best_val = report.val.mae;
+      best_val = reports[i].val.mae;
       outcome.best = top_k[i];
-      outcome.best_report = report;
+      outcome.best_report = reports[i];
     }
   }
   outcome.train_seconds = Seconds(t0);

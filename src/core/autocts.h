@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/scale_config.h"
 #include "comparator/pretrain.h"
 #include "nn/serialize.h"
@@ -26,6 +27,12 @@ struct AutoCtsOptions {
   /// Ablation (§4.2.3, "w/o TS2Vec"): encode tasks with a plain MLP.
   bool use_mlp_encoder = false;
   uint64_t seed = 1234;
+  /// Execution lanes for tensor kernels and coarse-grained phases (sample
+  /// collection, ranking, top-K training). `<= 0` means hardware
+  /// concurrency; `1` reproduces the single-threaded behavior bit-for-bit
+  /// — and so does every other value, by the determinism contract in
+  /// DESIGN.md "Threading model & determinism".
+  int num_threads = 0;
 
   /// Defaults consistent across sub-configs for a given scale preset.
   static AutoCtsOptions ForScale(const ScaleConfig& scale);
@@ -88,9 +95,12 @@ class AutoCtsPlusPlus {
   const JointSearchSpace& space() const { return space_; }
   const AutoCtsOptions& options() const { return options_; }
   bool pretrained() const { return pretrained_; }
+  /// The execution context (pool + base seed) this instance runs on.
+  ExecContext exec_context() const { return ExecContext{pool_.get(), options_.seed}; }
 
  private:
   AutoCtsOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Sized from options_.num_threads.
   Rng rng_;
   JointSearchSpace space_;
   std::unique_ptr<TaskEncoder> encoder_;
@@ -110,16 +120,21 @@ class AutoCtsPlus {
 
  private:
   AutoCtsOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
   JointSearchSpace space_;
 };
 
 /// Trains every candidate in `top_k` fully on the task and returns the
 /// outcome with the validation winner. Shared by both frameworks and the
-/// benchmark harnesses.
+/// benchmark harnesses. Candidates train concurrently on `ctx`'s pool
+/// (model seeds derive from `ctx.seed` by candidate index, so the outcome
+/// is identical for any pool size); the winner is picked serially with
+/// first-wins tie-breaking.
 SearchOutcome TrainTopKAndSelect(const std::vector<ArchHyper>& top_k,
                                  const ForecastTask& task,
                                  const TrainOptions& train,
-                                 const ScaleConfig& scale, uint64_t seed);
+                                 const ScaleConfig& scale,
+                                 const ExecContext& ctx);
 
 }  // namespace autocts
 

@@ -73,7 +73,8 @@ std::vector<std::string> TargetDatasetNames() {
           "NYC-BIKE", "Los-Loop",    "SZ-TAXI"};
 }
 
-DatasetProfile ProfileFor(const std::string& name, const ScaleConfig& cfg) {
+StatusOr<DatasetProfile> ProfileFor(const std::string& name,
+                                    const ScaleConfig& cfg) {
   DatasetProfile p;
   p.name = name;
   p.seed = NameSeed(name);
@@ -173,7 +174,11 @@ DatasetProfile ProfileFor(const std::string& name, const ScaleConfig& cfg) {
     p.spatial_strength = 0.15f;
     p.noise = 0.01f;
   } else {
-    CHECK(false) << "unknown dataset " << name;
+    std::string known;
+    for (const std::string& s : SourceDatasetNames()) known += s + " ";
+    for (const std::string& s : TargetDatasetNames()) known += s + " ";
+    return Status::Error("unknown dataset '" + name + "' (known: " + known +
+                         ")");
   }
   return p;
 }
@@ -318,9 +323,11 @@ CtsDatasetPtr GenerateSynthetic(const DatasetProfile& profile) {
                                       std::move(values), std::move(adj));
 }
 
-CtsDatasetPtr MakeSyntheticDataset(const std::string& name,
-                                   const ScaleConfig& cfg) {
-  return GenerateSynthetic(ProfileFor(name, cfg));
+StatusOr<CtsDatasetPtr> MakeSyntheticDataset(const std::string& name,
+                                             const ScaleConfig& cfg) {
+  StatusOr<DatasetProfile> profile = ProfileFor(name, cfg);
+  if (!profile.ok()) return profile.status();
+  return GenerateSynthetic(profile.value());
 }
 
 }  // namespace autocts

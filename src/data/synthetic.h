@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/scale_config.h"
+#include "common/status.h"
 #include "data/cts_dataset.h"
 
 namespace autocts {
@@ -46,15 +47,19 @@ std::vector<std::string> SourceDatasetNames();
 /// Names of the seven unseen target datasets (Table 3).
 std::vector<std::string> TargetDatasetNames();
 
-/// Profile for a named dataset scaled to `cfg`; CHECK-fails on unknown names.
-DatasetProfile ProfileFor(const std::string& name, const ScaleConfig& cfg);
+/// Profile for a named dataset scaled to `cfg`. Unknown names are an
+/// expected failure (the name typically arrives from a CLI flag or config
+/// file), so per the status.h contract this returns an error Status rather
+/// than CHECK-failing; the message lists the known names.
+StatusOr<DatasetProfile> ProfileFor(const std::string& name,
+                                    const ScaleConfig& cfg);
 
 /// Generates a synthetic dataset from a profile (deterministic).
 CtsDatasetPtr GenerateSynthetic(const DatasetProfile& profile);
 
 /// Convenience: ProfileFor + GenerateSynthetic.
-CtsDatasetPtr MakeSyntheticDataset(const std::string& name,
-                                   const ScaleConfig& cfg);
+StatusOr<CtsDatasetPtr> MakeSyntheticDataset(const std::string& name,
+                                             const ScaleConfig& cfg);
 
 }  // namespace autocts
 

@@ -18,8 +18,9 @@ ForecasterSpec MakeForecasterSpec(const ForecastTask& task) {
   return spec;
 }
 
-ModelTrainer::ModelTrainer(const ForecastTask& task, TrainOptions options)
-    : task_(task), options_(options), provider_(task) {}
+ModelTrainer::ModelTrainer(const ForecastTask& task, TrainOptions options,
+                           ExecContext ctx)
+    : task_(task), options_(options), ctx_(ctx), provider_(task) {}
 
 void ModelTrainer::RunEpochs(Forecaster* model, int epochs,
                              std::vector<double>* losses) const {
@@ -52,6 +53,7 @@ void ModelTrainer::RunEpochs(Forecaster* model, int epochs,
 }
 
 TrainReport ModelTrainer::Train(Forecaster* model) const {
+  ExecScope scope(ctx_);
   TrainReport report;
   auto start = std::chrono::steady_clock::now();
   RunEpochs(model, options_.epochs, &report.epoch_train_loss);
@@ -65,12 +67,14 @@ TrainReport ModelTrainer::Train(Forecaster* model) const {
 
 double ModelTrainer::EarlyValidationError(Forecaster* model,
                                           int k_epochs) const {
+  ExecScope scope(ctx_);
   RunEpochs(model, k_epochs, nullptr);
   return Evaluate(*model, 1).mae;
 }
 
 ForecastMetrics ModelTrainer::Evaluate(const Forecaster& model,
                                        int split) const {
+  ExecScope scope(ctx_);
   // SetTraining is non-const by design; evaluation flips the flag briefly.
   Forecaster& mutable_model = const_cast<Forecaster&>(model);
   bool was_training = model.training();

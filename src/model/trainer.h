@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "data/metrics.h"
 #include "data/task.h"
 #include "model/forecaster.h"
@@ -39,7 +40,11 @@ ForecasterSpec MakeForecasterSpec(const ForecastTask& task);
 /// WaveNet and the paper's setup.
 class ModelTrainer {
  public:
-  ModelTrainer(const ForecastTask& task, TrainOptions options);
+  /// `ctx` selects the thread pool the tensor kernels run on; the default
+  /// context uses the process-wide pool. Training math is identical for
+  /// every pool size (see DESIGN.md "Threading model & determinism").
+  ModelTrainer(const ForecastTask& task, TrainOptions options,
+               ExecContext ctx = {});
 
   /// Full training run followed by val/test evaluation.
   TrainReport Train(Forecaster* model) const;
@@ -60,6 +65,7 @@ class ModelTrainer {
 
   ForecastTask task_;
   TrainOptions options_;
+  ExecContext ctx_;
   WindowProvider provider_;
 };
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <utility>
+#include <vector>
+
+#include "common/parallel.h"
 
 namespace autocts {
 namespace {
@@ -141,29 +144,35 @@ Tensor MultiHeadAttention::Forward(const Tensor& x) const {
     if (u < l) {
       const auto& sd = scores.data();
       std::vector<float> mask_data(static_cast<size_t>(b) * heads_ * l, 0.0f);
-      std::vector<std::pair<float, int>> m(static_cast<size_t>(l));
-      for (int bi = 0; bi < b; ++bi) {
-        for (int hi = 0; hi < heads_; ++hi) {
-          int64_t base = ((static_cast<int64_t>(bi) * heads_) + hi) *
-                         static_cast<int64_t>(l) * l;
-          for (int i = 0; i < l; ++i) {
-            float mx = -1e30f, mean = 0.0f;
-            for (int j = 0; j < l; ++j) {
-              float s = sd[static_cast<size_t>(base + static_cast<int64_t>(i) * l + j)];
-              mx = std::max(mx, s);
-              mean += s;
+      // Each (batch, head) writes a disjoint slice of the mask; the scratch
+      // vector lives inside the chunk so lanes never share it.
+      ParallelFor(
+          0, static_cast<int64_t>(b) * heads_,
+          GrainFor(static_cast<int64_t>(l) * l), [&](int64_t g0, int64_t g1) {
+            std::vector<std::pair<float, int>> m(static_cast<size_t>(l));
+            for (int64_t gi = g0; gi < g1; ++gi) {
+              int64_t base = gi * static_cast<int64_t>(l) * l;
+              for (int i = 0; i < l; ++i) {
+                float mx = -1e30f, mean = 0.0f;
+                for (int j = 0; j < l; ++j) {
+                  float s = sd[static_cast<size_t>(
+                      base + static_cast<int64_t>(i) * l + j)];
+                  mx = std::max(mx, s);
+                  mean += s;
+                }
+                mean /= static_cast<float>(l);
+                m[static_cast<size_t>(i)] = {mx - mean, i};
+              }
+              std::partial_sort(
+                  m.begin(), m.begin() + u, m.end(),
+                  [](auto& a2, auto& b2) { return a2.first > b2.first; });
+              for (int t = 0; t < u; ++t) {
+                mask_data[static_cast<size_t>(gi * l +
+                                              m[static_cast<size_t>(t)].second)] =
+                    1.0f;
+              }
             }
-            mean /= static_cast<float>(l);
-            m[static_cast<size_t>(i)] = {mx - mean, i};
-          }
-          std::partial_sort(m.begin(), m.begin() + u, m.end(),
-                            [](auto& a2, auto& b2) { return a2.first > b2.first; });
-          for (int t = 0; t < u; ++t) {
-            mask_data[(static_cast<size_t>(bi) * heads_ + hi) * l +
-                      m[static_cast<size_t>(t)].second] = 1.0f;
-          }
-        }
-      }
+          });
       Tensor mask = Tensor::FromVector({b, heads_, l, 1}, std::move(mask_data));
       Tensor mean_v = Mean(v, 2, /*keepdim=*/true);  // [B, H, 1, Dh]
       Tensor inv_mask = AddScalar(Neg(mask), 1.0f);

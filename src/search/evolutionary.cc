@@ -8,8 +8,9 @@
 namespace autocts {
 
 EvolutionarySearcher::EvolutionarySearcher(const Comparator* comparator,
-                                           const JointSearchSpace* space)
-    : comparator_(comparator), space_(space) {
+                                           const JointSearchSpace* space,
+                                           ExecContext ctx)
+    : comparator_(comparator), space_(space), ctx_(ctx) {
   CHECK(comparator_ != nullptr);
   CHECK(space_ != nullptr);
 }
@@ -26,8 +27,7 @@ std::vector<bool> EvolutionarySearcher::ComparePairs(
     CHECK(task_embed.defined());
     task_row = Reshape(task_embed, {1, f2});
   }
-  for (size_t begin = 0; begin < pairs.size();
-       begin += static_cast<size_t>(compare_batch)) {
+  auto run_batch = [&](size_t begin) {
     size_t end =
         std::min(pairs.size(), begin + static_cast<size_t>(compare_batch));
     std::vector<ArchHyperEncoding> first, second;
@@ -45,6 +45,24 @@ std::vector<bool> EvolutionarySearcher::ComparePairs(
         StackEncodings(first), StackEncodings(second), task_embeds);
     for (int i = 0; i < m; ++i) {
       wins[begin + static_cast<size_t>(i)] = logits.at(i) >= 0.0f;
+    }
+  };
+  const int64_t num_batches =
+      (static_cast<int64_t>(pairs.size()) + compare_batch - 1) / compare_batch;
+  if (!comparator_->training()) {
+    // Eval-mode inference is pure (dropout is a no-op, so no shared RNG),
+    // and batches are independent — fan them out across the pool.
+    ExecScope scope(ctx_);
+    ParallelFor(0, num_batches, 1, [&](int64_t b0, int64_t b1) {
+      for (int64_t bi = b0; bi < b1; ++bi) {
+        run_batch(static_cast<size_t>(bi) *
+                  static_cast<size_t>(compare_batch));
+      }
+    });
+  } else {
+    // Training mode shares one dropout RNG; keep the sequential draw order.
+    for (int64_t bi = 0; bi < num_batches; ++bi) {
+      run_batch(static_cast<size_t>(bi) * static_cast<size_t>(compare_batch));
     }
   }
   return wins;

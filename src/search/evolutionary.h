@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "comparator/comparator.h"
 #include "searchspace/search_space.h"
 
@@ -29,8 +30,11 @@ struct SearchOptions {
 /// fixed task embedding (undefined tensor for a plain, task-blind AHC).
 class EvolutionarySearcher {
  public:
+  /// `ctx` selects the thread pool: comparator inference batches fan out
+  /// across it when the comparator is in eval mode (batch outcomes don't
+  /// depend on each other, so results are identical for any pool size).
   EvolutionarySearcher(const Comparator* comparator,
-                       const JointSearchSpace* space);
+                       const JointSearchSpace* space, ExecContext ctx = {});
 
   /// Runs Alg. 2 and returns the top-K arch-hypers, best first.
   std::vector<ArchHyper> SearchTopK(const Tensor& task_embed,
@@ -58,6 +62,7 @@ class EvolutionarySearcher {
 
   const Comparator* comparator_;
   const JointSearchSpace* space_;
+  ExecContext ctx_;
 };
 
 }  // namespace autocts

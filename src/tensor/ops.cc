@@ -5,8 +5,13 @@
 #include <limits>
 #include <utility>
 
+#include "common/parallel.h"
+
 namespace autocts {
 namespace {
+
+/// Alias for the shared grain constant (see common/parallel.h).
+constexpr int64_t kElemGrain = kParallelGrainWork;
 
 /// Broadcast shape of two operand shapes (numpy rules).
 std::vector<int> BroadcastShape(const std::vector<int>& a,
@@ -58,21 +63,25 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
   if (same) {
     const auto& av = a.data();
     const auto& bv = b.data();
-    for (int64_t i = 0; i < n; ++i) {
-      out[static_cast<size_t>(i)] =
-          fwd(av[static_cast<size_t>(i)], bv[static_cast<size_t>(i)]);
-    }
+    ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        out[static_cast<size_t>(i)] =
+            fwd(av[static_cast<size_t>(i)], bv[static_cast<size_t>(i)]);
+      }
+    });
   } else {
     std::vector<int64_t> os = Strides(out_shape);
     std::vector<int64_t> as = AlignedStrides(a.shape(), out_shape);
     std::vector<int64_t> bs = AlignedStrides(b.shape(), out_shape);
     const auto& av = a.data();
     const auto& bv = b.data();
-    for (int64_t i = 0; i < n; ++i) {
-      out[static_cast<size_t>(i)] =
-          fwd(av[static_cast<size_t>(MapOffset(i, out_shape, os, as))],
-              bv[static_cast<size_t>(MapOffset(i, out_shape, os, bs))]);
-    }
+    ParallelFor(0, n, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        out[static_cast<size_t>(i)] =
+            fwd(av[static_cast<size_t>(MapOffset(i, out_shape, os, as))],
+                bv[static_cast<size_t>(MapOffset(i, out_shape, os, bs))]);
+      }
+    });
   }
   Tensor ta = a, tb = b;
   auto backward = [ta, tb, out_shape, same, da,
@@ -83,11 +92,18 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
     const auto& av = ta.data();
     const auto& bv = tb.data();
     if (same) {
-      for (size_t i = 0; i < g.size(); ++i) {
-        ga[i] += g[i] * da(av[i], bv[i]);
-        gb[i] += g[i] * db(av[i], bv[i]);
-      }
+      // Disjoint per-index writes into both grads — safe to chunk.
+      ParallelFor(0, static_cast<int64_t>(g.size()), kElemGrain / 2,
+                  [&](int64_t i0, int64_t i1) {
+                    for (int64_t ii = i0; ii < i1; ++ii) {
+                      size_t i = static_cast<size_t>(ii);
+                      ga[i] += g[i] * da(av[i], bv[i]);
+                      gb[i] += g[i] * db(av[i], bv[i]);
+                    }
+                  });
     } else {
+      // Broadcast (stride-0) operands fold many output indices into one
+      // grad slot, so this path must stay serial.
       std::vector<int64_t> os = Strides(out_shape);
       std::vector<int64_t> as = AlignedStrides(ta.shape(), out_shape);
       std::vector<int64_t> bs = AlignedStrides(tb.shape(), out_shape);
@@ -109,16 +125,25 @@ template <typename F, typename D>
 Tensor UnaryOp(const Tensor& x, F fwd, D dydx) {
   std::vector<float> out(x.data().size());
   const auto& xv = x.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(xv[i]);
+  ParallelFor(0, static_cast<int64_t>(out.size()), kElemGrain,
+              [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i) {
+                  out[static_cast<size_t>(i)] = fwd(xv[static_cast<size_t>(i)]);
+                }
+              });
   Tensor tx = x;
   std::vector<float> yv = out;
   auto backward = [tx, yv, dydx](internal::TensorImpl& node) mutable {
     const auto& g = node.grad;
     auto& gx = tx.grad();
     const auto& xd = tx.data();
-    for (size_t i = 0; i < g.size(); ++i) {
-      gx[i] += g[i] * dydx(xd[i], yv[i]);
-    }
+    ParallelFor(0, static_cast<int64_t>(g.size()), kElemGrain,
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t ii = i0; ii < i1; ++ii) {
+                    size_t i = static_cast<size_t>(ii);
+                    gx[i] += g[i] * dydx(xd[i], yv[i]);
+                  }
+                });
   };
   return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
                             std::move(backward));
@@ -310,22 +335,72 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t a_stride = p.a_broadcast ? 0 : static_cast<int64_t>(p.m) * p.k;
   const int64_t b_stride = p.b_broadcast ? 0 : static_cast<int64_t>(p.k) * p.n;
   const int64_t c_stride = static_cast<int64_t>(p.m) * p.n;
-  for (int64_t bi = 0; bi < p.batch; ++bi) {
-    GemmAcc(a.data().data() + bi * a_stride, b.data().data() + bi * b_stride,
-            out.data() + bi * c_stride, p.m, p.k, p.n);
+  {
+    // Rows of the (flattened) output are independent; each row keeps the
+    // same kk-ascending accumulation order as GemmAcc, so chunking cannot
+    // change any output bit.
+    const float* ad = a.data().data();
+    const float* bd = b.data().data();
+    const int64_t row_work = static_cast<int64_t>(p.k) * p.n;
+    ParallelFor(0, p.batch * p.m, GrainFor(row_work),
+                [&](int64_t r0, int64_t r1) {
+                  for (int64_t r = r0; r < r1; ++r) {
+                    const int64_t bi = r / p.m;
+                    const int64_t i = r % p.m;
+                    GemmAcc(ad + bi * a_stride + i * p.k, bd + bi * b_stride,
+                            out.data() + bi * c_stride + i * p.n, 1, p.k, p.n);
+                  }
+                });
   }
   Tensor ta = a, tb = b;
   auto backward = [ta, tb, p, a_stride, b_stride,
                    c_stride](internal::TensorImpl& node) mutable {
     auto& ga = ta.grad();
     auto& gb = tb.grad();
-    for (int64_t bi = 0; bi < p.batch; ++bi) {
-      const float* dc = node.grad.data() + bi * c_stride;
-      GemmAccBT(dc, tb.data().data() + bi * b_stride,
-                ga.data() + bi * a_stride, p.m, p.k, p.n);
-      GemmAccAT(ta.data().data() + bi * a_stride, dc,
-                gb.data() + bi * b_stride, p.m, p.k, p.n);
+    const float* ad = ta.data().data();
+    const float* bd = tb.data().data();
+    const float* dc_all = node.grad.data();
+    const int64_t flops = p.batch * static_cast<int64_t>(p.m) * p.k * p.n;
+    if (!WillParallelize(p.m, flops / std::max<int64_t>(1, p.m))) {
+      // Fused single pass: dA and dB share the dC reads.
+      for (int64_t bi = 0; bi < p.batch; ++bi) {
+        const float* dc = dc_all + bi * c_stride;
+        GemmAccBT(dc, bd + bi * b_stride, ga.data() + bi * a_stride, p.m, p.k,
+                  p.n);
+        GemmAccAT(ad + bi * a_stride, dc, gb.data() + bi * b_stride, p.m, p.k,
+                  p.n);
+      }
+      return;
     }
+    // Parallel path: two passes with disjoint writes per chunk. Every grad
+    // element still accumulates its contributions in the fused pass's order
+    // (bi-ascending for dA, (bi, i)-ascending for dB), so both paths are
+    // bit-identical — thread count only changes which thread does the adds.
+    const int64_t a_row_work = p.batch * static_cast<int64_t>(p.k) * p.n;
+    ParallelFor(0, p.m, GrainFor(a_row_work), [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t bi = 0; bi < p.batch; ++bi) {
+          GemmAccBT(dc_all + bi * c_stride + i * p.n, bd + bi * b_stride,
+                    ga.data() + bi * a_stride + i * p.k, 1, p.k, p.n);
+        }
+      }
+    });
+    const int64_t b_row_work = p.batch * static_cast<int64_t>(p.m) * p.n;
+    ParallelFor(0, p.k, GrainFor(b_row_work), [&](int64_t k0, int64_t k1) {
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        for (int64_t bi = 0; bi < p.batch; ++bi) {
+          const float* dc = dc_all + bi * c_stride;
+          const float* amat = ad + bi * a_stride;
+          float* dbrow = gb.data() + bi * b_stride + kk * p.n;
+          for (int i = 0; i < p.m; ++i) {
+            float av = amat[static_cast<int64_t>(i) * p.k + kk];
+            if (av == 0.0f) continue;
+            const float* dcrow = dc + static_cast<int64_t>(i) * p.n;
+            for (int j = 0; j < p.n; ++j) dbrow[j] += av * dcrow[j];
+          }
+        }
+      }
+    });
   };
   return Tensor::MakeFromOp(p.out_shape, std::move(out), {a, b},
                             std::move(backward));
@@ -350,19 +425,24 @@ Tensor Transpose(const Tensor& x, int d0, int d1) {
   int64_t n = x.numel();
   std::vector<float> out(static_cast<size_t>(n));
   const auto& xv = x.data();
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t src = MapOffset(i, out_shape, out_strides, perm_strides);
-    out[static_cast<size_t>(i)] = xv[static_cast<size_t>(src)];
-  }
+  ParallelFor(0, n, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      int64_t src = MapOffset(i, out_shape, out_strides, perm_strides);
+      out[static_cast<size_t>(i)] = xv[static_cast<size_t>(src)];
+    }
+  });
   Tensor tx = x;
   auto backward = [tx, out_shape, out_strides,
                    perm_strides](internal::TensorImpl& node) mutable {
     auto& gx = tx.grad();
     int64_t n2 = static_cast<int64_t>(node.grad.size());
-    for (int64_t i = 0; i < n2; ++i) {
-      int64_t src = MapOffset(i, out_shape, out_strides, perm_strides);
-      gx[static_cast<size_t>(src)] += node.grad[static_cast<size_t>(i)];
-    }
+    // The index map is a bijection, so the scatter writes are disjoint.
+    ParallelFor(0, n2, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        int64_t src = MapOffset(i, out_shape, out_strides, perm_strides);
+        gx[static_cast<size_t>(src)] += node.grad[static_cast<size_t>(i)];
+      }
+    });
   };
   return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
                             std::move(backward));
@@ -561,23 +641,27 @@ Tensor Sum(const Tensor& x, int axis, bool keepdim) {
   if (out_shape.empty()) out_shape.push_back(1);
   std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
   const auto& xv = x.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t j = 0; j < n; ++j) {
-      const float* src = xv.data() + (o * n + j) * inner;
-      float* dst = out.data() + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+  ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      for (int64_t j = 0; j < n; ++j) {
+        const float* src = xv.data() + (o * n + j) * inner;
+        float* dst = out.data() + o * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+      }
     }
-  }
+  });
   Tensor tx = x;
   auto backward = [tx, outer, n, inner](internal::TensorImpl& node) mutable {
     auto& gx = tx.grad();
-    for (int64_t o = 0; o < outer; ++o) {
-      const float* g = node.grad.data() + o * inner;
-      for (int64_t j = 0; j < n; ++j) {
-        float* dst = gx.data() + (o * n + j) * inner;
-        for (int64_t i = 0; i < inner; ++i) dst[i] += g[i];
+    ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        const float* g = node.grad.data() + o * inner;
+        for (int64_t j = 0; j < n; ++j) {
+          float* dst = gx.data() + (o * n + j) * inner;
+          for (int64_t i = 0; i < inner; ++i) dst[i] += g[i];
+        }
       }
-    }
+    });
   };
   return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
                             std::move(backward));
@@ -611,41 +695,45 @@ Tensor Softmax(const Tensor& x, int axis) {
   AxisGeometry(x, &ax, &outer, &n, &inner);
   std::vector<float> out(x.data().size());
   const auto& xv = x.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float mx = -std::numeric_limits<float>::infinity();
-      for (int64_t j = 0; j < n; ++j) {
-        mx = std::max(mx, xv[static_cast<size_t>((o * n + j) * inner + i)]);
-      }
-      float denom = 0.0f;
-      for (int64_t j = 0; j < n; ++j) {
-        size_t idx = static_cast<size_t>((o * n + j) * inner + i);
-        out[idx] = std::exp(xv[idx] - mx);
-        denom += out[idx];
-      }
-      for (int64_t j = 0; j < n; ++j) {
-        out[static_cast<size_t>((o * n + j) * inner + i)] /= denom;
+  ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        float mx = -std::numeric_limits<float>::infinity();
+        for (int64_t j = 0; j < n; ++j) {
+          mx = std::max(mx, xv[static_cast<size_t>((o * n + j) * inner + i)]);
+        }
+        float denom = 0.0f;
+        for (int64_t j = 0; j < n; ++j) {
+          size_t idx = static_cast<size_t>((o * n + j) * inner + i);
+          out[idx] = std::exp(xv[idx] - mx);
+          denom += out[idx];
+        }
+        for (int64_t j = 0; j < n; ++j) {
+          out[static_cast<size_t>((o * n + j) * inner + i)] /= denom;
+        }
       }
     }
-  }
+  });
   Tensor tx = x;
   std::vector<float> yv = out;
   auto backward = [tx, yv, outer, n, inner](internal::TensorImpl& node) mutable {
     auto& gx = tx.grad();
     const auto& g = node.grad;
-    for (int64_t o = 0; o < outer; ++o) {
-      for (int64_t i = 0; i < inner; ++i) {
-        float dot = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-          size_t idx = static_cast<size_t>((o * n + j) * inner + i);
-          dot += g[idx] * yv[idx];
-        }
-        for (int64_t j = 0; j < n; ++j) {
-          size_t idx = static_cast<size_t>((o * n + j) * inner + i);
-          gx[idx] += yv[idx] * (g[idx] - dot);
+    ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        for (int64_t i = 0; i < inner; ++i) {
+          float dot = 0.0f;
+          for (int64_t j = 0; j < n; ++j) {
+            size_t idx = static_cast<size_t>((o * n + j) * inner + i);
+            dot += g[idx] * yv[idx];
+          }
+          for (int64_t j = 0; j < n; ++j) {
+            size_t idx = static_cast<size_t>((o * n + j) * inner + i);
+            gx[idx] += yv[idx] * (g[idx] - dot);
+          }
         }
       }
-    }
+    });
   };
   return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
                             std::move(backward));
@@ -667,7 +755,10 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
   std::vector<float> out(NumElements(out_shape), 0.0f);
   const auto& xv = x.data();
   const auto& wv = w.data();
-  for (int r = 0; r < rows; ++r) {
+  const int64_t conv_row_work =
+      static_cast<int64_t>(t_len) * kernel * c_in * c_out;
+  ParallelFor(0, rows, GrainFor(conv_row_work), [&](int64_t r0, int64_t r1) {
+  for (int r = static_cast<int>(r0); r < r1; ++r) {
     for (int t = 0; t < t_len; ++t) {
       float* dst = out.data() + (static_cast<int64_t>(r) * t_len + t) * c_out;
       if (b.defined()) {
@@ -689,6 +780,7 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
       }
     }
   }
+  });
   Tensor tx = x, tw = w, tb = b;
   std::vector<Tensor> parents = {x, w};
   if (b.defined()) parents.push_back(b);
@@ -699,31 +791,88 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
     const auto& xv = tx.data();
     const auto& wv = tw.data();
     const auto& g = node.grad;
-    for (int r = 0; r < rows; ++r) {
-      for (int t = 0; t < t_len; ++t) {
-        const float* grow =
-            g.data() + (static_cast<int64_t>(r) * t_len + t) * c_out;
-        for (int k = 0; k < kernel; ++k) {
-          int tau = t - k * dilation;
-          if (tau < 0) continue;
-          const float* src =
-              xv.data() + (static_cast<int64_t>(r) * t_len + tau) * c_in;
-          float* gsrc =
-              gx.data() + (static_cast<int64_t>(r) * t_len + tau) * c_in;
-          const float* wk = wv.data() + static_cast<int64_t>(k) * c_in * c_out;
-          float* gwk = gw.data() + static_cast<int64_t>(k) * c_in * c_out;
-          for (int ci = 0; ci < c_in; ++ci) {
-            const float* wrow = wk + static_cast<int64_t>(ci) * c_out;
-            float* gwrow = gwk + static_cast<int64_t>(ci) * c_out;
-            float acc = 0.0f;
-            for (int o = 0; o < c_out; ++o) {
-              acc += grow[o] * wrow[o];
-              gwrow[o] += grow[o] * src[ci];
+    const int64_t row_work = static_cast<int64_t>(t_len) * kernel * c_in * c_out;
+    if (!WillParallelize(rows, row_work)) {
+      // Fused single pass: dX and dW share the dC reads.
+      for (int r = 0; r < rows; ++r) {
+        for (int t = 0; t < t_len; ++t) {
+          const float* grow =
+              g.data() + (static_cast<int64_t>(r) * t_len + t) * c_out;
+          for (int k = 0; k < kernel; ++k) {
+            int tau = t - k * dilation;
+            if (tau < 0) continue;
+            const float* src =
+                xv.data() + (static_cast<int64_t>(r) * t_len + tau) * c_in;
+            float* gsrc =
+                gx.data() + (static_cast<int64_t>(r) * t_len + tau) * c_in;
+            const float* wk =
+                wv.data() + static_cast<int64_t>(k) * c_in * c_out;
+            float* gwk = gw.data() + static_cast<int64_t>(k) * c_in * c_out;
+            for (int ci = 0; ci < c_in; ++ci) {
+              const float* wrow = wk + static_cast<int64_t>(ci) * c_out;
+              float* gwrow = gwk + static_cast<int64_t>(ci) * c_out;
+              float acc = 0.0f;
+              for (int o = 0; o < c_out; ++o) {
+                acc += grow[o] * wrow[o];
+                gwrow[o] += grow[o] * src[ci];
+              }
+              gsrc[ci] += acc;
             }
-            gsrc[ci] += acc;
           }
         }
       }
+    } else {
+      // Parallel path, two passes with disjoint writes per chunk. Each grad
+      // element keeps the fused pass's accumulation order — (t, k)-ascending
+      // for dX, (r, t)-ascending for dW — so both paths are bit-identical.
+      ParallelFor(0, rows, GrainFor(row_work), [&](int64_t r0, int64_t r1) {
+        for (int r = static_cast<int>(r0); r < r1; ++r) {
+          for (int t = 0; t < t_len; ++t) {
+            const float* grow =
+                g.data() + (static_cast<int64_t>(r) * t_len + t) * c_out;
+            for (int k = 0; k < kernel; ++k) {
+              int tau = t - k * dilation;
+              if (tau < 0) continue;
+              float* gsrc =
+                  gx.data() + (static_cast<int64_t>(r) * t_len + tau) * c_in;
+              const float* wk =
+                  wv.data() + static_cast<int64_t>(k) * c_in * c_out;
+              for (int ci = 0; ci < c_in; ++ci) {
+                const float* wrow = wk + static_cast<int64_t>(ci) * c_out;
+                float acc = 0.0f;
+                for (int o = 0; o < c_out; ++o) acc += grow[o] * wrow[o];
+                gsrc[ci] += acc;
+              }
+            }
+          }
+        }
+      });
+      const int64_t unit_work = static_cast<int64_t>(rows) * t_len * c_out;
+      ParallelFor(0, static_cast<int64_t>(kernel) * c_in, GrainFor(unit_work),
+                  [&](int64_t u0, int64_t u1) {
+                    for (int64_t u = u0; u < u1; ++u) {
+                      const int k = static_cast<int>(u / c_in);
+                      const int ci = static_cast<int>(u % c_in);
+                      float* gwrow = gw.data() + u * c_out;
+                      for (int r = 0; r < rows; ++r) {
+                        for (int t = 0; t < t_len; ++t) {
+                          int tau = t - k * dilation;
+                          if (tau < 0) continue;
+                          const float* grow =
+                              g.data() +
+                              (static_cast<int64_t>(r) * t_len + t) * c_out;
+                          float sv =
+                              xv[static_cast<size_t>(
+                                  (static_cast<int64_t>(r) * t_len + tau) *
+                                      c_in +
+                                  ci)];
+                          for (int o = 0; o < c_out; ++o) {
+                            gwrow[o] += grow[o] * sv;
+                          }
+                        }
+                      }
+                    }
+                  });
     }
     if (tb.defined()) {
       auto& gb = tb.grad();

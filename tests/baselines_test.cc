@@ -13,7 +13,7 @@ namespace {
 ForecastTask SmallTask() {
   ScaleConfig cfg = ScaleConfig::Test();
   ForecastTask task;
-  task.data = MakeSyntheticDataset("Los-Loop", cfg);
+  task.data = MakeSyntheticDataset("Los-Loop", cfg).value();
   task.p = 12;
   task.q = 12;
   return task;

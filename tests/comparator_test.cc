@@ -171,7 +171,7 @@ TEST(CollectSamplesTest, EndToEndTinyCollection) {
   ScaleConfig cfg = ScaleConfig::Test();
   std::vector<ForecastTask> tasks;
   ForecastTask t;
-  t.data = MakeSyntheticDataset("PEMS04", cfg);
+  t.data = MakeSyntheticDataset("PEMS04", cfg).value();
   t.p = 12;
   t.q = 12;
   tasks.push_back(t);
@@ -203,7 +203,7 @@ TEST(CollectSamplesTest, SharedPoolIdenticalAcrossTasks) {
   std::vector<ForecastTask> tasks;
   for (const char* name : {"PEMS04", "ETTh1"}) {
     ForecastTask t;
-    t.data = MakeSyntheticDataset(name, cfg);
+    t.data = MakeSyntheticDataset(name, cfg).value();
     t.p = 12;
     t.q = 12;
     tasks.push_back(t);

@@ -37,7 +37,7 @@ std::vector<ForecastTask> TinySourceTasks() {
   std::vector<ForecastTask> tasks;
   for (const char* name : {"PEMS04", "ETTh1"}) {
     ForecastTask t;
-    t.data = MakeSyntheticDataset(name, cfg);
+    t.data = MakeSyntheticDataset(name, cfg).value();
     t.p = 12;
     t.q = 12;
     tasks.push_back(t);
@@ -48,7 +48,7 @@ std::vector<ForecastTask> TinySourceTasks() {
 ForecastTask UnseenTask() {
   ScaleConfig cfg = ScaleConfig::Test();
   ForecastTask t;
-  t.data = MakeSyntheticDataset("Los-Loop", cfg);
+  t.data = MakeSyntheticDataset("Los-Loop", cfg).value();
   t.p = 12;
   t.q = 12;
   return t;
@@ -123,8 +123,9 @@ TEST(TrainTopKTest, PicksValidationWinner) {
   train.epochs = 1;
   train.batch_size = 2;
   train.batches_per_epoch = 2;
-  SearchOutcome outcome =
-      TrainTopKAndSelect(candidates, task, train, ScaleConfig::Test(), 5);
+  SearchOutcome outcome = TrainTopKAndSelect(candidates, task, train,
+                                             ScaleConfig::Test(),
+                                             ExecContext{}.WithSeed(5));
   bool matches_one = outcome.best == candidates[0] ||
                      outcome.best == candidates[1];
   EXPECT_TRUE(matches_one);
@@ -138,7 +139,7 @@ TEST(AutoCtsPlusPlusTest, RetrainWithSamplesExtendsBank) {
   // e.g. after adding an operator or a new source domain).
   ScaleConfig cfg = ScaleConfig::Test();
   ForecastTask extra_task;
-  extra_task.data = MakeSyntheticDataset("Solar-Energy", cfg);
+  extra_task.data = MakeSyntheticDataset("Solar-Energy", cfg).value();
   extra_task.p = 12;
   extra_task.q = 12;
   Rng rng(77);

@@ -170,20 +170,31 @@ TEST(MetricsTest, SpearmanHandlesMonotoneAndTies) {
 TEST(SyntheticTest, AllNamedDatasetsGenerate) {
   ScaleConfig cfg = ScaleConfig::Test();
   for (const auto& name : SourceDatasetNames()) {
-    auto d = MakeSyntheticDataset(name, cfg);
+    auto d = MakeSyntheticDataset(name, cfg).value();
     EXPECT_GE(d->num_series(), 3) << name;
     EXPECT_GE(d->num_steps(), 200) << name;
   }
   for (const auto& name : TargetDatasetNames()) {
-    auto d = MakeSyntheticDataset(name, cfg);
+    auto d = MakeSyntheticDataset(name, cfg).value();
     EXPECT_GE(d->num_series(), 3) << name;
   }
 }
 
+TEST(SyntheticTest, UnknownNameIsError) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  StatusOr<CtsDatasetPtr> d = MakeSyntheticDataset("NOT-A-DATASET", cfg);
+  EXPECT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("NOT-A-DATASET"), std::string::npos);
+  // The error names the valid alternatives.
+  EXPECT_NE(d.status().message().find("PEMS-BAY"), std::string::npos);
+  StatusOr<DatasetProfile> p = ProfileFor("", cfg);
+  EXPECT_FALSE(p.ok());
+}
+
 TEST(SyntheticTest, Deterministic) {
   ScaleConfig cfg = ScaleConfig::Test();
-  auto a = MakeSyntheticDataset("PEMS-BAY", cfg);
-  auto b = MakeSyntheticDataset("PEMS-BAY", cfg);
+  auto a = MakeSyntheticDataset("PEMS-BAY", cfg).value();
+  auto b = MakeSyntheticDataset("PEMS-BAY", cfg).value();
   EXPECT_EQ(a->values(), b->values());
   EXPECT_EQ(a->adjacency(), b->adjacency());
 }
@@ -191,13 +202,13 @@ TEST(SyntheticTest, Deterministic) {
 TEST(SyntheticTest, DomainSignatures) {
   ScaleConfig cfg = ScaleConfig::Test();
   // Traffic speeds stay within physical bounds.
-  auto speed = MakeSyntheticDataset("PEMS-BAY", cfg);
+  auto speed = MakeSyntheticDataset("PEMS-BAY", cfg).value();
   for (float v : speed->values()) {
     EXPECT_GE(v, 0.0f);
     EXPECT_LE(v, 80.0f);
   }
   // Solar has exact zeros (night) and positive values (day).
-  auto solar = MakeSyntheticDataset("Solar-Energy", cfg);
+  auto solar = MakeSyntheticDataset("Solar-Energy", cfg).value();
   int zeros = 0, positives = 0;
   for (float v : solar->values()) {
     if (v == 0.0f) ++zeros;
@@ -206,10 +217,10 @@ TEST(SyntheticTest, DomainSignatures) {
   EXPECT_GT(zeros, 0);
   EXPECT_GT(positives, 0);
   // Demand counts are non-negative.
-  auto taxi = MakeSyntheticDataset("NYC-TAXI", cfg);
+  auto taxi = MakeSyntheticDataset("NYC-TAXI", cfg).value();
   for (float v : taxi->values()) EXPECT_GE(v, 0.0f);
   // Electricity scale is much larger than traffic-speed scale.
-  auto elec = MakeSyntheticDataset("Electricity", cfg);
+  auto elec = MakeSyntheticDataset("Electricity", cfg).value();
   float ms, ss, me, se;
   speed->MeanStd(1.0, &ms, &ss);
   elec->MeanStd(1.0, &me, &se);
@@ -220,7 +231,7 @@ TEST(SyntheticTest, SpatialCorrelationFollowsAdjacency) {
   ScaleConfig cfg;
   cfg.num_sensors = 8;
   cfg.num_steps = 400;
-  auto d = MakeSyntheticDataset("PEMS-BAY", cfg);
+  auto d = MakeSyntheticDataset("PEMS-BAY", cfg).value();
   // Average |corr| between strongly-connected pairs should exceed that of
   // disconnected pairs.
   int n = d->num_series(), t_len = d->num_steps();
@@ -253,7 +264,7 @@ TEST(SyntheticTest, SpatialCorrelationFollowsAdjacency) {
 
 TEST(SubsetTaskTest, DeriveSubsetKeepsStructure) {
   ScaleConfig cfg = ScaleConfig::Test();
-  auto d = MakeSyntheticDataset("PEMS04", cfg);
+  auto d = MakeSyntheticDataset("PEMS04", cfg).value();
   Rng rng(3);
   ForecastTask task = DeriveSubsetTask(d, 12, 12, false, &rng);
   EXPECT_LE(task.data->num_series(), d->num_series());

@@ -42,8 +42,8 @@ TEST(Ts2VecTest, CausalRepresentation) {
 TEST(Ts2VecTest, PretrainingReducesContrastiveLoss) {
   ScaleConfig cfg = ScaleConfig::Test();
   std::vector<CtsDatasetPtr> corpora = {
-      MakeSyntheticDataset("PEMS04", cfg),
-      MakeSyntheticDataset("ETTh1", cfg),
+      MakeSyntheticDataset("PEMS04", cfg).value(),
+      MakeSyntheticDataset("ETTh1", cfg).value(),
   };
   Rng rng(4);
   Ts2Vec::Options opts;
@@ -73,7 +73,7 @@ TEST(Ts2VecTest, MlpEncoderAblationInterface) {
 TEST(PreliminaryEmbeddingTest, ShapeAndConstness) {
   ScaleConfig cfg = ScaleConfig::Test();
   ForecastTask task;
-  task.data = MakeSyntheticDataset("PEMS04", cfg);
+  task.data = MakeSyntheticDataset("PEMS04", cfg).value();
   task.p = 12;
   task.q = 12;
   Rng rng(6);
@@ -90,7 +90,7 @@ TEST(PreliminaryEmbeddingTest, DifferentSettingsGiveDifferentShapes) {
   // different embeddings (objective (i) of §3.2.2).
   ScaleConfig cfg = ScaleConfig::Test();
   ForecastTask t12;
-  t12.data = MakeSyntheticDataset("PEMS04", cfg);
+  t12.data = MakeSyntheticDataset("PEMS04", cfg).value();
   t12.p = 12;
   t12.q = 12;
   ForecastTask t24 = t12;

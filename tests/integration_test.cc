@@ -29,7 +29,7 @@ TEST_P(TaskMatrixTest, PipelineEndToEnd) {
   ScaleConfig cfg = ScaleConfig::Test();
   cfg.num_steps = 260;  // Enough for P-168 windows.
   ForecastTask task;
-  task.data = MakeSyntheticDataset(c.dataset, cfg);
+  task.data = MakeSyntheticDataset(c.dataset, cfg).value();
   task.p = c.p;
   task.q = c.q;
   task.single_step = c.single;
@@ -73,7 +73,7 @@ TEST(ComparatorQuality, TrainedAhcBeatsCoinFlipInTask) {
   ScaleConfig cfg = ScaleConfig::Test();
   cfg.num_steps = 240;
   ForecastTask task;
-  task.data = MakeSyntheticDataset("PEMS04", cfg);
+  task.data = MakeSyntheticDataset("PEMS04", cfg).value();
   task.p = 12;
   task.q = 12;
   Rng rng(9);
@@ -108,7 +108,7 @@ TEST(ComparatorQuality, TrainedAhcBeatsCoinFlipInTask) {
 TEST(Interop, SupernetArchFlowsThroughComparator) {
   ScaleConfig cfg = ScaleConfig::Test();
   ForecastTask task;
-  task.data = MakeSyntheticDataset("Los-Loop", cfg);
+  task.data = MakeSyntheticDataset("Los-Loop", cfg).value();
   task.p = 12;
   task.q = 12;
   SupernetOptions sopts;
@@ -182,9 +182,9 @@ TEST(Determinism, ZeroShotSearchIsReproducible) {
   opts.search.top_k = 1;
   Rng rng(21);
   std::vector<ForecastTask> sources = {DeriveSubsetTask(
-      MakeSyntheticDataset("PEMS04", cfg), 12, 12, false, &rng)};
+      MakeSyntheticDataset("PEMS04", cfg).value(), 12, 12, false, &rng)};
   ForecastTask target;
-  target.data = MakeSyntheticDataset("Los-Loop", cfg);
+  target.data = MakeSyntheticDataset("Los-Loop", cfg).value();
   target.p = 12;
   target.q = 12;
 

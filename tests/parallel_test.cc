@@ -1,0 +1,283 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/autocts.h"
+#include "data/synthetic.h"
+#include "tensor/ops.h"
+
+namespace autocts {
+namespace {
+
+// ---- ThreadPool / ParallelFor mechanics ----------------------------------
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  ExecScope scope(ExecContext{&pool, 0});
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, 7, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesNeverCallFn) {
+  ThreadPool pool(4);
+  ExecScope scope(ExecContext{&pool, 0});
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { calls++; });
+  ParallelFor(10, 3, 1, [&](int64_t, int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleLanePoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ExecScope scope(ExecContext{&pool, 0});
+  std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  ParallelFor(0, 100000, 1, [&](int64_t b, int64_t e) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 100000);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);  // One chunk: the serial path.
+}
+
+TEST(ParallelForTest, SmallRangeRunsInlineEvenOnBigPool) {
+  ThreadPool pool(4);
+  ExecScope scope(ExecContext{&pool, 0});
+  std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(0, 8, 8, [&](int64_t, int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_FALSE(InParallelRegion());  // Inline path never sets the flag.
+  });
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineOnTheSameThread) {
+  ThreadPool pool(4);
+  ExecScope scope(ExecContext{&pool, 0});
+  std::atomic<int> inner_total{0};
+  std::atomic<int> wrong_thread{0};
+  ParallelFor(0, 8, 1, [&](int64_t b, int64_t e) {
+    EXPECT_TRUE(InParallelRegion());
+    std::thread::id outer_executor = std::this_thread::get_id();
+    for (int64_t i = b; i < e; ++i) {
+      ParallelFor(0, 1000, 1, [&](int64_t ib, int64_t ie) {
+        if (std::this_thread::get_id() != outer_executor) wrong_thread++;
+        inner_total += static_cast<int>(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(wrong_thread.load(), 0);
+  EXPECT_EQ(inner_total.load(), 8 * 1000);
+}
+
+TEST(ParallelForTest, FirstExceptionInChunkOrderPropagates) {
+  ThreadPool pool(4);
+  ExecScope scope(ExecContext{&pool, 0});
+  // Every chunk throws; the contract picks the lowest chunk, whose begin is
+  // the range begin.
+  try {
+    ParallelFor(0, 1000, 1, [&](int64_t b, int64_t) {
+      throw std::runtime_error("boom@" + std::to_string(b));
+    });
+    FAIL() << "ParallelFor should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom@0");
+  }
+}
+
+TEST(ParallelForTest, PoolIsUsableAfterAnException) {
+  ThreadPool pool(4);
+  ExecScope scope(ExecContext{&pool, 0});
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [&](int64_t, int64_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> covered{0};
+  ParallelFor(0, 100, 1, [&](int64_t b, int64_t e) {
+    covered += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(covered.load(), 100);
+}
+
+TEST(ParallelForTest, PartitionIsDeterministicAcrossRuns) {
+  ThreadPool pool(4);
+  ExecScope scope(ExecContext{&pool, 0});
+  auto boundaries = [&] {
+    std::mutex mu;
+    std::set<std::pair<int64_t, int64_t>> chunks;
+    ParallelFor(0, 12345, 10, [&](int64_t b, int64_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.insert({b, e});
+    });
+    return chunks;
+  };
+  EXPECT_EQ(boundaries(), boundaries());
+}
+
+TEST(ForkSeedsTest, DependsOnlyOnParentStream) {
+  Rng a(123), b(123), c(124);
+  std::vector<uint64_t> sa = ForkSeeds(&a, 8);
+  std::vector<uint64_t> sb = ForkSeeds(&b, 8);
+  std::vector<uint64_t> sc = ForkSeeds(&c, 8);
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+  EXPECT_EQ(std::set<uint64_t>(sa.begin(), sa.end()).size(), sa.size());
+}
+
+TEST(ExecContextTest, NullPoolFallsBackToDefault) {
+  ExecContext ctx;
+  EXPECT_EQ(ctx.effective_pool(), DefaultPool());
+  ThreadPool pool(2);
+  ctx.pool = &pool;
+  EXPECT_EQ(ctx.effective_pool(), &pool);
+  EXPECT_EQ(ctx.num_threads(), 2);
+  EXPECT_EQ(ctx.WithSeed(42).seed, 42u);
+  EXPECT_EQ(ctx.WithSeed(42).pool, &pool);
+}
+
+TEST(ExecScopeTest, InstallsAndRestoresCurrentPool) {
+  ThreadPool outer_pool(2), inner_pool(3);
+  ThreadPool* before = CurrentPool();
+  {
+    ExecScope outer(ExecContext{&outer_pool, 0});
+    EXPECT_EQ(CurrentPool(), &outer_pool);
+    {
+      ExecScope inner(ExecContext{&inner_pool, 0});
+      EXPECT_EQ(CurrentPool(), &inner_pool);
+    }
+    EXPECT_EQ(CurrentPool(), &outer_pool);
+  }
+  EXPECT_EQ(CurrentPool(), before);
+}
+
+// ---- Kernel bit-exactness: 1 thread vs 4 threads -------------------------
+
+/// Runs `fn` with a dedicated pool of `threads` lanes installed and returns
+/// whatever float buffers it captured.
+std::vector<std::vector<float>> OnPool(
+    int threads, const std::function<std::vector<std::vector<float>>()>& fn) {
+  ThreadPool pool(threads);
+  ExecScope scope(ExecContext{&pool, 0});
+  return fn();
+}
+
+TEST(ThreadCountInvarianceTest, MatMulForwardAndBackward) {
+  // Large enough that every parallel path in MatMul fwd/bwd actually fans
+  // out at 4 lanes (and the fused serial fallback runs at 1 lane).
+  auto run = []() -> std::vector<std::vector<float>> {
+    Rng rng(7);
+    Tensor a = Tensor::Randn({4, 96, 32}, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor b = Tensor::Randn({4, 32, 48}, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor out = MatMul(a, b);
+    SumAll(out).Backward();
+    return {out.data(), a.grad(), b.grad()};
+  };
+  EXPECT_EQ(OnPool(1, run), OnPool(4, run));
+}
+
+TEST(ThreadCountInvarianceTest, CausalConvForwardAndBackward) {
+  auto run = []() -> std::vector<std::vector<float>> {
+    Rng rng(11);
+    Tensor x = Tensor::Randn({24, 64, 8}, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor w = Tensor::Randn({3, 8, 16}, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor b = Tensor::Randn({16}, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor out = CausalConv1d(x, w, b, /*dilation=*/2);
+    SumAll(out).Backward();
+    return {out.data(), x.grad(), w.grad(), b.grad()};
+  };
+  EXPECT_EQ(OnPool(1, run), OnPool(4, run));
+}
+
+TEST(ThreadCountInvarianceTest, ElementwiseSoftmaxReductionChain) {
+  auto run = []() -> std::vector<std::vector<float>> {
+    Rng rng(13);
+    Tensor a = Tensor::Randn({64, 700}, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor b = Tensor::Randn({64, 700}, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor s = Softmax(Mul(Add(a, b), Sigmoid(a)), /*axis=*/1);
+    SumAll(Mul(s, b)).Backward();
+    return {s.data(), a.grad(), b.grad()};
+  };
+  EXPECT_EQ(OnPool(1, run), OnPool(4, run));
+}
+
+// ---- End-to-end determinism: num_threads = 1 vs 4 ------------------------
+
+AutoCtsOptions TinyOptions(int num_threads) {
+  ScaleConfig cfg = ScaleConfig::Test();
+  AutoCtsOptions opts = AutoCtsOptions::ForScale(cfg);
+  opts.num_threads = num_threads;
+  opts.ts2vec.repr_dim = 4;
+  opts.ts2vec.hidden = 4;
+  opts.ts2vec_pretrain.epochs = 1;
+  opts.ts2vec_pretrain.batches_per_epoch = 2;
+  opts.ts2vec_pretrain.batch_size = 2;
+  opts.comparator.repr_dim = 4;
+  opts.comparator.gin.embed_dim = 8;
+  opts.comparator.f1 = 8;
+  opts.comparator.f2 = 4;
+  opts.collect.train.batches_per_epoch = 2;
+  opts.pretrain.epochs = 2;
+  opts.search.ranking_pool = 16;
+  opts.search.opponents_per_candidate = 2;
+  opts.search.population = 4;
+  opts.search.generations = 1;
+  opts.search.top_k = 1;
+  opts.final_train.epochs = 1;
+  opts.final_train.batches_per_epoch = 2;
+  opts.final_train.batch_size = 2;
+  return opts;
+}
+
+std::vector<ForecastTask> TinySourceTasks() {
+  ScaleConfig cfg = ScaleConfig::Test();
+  std::vector<ForecastTask> tasks;
+  for (const char* name : {"PEMS04", "ETTh1"}) {
+    ForecastTask t;
+    t.data = MakeSyntheticDataset(name, cfg).value();
+    t.p = 12;
+    t.q = 12;
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+TEST(ThreadCountInvarianceTest, EndToEndSearchAndTrain) {
+  // The whole pipeline — TS2Vec pre-training, sample collection, comparator
+  // pre-training, evolutionary search, top-K final training — must produce
+  // bit-identical results whatever AutoCtsOptions::num_threads is.
+  auto run = [](int num_threads) {
+    AutoCtsPlusPlus framework(TinyOptions(num_threads));
+    PretrainReport pre = framework.Pretrain(TinySourceTasks());
+    ScaleConfig cfg = ScaleConfig::Test();
+    ForecastTask task;
+    task.data = MakeSyntheticDataset("Los-Loop", cfg).value();
+    task.p = 12;
+    task.q = 12;
+    SearchOutcome out = framework.SearchAndTrain(task);
+    return std::tuple(pre.final_accuracy, out.best.Signature(),
+                      out.best_report.val.mae, out.best_report.test.mae,
+                      out.best_report.test.rmse);
+  };
+  auto serial = run(1);
+  auto threaded = run(4);
+  EXPECT_EQ(std::get<0>(serial), std::get<0>(threaded));
+  EXPECT_EQ(std::get<1>(serial), std::get<1>(threaded));
+  EXPECT_EQ(std::get<2>(serial), std::get<2>(threaded));
+  EXPECT_EQ(std::get<3>(serial), std::get<3>(threaded));
+  EXPECT_EQ(std::get<4>(serial), std::get<4>(threaded));
+}
+
+}  // namespace
+}  // namespace autocts
