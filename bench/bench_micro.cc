@@ -2,8 +2,20 @@
 // operator forwards, GIN inference, comparator ranking throughput, and a
 // supernet training step. These pin the per-component costs that the
 // paper's efficiency claims (Fig. 7, Table 13 TIME column) decompose into.
+//
+// After the google-benchmark pass, main() runs a small self-timed pass and
+// writes BENCH_PR2.json (kernel throughput, buffer-pool hit rate, and
+// allocations per training step) for CI to archive. AUTOCTS_BENCH_ITERS
+// sets its iteration count (default 5; CI smoke uses 2).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
 #include "common/parallel.h"
 #include "comparator/comparator.h"
 #include "data/synthetic.h"
@@ -13,6 +25,7 @@
 #include "nn/optimizer.h"
 #include "search/evolutionary.h"
 #include "supernet/supernet.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 
 namespace autocts {
@@ -191,7 +204,144 @@ void BM_SupernetStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SupernetStep);
 
+// ---- Self-timed JSON report (BENCH_PR2.json) ------------------------------
+
+/// The MatMul inner kernel this repo shipped before the blocked GEMM
+/// (row-major axpy with a zero skip), kept verbatim as the speedup baseline
+/// the JSON report measures against.
+void PrePrGemmAcc(const float* a, const float* b, float* c, int m, int k,
+                  int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * k;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<int64_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Mean wall-clock ns of `fn` over `iters` runs.
+template <typename Fn>
+double MeanNs(int iters, Fn fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         iters;
+}
+
+void AppendMatMulRecords(int iters,
+                         std::vector<bench::MicroBenchRecord>* records) {
+  constexpr int kN = 512;
+  const double flop = 2.0 * kN * kN * kN;
+  Rng rng(11);
+  Tensor a = Tensor::Randn({kN, kN}, &rng);
+  Tensor b = Tensor::Randn({kN, kN}, &rng);
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ExecScope scope(ExecContext{&pool, 0});
+    double ns = MeanNs(iters, [&] {
+      benchmark::DoNotOptimize(MatMul(a, b).data().data());
+    });
+    bench::MicroBenchRecord rec;
+    rec.op = "matmul_blocked_512";
+    rec.threads = threads;
+    rec.gflops = flop / ns;
+    rec.ns_per_iter = ns;
+    records->push_back(rec);
+  }
+  std::vector<float> c(static_cast<size_t>(kN) * kN);
+  double ns = MeanNs(iters, [&] {
+    std::fill(c.begin(), c.end(), 0.0f);
+    PrePrGemmAcc(a.data().data(), b.data().data(), c.data(), kN, kN, kN);
+    benchmark::DoNotOptimize(c.data());
+  });
+  bench::MicroBenchRecord rec;
+  rec.op = "matmul_pre_pr_512";
+  rec.threads = 1;
+  rec.gflops = flop / ns;
+  rec.ns_per_iter = ns;
+  records->push_back(rec);
+}
+
+/// Comparator training steps with buffer-pool counters: one cold step
+/// against an empty pool, then a warmed-up timed run. The warm
+/// allocs_per_step is the number the pool exists to shrink.
+void AppendTrainStepRecords(int iters,
+                            std::vector<bench::MicroBenchRecord>* records) {
+  Rng rng(13);
+  Comparator::Options opts;
+  opts.task_aware = false;
+  Comparator comp(opts, 6);
+  comp.SetTraining(true);
+  JointSearchSpace space;
+  constexpr int kPairs = 8;
+  std::vector<ArchHyperEncoding> first, second;
+  for (int i = 0; i < kPairs; ++i) {
+    first.push_back(EncodeArchHyper(space.Sample(&rng)));
+    second.push_back(EncodeArchHyper(space.Sample(&rng)));
+  }
+  EncodingBatch b1 = StackEncodings(first);
+  EncodingBatch b2 = StackEncodings(second);
+  std::vector<float> labels(kPairs);
+  for (int i = 0; i < kPairs; ++i) labels[static_cast<size_t>(i)] = i % 2;
+  Adam adam(comp.Parameters(), {});
+  auto step = [&] {
+    adam.ZeroGrad();
+    Tensor target = Tensor::FromVector({kPairs}, labels);
+    Tensor loss =
+        BceLoss(Sigmoid(comp.CompareLogits(b1, b2, Tensor())), target);
+    loss.Backward();
+    adam.Step();
+    loss.ReleaseTape();
+  };
+  BufferPool& pool = BufferPool::Global();
+  pool.Clear();
+  pool.ResetStats();
+  step();
+  bench::MicroBenchRecord cold;
+  cold.op = "comparator_train_step_cold";
+  cold.allocs_per_step =
+      static_cast<double>(ExecContext{}.pool_stats().allocations());
+  records->push_back(cold);
+  for (int i = 0; i < 3; ++i) step();  // Warm the pool.
+  pool.ResetStats();
+  const int warm_iters = std::max(iters, 4);
+  double ns = MeanNs(warm_iters, step);
+  PoolStats stats = ExecContext{}.pool_stats();
+  bench::MicroBenchRecord warm;
+  warm.op = "comparator_train_step_warm";
+  warm.ns_per_iter = ns;
+  warm.pool_hit_rate = stats.hit_rate();
+  warm.allocs_per_step =
+      static_cast<double>(stats.allocations()) / warm_iters;
+  records->push_back(warm);
+}
+
 }  // namespace
+
+void WriteMicroReport() {
+  int iters = 5;
+  if (const char* env = std::getenv("AUTOCTS_BENCH_ITERS")) {
+    iters = std::max(1, std::atoi(env));
+  }
+  std::vector<bench::MicroBenchRecord> records;
+  AppendMatMulRecords(iters, &records);
+  AppendTrainStepRecords(iters, &records);
+  bench::WriteBenchJson("BENCH_PR2.json", records);
+}
+
 }  // namespace autocts
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  autocts::WriteMicroReport();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "baselines/registry.h"
@@ -215,6 +216,28 @@ std::unique_ptr<AutoCtsPlusPlus> PretrainedFramework(
 
 std::string Cell(const Aggregate& agg, int precision) {
   return TextTable::MeanStd(agg.mean, agg.std, precision);
+}
+
+void WriteBenchJson(const std::string& path,
+                    const std::vector<MicroBenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cout << "[bench] cannot write " << path << "\n";
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const MicroBenchRecord& r = records[i];
+    out << "  {\"op\": \"" << r.op << "\", \"threads\": " << r.threads
+        << ", \"gflops\": " << r.gflops
+        << ", \"ns_per_iter\": " << r.ns_per_iter
+        << ", \"pool_hit_rate\": " << r.pool_hit_rate
+        << ", \"allocs_per_step\": " << r.allocs_per_step << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "[bench] wrote " << path << " (" << records.size()
+            << " records)\n";
 }
 
 }  // namespace bench

@@ -80,6 +80,23 @@ std::unique_ptr<AutoCtsPlusPlus> PretrainedFramework(
 /// "1.234±0.010" cell (matching the paper's mean±std presentation).
 std::string Cell(const Aggregate& agg, int precision = 3);
 
+/// One machine-readable micro-benchmark measurement. bench_micro emits a
+/// list of these as BENCH_PR2.json so CI can archive kernel throughput and
+/// allocator pressure per commit. Fields that do not apply to a given op
+/// stay at their zero defaults.
+struct MicroBenchRecord {
+  std::string op;             ///< e.g. "matmul_blocked_512".
+  int threads = 1;
+  double gflops = 0.0;        ///< Arithmetic throughput (0 if not a kernel).
+  double ns_per_iter = 0.0;   ///< Mean wall time per iteration.
+  double pool_hit_rate = 0.0;  ///< Buffer-pool hit rate over the timed run.
+  double allocs_per_step = 0.0;  ///< Heap allocations per iteration.
+};
+
+/// Writes `records` to `path` as a JSON array of flat objects.
+void WriteBenchJson(const std::string& path,
+                    const std::vector<MicroBenchRecord>& records);
+
 }  // namespace bench
 }  // namespace autocts
 

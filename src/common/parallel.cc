@@ -1,6 +1,7 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -202,6 +203,27 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
     int64_t c1 = begin + range * (i + 1) / chunks;
     if (c0 < c1) fn(c0, c1);
   });
+}
+
+namespace {
+
+/// Installed by tensor/buffer_pool.cc at static-init time (function-local
+/// atomic so unsynchronized early reads are safe).
+std::atomic<PoolStatsProvider>& PoolStatsProviderSlot() {
+  static std::atomic<PoolStatsProvider> provider{nullptr};
+  return provider;
+}
+
+}  // namespace
+
+void RegisterPoolStatsProvider(PoolStatsProvider provider) {
+  PoolStatsProviderSlot().store(provider, std::memory_order_release);
+}
+
+PoolStats ExecContext::pool_stats() const {
+  PoolStatsProvider provider =
+      PoolStatsProviderSlot().load(std::memory_order_acquire);
+  return provider != nullptr ? provider() : PoolStats{};
 }
 
 std::vector<uint64_t> ForkSeeds(Rng* rng, int n) {

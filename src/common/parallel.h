@@ -112,6 +112,33 @@ inline bool WillParallelize(int64_t items, int64_t work_per_item) {
 /// on the parent stream, never on thread count or scheduling.
 std::vector<uint64_t> ForkSeeds(Rng* rng, int n);
 
+/// Counters of the tensor-layer buffer pool (see tensor/buffer_pool.h).
+/// Observable from any ExecContext so pipeline code and benches can track
+/// allocator pressure without depending on the tensor layer.
+struct PoolStats {
+  uint64_t hits = 0;      ///< Acquires served from the free-list.
+  uint64_t misses = 0;    ///< Acquires that had to allocate.
+  uint64_t releases = 0;  ///< Buffers parked for reuse.
+  uint64_t dropped = 0;   ///< Releases freed (over capacity / too small).
+  uint64_t bypassed = 0;  ///< Acquires below the minimum pooled size.
+  uint64_t bytes_pooled = 0;  ///< Bytes currently held by the free-list.
+
+  /// Fraction of pooled acquires served without allocating.
+  double hit_rate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+  /// Heap allocations attributable to tensor buffers.
+  uint64_t allocations() const { return misses + bypassed; }
+};
+
+/// Hook the tensor layer installs so ExecContext::pool_stats() works without
+/// a common -> tensor dependency. Later backends (device allocators) can
+/// install their own provider.
+using PoolStatsProvider = PoolStats (*)();
+void RegisterPoolStatsProvider(PoolStatsProvider provider);
+
 /// Execution context threaded through the trainer, the evolutionary search,
 /// and both frameworks: which pool to run kernels on and the base seed that
 /// per-worker RNG streams derive from. Passing contexts (instead of ad-hoc
@@ -132,6 +159,10 @@ struct ExecContext {
     c.seed = s;
     return c;
   }
+  /// Counters of the process-wide tensor buffer pool (all zeros when no
+  /// provider is linked in). The pool is shared, not per-context; contexts
+  /// expose it so observability travels with the execution plumbing.
+  PoolStats pool_stats() const;
 };
 
 /// Installs `ctx`'s pool as the current pool for the enclosing scope, so

@@ -199,6 +199,8 @@ PretrainReport PretrainComparator(Comparator* comparator,
       loss.Backward();
       adam.Step();
       epoch_loss += loss.item();
+      // Recycle the step's graph storage through the buffer pool.
+      loss.ReleaseTape();
       ++batches;
       report.total_pairs_trained += m;
     }

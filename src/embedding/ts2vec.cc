@@ -119,6 +119,8 @@ double PretrainTs2Vec(Ts2Vec* encoder,
       loss.Backward();
       adam.Step();
       epoch_loss += loss.item();
+      // Recycle the step's graph storage through the buffer pool.
+      loss.ReleaseTape();
     }
     last_epoch_loss = epoch_loss / options.batches_per_epoch;
   }

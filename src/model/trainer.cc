@@ -45,6 +45,10 @@ void ModelTrainer::RunEpochs(Forecaster* model, int epochs,
       epoch_loss += loss.item();
       loss.Backward();
       adam.Step();
+      // Sever the step's graph so its buffers go back to the pool now
+      // (pred/pred_scaled handles would otherwise keep nodes alive until
+      // they are reassigned next iteration).
+      loss.ReleaseTape();
     }
     if (losses != nullptr) {
       losses->push_back(epoch_loss / options_.batches_per_epoch);

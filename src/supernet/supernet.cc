@@ -185,8 +185,11 @@ ArchHyper SupernetSearch(const ForecastTask& task,
   auto step = [&](Adam* adam, const WindowBatch& batch) {
     supernet.ZeroGrad();
     Tensor pred = AddScalar(MulScalar(supernet.Forward(batch.x), std), mean);
-    MaeLoss(pred, batch.y).Backward();
+    Tensor loss = MaeLoss(pred, batch.y);
+    loss.Backward();
     adam->Step();
+    // Recycle the step's graph storage through the buffer pool.
+    loss.ReleaseTape();
   };
   // First-order alternating optimization (DARTS style): weights on the
   // train split, architecture parameters on the validation split.

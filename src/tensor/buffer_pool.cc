@@ -1,0 +1,140 @@
+#include "tensor/buffer_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace autocts {
+namespace {
+
+/// floor(log2(x)) for x >= 1.
+int FloorLog2(uint64_t x) {
+  int b = 0;
+  while (x >>= 1) ++b;
+  return b;
+}
+
+/// ceil(log2(x)) for x >= 1.
+int CeilLog2(uint64_t x) {
+  int b = FloorLog2(x);
+  return (uint64_t{1} << b) == x ? b : b + 1;
+}
+
+uint64_t InitialCapacityBytes() {
+  if (const char* env = std::getenv("AUTOCTS_POOL_MB")) {
+    long mb = std::atol(env);
+    if (mb >= 0) return static_cast<uint64_t>(mb) << 20;
+  }
+  return uint64_t{256} << 20;  // 256 MiB.
+}
+
+}  // namespace
+
+BufferPool& BufferPool::Global() {
+  static BufferPool* pool = new BufferPool;  // Leaked: see header.
+  return *pool;
+}
+
+BufferPool::BufferPool() : capacity_bytes_(InitialCapacityBytes()) {}
+
+std::vector<float> BufferPool::Acquire(int64_t n) {
+  CHECK_GE(n, 0);
+  const uint64_t un = static_cast<uint64_t>(n);
+  if (un < (uint64_t{1} << kMinBucketLog2)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.bypassed;
+    return std::vector<float>(un);
+  }
+  const int bucket = CeilLog2(un) - kMinBucketLog2;
+  if (bucket < kNumBuckets) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& list = buckets_[bucket];
+    if (!list.empty()) {
+      std::vector<float> v = std::move(list.back());
+      list.pop_back();
+      ++stats_.hits;
+      stats_.bytes_pooled -= v.capacity() * sizeof(float);
+      // Stored at full capacity (>= n), so this resize only shrinks: O(1),
+      // no reallocation, existing contents untouched.
+      v.resize(un);
+      return v;
+    }
+    ++stats_.misses;
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+  }
+  // Fresh buffer, rounded up to the bucket size so it re-pools cleanly
+  // (oversize requests allocate exactly and land in the top bucket later).
+  std::vector<float> v;
+  if (bucket < kNumBuckets) {
+    v.reserve(uint64_t{1} << (bucket + kMinBucketLog2));
+  }
+  v.resize(un);
+  return v;
+}
+
+std::vector<float> BufferPool::AcquireZeroed(int64_t n) {
+  std::vector<float> v = Acquire(n);
+  std::fill(v.begin(), v.end(), 0.0f);
+  return v;
+}
+
+void BufferPool::Release(std::vector<float>&& v) {
+  const uint64_t cap = v.capacity();
+  if (cap < (uint64_t{1} << kMinBucketLog2)) {
+    if (cap != 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.dropped;
+    }
+    return;  // Frees on scope exit.
+  }
+  const int bucket =
+      std::min(FloorLog2(cap) - kMinBucketLog2, kNumBuckets - 1);
+  const uint64_t bytes = cap * sizeof(float);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.bytes_pooled + bytes > capacity_bytes_) {
+    ++stats_.dropped;
+    return;
+  }
+  // Park at full capacity so a later Acquire can shrink-resize for free.
+  v.resize(cap);
+  stats_.bytes_pooled += bytes;
+  ++stats_.releases;
+  buckets_[bucket].push_back(std::move(v));
+}
+
+PoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t held = stats_.bytes_pooled;
+  stats_ = PoolStats{};
+  stats_.bytes_pooled = held;
+}
+
+void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& list : buckets_) list.clear();
+  stats_.bytes_pooled = 0;
+}
+
+void BufferPool::set_capacity_bytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_bytes_ = bytes;
+}
+
+namespace {
+
+/// Registers the global pool as ExecContext's stats provider (the common
+/// layer cannot depend on tensor/, so the link is a function pointer).
+const bool kStatsProviderRegistered = [] {
+  RegisterPoolStatsProvider([] { return BufferPool::Global().stats(); });
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace autocts

@@ -1,0 +1,88 @@
+#ifndef REPRO_TENSOR_BUFFER_POOL_H_
+#define REPRO_TENSOR_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace autocts {
+
+/// A size-bucketed free-list for float buffers.
+///
+/// Every AutoCTS+ search step trains hundreds of short-lived autograd
+/// graphs, and without pooling each op output, gradient buffer, and
+/// backward temporary is a fresh heap allocation (plus page faults on
+/// first touch). The pool recycles that storage: tensors acquire their
+/// buffers here, and `internal::TensorImpl`'s destructor — the tape-release
+/// hook that fires when a training step's graph is torn down — returns
+/// them, so step N+1 reuses step N's memory instead of round-tripping the
+/// allocator.
+///
+/// Buckets are powers of two (min 4 floats); a request is served from the
+/// bucket of its rounded-up size, so any pooled buffer handed out has
+/// enough capacity. The floor is low because comparator training is
+/// dominated by tiny tensors (hidden dims of single digits); only
+/// scalar-ish requests below it bypass the pool. Pooled bytes are capped
+/// (`set_capacity_bytes`, default 256 MiB, env `AUTOCTS_POOL_MB`); releases
+/// beyond the cap free the buffer instead.
+///
+/// Thread safety: all operations take one internal mutex. Acquires and
+/// releases happen on whichever thread runs the op (sample collection
+/// trains whole models on pool workers), so this must be — and is —
+/// cross-thread safe; tests/buffer_pool_test.cc exercises it under TSan.
+///
+/// Pooling never changes numerics: `Acquire` contents are unspecified and
+/// every caller either fully overwrites or asks for `AcquireZeroed`.
+class BufferPool {
+ public:
+  /// The process-wide pool used by the tensor layer. Never destroyed
+  /// (intentionally leaked) so tensors alive during static teardown can
+  /// still release safely.
+  static BufferPool& Global();
+
+  BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer of size `n` with unspecified contents. The caller must
+  /// overwrite every element (accumulating kernels want AcquireZeroed).
+  std::vector<float> Acquire(int64_t n);
+
+  /// A buffer of size `n`, all zeros.
+  std::vector<float> AcquireZeroed(int64_t n);
+
+  /// Returns a buffer to the pool (or frees it when over capacity / below
+  /// the minimum bucket). Accepts any vector, pooled origin or not.
+  void Release(std::vector<float>&& v);
+
+  /// Snapshot of the counters (see PoolStats in common/parallel.h).
+  PoolStats stats() const;
+
+  /// Zeroes all counters (bytes_pooled reflects current holdings and is
+  /// not reset).
+  void ResetStats();
+
+  /// Frees every pooled buffer (counters keep their values).
+  void Clear();
+
+  /// Caps the bytes held by the pool; releases beyond it free instead.
+  void set_capacity_bytes(uint64_t bytes);
+
+ private:
+  /// Smallest pooled request: 2^2 = 4 floats (16 B).
+  static constexpr int kMinBucketLog2 = 2;
+  /// Largest bucket: 2^30 floats (4 GiB) — far above any tensor here.
+  static constexpr int kNumBuckets = 29;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<float>> buckets_[kNumBuckets];
+  uint64_t capacity_bytes_;
+  PoolStats stats_;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_TENSOR_BUFFER_POOL_H_

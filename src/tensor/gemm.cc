@@ -1,0 +1,233 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+// The 32-byte vector type below changes ABI when AVX is off; everything
+// using it is internal and inlined, so the warning is noise.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+namespace autocts {
+namespace {
+
+/// 8-wide float vector via the GCC/Clang vector extension: one ymm register
+/// under AVX2, a pair of xmm ops otherwise. All uses are elementwise
+/// (mul/add per lane, no horizontal reductions), so vectorization cannot
+/// change any per-element accumulation order — lane j of an accumulator is
+/// exactly the scalar sequence for column j.
+typedef float v8 __attribute__((vector_size(32)));
+/// Same type with alignment 4 for unaligned loads/stores of C rows.
+typedef float v8u __attribute__((vector_size(32), aligned(4)));
+
+inline v8 Load8(const float* p) { return *reinterpret_cast<const v8u*>(p); }
+inline void Store8(float* p, v8 v) { *reinterpret_cast<v8u*>(p) = v; }
+inline v8 Splat(float x) { return v8{x, x, x, x, x, x, x, x}; }
+
+/// Micro-kernel register tile: 6 rows x 16 columns of C = 12 named v8
+/// accumulators, leaving registers for the two B vectors and the A
+/// broadcast (15 of 16 ymm under AVX2). Named scalars instead of a 2-D
+/// array because GCC only register-allocates the tile reliably this way.
+constexpr int kMr = 6;
+constexpr int kNr = 16;
+/// Cache blocking (Goto-style): the packed A block (kMc x kKc = 144 KiB)
+/// plus one B panel column (kKc x kNr = 24 KiB) target L2; a full packed B
+/// panel (kKc x kNc = 1.5 MiB) stays in the outer cache across all A
+/// blocks. Tuned on AVX2 (see DESIGN.md "GEMM blocking & memory reuse").
+constexpr int kMc = 96;
+constexpr int kKc = 384;
+constexpr int kNc = 1024;
+/// Below this many multiply-adds the packing overhead beats the win and a
+/// plain loop is faster. Purely shape-dependent, so kernel choice can never
+/// vary with thread count (and both kernels are bit-identical anyway).
+constexpr int64_t kBlockedMinWork = 1 << 15;
+
+inline float At(const float* x, int64_t ld, bool trans, int64_t r, int64_t c) {
+  return trans ? x[c * ld + r] : x[r * ld + c];
+}
+
+/// Packs the A block rows [ic, ic+mb) x depth [pc, pc+kb) into kMr-row
+/// strips: strip s holds kb runs of kMr values a(ic+s*kMr+ii, pc+kk), so the
+/// micro-kernel reads A contiguously. Rows past mb are zero-padded; padded
+/// lanes are never read by the tail kernel, so the zeros are hygiene, not
+/// arithmetic (a padded product could flip -0.0 bits).
+void PackA(float* dst, const float* a, int64_t lda, bool trans_a, int ic,
+           int pc, int mb, int kb) {
+  for (int ir = 0; ir < mb; ir += kMr) {
+    const int mr = std::min(kMr, mb - ir);
+    float* strip = dst + static_cast<int64_t>(ir / kMr) * kb * kMr;
+    for (int kk = 0; kk < kb; ++kk) {
+      float* run = strip + kk * kMr;
+      for (int ii = 0; ii < mr; ++ii) {
+        run[ii] = At(a, lda, trans_a, ic + ir + ii, pc + kk);
+      }
+      for (int ii = mr; ii < kMr; ++ii) run[ii] = 0.0f;
+    }
+  }
+}
+
+/// Packs the B panel depth [pc, pc+kb) x columns [jc, jc+nb) into kNr-wide
+/// column panels: panel p holds kb rows of kNr values b(pc+kk, jc+p*kNr+jj).
+/// Transposition of B is absorbed here — backward's dA += dC·Bᵀ reads B
+/// column-wise exactly once, during packing.
+void PackB(float* dst, const float* b, int64_t ldb, bool trans_b, int pc,
+           int jc, int kb, int nb) {
+  for (int jr = 0; jr < nb; jr += kNr) {
+    const int nr = std::min(kNr, nb - jr);
+    float* panel = dst + static_cast<int64_t>(jr / kNr) * kb * kNr;
+    for (int kk = 0; kk < kb; ++kk) {
+      float* row = panel + kk * kNr;
+      if (!trans_b) {
+        const float* src = b + static_cast<int64_t>(pc + kk) * ldb + jc + jr;
+        for (int jj = 0; jj < nr; ++jj) row[jj] = src[jj];
+      } else {
+        for (int jj = 0; jj < nr; ++jj) {
+          row[jj] = b[static_cast<int64_t>(jc + jr + jj) * ldb + pc + kk];
+        }
+      }
+      for (int jj = nr; jj < kNr; ++jj) row[jj] = 0.0f;
+    }
+  }
+}
+
+/// Full kMr x kNr tile: loads C into registers, accumulates all kb products
+/// per element in ascending-kk order, stores once. Per-element accumulation
+/// order is therefore identical to the reference triple loop.
+void MicroKernel(int kb, const float* __restrict ap, const float* __restrict bp,
+                 float* c, int64_t ldc) {
+  v8 c00 = Load8(c + 0 * ldc), c01 = Load8(c + 0 * ldc + 8);
+  v8 c10 = Load8(c + 1 * ldc), c11 = Load8(c + 1 * ldc + 8);
+  v8 c20 = Load8(c + 2 * ldc), c21 = Load8(c + 2 * ldc + 8);
+  v8 c30 = Load8(c + 3 * ldc), c31 = Load8(c + 3 * ldc + 8);
+  v8 c40 = Load8(c + 4 * ldc), c41 = Load8(c + 4 * ldc + 8);
+  v8 c50 = Load8(c + 5 * ldc), c51 = Load8(c + 5 * ldc + 8);
+  for (int kk = 0; kk < kb; ++kk) {
+    const float* arow = ap + kk * kMr;
+    const v8 b0 = Load8(bp + kk * kNr);
+    const v8 b1 = Load8(bp + kk * kNr + 8);
+    v8 a;
+    a = Splat(arow[0]), c00 += a * b0, c01 += a * b1;
+    a = Splat(arow[1]), c10 += a * b0, c11 += a * b1;
+    a = Splat(arow[2]), c20 += a * b0, c21 += a * b1;
+    a = Splat(arow[3]), c30 += a * b0, c31 += a * b1;
+    a = Splat(arow[4]), c40 += a * b0, c41 += a * b1;
+    a = Splat(arow[5]), c50 += a * b0, c51 += a * b1;
+  }
+  Store8(c + 0 * ldc, c00), Store8(c + 0 * ldc + 8, c01);
+  Store8(c + 1 * ldc, c10), Store8(c + 1 * ldc + 8, c11);
+  Store8(c + 2 * ldc, c20), Store8(c + 2 * ldc + 8, c21);
+  Store8(c + 3 * ldc, c30), Store8(c + 3 * ldc + 8, c31);
+  Store8(c + 4 * ldc, c40), Store8(c + 4 * ldc + 8, c41);
+  Store8(c + 5 * ldc, c50), Store8(c + 5 * ldc + 8, c51);
+}
+
+/// Edge tile (mr < kMr and/or nr < kNr): accumulates straight into C, same
+/// ascending-kk per-element order, touching only valid rows/columns.
+void MicroKernelTail(int kb, const float* ap, const float* bp, float* c,
+                     int64_t ldc, int mr, int nr) {
+  for (int kk = 0; kk < kb; ++kk) {
+    const float* arow = ap + kk * kMr;
+    const float* brow = bp + kk * kNr;
+    for (int i = 0; i < mr; ++i) {
+      const float av = arow[i];
+      float* crow = c + i * ldc;
+      for (int j = 0; j < nr; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Unblocked path for small problems. The no-transpose case is the
+/// vectorizable axpy formulation; transposed operands read strided (small
+/// shapes only, so the strides stay cache-resident).
+void GemmSmall(const float* a, int64_t lda, bool trans_a, const float* b,
+               int64_t ldb, bool trans_b, float* c, int64_t ldc, int m, int k,
+               int n) {
+  if (!trans_a && !trans_b) {
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * ldc;
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        const float* brow = b + kk * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = At(a, lda, trans_a, i, kk);
+      if (!trans_b) {
+        const float* brow = b + kk * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      } else {
+        for (int j = 0; j < n; ++j) crow[j] += av * b[j * ldb + kk];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void GemmAccRef(const float* a, int64_t lda, bool trans_a, const float* b,
+                int64_t ldb, bool trans_b, float* c, int64_t ldc, int m, int k,
+                int n) {
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = At(a, lda, trans_a, i, kk);
+      for (int j = 0; j < n; ++j) {
+        c[i * ldc + j] += av * At(b, ldb, trans_b, kk, j);
+      }
+    }
+  }
+}
+
+void GemmAcc(const float* a, int64_t lda, bool trans_a, const float* b,
+             int64_t ldb, bool trans_b, float* c, int64_t ldc, int m, int k,
+             int n) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (static_cast<int64_t>(m) * k * n < kBlockedMinWork) {
+    GemmSmall(a, lda, trans_a, b, ldb, trans_b, c, ldc, m, k, n);
+    return;
+  }
+  // Per-thread packing scratch; callers fan out over disjoint row ranges of
+  // C, so each worker packs its own copies (read-only inputs, no sharing).
+  // Strip/panel counts round up, so the scratch must too (kMr/kNr need not
+  // divide kMc/kNc).
+  thread_local std::vector<float> a_pack;
+  thread_local std::vector<float> b_pack;
+  a_pack.resize(static_cast<size_t>((kMc + kMr - 1) / kMr) * kMr * kKc);
+  b_pack.resize(static_cast<size_t>((kNc + kNr - 1) / kNr) * kNr * kKc);
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int nb = std::min(kNc, n - jc);
+    // For one jc stripe, pc blocks complete in ascending order before any
+    // other stripe touches these C columns — the per-element ascending-k
+    // accumulation order the determinism contract requires.
+    for (int pc = 0; pc < k; pc += kKc) {
+      const int kb = std::min(kKc, k - pc);
+      PackB(b_pack.data(), b, ldb, trans_b, pc, jc, kb, nb);
+      for (int ic = 0; ic < m; ic += kMc) {
+        const int mb = std::min(kMc, m - ic);
+        PackA(a_pack.data(), a, lda, trans_a, ic, pc, mb, kb);
+        for (int jr = 0; jr < nb; jr += kNr) {
+          const int nr = std::min(kNr, nb - jr);
+          const float* bp =
+              b_pack.data() + static_cast<int64_t>(jr / kNr) * kb * kNr;
+          for (int ir = 0; ir < mb; ir += kMr) {
+            const int mr = std::min(kMr, mb - ir);
+            const float* ap =
+                a_pack.data() + static_cast<int64_t>(ir / kMr) * kb * kMr;
+            float* cc = c + static_cast<int64_t>(ic + ir) * ldc + jc + jr;
+            if (mr == kMr && nr == kNr) {
+              MicroKernel(kb, ap, bp, cc, ldc);
+            } else {
+              MicroKernelTail(kb, ap, bp, cc, ldc, mr, nr);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace autocts

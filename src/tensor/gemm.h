@@ -1,0 +1,43 @@
+#ifndef REPRO_TENSOR_GEMM_H_
+#define REPRO_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace autocts {
+
+/// Single-precision GEMM kernels behind MatMul's forward and backward.
+///
+/// Both entry points compute C[m,n] += op_a(A)[m,k] * op_b(B)[k,n] over
+/// row-major storage, where op(X) is X or Xᵀ per the trans flag and the
+/// leading dimension (`lda`/`ldb`/`ldc`) is the row stride of the
+/// *untransposed* storage. Transposition happens inside the packing step of
+/// the blocked kernel (and via strided reads in the reference), so callers
+/// never materialize a transposed matrix — MatMul's backward passes
+/// dA += dC·Bᵀ and dB += Aᵀ·dC hit this directly.
+///
+/// Determinism contract (load-bearing for parallel_test): every C element
+/// accumulates its k products one at a time in ascending-k order, starting
+/// from the value already in C. `GemmAcc` is bit-identical to `GemmAccRef`
+/// by construction — blocking changes which products are *computed*
+/// together, never the per-element accumulation order — so callers may
+/// partition rows of C across threads arbitrarily without changing any
+/// output bit. The build compiles with -ffp-contract=off so the compiler
+/// cannot fuse a*b+c differently between the two kernels.
+
+/// Cache-blocked, register-tiled kernel (Goto-style MC/KC/NC blocking with
+/// packed A strips and B panels; 6x16 micro-kernel built on GCC vector
+/// extensions so the C tile lives in registers). Falls back to a simple
+/// loop for small problems where packing costs more than it saves.
+void GemmAcc(const float* a, int64_t lda, bool trans_a, const float* b,
+             int64_t ldb, bool trans_b, float* c, int64_t ldc, int m, int k,
+             int n);
+
+/// Reference kernel: plain i/kk/j triple loop, one add per product. Slow;
+/// exists as the bit-exactness oracle for tests and benches.
+void GemmAccRef(const float* a, int64_t lda, bool trans_a, const float* b,
+                int64_t ldb, bool trans_b, float* c, int64_t ldc, int m, int k,
+                int n);
+
+}  // namespace autocts
+
+#endif  // REPRO_TENSOR_GEMM_H_

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/gemm.h"
 
 namespace autocts {
 namespace {
@@ -58,7 +60,9 @@ template <typename F, typename DA, typename DB>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
   std::vector<int> out_shape = BroadcastShape(a.shape(), b.shape());
   int64_t n = NumElements(out_shape);
-  std::vector<float> out(n);
+  // Pooled with unspecified contents: every index below is written exactly
+  // once (same pattern in the other fully-overwriting ops in this file).
+  std::vector<float> out = BufferPool::Global().Acquire(n);
   const bool same = a.shape() == b.shape();
   if (same) {
     const auto& av = a.data();
@@ -123,8 +127,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
 /// Generic differentiable elementwise unary op. dydx receives (x, y).
 template <typename F, typename D>
 Tensor UnaryOp(const Tensor& x, F fwd, D dydx) {
-  std::vector<float> out(x.data().size());
   const auto& xv = x.data();
+  std::vector<float> out =
+      BufferPool::Global().Acquire(static_cast<int64_t>(xv.size()));
   ParallelFor(0, static_cast<int64_t>(out.size()), kElemGrain,
               [&](int64_t i0, int64_t i1) {
                 for (int64_t i = i0; i < i1; ++i) {
@@ -132,11 +137,14 @@ Tensor UnaryOp(const Tensor& x, F fwd, D dydx) {
                 }
               });
   Tensor tx = x;
-  std::vector<float> yv = out;
-  auto backward = [tx, yv, dydx](internal::TensorImpl& node) mutable {
+  auto backward = [tx, dydx](internal::TensorImpl& node) mutable {
     const auto& g = node.grad;
     auto& gx = tx.grad();
     const auto& xd = tx.data();
+    // node is the op's output, so node.data *is* y — no ops mutate tensor
+    // storage in place, so reading it here replaces the per-op y copy the
+    // closure used to capture.
+    const auto& yv = node.data;
     ParallelFor(0, static_cast<int64_t>(g.size()), kElemGrain,
                 [&](int64_t i0, int64_t i1) {
                   for (int64_t ii = i0; ii < i1; ++ii) {
@@ -282,73 +290,35 @@ MatMulPlan PlanMatMul(const Tensor& a, const Tensor& b) {
   return p;
 }
 
-/// C[m,n] += A[m,k] * B[k,n] over raw pointers.
-void GemmAcc(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<int64_t>(i) * k;
-    float* crow = c + static_cast<int64_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<int64_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// C[m,n] += A[m,k] * B[k,n]ᵀ-style products for backward:
-/// dA[m,k] += dC[m,n] * Bᵀ[n,k]  (i.e., dA[i,kk] += Σ_j dC[i,j] B[kk,j])
-void GemmAccBT(const float* dc, const float* b, float* da, int m, int k,
-               int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* dcrow = dc + static_cast<int64_t>(i) * n;
-    float* darow = da + static_cast<int64_t>(i) * k;
-    for (int kk = 0; kk < k; ++kk) {
-      const float* brow = b + static_cast<int64_t>(kk) * n;
-      float acc = 0.0f;
-      for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
-      darow[kk] += acc;
-    }
-  }
-}
-
-/// dB[k,n] += Aᵀ[k,m] * dC[m,n]  (i.e., dB[kk,j] += Σ_i A[i,kk] dC[i,j])
-void GemmAccAT(const float* a, const float* dc, float* db, int m, int k,
-               int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<int64_t>(i) * k;
-    const float* dcrow = dc + static_cast<int64_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      float* dbrow = db + static_cast<int64_t>(kk) * n;
-      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
-    }
-  }
-}
-
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   MatMulPlan p = PlanMatMul(a, b);
-  std::vector<float> out(NumElements(p.out_shape), 0.0f);
+  std::vector<float> out =
+      BufferPool::Global().AcquireZeroed(NumElements(p.out_shape));
   const int64_t a_stride = p.a_broadcast ? 0 : static_cast<int64_t>(p.m) * p.k;
   const int64_t b_stride = p.b_broadcast ? 0 : static_cast<int64_t>(p.k) * p.n;
   const int64_t c_stride = static_cast<int64_t>(p.m) * p.n;
   {
-    // Rows of the (flattened) output are independent; each row keeps the
-    // same kk-ascending accumulation order as GemmAcc, so chunking cannot
+    // Rows of the (flattened) output are independent, and GemmAcc
+    // accumulates every element in ascending-k order regardless of how many
+    // rows one call covers, so neither the chunk boundaries nor the
+    // blocked/small kernel choice (pure function of the chunk's shape) can
     // change any output bit.
     const float* ad = a.data().data();
     const float* bd = b.data().data();
     const int64_t row_work = static_cast<int64_t>(p.k) * p.n;
     ParallelFor(0, p.batch * p.m, GrainFor(row_work),
                 [&](int64_t r0, int64_t r1) {
-                  for (int64_t r = r0; r < r1; ++r) {
+                  for (int64_t r = r0; r < r1;) {
                     const int64_t bi = r / p.m;
                     const int64_t i = r % p.m;
-                    GemmAcc(ad + bi * a_stride + i * p.k, bd + bi * b_stride,
-                            out.data() + bi * c_stride + i * p.n, 1, p.k, p.n);
+                    const int64_t rows = std::min(r1 - r, p.m - i);
+                    GemmAcc(ad + bi * a_stride + i * p.k, p.k, false,
+                            bd + bi * b_stride, p.n, false,
+                            out.data() + bi * c_stride + i * p.n, p.n,
+                            static_cast<int>(rows), p.k, p.n);
+                    r += rows;
                   }
                 });
   }
@@ -360,45 +330,29 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const float* ad = ta.data().data();
     const float* bd = tb.data().data();
     const float* dc_all = node.grad.data();
-    const int64_t flops = p.batch * static_cast<int64_t>(p.m) * p.k * p.n;
-    if (!WillParallelize(p.m, flops / std::max<int64_t>(1, p.m))) {
-      // Fused single pass: dA and dB share the dC reads.
-      for (int64_t bi = 0; bi < p.batch; ++bi) {
-        const float* dc = dc_all + bi * c_stride;
-        GemmAccBT(dc, bd + bi * b_stride, ga.data() + bi * a_stride, p.m, p.k,
-                  p.n);
-        GemmAccAT(ad + bi * a_stride, dc, gb.data() + bi * b_stride, p.m, p.k,
-                  p.n);
-      }
-      return;
-    }
-    // Parallel path: two passes with disjoint writes per chunk. Every grad
-    // element still accumulates its contributions in the fused pass's order
-    // (bi-ascending for dA, (bi, i)-ascending for dB), so both paths are
-    // bit-identical — thread count only changes which thread does the adds.
+    // dA[m,k] += dC[m,n] · Bᵀ and dB[k,n] += Aᵀ · dC[m,n]; the transposes
+    // are absorbed by GemmAcc's packing, never materialized. Chunking is
+    // over rows of the *output* grad with the batch loop inside, so
+    // broadcast operands (shared grad across batches) still get disjoint
+    // writes per chunk and a fixed bi-ascending per-element order.
     const int64_t a_row_work = p.batch * static_cast<int64_t>(p.k) * p.n;
     ParallelFor(0, p.m, GrainFor(a_row_work), [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        for (int64_t bi = 0; bi < p.batch; ++bi) {
-          GemmAccBT(dc_all + bi * c_stride + i * p.n, bd + bi * b_stride,
-                    ga.data() + bi * a_stride + i * p.k, 1, p.k, p.n);
-        }
+      const int rows = static_cast<int>(i1 - i0);
+      for (int64_t bi = 0; bi < p.batch; ++bi) {
+        GemmAcc(dc_all + bi * c_stride + i0 * p.n, p.n, false,
+                bd + bi * b_stride, p.n, true,
+                ga.data() + bi * a_stride + i0 * p.k, p.k, rows, p.n, p.k);
       }
     });
     const int64_t b_row_work = p.batch * static_cast<int64_t>(p.m) * p.n;
     ParallelFor(0, p.k, GrainFor(b_row_work), [&](int64_t k0, int64_t k1) {
-      for (int64_t kk = k0; kk < k1; ++kk) {
-        for (int64_t bi = 0; bi < p.batch; ++bi) {
-          const float* dc = dc_all + bi * c_stride;
-          const float* amat = ad + bi * a_stride;
-          float* dbrow = gb.data() + bi * b_stride + kk * p.n;
-          for (int i = 0; i < p.m; ++i) {
-            float av = amat[static_cast<int64_t>(i) * p.k + kk];
-            if (av == 0.0f) continue;
-            const float* dcrow = dc + static_cast<int64_t>(i) * p.n;
-            for (int j = 0; j < p.n; ++j) dbrow[j] += av * dcrow[j];
-          }
-        }
+      const int rows = static_cast<int>(k1 - k0);
+      for (int64_t bi = 0; bi < p.batch; ++bi) {
+        // Offsetting the transposed A operand by k0 selects virtual rows
+        // [k0, k1) of Aᵀ: element (r, c) reads a[c * lda + r + k0].
+        GemmAcc(ad + bi * a_stride + k0, p.k, true, dc_all + bi * c_stride,
+                p.n, false, gb.data() + bi * b_stride + k0 * p.n, p.n, rows,
+                p.m, p.n);
       }
     });
   };
@@ -423,7 +377,7 @@ Tensor Transpose(const Tensor& x, int d0, int d1) {
             perm_strides[static_cast<size_t>(d1)]);
   std::vector<int64_t> out_strides = Strides(out_shape);
   int64_t n = x.numel();
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = BufferPool::Global().Acquire(n);
   const auto& xv = x.data();
   ParallelFor(0, n, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) {
@@ -470,7 +424,9 @@ Tensor Reshape(const Tensor& x, std::vector<int> shape) {
     auto& gx = tx.grad();
     for (size_t i = 0; i < node.grad.size(); ++i) gx[i] += node.grad[i];
   };
-  return Tensor::MakeFromOp(std::move(shape), x.data(), {x},
+  std::vector<float> out = BufferPool::Global().Acquire(x.numel());
+  std::copy(x.data().begin(), x.data().end(), out.begin());
+  return Tensor::MakeFromOp(std::move(shape), std::move(out), {x},
                             std::move(backward));
 }
 
@@ -493,7 +449,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
   int64_t outer = 1, inner = 1;
   for (int d = 0; d < axis; ++d) outer *= out_shape[static_cast<size_t>(d)];
   for (int d = axis + 1; d < nd; ++d) inner *= out_shape[static_cast<size_t>(d)];
-  std::vector<float> out(NumElements(out_shape));
+  std::vector<float> out = BufferPool::Global().Acquire(NumElements(out_shape));
   std::vector<int> axis_sizes;
   for (const Tensor& p : parts) axis_sizes.push_back(p.dim(axis));
   for (int64_t o = 0; o < outer; ++o) {
@@ -543,7 +499,7 @@ Tensor Slice(const Tensor& x, int axis, int start, int length) {
   int64_t outer = 1, inner = 1;
   for (int d = 0; d < axis; ++d) outer *= x.dim(d);
   for (int d = axis + 1; d < nd; ++d) inner *= x.dim(d);
-  std::vector<float> out(NumElements(out_shape));
+  std::vector<float> out = BufferPool::Global().Acquire(NumElements(out_shape));
   const auto& xv = x.data();
   for (int64_t o = 0; o < outer; ++o) {
     const float* src = xv.data() + (o * an + start) * inner;
@@ -581,7 +537,7 @@ Tensor IndexSelect(const Tensor& x, int axis, const std::vector<int>& indices) {
   int64_t outer = 1, inner = 1;
   for (int d = 0; d < axis; ++d) outer *= x.dim(d);
   for (int d = axis + 1; d < nd; ++d) inner *= x.dim(d);
-  std::vector<float> out(NumElements(out_shape));
+  std::vector<float> out = BufferPool::Global().Acquire(NumElements(out_shape));
   const auto& xv = x.data();
   int64_t k = static_cast<int64_t>(indices.size());
   for (int64_t o = 0; o < outer; ++o) {
@@ -639,7 +595,7 @@ Tensor Sum(const Tensor& x, int axis, bool keepdim) {
     }
   }
   if (out_shape.empty()) out_shape.push_back(1);
-  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
+  std::vector<float> out = BufferPool::Global().AcquireZeroed(outer * inner);
   const auto& xv = x.data();
   ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
     for (int64_t o = o0; o < o1; ++o) {
@@ -693,8 +649,9 @@ Tensor Softmax(const Tensor& x, int axis) {
   int ax = axis;
   int64_t outer, n, inner;
   AxisGeometry(x, &ax, &outer, &n, &inner);
-  std::vector<float> out(x.data().size());
   const auto& xv = x.data();
+  std::vector<float> out =
+      BufferPool::Global().Acquire(static_cast<int64_t>(xv.size()));
   ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
     for (int64_t o = o0; o < o1; ++o) {
       for (int64_t i = 0; i < inner; ++i) {
@@ -715,10 +672,12 @@ Tensor Softmax(const Tensor& x, int axis) {
     }
   });
   Tensor tx = x;
-  std::vector<float> yv = out;
-  auto backward = [tx, yv, outer, n, inner](internal::TensorImpl& node) mutable {
+  auto backward = [tx, outer, n, inner](internal::TensorImpl& node) mutable {
     auto& gx = tx.grad();
     const auto& g = node.grad;
+    // node.data is this op's output y (nothing mutates tensor storage in
+    // place), so the closure needs no captured copy of it.
+    const auto& yv = node.data;
     ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
       for (int64_t o = o0; o < o1; ++o) {
         for (int64_t i = 0; i < inner; ++i) {
@@ -752,7 +711,11 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
     CHECK_EQ(b.dim(0), c_out);
   }
   std::vector<int> out_shape = {rows, t_len, c_out};
-  std::vector<float> out(NumElements(out_shape), 0.0f);
+  // With a bias every output slot is overwritten by the bias row before any
+  // accumulation; without one the kernel accumulates from zero.
+  std::vector<float> out =
+      b.defined() ? BufferPool::Global().Acquire(NumElements(out_shape))
+                  : BufferPool::Global().AcquireZeroed(NumElements(out_shape));
   const auto& xv = x.data();
   const auto& wv = w.data();
   const int64_t conv_row_work =
@@ -895,7 +858,8 @@ Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
   float scale = 1.0f / (1.0f - p);
   std::vector<float> mask(x.data().size());
   for (auto& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
-  std::vector<float> out(x.data().size());
+  std::vector<float> out =
+      BufferPool::Global().Acquire(static_cast<int64_t>(x.data().size()));
   const auto& xv = x.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = xv[i] * mask[i];
   Tensor tx = x;

@@ -3,8 +3,29 @@
 #include <algorithm>
 #include <sstream>
 #include <unordered_set>
+#include <utility>
+
+#include "tensor/buffer_pool.h"
 
 namespace autocts {
+
+namespace internal {
+
+TensorImpl::~TensorImpl() {
+  BufferPool& pool = BufferPool::Global();
+  pool.Release(std::move(data));
+  pool.Release(std::move(grad));
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != data.size()) {
+    BufferPool& pool = BufferPool::Global();
+    pool.Release(std::move(grad));
+    grad = pool.AcquireZeroed(static_cast<int64_t>(data.size()));
+  }
+}
+
+}  // namespace internal
 
 int64_t NumElements(const std::vector<int>& shape) {
   int64_t n = 1;
@@ -40,14 +61,15 @@ std::shared_ptr<internal::TensorImpl> NewImpl(std::vector<int> shape,
 
 Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
   int64_t n = NumElements(shape);
-  return Tensor(NewImpl(std::move(shape), std::vector<float>(n, 0.0f),
+  return Tensor(NewImpl(std::move(shape), BufferPool::Global().AcquireZeroed(n),
                         requires_grad));
 }
 
 Tensor Tensor::Full(std::vector<int> shape, float value, bool requires_grad) {
   int64_t n = NumElements(shape);
-  return Tensor(NewImpl(std::move(shape), std::vector<float>(n, value),
-                        requires_grad));
+  std::vector<float> data = BufferPool::Global().Acquire(n);
+  std::fill(data.begin(), data.end(), value);
+  return Tensor(NewImpl(std::move(shape), std::move(data), requires_grad));
 }
 
 Tensor Tensor::FromVector(std::vector<int> shape, std::vector<float> data,
@@ -58,7 +80,7 @@ Tensor Tensor::FromVector(std::vector<int> shape, std::vector<float> data,
 Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, float stddev,
                      bool requires_grad) {
   int64_t n = NumElements(shape);
-  std::vector<float> data(n);
+  std::vector<float> data = BufferPool::Global().Acquire(n);
   for (auto& v : data) v = rng->Normal(0.0f, stddev);
   return Tensor(NewImpl(std::move(shape), std::move(data), requires_grad));
 }
@@ -66,7 +88,7 @@ Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, float stddev,
 Tensor Tensor::Rand(std::vector<int> shape, Rng* rng, float lo, float hi,
                     bool requires_grad) {
   int64_t n = NumElements(shape);
-  std::vector<float> data(n);
+  std::vector<float> data = BufferPool::Global().Acquire(n);
   for (auto& v : data) v = rng->Uniform(lo, hi);
   return Tensor(NewImpl(std::move(shape), std::move(data), requires_grad));
 }
@@ -137,10 +159,23 @@ float Tensor::at(int64_t flat_index) const {
 
 void Tensor::Backward() {
   CHECK(defined());
-  // Topological order over the tape via iterative post-order DFS.
-  std::vector<internal::TensorImpl*> order;
-  std::unordered_set<internal::TensorImpl*> visited;
-  std::vector<std::pair<internal::TensorImpl*, size_t>> stack;
+  // Topological order over the tape via iterative post-order DFS. The DFS
+  // scratch is hoisted to thread-local storage: a training loop calls
+  // Backward once per step, and re-allocating the visited set plus two
+  // vectors every call was measurable. clear() keeps the capacity (and the
+  // hash table's buckets), so steady-state steps allocate nothing here.
+  // Per-thread because sample collection trains whole models on pool
+  // workers; Backward never runs reentrantly on one thread.
+  thread_local std::vector<internal::TensorImpl*> order;
+  thread_local std::unordered_set<internal::TensorImpl*> visited;
+  thread_local std::vector<std::pair<internal::TensorImpl*, size_t>> stack;
+  order.clear();
+  visited.clear();
+  stack.clear();
+  if (order.capacity() == 0) {
+    order.reserve(256);
+    stack.reserve(256);
+  }
   stack.emplace_back(impl_.get(), 0);
   visited.insert(impl_.get());
   while (!stack.empty()) {
@@ -168,6 +203,30 @@ void Tensor::Backward() {
   }
 }
 
+void Tensor::ReleaseTape() {
+  if (!defined()) return;
+  // Strong refs to every reachable node are collected before any edge is
+  // cut, so no impl dies while its parents are still being walked. The
+  // final teardown of `refs` is a flat loop over nodes whose parent links
+  // are already gone, which also keeps deep graphs from overflowing the
+  // stack the way recursive shared_ptr chain destruction can.
+  std::vector<std::shared_ptr<internal::TensorImpl>> refs;
+  std::unordered_set<internal::TensorImpl*> visited;
+  refs.push_back(impl_);
+  visited.insert(impl_.get());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    for (const Tensor& p : refs[i]->parents) {
+      if (p.impl() != nullptr && visited.insert(p.impl()).second) {
+        refs.push_back(p.impl_);
+      }
+    }
+  }
+  for (const auto& node : refs) {
+    node->parents.clear();
+    node->backward = nullptr;
+  }
+}
+
 void Tensor::ZeroGrad() {
   CHECK(defined());
   if (!impl_->grad.empty()) {
@@ -179,14 +238,18 @@ Tensor Tensor::Detach() const {
   CHECK(defined());
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;  // Copies; keeps the detached view stable.
+  // A pooled copy; keeps the detached view stable.
+  impl->data = BufferPool::Global().Acquire(numel());
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
   impl->requires_grad = false;
   return Tensor(std::move(impl));
 }
 
 Tensor Tensor::Clone() const {
   CHECK(defined());
-  return FromVector(impl_->shape, impl_->data, false);
+  std::vector<float> data = BufferPool::Global().Acquire(numel());
+  std::copy(impl_->data.begin(), impl_->data.end(), data.begin());
+  return FromVector(impl_->shape, std::move(data), false);
 }
 
 std::string Tensor::ToString(int max_elements) const {

@@ -83,6 +83,15 @@ class Tensor {
   /// Clears this tensor's gradient buffer.
   void ZeroGrad();
 
+  /// Severs this tensor's autograd graph: every reachable node's parent
+  /// links and backward closure are cleared, so intermediate nodes that
+  /// nothing else references are destroyed and their buffers return to the
+  /// buffer pool immediately. Nodes still referenced elsewhere (parameters,
+  /// cached activations) survive, gradients included — call this after the
+  /// optimizer step to recycle the step's graph storage. Idempotent; no-op
+  /// on undefined tensors.
+  void ReleaseTape();
+
   /// A view of the same data that is cut off from the autograd tape.
   Tensor Detach() const;
 
@@ -115,6 +124,15 @@ namespace internal {
 
 /// Shared storage + tape node behind a Tensor handle.
 struct TensorImpl {
+  TensorImpl() = default;
+  /// Returns data and grad to the global BufferPool — the tape-release hook:
+  /// tearing down a step's graph (last handle dropped, or ReleaseTape)
+  /// recycles every intermediate buffer for the next step.
+  ~TensorImpl();
+
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   std::vector<int> shape;
   std::vector<float> data;
   /// Lazily sized to data.size() when gradients first flow.
@@ -125,9 +143,8 @@ struct TensorImpl {
   /// Accumulates parent gradients given this node's grad; null for leaves.
   std::function<void(TensorImpl&)> backward;
 
-  void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
-  }
+  /// Sizes grad to data.size() (pool-backed, zero-filled) if it isn't yet.
+  void EnsureGrad();
 };
 
 }  // namespace internal

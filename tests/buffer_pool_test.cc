@@ -1,0 +1,148 @@
+// Unit tests of the tensor-layer buffer pool: reuse, bucket rounding,
+// zeroing, capacity enforcement, and cross-thread acquire/release (the
+// latter is what the CI TSan job exercises — sample collection trains whole
+// models on pool worker threads).
+#include "tensor/buffer_pool.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace autocts {
+namespace {
+
+// All tests share the process-global pool, so each starts from a clean
+// slate; counters are cumulative within one test only.
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BufferPool::Global().Clear();
+    BufferPool::Global().ResetStats();
+  }
+};
+
+TEST_F(BufferPoolTest, ReleaseThenAcquireReuses) {
+  BufferPool& pool = BufferPool::Global();
+  std::vector<float> v = pool.Acquire(1000);
+  const float* ptr = v.data();
+  pool.Release(std::move(v));
+  // Same bucket (1000 rounds up to 1024) -> the parked buffer comes back.
+  std::vector<float> w = pool.Acquire(900);
+  EXPECT_EQ(w.data(), ptr);
+  EXPECT_EQ(static_cast<int64_t>(w.size()), 900);
+  PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.releases, 1u);
+}
+
+TEST_F(BufferPoolTest, BucketRounding) {
+  BufferPool& pool = BufferPool::Global();
+  // Fresh buffers reserve the rounded-up power-of-two bucket size so they
+  // re-pool cleanly.
+  std::vector<float> v = pool.Acquire(65);
+  EXPECT_GE(v.capacity(), 128u);
+  pool.Release(std::move(v));
+  // A 128-float request lands in the same bucket and reuses it; a
+  // 129-float request belongs to the next bucket and must miss.
+  std::vector<float> same = pool.Acquire(128);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  std::vector<float> bigger = pool.Acquire(129);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST_F(BufferPoolTest, SmallRequestsBypass) {
+  BufferPool& pool = BufferPool::Global();
+  std::vector<float> v = pool.Acquire(2);
+  EXPECT_EQ(static_cast<int64_t>(v.size()), 2);
+  PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.bypassed, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST_F(BufferPoolTest, AcquireZeroedZeroesRecycledMemory) {
+  BufferPool& pool = BufferPool::Global();
+  std::vector<float> v = pool.Acquire(256);
+  for (auto& x : v) x = 3.5f;
+  pool.Release(std::move(v));
+  std::vector<float> w = pool.AcquireZeroed(256);
+  for (float x : w) ASSERT_EQ(x, 0.0f);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST_F(BufferPoolTest, CapacityCapDropsReleases) {
+  BufferPool& pool = BufferPool::Global();
+  pool.set_capacity_bytes(1024 * sizeof(float));
+  pool.Release(std::vector<float>(1024));
+  EXPECT_EQ(pool.stats().releases, 1u);
+  // The pool is full; the next release is freed, not parked.
+  pool.Release(std::vector<float>(1024));
+  PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.releases, 1u);
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_LE(stats.bytes_pooled, 1024 * sizeof(float));
+  pool.set_capacity_bytes(uint64_t{256} << 20);  // Restore the default.
+}
+
+TEST_F(BufferPoolTest, CrossThreadAcquireRelease) {
+  // Buffers released on one thread are acquirable on another; hammering
+  // the pool from several threads at once is the TSan target.
+  BufferPool& pool = BufferPool::Global();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, t] {
+      for (int i = 0; i < kIters; ++i) {
+        std::vector<float> v = pool.Acquire(64 + 13 * t + i % 7);
+        v[0] = static_cast<float>(t);
+        pool.Release(std::move(v));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIters);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST_F(BufferPoolTest, ExecContextExposesStats) {
+  // The tensor layer registers itself as ExecContext's stats provider at
+  // static-init time; tensor work must show up in the counters.
+  BufferPool::Global().ResetStats();
+  {
+    Tensor t = Tensor::Zeros({64, 64});
+  }  // Destruction releases the buffer back to the pool.
+  PoolStats stats = ExecContext{}.pool_stats();
+  EXPECT_EQ(stats.allocations(), 1u);
+  EXPECT_EQ(stats.releases, 1u);
+  Tensor again = Tensor::Zeros({64, 64});
+  EXPECT_EQ(ExecContext{}.pool_stats().hits, 1u);
+}
+
+TEST_F(BufferPoolTest, ReleaseTapeRecyclesGraphStorage) {
+  // A forward+backward graph's intermediate buffers return to the pool
+  // when the tape is severed, while leaves keep data and grad.
+  Rng rng(3);
+  Tensor a = Tensor::Randn({32, 32}, &rng, 1.0f, true);
+  Tensor b = Tensor::Randn({32, 32}, &rng, 1.0f, true);
+  Tensor loss = SumAll(MatMul(a, b));
+  loss.Backward();
+  BufferPool::Global().ResetStats();
+  loss.ReleaseTape();
+  EXPECT_GT(ExecContext{}.pool_stats().releases, 0u);
+  EXPECT_EQ(static_cast<int64_t>(a.grad().size()), a.numel());
+  EXPECT_EQ(static_cast<int64_t>(a.data().size()), a.numel());
+  // Idempotent, and the root's own buffer survives.
+  loss.ReleaseTape();
+  EXPECT_EQ(loss.numel(), 1);
+}
+
+}  // namespace
+}  // namespace autocts
