@@ -24,9 +24,12 @@
 #include "model/searched_model.h"
 #include "nn/optimizer.h"
 #include "search/evolutionary.h"
+#include "searchspace/parse.h"
 #include "supernet/supernet.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/fused.h"
 #include "tensor/ops.h"
+#include "tensor/tensor.h"
 
 namespace autocts {
 namespace {
@@ -322,6 +325,66 @@ void AppendTrainStepRecords(int iters,
   records->push_back(warm);
 }
 
+// ---- ST-block training step: fused vs op-graph (BENCH_PR3.json) -----------
+
+/// Trains the PR-3 reference ST-block (one operator of each kind on a B4
+/// cell) for `iters` steps on a single thread and reports ns/step, tape
+/// nodes/step, and buffer-pool round-trips/step. Run once with the fused
+/// kernels and once with their op-graph references; the two records are the
+/// A/B behind the PR's "fewer tape nodes, fewer passes" claim. Both paths
+/// produce bit-identical parameters (tests/fused_ops_test.cc), so the only
+/// difference the JSON can show is cost.
+void AppendStBlockRecord(int iters, bool fused,
+                         std::vector<bench::MicroBenchRecord>* records) {
+  bool saved = FusedKernelsEnabled();
+  SetFusedKernelsEnabled(fused);
+  {
+    // Single thread: the acceptance numbers are per-pass work, not fan-out.
+    ThreadPool pool(1);
+    ExecScope scope(ExecContext{&pool, 0});
+    ScaleConfig cfg = ScaleConfig::Test();
+    ForecastTask task;
+    task.data = MakeSyntheticDataset("Los-Loop", cfg).value();
+    task.p = 12;
+    task.q = 12;
+    ForecasterSpec spec = MakeForecasterSpec(task);
+    ArchHyper ah = ParseArchHyper(
+                       "B4C5H32I64U1d0|0-1:GDCC,0-2:DGCN,2-3:INF-T,3-4:INF-S")
+                       .value();
+    Rng rng(17);
+    auto model = BuildSearchedModel(ah, spec, cfg, 8);
+    model->SetTraining(true);
+    WindowProvider provider(task);
+    Adam adam(model->Parameters(), {});
+    WindowBatch batch = provider.SampleTrainBatch(4, &rng);
+    auto step = [&] {
+      adam.ZeroGrad();
+      Tensor loss = MaeLoss(model->Forward(batch.x), batch.y);
+      loss.Backward();
+      adam.Step();
+      loss.ReleaseTape();
+    };
+    for (int i = 0; i < 2; ++i) step();  // Warm the pool and code paths.
+    BufferPool::Global().ResetStats();
+    const uint64_t tape_before = TapeNodesCreated();
+    double ns = MeanNs(iters, step);
+    const double tape_per_step =
+        static_cast<double>(TapeNodesCreated() - tape_before) / iters;
+    PoolStats stats = ExecContext{}.pool_stats();
+    bench::MicroBenchRecord rec;
+    rec.op = fused ? "st_block_train_step_fused" : "st_block_train_step_opgraph";
+    rec.threads = 1;
+    rec.ns_per_iter = ns;
+    rec.pool_hit_rate = stats.hit_rate();
+    rec.allocs_per_step = static_cast<double>(stats.allocations()) / iters;
+    rec.tape_nodes_per_step = tape_per_step;
+    rec.pool_roundtrips_per_step =
+        static_cast<double>(stats.hits + stats.misses) / iters;
+    records->push_back(rec);
+  }
+  SetFusedKernelsEnabled(saved);
+}
+
 }  // namespace
 
 void WriteMicroReport() {
@@ -333,6 +396,10 @@ void WriteMicroReport() {
   AppendMatMulRecords(iters, &records);
   AppendTrainStepRecords(iters, &records);
   bench::WriteBenchJson("BENCH_PR2.json", records);
+  std::vector<bench::MicroBenchRecord> st_records;
+  AppendStBlockRecord(iters, /*fused=*/true, &st_records);
+  AppendStBlockRecord(iters, /*fused=*/false, &st_records);
+  bench::WriteBenchJson("BENCH_PR3.json", st_records);
 }
 
 }  // namespace autocts

@@ -232,7 +232,10 @@ void WriteBenchJson(const std::string& path,
         << ", \"gflops\": " << r.gflops
         << ", \"ns_per_iter\": " << r.ns_per_iter
         << ", \"pool_hit_rate\": " << r.pool_hit_rate
-        << ", \"allocs_per_step\": " << r.allocs_per_step << "}"
+        << ", \"allocs_per_step\": " << r.allocs_per_step
+        << ", \"tape_nodes_per_step\": " << r.tape_nodes_per_step
+        << ", \"pool_roundtrips_per_step\": " << r.pool_roundtrips_per_step
+        << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";

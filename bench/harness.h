@@ -81,9 +81,9 @@ std::unique_ptr<AutoCtsPlusPlus> PretrainedFramework(
 std::string Cell(const Aggregate& agg, int precision = 3);
 
 /// One machine-readable micro-benchmark measurement. bench_micro emits a
-/// list of these as BENCH_PR2.json so CI can archive kernel throughput and
-/// allocator pressure per commit. Fields that do not apply to a given op
-/// stay at their zero defaults.
+/// list of these as BENCH_PR2.json / BENCH_PR3.json so CI can archive
+/// kernel throughput and allocator pressure per commit. Fields that do not
+/// apply to a given op stay at their zero defaults.
 struct MicroBenchRecord {
   std::string op;             ///< e.g. "matmul_blocked_512".
   int threads = 1;
@@ -91,6 +91,10 @@ struct MicroBenchRecord {
   double ns_per_iter = 0.0;   ///< Mean wall time per iteration.
   double pool_hit_rate = 0.0;  ///< Buffer-pool hit rate over the timed run.
   double allocs_per_step = 0.0;  ///< Heap allocations per iteration.
+  double tape_nodes_per_step = 0.0;  ///< Autograd nodes taped per iteration.
+  /// Buffer-pool acquires (hits + misses) per iteration — every one is an
+  /// acquire/release round-trip once the step's tape is torn down.
+  double pool_roundtrips_per_step = 0.0;
 };
 
 /// Writes `records` to `path` as a JSON array of flat objects.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "model/searched_model.h"
+#include "tensor/fused.h"
 
 namespace autocts {
 
@@ -39,7 +40,7 @@ Tensor AgcrnModel::Forward(const Tensor& x) const {
   Tensor embedded = input_->Forward(x);  // [B, N, T', H]
   const int t = embedded.dim(2);
   Tensor adaptive =
-      Softmax(Relu(MatMul(node_emb_, Transpose(node_emb_, 0, 1))), -1);
+      FusedReluSoftmax(MatMul(node_emb_, Transpose(node_emb_, 0, 1)));
   Tensor h = Tensor::Zeros({b, n, hidden_});
   for (int step = 0; step < t; ++step) {
     Tensor xt = Reshape(Slice(embedded, 2, step, 1), {b, n, hidden_});

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/fused.h"
+
 namespace autocts {
 
 InputEmbed::InputEmbed(const ForecasterSpec& spec, int hidden, int max_time,
@@ -48,7 +50,7 @@ Tensor OutputHead::Forward(const Tensor& h) const {
   Tensor mean = Mean(h, 2, /*keepdim=*/true);
   Tensor feats =
       Reshape(Concat({last, mean}, 3), {b, spec_.num_sensors, 2 * hidden_});
-  Tensor out = fc2_.Forward(Relu(fc1_.Forward(feats)));
+  Tensor out = fc2_.Forward(fc1_.Forward(feats, FusedAct::kRelu));
   return Reshape(out,
                  {b, spec_.num_sensors, spec_.output_len, spec_.num_features});
 }
@@ -76,7 +78,7 @@ Tensor MaskedSpatialAttention::Forward(const Tensor& x) const {
   float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
   Tensor scores = MulScalar(MatMul(q, Transpose(k, -2, -1)), scale);
   scores = Add(scores, mask_);  // [R, N, N] + [N, N] broadcast.
-  return MatMul(Softmax(scores, -1), v);
+  return MatMul(FusedSoftmax(scores, 1.0f), v);
 }
 
 }  // namespace autocts

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "model/searched_model.h"
+#include "tensor/fused.h"
 
 namespace autocts {
 
@@ -46,13 +47,13 @@ Tensor MtgnnModel::Forward(const Tensor& x) const {
   Tensor h = input_->Forward(x);  // [B, N, T', H]
   const int t = h.dim(2);
   Tensor adaptive =
-      Softmax(Relu(MatMul(node_emb_, Transpose(node_emb_, 0, 1))), -1);
+      FusedReluSoftmax(MatMul(node_emb_, Transpose(node_emb_, 0, 1)));
   for (const Layer& layer : layers_) {
     // Dilated inception: concat of two kernel sizes, gated.
     Tensor rows = Reshape(h, {b * n, t, hidden_});
     Tensor filt = Concat(
         {layer.filter_a->Forward(rows), layer.filter_b->Forward(rows)}, -1);
-    Tensor gated = Mul(Tanh(filt), Sigmoid(layer.gate->Forward(rows)));
+    Tensor gated = FusedGlu(filt, layer.gate->Forward(rows));
     Tensor ht = Reshape(gated, {b, n, t, hidden_});
     // Mix-hop GCN on the adaptive adjacency (β-weighted hops).
     Tensor xt = Transpose(ht, 1, 2);  // [B, T', N, H]

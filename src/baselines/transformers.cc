@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "model/searched_model.h"
+#include "tensor/fused.h"
 
 namespace autocts {
 namespace {
@@ -88,13 +89,13 @@ Tensor PdformerModel::Forward(const Tensor& x) const {
   for (const Layer& layer : layers_) {
     // Temporal attention per sensor.
     Tensor rows = Reshape(h, {b * n, t, hidden_});
-    rows = layer.norm1->Forward(Add(rows, layer.temporal->Forward(rows)));
+    rows = layer.norm1->Forward(rows, layer.temporal->Forward(rows));
     Tensor ht = Reshape(rows, {b, n, t, hidden_});
     // Adjacency-masked spatial attention per time step.
-    Tensor cols = Reshape(Transpose(ht, 1, 2), {b * t, n, hidden_});
-    cols = layer.norm2->Forward(Add(cols, layer.spatial->Forward(cols)));
-    cols = layer.norm3->Forward(Add(cols, layer.ffn->Forward(cols)));
-    h = Transpose(Reshape(cols, {b, t, n, hidden_}), 1, 2);
+    Tensor cols = FusedTransposeReshape(ht, 1, 2, {b * t, n, hidden_});
+    cols = layer.norm2->Forward(cols, layer.spatial->Forward(cols));
+    cols = layer.norm3->Forward(cols, layer.ffn->Forward(cols));
+    h = FusedReshapeTranspose(cols, {b, t, n, hidden_}, 1, 2);
   }
   return head_->Forward(h);
 }
@@ -129,7 +130,7 @@ Tensor AutoformerModel::Forward(const Tensor& x) const {
   Tensor trend = MatMul(ma_matrix_, h);  // [T',T'] x [B,N,T',H]
   Tensor seasonal = Sub(h, trend);
   Tensor rows = Reshape(seasonal, {b * n, t, hidden_});
-  rows = norm_->Forward(Add(rows, seasonal_attn_->Forward(rows)));
+  rows = norm_->Forward(rows, seasonal_attn_->Forward(rows));
   Tensor seasonal_out = Reshape(rows, {b, n, t, hidden_});
   Tensor trend_out = trend_proj_->Forward(trend);
   return head_->Forward(Add(seasonal_out, trend_out));
@@ -168,7 +169,7 @@ Tensor FedformerModel::Forward(const Tensor& x) const {
   Tensor coeffs = MatMul(Transpose(basis_, 0, 1), seasonal);  // [B,N,2K,H]
   Tensor mixed = freq_mix_->Forward(coeffs);
   Tensor recon = MatMul(basis_, mixed);  // [B, N, T', H]
-  Tensor seasonal_out = norm_->Forward(Add(seasonal, recon));
+  Tensor seasonal_out = norm_->Forward(seasonal, recon);
   Tensor trend_out = trend_proj_->Forward(trend);
   return head_->Forward(Add(seasonal_out, trend_out));
 }

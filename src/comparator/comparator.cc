@@ -1,5 +1,6 @@
 #include "comparator/comparator.h"
 
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 
 namespace autocts {
@@ -38,15 +39,16 @@ Tensor Comparator::CompareLogits(const EncodingBatch& first,
   const int m = first.adjacency.dim(0);
   Tensor l1 = gin_.Forward(first);   // [M, D]
   Tensor l2 = gin_.Forward(second);  // [M, D]
-  Tensor pair = Relu(fc_pair_->Forward(Concat({l1, l2}, -1)));  // Eq. 16–17.
+  Tensor pair =
+      fc_pair_->Forward(Concat({l1, l2}, -1), FusedAct::kRelu);  // Eq. 16–17.
   Tensor o = pair;
   if (options_.task_aware) {
     CHECK(task_embeds.defined());
     CHECK_EQ(task_embeds.dim(0), m);
-    Tensor te = Relu(fc_task_->Forward(task_embeds));  // Eq. 18.
-    o = Concat({pair, te}, -1);                        // Eq. 19.
+    Tensor te = fc_task_->Forward(task_embeds, FusedAct::kRelu);  // Eq. 18.
+    o = Concat({pair, te}, -1);                                   // Eq. 19.
   }
-  Tensor hidden = Relu(fc_o_->Forward(o));             // Eq. 20.
+  Tensor hidden = fc_o_->Forward(o, FusedAct::kRelu);  // Eq. 20.
   return Reshape(fc_out_->Forward(hidden), {m});       // Logits (Eq. 21).
 }
 

@@ -1,5 +1,6 @@
 #include "comparator/gin.h"
 
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 
 namespace autocts {
@@ -31,7 +32,7 @@ Tensor GinEncoder::Forward(const EncodingBatch& batch) const {
   Tensor h = Concat(
       {Slice(op_features, 1, 0, kEncodingNodes - 1), hyper_feature}, 1);
   for (size_t l = 0; l < mlps_.size(); ++l) {
-    Tensor scaled = Mul(h, AddScalar(epsilons_[l], 1.0f));  // (1+ε)·H
+    Tensor scaled = FusedScalarScale(h, epsilons_[l], 1.0f);  // (1+ε)·H
     Tensor aggregated = MatMul(batch.adjacency, h);         // A·H
     h = mlps_[l]->Forward(Add(scaled, aggregated));
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 
 namespace autocts {
@@ -28,12 +29,12 @@ Tensor SetPool::Forward(const Tensor& x) const {
   Tensor k = k_proj_.Forward(x);  // [B, M, D]
   Tensor v = v_proj_.Forward(x);
   float scale = 1.0f / std::sqrt(static_cast<float>(in_dim_));
-  // Seed [1, D] against keys: scores [B, 1, M].
-  Tensor scores = MulScalar(MatMul(seed_, Transpose(k, -2, -1)), scale);
-  Tensor attn = Softmax(scores, -1);
+  // Seed [1, D] against keys: scores [B, 1, M]; the 1/sqrt(D) scaling is
+  // folded into the fused softmax.
+  Tensor attn = FusedSoftmax(MatMul(seed_, Transpose(k, -2, -1)), scale);
   Tensor pooled = Reshape(MatMul(attn, v), {x.dim(0), in_dim_});  // [B, D]
   Tensor y = out_proj_.Forward(pooled);
-  return norm_.Forward(Add(y, ffn_->Forward(y)));
+  return norm_.Forward(y, ffn_->Forward(y));
 }
 
 TaskEmbedModule::TaskEmbedModule(int repr_dim, int f1, int f2, Rng* rng)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/optimizer.h"
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 
 namespace autocts {
@@ -80,7 +81,7 @@ Tensor DiagonalNce(const Tensor& scores) {
   std::vector<float> eye(static_cast<size_t>(m) * m, 0.0f);
   for (int i = 0; i < m; ++i) eye[static_cast<size_t>(i) * m + i] = 1.0f;
   Tensor identity = Tensor::FromVector({m, m}, std::move(eye));
-  Tensor probs = Softmax(scores, -1);
+  Tensor probs = FusedSoftmax(scores, 1.0f);
   Tensor diag = Sum(Mul(probs, identity), -1);  // [..., M]
   return Neg(MeanAll(Log(diag, 1e-7f)));
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 
 namespace autocts {
@@ -42,8 +43,8 @@ Tensor GdccOp::Forward(const Tensor& x) const {
   CHECK_EQ(x.ndim(), 4);
   const int b = x.dim(0), n = x.dim(1), t = x.dim(2), h = x.dim(3);
   Tensor rows = Reshape(x, {b * n, t, h});
-  Tensor y = Mul(Tanh(filter_conv_.Forward(rows)),
-                 Sigmoid(gate_conv_.Forward(rows)));
+  Tensor y =
+      FusedGlu(filter_conv_.Forward(rows), gate_conv_.Forward(rows));
   return Reshape(y, {b, n, t, h});
 }
 
@@ -59,7 +60,8 @@ Tensor InfTOp::Forward(const Tensor& x) const {
   CHECK_EQ(x.ndim(), 4);
   const int b = x.dim(0), n = x.dim(1), t = x.dim(2), h = x.dim(3);
   Tensor rows = Reshape(x, {b * n, t, h});  // Attention along time.
-  Tensor y = norm_.Forward(Add(rows, attention_.Forward(rows)));
+  // Residual add fused into the post-norm (FusedAddLayerNorm).
+  Tensor y = norm_.Forward(rows, attention_.Forward(rows));
   return Reshape(y, {b, n, t, h});
 }
 
@@ -90,18 +92,23 @@ Tensor DgcnOp::Forward(const Tensor& x) const {
   // [B, N, T, H] -> [B, T, N, H] so adjacency multiplies the sensor axis.
   Tensor xt = Transpose(x, 1, 2);
   // Self-adaptive adjacency: softmax(relu(E1 E2ᵀ)) rows.
-  Tensor adaptive = Softmax(Relu(MatMul(node_emb1_, Transpose(node_emb2_, 0, 1))), -1);
-  Tensor acc = step_projections_[0]->Forward(xt);
+  Tensor adaptive =
+      FusedReluSoftmax(MatMul(node_emb1_, Transpose(node_emb2_, 0, 1)));
+  // Diffusion sum taped as ONE FusedAddN node (parts listed in the left-fold
+  // order of the Add chain it replaces).
+  std::vector<Tensor> parts;
+  parts.reserve(static_cast<size_t>(1 + 2 * diffusion_steps_));
+  parts.push_back(step_projections_[0]->Forward(xt));
   Tensor z_pre = xt;
   Tensor z_ada = xt;
   size_t proj = 1;
   for (int k = 1; k <= diffusion_steps_; ++k) {
     z_pre = MatMul(support_, z_pre);   // [N,N] x [B,T,N,H]
-    acc = Add(acc, step_projections_[proj++]->Forward(z_pre));
+    parts.push_back(step_projections_[proj++]->Forward(z_pre));
     z_ada = MatMul(adaptive, z_ada);
-    acc = Add(acc, step_projections_[proj++]->Forward(z_ada));
+    parts.push_back(step_projections_[proj++]->Forward(z_ada));
   }
-  Tensor y = Relu(acc);
+  Tensor y = Relu(FusedAddN(parts));
   (void)b;
   (void)t;
   (void)n;
@@ -121,9 +128,10 @@ Tensor InfSOp::Forward(const Tensor& x) const {
   CHECK_EQ(x.ndim(), 4);
   const int b = x.dim(0), n = x.dim(1), t = x.dim(2), h = x.dim(3);
   // [B, N, T, H] -> [B, T, N, H] -> rows of sensors per (batch, time).
-  Tensor rows = Reshape(Transpose(x, 1, 2), {b * t, n, h});
-  Tensor y = norm_.Forward(Add(rows, attention_.Forward(rows)));
-  return Transpose(Reshape(y, {b, t, n, h}), 1, 2);
+  Tensor rows = FusedTransposeReshape(x, 1, 2, {b * t, n, h});
+  // Residual add fused into the post-norm (FusedAddLayerNorm).
+  Tensor y = norm_.Forward(rows, attention_.Forward(rows));
+  return FusedReshapeTranspose(y, {b, t, n, h}, 1, 2);
 }
 
 std::unique_ptr<StOperator> MakeOperator(OpType type,

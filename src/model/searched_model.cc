@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 
 namespace autocts {
@@ -35,12 +36,10 @@ Tensor StBlock::Forward(const Tensor& x) const {
   if (output_mode_ == 0) {
     return nodes[static_cast<size_t>(arch_.num_nodes - 1)];
   }
-  // U=1: sum of all non-input nodes (Graph WaveNet style skip sum).
-  Tensor sum = nodes[1];
-  for (int j = 2; j < arch_.num_nodes; ++j) {
-    sum = Add(sum, nodes[static_cast<size_t>(j)]);
-  }
-  return sum;
+  // U=1: sum of all non-input nodes (Graph WaveNet style skip sum),
+  // taped as one FusedAddN node instead of an Add chain.
+  return FusedAddN(
+      std::vector<Tensor>(nodes.begin() + 1, nodes.end()));
 }
 
 SearchedModel::SearchedModel(const ArchHyper& ah, const ForecasterSpec& spec,
@@ -104,8 +103,9 @@ Tensor SearchedModel::Forward(const Tensor& x) const {
   for (size_t b = 0; b < blocks_.size(); ++b) {
     Tensor y = blocks_[b]->Forward(h);
     // Residual backbone with post-norm: stable regardless of how many
-    // operators the sampled block stacks.
-    h = block_dropout_->Forward(block_norms_[b]->Forward(Add(h, y)));
+    // operators the sampled block stacks. The residual add is fused into
+    // the norm (FusedAddLayerNorm).
+    h = block_dropout_->Forward(block_norms_[b]->Forward(h, y));
   }
 
   // Output module: last time step ⊕ temporal mean → MLP → Q_out·F.
@@ -113,7 +113,7 @@ Tensor SearchedModel::Forward(const Tensor& x) const {
   Tensor mean = Mean(h, 2, /*keepdim=*/true);          // [B, N, 1, H']
   Tensor feats = Reshape(Concat({last, mean}, 3),
                          {b, spec_.num_sensors, 2 * hidden_});
-  Tensor out = out2_->Forward(Relu(out1_->Forward(feats)));
+  Tensor out = out2_->Forward(out1_->Forward(feats, FusedAct::kRelu));
   return Reshape(out,
                  {b, spec_.num_sensors, spec_.output_len, spec_.num_features});
 }

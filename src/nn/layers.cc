@@ -41,6 +41,19 @@ Tensor Linear::Forward(const Tensor& x) const {
   return y;
 }
 
+Tensor Linear::Forward(const Tensor& x, FusedAct act) const {
+  CHECK_EQ(x.dim(-1), in_dim_);
+  Tensor y;
+  if (x.ndim() == 1) {
+    y = MatMul(Reshape(x, {1, in_dim_}), weight_);
+    y = Reshape(y, {out_dim_});
+  } else {
+    y = MatMul(x, weight_);
+  }
+  if (bias_.defined()) return FusedBiasAct(y, bias_, act);
+  return ApplyFusedAct(y, act);
+}
+
 CausalConv::CausalConv(int c_in, int c_out, int kernel, int dilation, Rng* rng,
                        bool bias)
     : dilation_(dilation) {
@@ -63,11 +76,13 @@ LayerNorm::LayerNorm(int dim, float eps) : eps_(eps) {
 }
 
 Tensor LayerNorm::Forward(const Tensor& x) const {
-  Tensor mu = Mean(x, -1, /*keepdim=*/true);
-  Tensor centered = Sub(x, mu);
-  Tensor var = Mean(Square(centered), -1, /*keepdim=*/true);
-  Tensor norm = Div(centered, Sqrt(AddScalar(var, eps_)));
-  return Add(Mul(norm, gamma_), beta_);
+  // One tape node; bit-exact against the nine-node op-graph composition
+  // (LayerNormReference, which this dispatches to when fusion is off).
+  return FusedLayerNorm(x, gamma_, beta_, eps_);
+}
+
+Tensor LayerNorm::Forward(const Tensor& a, const Tensor& b) const {
+  return FusedAddLayerNorm(a, b, gamma_, beta_, eps_);
 }
 
 Mlp::Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng)
@@ -77,7 +92,7 @@ Mlp::Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng)
 }
 
 Tensor Mlp::Forward(const Tensor& x) const {
-  return fc2_.Forward(Relu(fc1_.Forward(x)));
+  return fc2_.Forward(fc1_.Forward(x, FusedAct::kRelu));
 }
 
 GruCell::GruCell(int in_dim, int hidden_dim, Rng* rng)
@@ -92,10 +107,12 @@ Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
   Tensor gx = gates_x_.Forward(x);  // [B, 3H]
   Tensor gh = gates_h_.Forward(h);
   int hd = hidden_dim_;
-  Tensor r = Sigmoid(Add(Slice(gx, 1, 0, hd), Slice(gh, 1, 0, hd)));
-  Tensor z = Sigmoid(Add(Slice(gx, 1, hd, hd), Slice(gh, 1, hd, hd)));
-  Tensor n =
-      Tanh(Add(Slice(gx, 1, 2 * hd, hd), Mul(r, Slice(gh, 1, 2 * hd, hd))));
+  Tensor r = FusedAddAct(Slice(gx, 1, 0, hd), Slice(gh, 1, 0, hd),
+                         FusedAct::kSigmoid);
+  Tensor z = FusedAddAct(Slice(gx, 1, hd, hd), Slice(gh, 1, hd, hd),
+                         FusedAct::kSigmoid);
+  Tensor n = FusedAddAct(Slice(gx, 1, 2 * hd, hd),
+                         Mul(r, Slice(gh, 1, 2 * hd, hd)), FusedAct::kTanh);
   // h' = (1-z)*n + z*h
   return Add(Mul(AddScalar(Neg(z), 1.0f), n), Mul(z, h));
 }
@@ -125,15 +142,18 @@ Tensor MultiHeadAttention::Forward(const Tensor& x) const {
   CHECK_EQ(x.dim(2), dim_);
   const int dh = dim_ / heads_;
   auto split_heads = [&](const Tensor& t) {
-    // [B, L, D] -> [B, H, L, Dh]
-    return Transpose(Reshape(t, {b, l, heads_, dh}), 1, 2);
+    // [B, L, D] -> [B, H, L, Dh], one gather instead of reshape + transpose.
+    return FusedReshapeTranspose(t, {b, l, heads_, dh}, 1, 2);
   };
   Tensor q = split_heads(q_proj_.Forward(x));
   Tensor k = split_heads(k_proj_.Forward(x));
   Tensor v = split_heads(v_proj_.Forward(x));
   float scale = 1.0f / std::sqrt(static_cast<float>(dh));
-  Tensor scores = MulScalar(MatMul(q, Transpose(k, -2, -1)), scale);
-  Tensor attn = attn_dropout_.Forward(Softmax(scores, -1));
+  // The 1/sqrt(dh) scaling is folded into the softmax kernel; `scores` stays
+  // raw, and the off-tape sparsity measurement below multiplies by `scale`
+  // inline — the same product the old MulScalar node materialized.
+  Tensor scores = MatMul(q, Transpose(k, -2, -1));
+  Tensor attn = attn_dropout_.Forward(FusedSoftmax(scores, scale));
   Tensor out = MatMul(attn, v);  // [B, H, L, Dh]
 
   if (prob_sparse_ && l > 2) {
@@ -156,7 +176,8 @@ Tensor MultiHeadAttention::Forward(const Tensor& x) const {
                 float mx = -1e30f, mean = 0.0f;
                 for (int j = 0; j < l; ++j) {
                   float s = sd[static_cast<size_t>(
-                      base + static_cast<int64_t>(i) * l + j)];
+                                base + static_cast<int64_t>(i) * l + j)] *
+                            scale;
                   mx = std::max(mx, s);
                   mean += s;
                 }
@@ -181,7 +202,7 @@ Tensor MultiHeadAttention::Forward(const Tensor& x) const {
   }
 
   // [B, H, L, Dh] -> [B, L, D]
-  Tensor merged = Reshape(Transpose(out, 1, 2), {b, l, dim_});
+  Tensor merged = FusedTransposeReshape(out, 1, 2, {b, l, dim_});
   return out_proj_.Forward(merged);
 }
 

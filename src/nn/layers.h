@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "nn/module.h"
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -17,6 +18,10 @@ class Linear : public Module {
   Linear(int in_dim, int out_dim, Rng* rng, bool bias = true);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// y = act(x·W + b): the bias add and the activation run as one fused
+  /// epilogue kernel (FusedBiasAct) instead of two tape nodes.
+  Tensor Forward(const Tensor& x, FusedAct act) const;
 
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }
@@ -50,6 +55,10 @@ class LayerNorm : public Module {
   LayerNorm(int dim, float eps = 1e-5f);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// LayerNorm(a + b) — the residual post-norm pattern, fused so the Add
+  /// never tapes (FusedAddLayerNorm).
+  Tensor Forward(const Tensor& a, const Tensor& b) const;
 
  private:
   float eps_;

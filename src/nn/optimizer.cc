@@ -1,10 +1,48 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace autocts {
+namespace {
+
+/// Deterministic squared L2 norm of `g`: double partial sums over fixed
+/// 4096-element blocks (parallel, disjoint), combined serially in ascending
+/// block order — the result depends only on the data, never on thread
+/// count. One pass; the old implementation's serial whole-model fold was a
+/// second full traversal of every gradient before the update even started.
+double SquaredNormBlocked(const float* g, int64_t n) {
+  constexpr int64_t kBlock = 4096;
+  const int64_t num_blocks = (n + kBlock - 1) / kBlock;
+  if (num_blocks <= 1) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(g[i]) * g[i];
+    }
+    return acc;
+  }
+  std::vector<double> partial(static_cast<size_t>(num_blocks), 0.0);
+  ParallelFor(0, num_blocks, 4, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const int64_t lo = b * kBlock;
+      const int64_t hi = std::min(n, lo + kBlock);
+      double acc = 0.0;
+      for (int64_t i = lo; i < hi; ++i) {
+        acc += static_cast<double>(g[i]) * g[i];
+      }
+      partial[static_cast<size_t>(b)] = acc;
+    }
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+}  // namespace
 
 Adam::Adam(std::vector<Tensor> params, Options options)
     : params_(std::move(params)), options_(options) {
@@ -19,36 +57,51 @@ Adam::Adam(std::vector<Tensor> params, Options options)
 
 void Adam::Step() {
   ++step_;
-  // Optional global-norm gradient clipping.
+  // pow(beta, step) tracked incrementally in double: the old
+  // std::pow(b1, static_cast<float>(step_)) evaluated the float overload,
+  // whose error grows with the step count right where 1 - beta^t needs the
+  // most precision (beta2 = 0.999 leaves bc2 ~ t/1000 for small t).
+  beta1_pow_ *= static_cast<double>(options_.beta1);
+  beta2_pow_ *= static_cast<double>(options_.beta2);
+  // Optional global-norm gradient clipping. The scale folds into the update
+  // pass below instead of rewriting every gradient buffer in place; when no
+  // clipping triggers, scale stays exactly 1.0f and g * 1.0f is bit-exact.
+  float scale = 1.0f;
   if (options_.clip_norm > 0.0f) {
     double sq = 0.0;
     for (Tensor& p : params_) {
-      for (float g : p.grad()) sq += static_cast<double>(g) * g;
+      const auto& g = p.grad();
+      sq += SquaredNormBlocked(g.data(), static_cast<int64_t>(g.size()));
     }
     double norm = std::sqrt(sq);
     if (norm > options_.clip_norm) {
-      float scale = options_.clip_norm / static_cast<float>(norm);
-      for (Tensor& p : params_) {
-        for (float& g : p.grad()) g *= scale;
-      }
+      scale = options_.clip_norm / static_cast<float>(norm);
     }
   }
   const float b1 = options_.beta1, b2 = options_.beta2;
-  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
-  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  const float bc1 = static_cast<float>(1.0 - beta1_pow_);
+  const float bc2 = static_cast<float>(1.0 - beta2_pow_);
+  const float lr = options_.lr, eps = options_.eps;
+  const float wd = options_.weight_decay;
   for (size_t i = 0; i < params_.size(); ++i) {
-    auto& data = params_[i].data();
-    auto& grad = params_[i].grad();
-    auto& m = m_[i];
-    auto& v = v_[i];
-    for (size_t j = 0; j < data.size(); ++j) {
-      float g = grad[j] + options_.weight_decay * data[j];
-      m[j] = b1 * m[j] + (1.0f - b1) * g;
-      v[j] = b2 * v[j] + (1.0f - b2) * g * g;
-      float m_hat = m[j] / bc1;
-      float v_hat = v[j] / bc2;
-      data[j] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
-    }
+    float* data = params_[i].data().data();
+    float* grad = params_[i].grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = static_cast<int64_t>(params_[i].data().size());
+    // One fused pass: clip scaling, weight decay, moment updates, bias
+    // correction, and the parameter update. Every slot is written by
+    // exactly one index, so chunking is free of cross-thread effects.
+    ParallelFor(0, n, kParallelGrainWork / 8, [&](int64_t j0, int64_t j1) {
+      for (int64_t j = j0; j < j1; ++j) {
+        const float g = grad[j] * scale + wd * data[j];
+        m[j] = b1 * m[j] + (1.0f - b1) * g;
+        v[j] = b2 * v[j] + (1.0f - b2) * g * g;
+        const float m_hat = m[j] / bc1;
+        const float v_hat = v[j] / bc2;
+        data[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      }
+    });
   }
 }
 

@@ -32,6 +32,8 @@ class Adam {
   void ZeroGrad();
 
   int64_t step_count() const { return step_; }
+  /// Mutable options. Changing beta1/beta2 after the first Step() is not
+  /// supported: the bias-correction powers are tracked incrementally.
   Options& options() { return options_; }
 
  private:
@@ -40,6 +42,9 @@ class Adam {
   std::vector<std::vector<float>> v_;
   Options options_;
   int64_t step_ = 0;
+  /// beta^step accumulated in double (see Step for why not std::pow).
+  double beta1_pow_ = 1.0;
+  double beta2_pow_ = 1.0;
 };
 
 }  // namespace autocts

@@ -5,6 +5,7 @@
 #include "model/searched_model.h"
 #include "model/trainer.h"
 #include "nn/optimizer.h"
+#include "tensor/fused.h"
 #include "tensor/ops.h"
 
 namespace autocts {
@@ -103,7 +104,10 @@ Tensor Supernet::Forward(const Tensor& x) const {
       Tensor acc;
       for (int i = 0; i < j; ++i) {
         const auto& ops = pairs[static_cast<size_t>(EdgeIndex(i, j))];
-        Tensor weights = Softmax(alphas_[static_cast<size_t>(EdgeIndex(i, j))], 0);
+        // Architecture weights are 1-D, so axis 0 is the last axis and the
+        // fused last-axis softmax applies.
+        Tensor weights =
+            FusedSoftmax(alphas_[static_cast<size_t>(EdgeIndex(i, j))], 1.0f);
         Tensor mixed;
         for (int o = 0; o < kNumOpTypes; ++o) {
           Tensor w = Slice(weights, 0, o, 1);  // [1], broadcasts everywhere
@@ -117,14 +121,14 @@ Tensor Supernet::Forward(const Tensor& x) const {
       nodes[static_cast<size_t>(j)] = acc;
     }
     h = block_norms_[static_cast<size_t>(blk)]->Forward(
-        Add(h, nodes[static_cast<size_t>(options_.num_nodes - 1)]));
+        h, nodes[static_cast<size_t>(options_.num_nodes - 1)]);
   }
 
   Tensor last = Slice(h, 2, pooled_len_ - 1, 1);
   Tensor mean = Mean(h, 2, /*keepdim=*/true);
   Tensor feats = Reshape(Concat({last, mean}, 3),
                          {b, spec_.num_sensors, 2 * hidden_});
-  Tensor out = out2_->Forward(Relu(out1_->Forward(feats)));
+  Tensor out = out2_->Forward(out1_->Forward(feats, FusedAct::kRelu));
   return Reshape(out,
                  {b, spec_.num_sensors, spec_.output_len, spec_.num_features});
 }

@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/fused.h"
 #include "tensor/gemm.h"
 
 namespace autocts {
@@ -65,12 +66,15 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
   std::vector<float> out = BufferPool::Global().Acquire(n);
   const bool same = a.shape() == b.shape();
   if (same) {
-    const auto& av = a.data();
-    const auto& bv = b.data();
+    // Raw pointers hoisted out of the loop: indexing through the vector
+    // references re-loads the data pointer every element because the
+    // by-reference closure capture may alias anything the compiler can see.
+    const float* ap = a.data().data();
+    const float* bp = b.data().data();
+    float* op = out.data();
     ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
-        out[static_cast<size_t>(i)] =
-            fwd(av[static_cast<size_t>(i)], bv[static_cast<size_t>(i)]);
+        op[i] = fwd(ap[i], bp[i]);
       }
     });
   } else {
@@ -96,13 +100,18 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
     const auto& av = ta.data();
     const auto& bv = tb.data();
     if (same) {
-      // Disjoint per-index writes into both grads — safe to chunk.
+      // Disjoint per-index writes into both grads — safe to chunk. Pointers
+      // hoisted for the same reason as the forward pass.
+      const float* gp = g.data();
+      const float* ap = av.data();
+      const float* bp = bv.data();
+      float* gap = ga.data();
+      float* gbp = gb.data();
       ParallelFor(0, static_cast<int64_t>(g.size()), kElemGrain / 2,
                   [&](int64_t i0, int64_t i1) {
-                    for (int64_t ii = i0; ii < i1; ++ii) {
-                      size_t i = static_cast<size_t>(ii);
-                      ga[i] += g[i] * da(av[i], bv[i]);
-                      gb[i] += g[i] * db(av[i], bv[i]);
+                    for (int64_t i = i0; i < i1; ++i) {
+                      gap[i] += gp[i] * da(ap[i], bp[i]);
+                      gbp[i] += gp[i] * db(ap[i], bp[i]);
                     }
                   });
     } else {
@@ -127,28 +136,25 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
 /// Generic differentiable elementwise unary op. dydx receives (x, y).
 template <typename F, typename D>
 Tensor UnaryOp(const Tensor& x, F fwd, D dydx) {
-  const auto& xv = x.data();
-  std::vector<float> out =
-      BufferPool::Global().Acquire(static_cast<int64_t>(xv.size()));
-  ParallelFor(0, static_cast<int64_t>(out.size()), kElemGrain,
-              [&](int64_t i0, int64_t i1) {
-                for (int64_t i = i0; i < i1; ++i) {
-                  out[static_cast<size_t>(i)] = fwd(xv[static_cast<size_t>(i)]);
-                }
-              });
+  const int64_t n = x.numel();
+  std::vector<float> out = BufferPool::Global().Acquire(n);
+  const float* xp = x.data().data();
+  float* op = out.data();
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) op[i] = fwd(xp[i]);
+  });
   Tensor tx = x;
   auto backward = [tx, dydx](internal::TensorImpl& node) mutable {
-    const auto& g = node.grad;
-    auto& gx = tx.grad();
-    const auto& xd = tx.data();
+    const float* g = node.grad.data();
+    float* gx = tx.grad().data();
+    const float* xd = tx.data().data();
     // node is the op's output, so node.data *is* y — no ops mutate tensor
     // storage in place, so reading it here replaces the per-op y copy the
     // closure used to capture.
-    const auto& yv = node.data;
-    ParallelFor(0, static_cast<int64_t>(g.size()), kElemGrain,
+    const float* yv = node.data.data();
+    ParallelFor(0, static_cast<int64_t>(node.grad.size()), kElemGrain,
                 [&](int64_t i0, int64_t i1) {
-                  for (int64_t ii = i0; ii < i1; ++ii) {
-                    size_t i = static_cast<size_t>(ii);
+                  for (int64_t i = i0; i < i1; ++i) {
                     gx[i] += g[i] * dydx(xd[i], yv[i]);
                   }
                 });
@@ -649,45 +655,45 @@ Tensor Softmax(const Tensor& x, int axis) {
   int ax = axis;
   int64_t outer, n, inner;
   AxisGeometry(x, &ax, &outer, &n, &inner);
-  const auto& xv = x.data();
-  std::vector<float> out =
-      BufferPool::Global().Acquire(static_cast<int64_t>(xv.size()));
+  std::vector<float> out = BufferPool::Global().Acquire(x.numel());
+  const float* xp = x.data().data();
+  float* op = out.data();
   ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
     for (int64_t o = o0; o < o1; ++o) {
       for (int64_t i = 0; i < inner; ++i) {
+        const int64_t base = o * n * inner + i;
         float mx = -std::numeric_limits<float>::infinity();
         for (int64_t j = 0; j < n; ++j) {
-          mx = std::max(mx, xv[static_cast<size_t>((o * n + j) * inner + i)]);
+          mx = std::max(mx, xp[base + j * inner]);
         }
         float denom = 0.0f;
         for (int64_t j = 0; j < n; ++j) {
-          size_t idx = static_cast<size_t>((o * n + j) * inner + i);
-          out[idx] = std::exp(xv[idx] - mx);
-          denom += out[idx];
+          const int64_t idx = base + j * inner;
+          op[idx] = std::exp(xp[idx] - mx);
+          denom += op[idx];
         }
-        for (int64_t j = 0; j < n; ++j) {
-          out[static_cast<size_t>((o * n + j) * inner + i)] /= denom;
-        }
+        for (int64_t j = 0; j < n; ++j) op[base + j * inner] /= denom;
       }
     }
   });
   Tensor tx = x;
   auto backward = [tx, outer, n, inner](internal::TensorImpl& node) mutable {
-    auto& gx = tx.grad();
-    const auto& g = node.grad;
+    float* gx = tx.grad().data();
+    const float* g = node.grad.data();
     // node.data is this op's output y (nothing mutates tensor storage in
     // place), so the closure needs no captured copy of it.
-    const auto& yv = node.data;
+    const float* yv = node.data.data();
     ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
       for (int64_t o = o0; o < o1; ++o) {
         for (int64_t i = 0; i < inner; ++i) {
+          const int64_t base = o * n * inner + i;
           float dot = 0.0f;
           for (int64_t j = 0; j < n; ++j) {
-            size_t idx = static_cast<size_t>((o * n + j) * inner + i);
+            const int64_t idx = base + j * inner;
             dot += g[idx] * yv[idx];
           }
           for (int64_t j = 0; j < n; ++j) {
-            size_t idx = static_cast<size_t>((o * n + j) * inner + i);
+            const int64_t idx = base + j * inner;
             gx[idx] += yv[idx] * (g[idx] - dot);
           }
         }
@@ -853,7 +859,11 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
 }
 
 Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
-  if (!training || p <= 0.0f) return MulScalar(x, 1.0f);
+  // Inactive dropout is the identity: returning the input unchanged avoids
+  // a full-tensor MulScalar(x, 1.0f) pass and its tape node. Gradients then
+  // accumulate directly into x (x * 1.0f was already bit-exact, and every
+  // dropout site feeds a single consumer, so the sum order is unchanged).
+  if (!training || p <= 0.0f) return x;
   CHECK_LT(p, 1.0f);
   float scale = 1.0f / (1.0f - p);
   std::vector<float> mask(x.data().size());
@@ -875,7 +885,9 @@ Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
 
 Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
   CHECK(pred.shape() == target.shape());
-  return MeanAll(Abs(Sub(pred, target)));
+  // One tape node (fused sub+abs+mean) instead of four; dispatches to the
+  // op-graph composition when fusion is disabled.
+  return FusedMaeLoss(pred, target);
 }
 
 Tensor MseLoss(const Tensor& pred, const Tensor& target) {

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
@@ -271,6 +272,14 @@ std::string Tensor::ToString(int max_elements) const {
   return out.str();
 }
 
+namespace {
+std::atomic<uint64_t> g_tape_nodes_created{0};
+}  // namespace
+
+uint64_t TapeNodesCreated() {
+  return g_tape_nodes_created.load(std::memory_order_relaxed);
+}
+
 Tensor Tensor::MakeFromOp(std::vector<int> shape, std::vector<float> data,
                           std::vector<Tensor> parents,
                           std::function<void(internal::TensorImpl&)> backward) {
@@ -283,6 +292,7 @@ Tensor Tensor::MakeFromOp(std::vector<int> shape, std::vector<float> data,
   if (any_grad) {
     impl->parents = std::move(parents);
     impl->backward = std::move(backward);
+    g_tape_nodes_created.fetch_add(1, std::memory_order_relaxed);
   }
   return Tensor(std::move(impl));
 }

@@ -149,6 +149,12 @@ struct TensorImpl {
 
 }  // namespace internal
 
+/// Number of autograd tape nodes created since process start (op results
+/// that recorded a backward closure; constant leaves don't count).
+/// Monotonic and thread-safe — diff across a training step to measure the
+/// step's tape size, as the fused-kernel benchmark does.
+uint64_t TapeNodesCreated();
+
 /// Number of elements implied by a shape.
 int64_t NumElements(const std::vector<int>& shape);
 

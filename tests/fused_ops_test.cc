@@ -1,0 +1,621 @@
+// Bit-exactness of the fused forward/backward kernels against the op-graph
+// compositions they replace (tensor/fused.h). Comparisons are memcmp-strict:
+// the fused kernels' determinism contract promises the *same bits* as the
+// unfused path for outputs and gradients, across tail shapes (n = 1,
+// non-multiples of the 8-lane vector width) and thread counts. Also covers
+// the fused Adam step: thread-count invariance, the incremental
+// bias-correction powers, and the no-grad-mutation contract of the folded
+// clip-norm scale.
+#include "tensor/fused.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace autocts {
+namespace {
+
+bool BitEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Restores the fusion toggle no matter how a test exits.
+struct FusedToggleGuard {
+  bool saved = FusedKernelsEnabled();
+  ~FusedToggleGuard() { SetFusedKernelsEnabled(saved); }
+};
+
+struct GraphResult {
+  std::vector<float> out;
+  std::vector<std::vector<float>> grads;
+};
+
+/// Builds the graph twice from identical seeds — once through the fused
+/// kernels, once through the op-graph references — drives both with the
+/// same random upstream gradient, and memcmps output and every input grad.
+void ExpectFusedBitExact(
+    const std::function<Tensor(Rng*, std::vector<Tensor>*)>& build,
+    const std::string& label) {
+  FusedToggleGuard guard;
+  auto run = [&](bool fused) {
+    SetFusedKernelsEnabled(fused);
+    Rng rng(1234);
+    std::vector<Tensor> inputs;
+    Tensor out = build(&rng, &inputs);
+    Rng up(99);
+    // Mul with a constant gives out a non-trivial upstream gradient (= r),
+    // identical on both paths.
+    Tensor r = Tensor::Randn(out.shape(), &up);
+    Tensor loss = SumAll(Mul(out, r));
+    loss.Backward();
+    GraphResult res;
+    res.out = out.data();
+    for (auto& t : inputs) res.grads.push_back(t.grad());
+    loss.ReleaseTape();
+    return res;
+  };
+  GraphResult fused = run(true);
+  GraphResult ref = run(false);
+  EXPECT_TRUE(BitEqual(fused.out, ref.out)) << label << ": forward";
+  ASSERT_EQ(fused.grads.size(), ref.grads.size());
+  for (size_t i = 0; i < fused.grads.size(); ++i) {
+    EXPECT_TRUE(BitEqual(fused.grads[i], ref.grads[i]))
+        << label << ": grad of input " << i;
+  }
+}
+
+// Row × last-dim shapes chosen to hit every tail path: n = 1, n < 8 (all
+// scalar tail), n = 8 (one full vector), odd n > 8 (vector body + tail).
+const int kRowShapes[][2] = {{1, 1}, {2, 7}, {3, 8}, {5, 17}, {4, 33}, {6, 64}};
+
+TEST(FusedOpsTest, LayerNormBitExact) {
+  for (const auto& s : kRowShapes) {
+    const int rows = s[0], n = s[1];
+    ExpectFusedBitExact(
+        [&](Rng* rng, std::vector<Tensor>* inputs) {
+          Tensor x = Tensor::Randn({rows, n}, rng, 1.0f, true);
+          Tensor gamma = Tensor::Randn({n}, rng, 0.5f, true);
+          Tensor beta = Tensor::Randn({n}, rng, 0.5f, true);
+          inputs->assign({x, gamma, beta});
+          return FusedLayerNorm(x, gamma, beta, 1e-5f);
+        },
+        "LayerNorm " + std::to_string(rows) + "x" + std::to_string(n));
+  }
+  // 3-D input: rows = product of leading dims.
+  ExpectFusedBitExact(
+      [](Rng* rng, std::vector<Tensor>* inputs) {
+        Tensor x = Tensor::Randn({2, 3, 9}, rng, 1.0f, true);
+        Tensor gamma = Tensor::Randn({9}, rng, 0.5f, true);
+        Tensor beta = Tensor::Randn({9}, rng, 0.5f, true);
+        inputs->assign({x, gamma, beta});
+        return FusedLayerNorm(x, gamma, beta, 1e-5f);
+      },
+      "LayerNorm 2x3x9");
+}
+
+TEST(FusedOpsTest, LayerNormSharedParamsAccumulate) {
+  // The same gamma/beta used twice in one graph: the parameter-grad fold
+  // must accumulate into the slot's existing value, not overwrite it.
+  ExpectFusedBitExact(
+      [](Rng* rng, std::vector<Tensor>* inputs) {
+        Tensor x = Tensor::Randn({4, 17}, rng, 1.0f, true);
+        Tensor gamma = Tensor::Randn({17}, rng, 0.5f, true);
+        Tensor beta = Tensor::Randn({17}, rng, 0.5f, true);
+        inputs->assign({x, gamma, beta});
+        Tensor h = FusedLayerNorm(x, gamma, beta, 1e-5f);
+        return FusedLayerNorm(h, gamma, beta, 1e-5f);
+      },
+      "LayerNorm shared params");
+}
+
+TEST(FusedOpsTest, GluBitExact) {
+  for (const auto& s : kRowShapes) {
+    const int rows = s[0], n = s[1];
+    ExpectFusedBitExact(
+        [&](Rng* rng, std::vector<Tensor>* inputs) {
+          Tensor a = Tensor::Randn({rows, n}, rng, 1.0f, true);
+          Tensor b = Tensor::Randn({rows, n}, rng, 1.0f, true);
+          inputs->assign({a, b});
+          return FusedGlu(a, b);
+        },
+        "Glu " + std::to_string(rows) + "x" + std::to_string(n));
+  }
+}
+
+TEST(FusedOpsTest, SoftmaxBitExact) {
+  for (float scale : {1.0f, 0.37f}) {
+    for (const auto& s : kRowShapes) {
+      const int rows = s[0], n = s[1];
+      ExpectFusedBitExact(
+          [&](Rng* rng, std::vector<Tensor>* inputs) {
+            Tensor x = Tensor::Randn({rows, n}, rng, 2.0f, true);
+            inputs->assign({x});
+            return FusedSoftmax(x, scale);
+          },
+          "Softmax " + std::to_string(rows) + "x" + std::to_string(n) +
+              " scale=" + std::to_string(scale));
+    }
+    ExpectFusedBitExact(
+        [&](Rng* rng, std::vector<Tensor>* inputs) {
+          Tensor x = Tensor::Randn({2, 3, 9}, rng, 2.0f, true);
+          inputs->assign({x});
+          return FusedSoftmax(x, scale);
+        },
+        "Softmax 2x3x9 scale=" + std::to_string(scale));
+  }
+}
+
+TEST(FusedOpsTest, BiasActBitExact) {
+  const FusedAct acts[] = {FusedAct::kRelu, FusedAct::kLeakyRelu,
+                           FusedAct::kSigmoid, FusedAct::kTanh};
+  for (FusedAct act : acts) {
+    for (const auto& s : kRowShapes) {
+      const int rows = s[0], n = s[1];
+      ExpectFusedBitExact(
+          [&](Rng* rng, std::vector<Tensor>* inputs) {
+            Tensor x = Tensor::Randn({rows, n}, rng, 1.0f, true);
+            Tensor bias = Tensor::Randn({n}, rng, 0.5f, true);
+            inputs->assign({x, bias});
+            return FusedBiasAct(x, bias, act);
+          },
+          "BiasAct act=" + std::to_string(static_cast<int>(act)) + " " +
+              std::to_string(rows) + "x" + std::to_string(n));
+    }
+  }
+}
+
+TEST(FusedOpsTest, AddActBitExact) {
+  const FusedAct acts[] = {FusedAct::kRelu, FusedAct::kLeakyRelu,
+                           FusedAct::kSigmoid, FusedAct::kTanh};
+  for (FusedAct act : acts) {
+    for (const auto& s : kRowShapes) {
+      const int rows = s[0], n = s[1];
+      ExpectFusedBitExact(
+          [&](Rng* rng, std::vector<Tensor>* inputs) {
+            Tensor a = Tensor::Randn({rows, n}, rng, 1.0f, true);
+            Tensor b = Tensor::Randn({rows, n}, rng, 1.0f, true);
+            inputs->assign({a, b});
+            return FusedAddAct(a, b, act);
+          },
+          "AddAct act=" + std::to_string(static_cast<int>(act)) + " " +
+              std::to_string(rows) + "x" + std::to_string(n));
+    }
+  }
+}
+
+TEST(FusedOpsTest, ScalarScaleBitExact) {
+  for (const auto& s : kRowShapes) {
+    const int rows = s[0], n = s[1];
+    ExpectFusedBitExact(
+        [&](Rng* rng, std::vector<Tensor>* inputs) {
+          Tensor x = Tensor::Randn({rows, n}, rng, 1.0f, true);
+          Tensor eps = Tensor::Randn({1}, rng, 0.5f, true);
+          inputs->assign({x, eps});
+          return FusedScalarScale(x, eps, 1.0f);
+        },
+        "ScalarScale " + std::to_string(rows) + "x" + std::to_string(n));
+  }
+}
+
+TEST(FusedOpsTest, ReshapeTransposeBitExact) {
+  // Split-heads pattern [B, L, D] -> [B, H, L, Dh] plus odd 3-D shapes and
+  // negative dims.
+  ExpectFusedBitExact(
+      [](Rng* rng, std::vector<Tensor>* inputs) {
+        Tensor x = Tensor::Randn({2, 5, 12}, rng, 1.0f, true);
+        inputs->assign({x});
+        return FusedReshapeTranspose(x, {2, 5, 3, 4}, 1, 2);
+      },
+      "ReshapeTranspose split-heads");
+  ExpectFusedBitExact(
+      [](Rng* rng, std::vector<Tensor>* inputs) {
+        Tensor x = Tensor::Randn({7, 6}, rng, 1.0f, true);
+        inputs->assign({x});
+        return FusedReshapeTranspose(x, {7, 2, 3}, -1, -3);
+      },
+      "ReshapeTranspose negative dims");
+}
+
+TEST(FusedOpsTest, TransposeReshapeBitExact) {
+  // Merge-heads pattern [B, H, L, Dh] -> [B, L, D] and the rows plumbing
+  // [B, N, T, H] -> [B*T, N, H].
+  ExpectFusedBitExact(
+      [](Rng* rng, std::vector<Tensor>* inputs) {
+        Tensor x = Tensor::Randn({2, 3, 5, 4}, rng, 1.0f, true);
+        inputs->assign({x});
+        return FusedTransposeReshape(x, 1, 2, {2, 5, 12});
+      },
+      "TransposeReshape merge-heads");
+  ExpectFusedBitExact(
+      [](Rng* rng, std::vector<Tensor>* inputs) {
+        Tensor x = Tensor::Randn({3, 7, 2, 5}, rng, 1.0f, true);
+        inputs->assign({x});
+        return FusedTransposeReshape(x, 1, 2, {6, 7, 5});
+      },
+      "TransposeReshape rows");
+}
+
+TEST(FusedOpsTest, AddNBitExact) {
+  for (int k : {2, 3, 5}) {
+    for (const auto& s : kRowShapes) {
+      const int rows = s[0], n = s[1];
+      ExpectFusedBitExact(
+          [&](Rng* rng, std::vector<Tensor>* inputs) {
+            std::vector<Tensor> parts;
+            for (int p = 0; p < k; ++p) {
+              parts.push_back(Tensor::Randn({rows, n}, rng, 1.0f, true));
+            }
+            inputs->assign(parts.begin(), parts.end());
+            return FusedAddN(parts);
+          },
+          "AddN k=" + std::to_string(k) + " " + std::to_string(rows) + "x" +
+              std::to_string(n));
+    }
+  }
+  // A part that also feeds another consumer: its grad slot accumulates the
+  // AddN contribution on top of the other path's.
+  ExpectFusedBitExact(
+      [](Rng* rng, std::vector<Tensor>* inputs) {
+        Tensor a = Tensor::Randn({4, 9}, rng, 1.0f, true);
+        Tensor b = Tensor::Randn({4, 9}, rng, 1.0f, true);
+        Tensor c = Tensor::Randn({4, 9}, rng, 1.0f, true);
+        inputs->assign({a, b, c});
+        return Mul(FusedAddN({a, b, c}), Sigmoid(a));
+      },
+      "AddN multi-consumer part");
+}
+
+TEST(FusedOpsTest, AddLayerNormBitExact) {
+  for (const auto& s : kRowShapes) {
+    const int rows = s[0], n = s[1];
+    ExpectFusedBitExact(
+        [&](Rng* rng, std::vector<Tensor>* inputs) {
+          Tensor a = Tensor::Randn({rows, n}, rng, 1.0f, true);
+          Tensor b = Tensor::Randn({rows, n}, rng, 1.0f, true);
+          Tensor gamma = Tensor::Randn({n}, rng, 0.5f, true);
+          Tensor beta = Tensor::Randn({n}, rng, 0.5f, true);
+          inputs->assign({a, b, gamma, beta});
+          return FusedAddLayerNorm(a, b, gamma, beta, 1e-5f);
+        },
+        "AddLayerNorm " + std::to_string(rows) + "x" + std::to_string(n));
+  }
+  // Residual pattern: `a` also feeds the second operand's producer, the
+  // multi-consumer shape the backbone actually uses.
+  ExpectFusedBitExact(
+      [](Rng* rng, std::vector<Tensor>* inputs) {
+        Tensor h = Tensor::Randn({6, 17}, rng, 1.0f, true);
+        Tensor gamma = Tensor::Randn({17}, rng, 0.5f, true);
+        Tensor beta = Tensor::Randn({17}, rng, 0.5f, true);
+        inputs->assign({h, gamma, beta});
+        return FusedAddLayerNorm(h, Tanh(h), gamma, beta, 1e-5f);
+      },
+      "AddLayerNorm residual");
+}
+
+TEST(FusedOpsTest, ReluSoftmaxBitExact) {
+  for (const auto& s : kRowShapes) {
+    const int rows = s[0], n = s[1];
+    ExpectFusedBitExact(
+        [&](Rng* rng, std::vector<Tensor>* inputs) {
+          Tensor x = Tensor::Randn({rows, n}, rng, 2.0f, true);
+          inputs->assign({x});
+          return FusedReluSoftmax(x);
+        },
+        "ReluSoftmax " + std::to_string(rows) + "x" + std::to_string(n));
+  }
+}
+
+TEST(FusedOpsTest, MaeLossBitExact) {
+  for (const auto& s : kRowShapes) {
+    const int rows = s[0], n = s[1];
+    // Target without grad — the training configuration.
+    ExpectFusedBitExact(
+        [&](Rng* rng, std::vector<Tensor>* inputs) {
+          Tensor pred = Tensor::Randn({rows, n}, rng, 1.0f, true);
+          Tensor target = Tensor::Randn({rows, n}, rng, 1.0f);
+          inputs->assign({pred});
+          return FusedMaeLoss(pred, target);
+        },
+        "MaeLoss " + std::to_string(rows) + "x" + std::to_string(n));
+  }
+  // Both sides differentiable.
+  ExpectFusedBitExact(
+      [](Rng* rng, std::vector<Tensor>* inputs) {
+        Tensor pred = Tensor::Randn({5, 13}, rng, 1.0f, true);
+        Tensor target = Tensor::Randn({5, 13}, rng, 1.0f, true);
+        inputs->assign({pred, target});
+        return FusedMaeLoss(pred, target);
+      },
+      "MaeLoss both-grads");
+}
+
+TEST(FusedOpsTest, GradCheckFusedBackwards) {
+  // Finite-difference check of the fused backward kernels themselves (the
+  // memcmp tests above prove fused == reference; this proves both are
+  // *correct*). Fixed seeds keep inputs away from ReLU kinks
+  // deterministically.
+  FusedToggleGuard guard;
+  SetFusedKernelsEnabled(true);
+  Rng rng(7);
+  {
+    Tensor x = Tensor::Randn({3, 7}, &rng, 1.0f, true);
+    Tensor gamma = Tensor::Randn({7}, &rng, 0.5f, true);
+    Tensor beta = Tensor::Randn({7}, &rng, 0.5f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(Tanh(FusedLayerNorm(in[0], in[1], in[2], 1e-5f)));
+        },
+        {x, gamma, beta});
+    EXPECT_TRUE(res.ok) << "LayerNorm rel err " << res.max_relative_error;
+  }
+  {
+    Tensor a = Tensor::Randn({2, 9}, &rng, 1.0f, true);
+    Tensor b = Tensor::Randn({2, 9}, &rng, 1.0f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(FusedGlu(in[0], in[1]));
+        },
+        {a, b});
+    EXPECT_TRUE(res.ok) << "Glu rel err " << res.max_relative_error;
+  }
+  {
+    Tensor x = Tensor::Randn({3, 5}, &rng, 1.0f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(Square(FusedSoftmax(in[0], 0.7f)));
+        },
+        {x});
+    EXPECT_TRUE(res.ok) << "Softmax rel err " << res.max_relative_error;
+  }
+  {
+    Tensor x = Tensor::Randn({4, 6}, &rng, 1.0f, true);
+    Tensor bias = Tensor::Randn({6}, &rng, 0.5f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(FusedBiasAct(in[0], in[1], FusedAct::kSigmoid));
+        },
+        {x, bias});
+    EXPECT_TRUE(res.ok) << "BiasAct rel err " << res.max_relative_error;
+  }
+  {
+    Tensor a = Tensor::Randn({4, 6}, &rng, 1.0f, true);
+    Tensor b = Tensor::Randn({4, 6}, &rng, 1.0f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(FusedAddAct(in[0], in[1], FusedAct::kTanh));
+        },
+        {a, b});
+    EXPECT_TRUE(res.ok) << "AddAct rel err " << res.max_relative_error;
+  }
+  {
+    Tensor x = Tensor::Randn({3, 8}, &rng, 1.0f, true);
+    Tensor eps = Tensor::Randn({1}, &rng, 0.5f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(Tanh(FusedScalarScale(in[0], in[1], 1.0f)));
+        },
+        {x, eps});
+    EXPECT_TRUE(res.ok) << "ScalarScale rel err " << res.max_relative_error;
+  }
+  {
+    Tensor x = Tensor::Randn({2, 3, 4}, &rng, 1.0f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(
+              Square(FusedReshapeTranspose(in[0], {2, 4, 3}, 1, 2)));
+        },
+        {x});
+    EXPECT_TRUE(res.ok) << "ReshapeTranspose rel err "
+                        << res.max_relative_error;
+  }
+  {
+    Tensor x = Tensor::Randn({2, 3, 4}, &rng, 1.0f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(Square(FusedTransposeReshape(in[0], 0, 2, {4, 6})));
+        },
+        {x});
+    EXPECT_TRUE(res.ok) << "TransposeReshape rel err "
+                        << res.max_relative_error;
+  }
+  {
+    Tensor a = Tensor::Randn({3, 6}, &rng, 1.0f, true);
+    Tensor b = Tensor::Randn({3, 6}, &rng, 1.0f, true);
+    Tensor c = Tensor::Randn({3, 6}, &rng, 1.0f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(Tanh(FusedAddN({in[0], in[1], in[2]})));
+        },
+        {a, b, c});
+    EXPECT_TRUE(res.ok) << "AddN rel err " << res.max_relative_error;
+  }
+  {
+    Tensor a = Tensor::Randn({3, 7}, &rng, 1.0f, true);
+    Tensor b = Tensor::Randn({3, 7}, &rng, 1.0f, true);
+    Tensor gamma = Tensor::Randn({7}, &rng, 0.5f, true);
+    Tensor beta = Tensor::Randn({7}, &rng, 0.5f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(
+              Tanh(FusedAddLayerNorm(in[0], in[1], in[2], in[3], 1e-5f)));
+        },
+        {a, b, gamma, beta});
+    EXPECT_TRUE(res.ok) << "AddLayerNorm rel err " << res.max_relative_error;
+  }
+  {
+    // Offset away from the ReLU kink so finite differences stay clean.
+    Tensor x = Tensor::Randn({3, 5}, &rng, 2.0f, true);
+    auto res = GradCheck(
+        [](const std::vector<Tensor>& in) {
+          return SumAll(Square(FusedReluSoftmax(in[0])));
+        },
+        {x});
+    EXPECT_TRUE(res.ok) << "ReluSoftmax rel err " << res.max_relative_error;
+  }
+  {
+    Tensor pred = Tensor::Randn({4, 5}, &rng, 1.0f, true);
+    Tensor target = Tensor::Randn({4, 5}, &rng, 1.0f);
+    auto res = GradCheck(
+        [&](const std::vector<Tensor>& in) {
+          return FusedMaeLoss(in[0], target);
+        },
+        {pred});
+    EXPECT_TRUE(res.ok) << "MaeLoss rel err " << res.max_relative_error;
+  }
+}
+
+std::vector<float> FusedChainGrads(int threads) {
+  // One graph through every fused kernel, large enough that each kernel's
+  // ParallelFor actually splits at 4 threads.
+  ThreadPool pool(threads);
+  ExecScope scope(ExecContext{&pool, 0});
+  Rng rng(21);
+  Tensor x = Tensor::Randn({64, 257}, &rng, 1.0f, true);
+  Tensor gamma = Tensor::Randn({257}, &rng, 0.5f, true);
+  Tensor beta = Tensor::Randn({257}, &rng, 0.5f, true);
+  Tensor bias = Tensor::Randn({257}, &rng, 0.5f, true);
+  Tensor gate = Tensor::Randn({64, 257}, &rng, 1.0f, true);
+  Tensor eps = Tensor::Randn({1}, &rng, 0.5f, true);
+  Tensor h = FusedLayerNorm(x, gamma, beta, 1e-5f);
+  h = FusedBiasAct(h, bias, FusedAct::kLeakyRelu);
+  h = FusedGlu(h, gate);
+  h = FusedAddAct(h, x, FusedAct::kSigmoid);
+  h = FusedScalarScale(h, eps, 1.0f);
+  h = FusedSoftmax(h, 0.5f);
+  h = FusedAddLayerNorm(h, x, gamma, beta, 1e-5f);
+  h = FusedReshapeTranspose(h, {64, 257}, 0, 1);   // [257, 64]
+  h = FusedTransposeReshape(h, 0, 1, {64, 257});   // back to [64, 257]
+  h = FusedAddN({h, x, gate});
+  h = FusedReluSoftmax(h);
+  Tensor loss = Add(SumAll(Square(h)), FusedMaeLoss(h, gate));
+  loss.Backward();
+  std::vector<float> out = h.data();
+  for (const Tensor& t : {x, gamma, beta, bias, gate, eps}) {
+    const std::vector<float> g = t.grad();
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  loss.ReleaseTape();
+  return out;
+}
+
+TEST(FusedOpsTest, ThreadCountInvariant) {
+  FusedToggleGuard guard;
+  SetFusedKernelsEnabled(true);
+  EXPECT_TRUE(BitEqual(FusedChainGrads(1), FusedChainGrads(4)));
+}
+
+TEST(FusedOpsTest, OneTapeNodePerFusedOp) {
+  // The whole point of fusion: LayerNorm is one tape node instead of nine.
+  FusedToggleGuard guard;
+  Rng rng(3);
+  Tensor x = Tensor::Randn({4, 16}, &rng, 1.0f, true);
+  Tensor gamma = Tensor::Randn({16}, &rng, 0.5f, true);
+  Tensor beta = Tensor::Randn({16}, &rng, 0.5f, true);
+  SetFusedKernelsEnabled(true);
+  uint64_t before = TapeNodesCreated();
+  Tensor fused = FusedLayerNorm(x, gamma, beta, 1e-5f);
+  uint64_t fused_nodes = TapeNodesCreated() - before;
+  SetFusedKernelsEnabled(false);
+  before = TapeNodesCreated();
+  Tensor ref = FusedLayerNorm(x, gamma, beta, 1e-5f);
+  uint64_t ref_nodes = TapeNodesCreated() - before;
+  EXPECT_EQ(fused_nodes, 1u);
+  EXPECT_GE(ref_nodes, 9u);
+  EXPECT_TRUE(BitEqual(fused.data(), ref.data()));
+  fused.ReleaseTape();
+  ref.ReleaseTape();
+}
+
+std::vector<float> AdamParamsAfterSteps(int threads, int steps) {
+  ThreadPool pool(threads);
+  ExecScope scope(ExecContext{&pool, 0});
+  Rng rng(11);
+  // Sizes straddle the norm-reduction block (4096) and the update-loop
+  // grain, so 4 threads genuinely split the work.
+  std::vector<Tensor> params = {
+      Tensor::Randn({4097}, &rng, 1.0f, true),
+      Tensor::Randn({513}, &rng, 1.0f, true),
+      Tensor::Randn({64, 65}, &rng, 1.0f, true),
+  };
+  Adam::Options opts;
+  opts.weight_decay = 1e-4f;
+  opts.clip_norm = 1.0f;  // Large random grads => the clip path is live.
+  Adam adam(params, opts);
+  for (int s = 0; s < steps; ++s) {
+    Rng up(100 + s);
+    adam.ZeroGrad();
+    Tensor loss = Tensor::Scalar(0.0f);
+    for (const Tensor& p : params) {
+      loss = Add(loss, SumAll(Mul(p, Tensor::Randn(p.shape(), &up, 2.0f))));
+    }
+    loss.Backward();
+    adam.Step();
+    loss.ReleaseTape();
+  }
+  std::vector<float> out;
+  for (const Tensor& p : params) {
+    const std::vector<float> d = p.data();
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  return out;
+}
+
+TEST(FusedOpsTest, AdamThreadCountInvariant) {
+  EXPECT_TRUE(BitEqual(AdamParamsAfterSteps(1, 3), AdamParamsAfterSteps(4, 3)));
+}
+
+TEST(FusedOpsTest, AdamDoesNotMutateGradients) {
+  // The clip-norm scale is folded into the update; the grad buffers the
+  // user sees after Step() must be exactly what Backward() left there.
+  Rng rng(5);
+  Tensor p = Tensor::Randn({300}, &rng, 1.0f, true);
+  Adam::Options opts;
+  opts.clip_norm = 0.5f;  // Forces scale < 1.
+  Adam adam({p}, opts);
+  Tensor loss = SumAll(Mul(p, Tensor::Randn(p.shape(), &rng, 3.0f)));
+  loss.Backward();
+  std::vector<float> grads_before = p.grad();
+  adam.Step();
+  EXPECT_TRUE(BitEqual(grads_before, p.grad()));
+  loss.ReleaseTape();
+}
+
+TEST(FusedOpsTest, AdamBiasCorrectionLongRun) {
+  // Constant unit gradient, no decay, no clip: Adam's closed form gives
+  // m_hat = v_hat = 1 every step, so each update is exactly
+  // -lr / (1 + eps). The incrementally-tracked beta powers must hold that
+  // over hundreds of steps (the old float std::pow(beta, step) drifted).
+  Tensor p = Tensor::Zeros({1}, true);
+  Adam::Options opts;
+  opts.lr = 1e-3f;
+  opts.weight_decay = 0.0f;
+  opts.clip_norm = 0.0f;
+  Adam adam({p}, opts);
+  const int kSteps = 300;
+  for (int s = 0; s < kSteps; ++s) {
+    adam.ZeroGrad();
+    Tensor loss = SumAll(p);  // d loss / d p = 1.
+    loss.Backward();
+    adam.Step();
+    loss.ReleaseTape();
+  }
+  const double expected =
+      -static_cast<double>(kSteps) * 1e-3 / (1.0 + 1e-8);
+  EXPECT_NEAR(p.data()[0], expected, 1e-4 * kSteps * 1e-3 + 1e-6);
+}
+
+}  // namespace
+}  // namespace autocts
