@@ -5,17 +5,21 @@
 //
 // After the google-benchmark pass, main() runs a small self-timed pass and
 // writes BENCH_PR2.json (kernel throughput, buffer-pool hit rate, and
-// allocations per training step) for CI to archive. AUTOCTS_BENCH_ITERS
-// sets its iteration count (default 5; CI smoke uses 2).
+// allocations per training step), BENCH_PR3.json (fused vs op-graph
+// ST-block A/B), and BENCH_PR4.json (guardrails armed vs disarmed, with
+// the <2% overhead budget) for CI to archive. AUTOCTS_BENCH_ITERS sets
+// the iteration count (default 5; CI smoke uses 2).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/guard.h"
 #include "common/parallel.h"
 #include "comparator/comparator.h"
 #include "data/synthetic.h"
@@ -385,6 +389,106 @@ void AppendStBlockRecord(int iters, bool fused,
   SetFusedKernelsEnabled(saved);
 }
 
+// ---- Guardrail overhead: guards armed vs disarmed (BENCH_PR4.json) --------
+
+/// Times the PR-4 training-step guardrails armed vs disarmed (the
+/// in-process equivalent of AUTOCTS_NO_GUARDS=1), on the same ST-block
+/// training step as the PR-3 A/B. The step carries the production guard
+/// placements: the trainer's isfinite branch on the loss scalar it reads
+/// anyway (model/trainer.cc) and Adam's non-finite-norm skip. With the
+/// default clip norm (`clip=true`, the path every pipeline stage runs) the
+/// Adam guard rides on the clipping reduction the step computes anyway;
+/// with clipping disabled (`clip=false`) it must run the blocked isfinite
+/// sweep over every gradient — the worst case.
+///
+/// The guard cost is far below run-to-run drift of a whole step, so the
+/// A/B is paired: each iteration times one disarmed and one armed step
+/// back to back on the same model state (order alternating per pair, so
+/// neither leg systematically gets the warmer slot) and the overhead is
+/// the *median* of the per-pair differences — frequency-scaling phases and
+/// scheduler outliers hit both legs of a pair alike and cancel, where
+/// separately-timed legs drift apart by more than the budget itself. The
+/// derived *_guard_overhead record holds that paired percentage against
+/// the PR-4 acceptance budget of <2%.
+void AppendGuardrailRecords(int iters, bool clip,
+                            std::vector<bench::MicroBenchRecord>* records) {
+  const bool saved = GuardsEnabled();
+  {
+    ThreadPool pool(1);
+    ExecScope scope(ExecContext{&pool, 0});
+    ScaleConfig cfg = ScaleConfig::Test();
+    ForecastTask task;
+    task.data = MakeSyntheticDataset("Los-Loop", cfg).value();
+    task.p = 12;
+    task.q = 12;
+    ForecasterSpec spec = MakeForecasterSpec(task);
+    ArchHyper ah = ParseArchHyper(
+                       "B4C5H32I64U1d0|0-1:GDCC,0-2:DGCN,2-3:INF-T,3-4:INF-S")
+                       .value();
+    Rng rng(17);
+    auto model = BuildSearchedModel(ah, spec, cfg, 8);
+    model->SetTraining(true);
+    WindowProvider provider(task);
+    Adam::Options opts;
+    if (!clip) opts.clip_norm = 0.0f;
+    Adam adam(model->Parameters(), opts);
+    WindowBatch batch = provider.SampleTrainBatch(4, &rng);
+    auto step = [&] {
+      adam.ZeroGrad();
+      Tensor loss = MaeLoss(model->Forward(batch.x), batch.y);
+      float observed = loss.item();
+      bool diverged = GuardsEnabled() && !std::isfinite(observed);
+      benchmark::DoNotOptimize(diverged);
+      loss.Backward();
+      adam.Step();
+      loss.ReleaseTape();
+    };
+    for (int i = 0; i < 2; ++i) step();  // Warm the pool and code paths.
+    auto timed_step = [&](bool armed) {
+      SetGuardsEnabled(armed);
+      auto t0 = std::chrono::steady_clock::now();
+      step();
+      auto t1 = std::chrono::steady_clock::now();
+      return static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count());
+    };
+    std::vector<double> diffs(iters), offs(iters);
+    for (int i = 0; i < iters; ++i) {
+      double t_off, t_on;
+      if (i % 2 == 0) {
+        t_off = timed_step(false);
+        t_on = timed_step(true);
+      } else {
+        t_on = timed_step(true);
+        t_off = timed_step(false);
+      }
+      diffs[i] = t_on - t_off;
+      offs[i] = t_off;
+    }
+    auto median = [](std::vector<double> v) {
+      std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+      return v[v.size() / 2];
+    };
+    const double off = median(offs);
+    const double on = off + median(diffs);
+    const char* base = clip ? "train_step_clip" : "train_step_noclip";
+    bench::MicroBenchRecord rec;
+    rec.threads = 1;
+    rec.op = std::string(base) + "_guards_on";
+    rec.ns_per_iter = on;
+    records->push_back(rec);
+    rec.op = std::string(base) + "_guards_off";
+    rec.ns_per_iter = off;
+    records->push_back(rec);
+    rec.op = std::string(base) + "_guard_overhead";
+    rec.ns_per_iter = on - off;
+    rec.overhead_pct = off > 0.0 ? 100.0 * (on - off) / off : 0.0;
+    records->push_back(rec);
+  }
+  SetGuardsEnabled(saved);
+}
+
 }  // namespace
 
 void WriteMicroReport() {
@@ -400,6 +504,12 @@ void WriteMicroReport() {
   AppendStBlockRecord(iters, /*fused=*/true, &st_records);
   AppendStBlockRecord(iters, /*fused=*/false, &st_records);
   bench::WriteBenchJson("BENCH_PR3.json", st_records);
+  // The guardrail A/B resolves a sub-percent difference, so it gets a floor
+  // of 20 paired iterations even under the CI smoke setting.
+  std::vector<bench::MicroBenchRecord> guard_records;
+  AppendGuardrailRecords(std::max(iters, 20), /*clip=*/true, &guard_records);
+  AppendGuardrailRecords(std::max(iters, 20), /*clip=*/false, &guard_records);
+  bench::WriteBenchJson("BENCH_PR4.json", guard_records);
 }
 
 }  // namespace autocts

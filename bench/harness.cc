@@ -235,7 +235,7 @@ void WriteBenchJson(const std::string& path,
         << ", \"allocs_per_step\": " << r.allocs_per_step
         << ", \"tape_nodes_per_step\": " << r.tape_nodes_per_step
         << ", \"pool_roundtrips_per_step\": " << r.pool_roundtrips_per_step
-        << "}"
+        << ", \"overhead_pct\": " << r.overhead_pct << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";

@@ -95,6 +95,9 @@ struct MicroBenchRecord {
   /// Buffer-pool acquires (hits + misses) per iteration — every one is an
   /// acquire/release round-trip once the step's tape is torn down.
   double pool_roundtrips_per_step = 0.0;
+  /// For derived A/B records: percent cost of the "on" leg over the "off"
+  /// leg (used by the BENCH_PR4.json guardrail-overhead records).
+  double overhead_pct = 0.0;
 };
 
 /// Writes `records` to `path` as a JSON array of flat objects.

@@ -2,7 +2,12 @@
 //
 //   pretrain   pre-train a T-AHC on synthetic source tasks and save a
 //              checkpoint:
-//                autocts_cli pretrain --ckpt /tmp/my_tahc [--tasks 8]
+//                autocts_cli pretrain --ckpt /tmp/my_tahc [--tasks 8] \
+//                    [--checkpoint-dir /tmp/ckpt] [--resume]
+//              --checkpoint-dir makes every pipeline stage persist its
+//              progress (per-sample label fates, encoder/T-AHC parameters,
+//              RNG state); --resume restarts a killed run from the last
+//              completed sample with bit-identical results.
 //   search     zero-shot search on a dataset (named synthetic or CSV):
 //                autocts_cli search --ckpt /tmp/my_tahc --dataset PEMS-BAY \
 //                    --p 24 --q 24 [--csv path.csv] [--single]
@@ -84,6 +89,8 @@ int Pretrain(const std::map<std::string, std::string>& flags) {
   ScaleConfig scale = ScaleConfig::Bench();
   scale.num_source_tasks = IntFlag(flags, "tasks", scale.num_source_tasks);
   AutoCtsOptions options = AutoCtsOptions::ForScale(scale);
+  options.checkpoint.dir = StrFlag(flags, "checkpoint-dir", "");
+  options.checkpoint.resume = flags.count("resume") > 0;
   std::string ckpt = StrFlag(flags, "ckpt", "./autocts_cli");
   std::vector<ForecastTask> sources;
   Rng rng(static_cast<uint64_t>(IntFlag(flags, "seed", 97)));
@@ -96,9 +103,27 @@ int Pretrain(const std::map<std::string, std::string>& flags) {
   }
   AutoCtsPlusPlus framework(options);
   std::cout << "pre-training on " << sources.size() << " source tasks...\n";
-  PretrainReport report = framework.Pretrain(sources);
+  StatusOr<PretrainReport> pretrained = framework.TryPretrain(sources);
+  if (!pretrained.ok()) {
+    std::cerr << "error: " << pretrained.status().message() << "\n";
+    return 1;
+  }
+  const PretrainReport& report = pretrained.value();
   std::cout << "pairs trained: " << report.total_pairs_trained
             << ", final pairwise accuracy: " << report.final_accuracy << "\n";
+  const RobustnessReport& rb = report.robustness;
+  if (rb.resumed_samples > 0) {
+    std::cout << "resumed " << rb.resumed_samples
+              << " samples from checkpoint\n";
+  }
+  if (rb.nonfinite_events > 0) {
+    std::cout << "guardrails: " << rb.nonfinite_events
+              << " non-finite events, " << rb.retried_samples << " retried, "
+              << rb.quarantined_samples << " quarantined\n";
+    for (const std::string& reason : rb.quarantine_reasons) {
+      std::cout << "  quarantined: " << reason << "\n";
+    }
+  }
   Status saved = framework.SaveCheckpoint(ckpt);
   if (!saved.ok()) {
     std::cerr << "error: " << saved.message() << "\n";

@@ -1,0 +1,84 @@
+#ifndef REPRO_COMMON_BINIO_H_
+#define REPRO_COMMON_BINIO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace autocts {
+
+/// Appends raw bytes to a growing binary frame.
+inline void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+/// Appends one trivially-copyable value (native endianness — checkpoints
+/// are host-local artifacts, not interchange formats).
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(value));
+}
+
+/// Appends a length-prefixed byte string.
+inline void AppendString(std::string* out, const std::string& s) {
+  AppendPod(out, static_cast<uint64_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked reader over an in-memory frame. Every primitive read
+/// fails (sticky) instead of walking past the end, so a truncated file is
+/// reported as such rather than partially parsed.
+class FrameReader {
+ public:
+  FrameReader(const std::string& bytes, size_t offset)
+      : bytes_(bytes), pos_(offset) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    if (failed_ || bytes_.size() - pos_ < sizeof(T)) {
+      failed_ = true;
+      return false;
+    }
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadFloats(std::vector<float>* out, uint64_t count) {
+    const uint64_t bytes_needed = count * sizeof(float);
+    if (failed_ || bytes_.size() - pos_ < bytes_needed) {
+      failed_ = true;
+      return false;
+    }
+    out->resize(count);
+    std::memcpy(out->data(), bytes_.data() + pos_, bytes_needed);
+    pos_ += bytes_needed;
+    return true;
+  }
+
+  /// Reads a length-prefixed byte string written by AppendString.
+  bool ReadString(std::string* out) {
+    uint64_t size = 0;
+    if (!Read(&size)) return false;
+    if (bytes_.size() - pos_ < size) {
+      failed_ = true;
+      return false;
+    }
+    out->assign(bytes_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool failed() const { return failed_; }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_;
+  bool failed_ = false;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_BINIO_H_

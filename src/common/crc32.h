@@ -1,0 +1,45 @@
+#ifndef REPRO_COMMON_CRC32_H_
+#define REPRO_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace autocts {
+
+namespace internal {
+
+/// Table for the reflected CRC-32 (IEEE 802.3 polynomial 0xEDB88320) — the
+/// same checksum zlib/PNG use, so frames are verifiable with external tools.
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace internal
+
+/// CRC-32 of a byte range; pass the previous value via `seed` to checksum a
+/// stream incrementally (seed 0 starts a fresh checksum).
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  const auto& table = internal::Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_CRC32_H_

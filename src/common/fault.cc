@@ -1,0 +1,85 @@
+#include "common/fault.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace autocts {
+namespace {
+
+struct ArmedFault {
+  bool armed = false;
+  int64_t address = kAnyAddress;
+  int fires_left = 0;
+};
+
+/// Number of armed points — the lock-free gate. The mutex below guards the
+/// slow path only; probes that find the counter at zero never take it.
+std::atomic<int> g_armed_count{0};
+std::mutex g_mu;
+ArmedFault g_faults[kNumFaultPoints];
+/// kIoWriteFail ordinal; reset by DisarmAllFaults so each test counts its
+/// own writes from zero.
+std::atomic<int64_t> g_write_ordinal{0};
+
+thread_local int64_t t_fault_address = kAnyAddress;
+
+}  // namespace
+
+void ArmFault(FaultPoint point, int64_t address, int fires) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ArmedFault& f = g_faults[static_cast<int>(point)];
+  if (!f.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  f.armed = true;
+  f.address = address;
+  f.fires_left = fires;
+}
+
+void DisarmAllFaults() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (ArmedFault& f : g_faults) f = ArmedFault{};
+  g_armed_count.store(0, std::memory_order_relaxed);
+  g_write_ordinal.store(0, std::memory_order_relaxed);
+}
+
+bool AnyFaultArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+bool FaultFires(FaultPoint point, int64_t address) {
+  if (!AnyFaultArmed()) return false;
+  std::lock_guard<std::mutex> lock(g_mu);
+  ArmedFault& f = g_faults[static_cast<int>(point)];
+  if (!f.armed || f.fires_left <= 0) return false;
+  if (f.address != kAnyAddress && f.address != address) return false;
+  if (--f.fires_left == 0) {
+    f.armed = false;
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void MaybeInjectKill(FaultPoint point, int64_t address) {
+  if (FaultFires(point, address)) throw InjectedKill(point, address);
+}
+
+bool FaultFiresNanLoss() {
+  if (!AnyFaultArmed()) return false;
+  return FaultFires(FaultPoint::kNanLoss, t_fault_address);
+}
+
+bool FaultFiresIoWrite() {
+  if (!AnyFaultArmed()) return false;
+  int64_t ordinal = g_write_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return FaultFires(FaultPoint::kIoWriteFail, ordinal);
+}
+
+FaultAddressScope::FaultAddressScope(int64_t address)
+    : previous_(t_fault_address) {
+  t_fault_address = address;
+}
+
+FaultAddressScope::~FaultAddressScope() { t_fault_address = previous_; }
+
+int64_t CurrentFaultAddress() { return t_fault_address; }
+
+}  // namespace autocts

@@ -1,0 +1,42 @@
+#include "common/fileio.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault.h"
+
+namespace autocts {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Error("read failed for " + path);
+  return std::move(buffer).str();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  if (FaultFiresIoWrite()) {
+    return Status::Error("injected IO failure writing " + path);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Error("cannot open " + tmp + " for writing");
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Error("write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Error("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace autocts

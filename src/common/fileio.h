@@ -1,0 +1,22 @@
+#ifndef REPRO_COMMON_FILEIO_H_
+#define REPRO_COMMON_FILEIO_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace autocts {
+
+/// Reads a whole binary file. Errors on missing/unreadable paths.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` atomically: the bytes go to `path + ".tmp"` first and
+/// are renamed over `path` only after the write fully succeeded, so a crash
+/// (or an injected kIoWriteFail fault) can never leave a torn file at
+/// `path` — readers see either the previous complete version or the new
+/// one. The temp file is removed on failure.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_FILEIO_H_

@@ -2,19 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <utility>
 
+#include "common/fault.h"
 #include "model/searched_model.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
 
 namespace autocts {
 
+bool LabeledSample::usable() const {
+  return !quarantined && std::isfinite(r_prime);
+}
+
 std::vector<TaskSampleSet> CollectSamples(
     const std::vector<ForecastTask>& tasks, const JointSearchSpace& space,
     const TaskEncoder& encoder, const ScaleConfig& scale,
-    const SampleCollectionOptions& options, const ExecContext& ctx) {
+    const SampleCollectionOptions& options, const ExecContext& ctx,
+    SampleBankHook* hook) {
   CHECK(!tasks.empty());
   ExecScope scope(ctx);
   Rng rng(options.seed);
@@ -64,26 +72,89 @@ std::vector<TaskSampleSet> CollectSamples(
   for (const ForecastTask& task : tasks) {
     specs.push_back(MakeForecasterSpec(task));
   }
+  // Serializes hook->Commit calls; everything else in the loop is
+  // per-sample private.
+  std::mutex hook_mu;
   ParallelFor(
       0, static_cast<int64_t>(pending.size()), 1,
       [&](int64_t p0, int64_t p1) {
         for (int64_t p = p0; p < p1; ++p) {
           const PendingSample& ps = pending[static_cast<size_t>(p)];
-          auto model =
-              BuildSearchedModel(ps.arch_hyper, specs[static_cast<size_t>(
-                                                    ps.task)],
-                                 scale, ps.model_seed);
+          ModelTrainer* trainer = trainers[static_cast<size_t>(ps.task)].get();
+          // Simulated process death: anything committed so far is on disk,
+          // this sample and later ones are not. The exception drains the
+          // pool and reaches the caller (see ThreadPool::RunChunks).
+          MaybeInjectKill(FaultPoint::kKillBeforeSample, p);
           LabeledSample sample;
           sample.arch_hyper = ps.arch_hyper;
-          sample.r_prime =
-              trainers[static_cast<size_t>(ps.task)]->EarlyValidationError(
-                  model.get(), options.early_validation_epochs);
           sample.shared = ps.shared;
+          bool restored = false;
+          if (hook != nullptr) {
+            std::lock_guard<std::mutex> lock(hook_mu);
+            restored = hook->Restore(ps.task, ps.slot, &sample);
+          }
+          if (!restored) {
+            // Scope the training under this sample's pending index so the
+            // kNanLoss fault point can address exactly one sample.
+            FaultAddressScope fault_scope(p);
+            auto build = [&] {
+              return BuildSearchedModel(
+                  ps.arch_hyper, specs[static_cast<size_t>(ps.task)], scale,
+                  ps.model_seed);
+            };
+            auto model = build();
+            StatusOr<double> r = trainer->TryEarlyValidationError(
+                model.get(), options.early_validation_epochs);
+            if (!r.ok()) {
+              // Quarantine policy: one retry from the same init at half the
+              // learning rate (divergence is usually an lr problem at this
+              // scale); a second failure excludes the sample.
+              sample.retries = 1;
+              auto retry_model = build();
+              StatusOr<double> retry = trainer->TryEarlyValidationError(
+                  retry_model.get(), options.early_validation_epochs, 0.5f);
+              if (retry.ok()) {
+                sample.r_prime = retry.value();
+              } else {
+                sample.quarantined = true;
+                sample.r_prime = std::numeric_limits<double>::quiet_NaN();
+                sample.note = r.status().message() + "; retry at lr/2: " +
+                              retry.status().message();
+              }
+            } else {
+              sample.r_prime = r.value();
+            }
+          }
           out[static_cast<size_t>(ps.task)]
-              .samples[static_cast<size_t>(ps.slot)] = std::move(sample);
+              .samples[static_cast<size_t>(ps.slot)] = sample;
+          if (hook != nullptr) {
+            std::lock_guard<std::mutex> lock(hook_mu);
+            hook->Commit(ps.task, ps.slot, sample);
+          }
         }
       });
   return out;
+}
+
+RobustnessReport ScanSampleBank(const std::vector<TaskSampleSet>& data) {
+  RobustnessReport report;
+  for (size_t t = 0; t < data.size(); ++t) {
+    for (size_t i = 0; i < data[t].samples.size(); ++i) {
+      const LabeledSample& s = data[t].samples[i];
+      // Each divergence is one event: a recovered retry is one, a
+      // quarantined sample is two (original attempt + failed retry).
+      report.nonfinite_events += s.retries + (s.quarantined ? 1 : 0);
+      if (s.quarantined) {
+        ++report.quarantined_samples;
+        report.quarantine_reasons.push_back(
+            data[t].task.name() + " sample #" + std::to_string(i) + ": " +
+            (s.note.empty() ? "diverged twice" : s.note));
+      } else if (s.retries > 0) {
+        ++report.retried_samples;
+      }
+    }
+  }
+  return report;
 }
 
 namespace {
@@ -122,6 +193,7 @@ PretrainReport PretrainComparator(Comparator* comparator,
   }
 
   PretrainReport report;
+  report.robustness = ScanSampleBank(data);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     // Curriculum (Alg. 1, line 12): shared samples are always in; the
     // admitted fraction Δ of random samples grows linearly to 1.
@@ -137,6 +209,9 @@ PretrainReport PretrainComparator(Comparator* comparator,
       std::vector<int> pool;
       std::vector<int> randoms;
       for (size_t i = 0; i < data[t].samples.size(); ++i) {
+        // Quarantined / non-finite-labeled samples never enter the label
+        // set — a NaN R' would poison every BCE target it touches.
+        if (!data[t].samples[i].usable()) continue;
         if (data[t].samples[i].shared) {
           pool.push_back(static_cast<int>(i));
         } else {
@@ -206,14 +281,18 @@ PretrainReport PretrainComparator(Comparator* comparator,
     }
     report.epoch_loss.push_back(batches > 0 ? epoch_loss / batches : 0.0);
   }
+  report.robustness.skipped_optimizer_steps = adam.skipped_steps();
   comparator->SetTraining(false);
 
-  // Final training-set accuracy over all ordered pairs.
+  // Final training-set accuracy over all ordered pairs of usable samples.
   double correct = 0.0;
   int total = 0;
   for (const TaskSampleSet& set : data) {
     double acc = PairwiseAccuracy(*comparator, set);
-    int n = static_cast<int>(set.samples.size());
+    int n = 0;
+    for (const LabeledSample& s : set.samples) {
+      if (s.usable()) ++n;
+    }
     int pairs_n = n * (n - 1);
     correct += acc * pairs_n;
     total += pairs_n;
@@ -224,22 +303,31 @@ PretrainReport PretrainComparator(Comparator* comparator,
 
 double PairwiseAccuracy(const Comparator& comparator,
                         const TaskSampleSet& task_set) {
-  const int n = static_cast<int>(task_set.samples.size());
+  // Only samples with a trustworthy R' can anchor a ground-truth ordering.
+  std::vector<int> usable;
+  for (size_t i = 0; i < task_set.samples.size(); ++i) {
+    if (task_set.samples[i].usable()) usable.push_back(static_cast<int>(i));
+  }
+  const int n = static_cast<int>(usable.size());
   if (n < 2) return 1.0;
   Tensor task_embed;
   if (comparator.options().task_aware) {
     task_embed = comparator.EmbedTask(task_set.preliminary).Detach();
   }
   std::vector<ArchHyperEncoding> enc;
-  for (const LabeledSample& s : task_set.samples) {
-    enc.push_back(EncodeArchHyper(s.arch_hyper));
+  for (int idx : usable) {
+    enc.push_back(
+        EncodeArchHyper(task_set.samples[static_cast<size_t>(idx)].arch_hyper));
   }
   int correct = 0, total = 0;
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
-      bool label = task_set.samples[static_cast<size_t>(i)].r_prime <=
-                   task_set.samples[static_cast<size_t>(j)].r_prime;
+      bool label =
+          task_set.samples[static_cast<size_t>(usable[static_cast<size_t>(i)])]
+              .r_prime <=
+          task_set.samples[static_cast<size_t>(usable[static_cast<size_t>(j)])]
+              .r_prime;
       bool pred = comparator.Prefers(enc[static_cast<size_t>(i)],
                                      enc[static_cast<size_t>(j)], task_embed);
       if (pred == label) ++correct;

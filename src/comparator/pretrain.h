@@ -1,8 +1,10 @@
 #ifndef REPRO_COMPARATOR_PRETRAIN_H_
 #define REPRO_COMPARATOR_PRETRAIN_H_
 
+#include <string>
 #include <vector>
 
+#include "common/guard.h"
 #include "common/parallel.h"
 #include "common/scale_config.h"
 #include "comparator/comparator.h"
@@ -20,6 +22,16 @@ struct LabeledSample {
   ArchHyper arch_hyper;
   double r_prime = 0.0;  ///< Validation MAE after k epochs; lower is better.
   bool shared = false;
+  /// Training diverged twice (original lr, then the lr-halved retry); the
+  /// sample carries no usable label and is excluded from pairing.
+  bool quarantined = false;
+  /// lr-halved retries consumed (0 or 1).
+  int retries = 0;
+  /// Why the sample was quarantined (empty otherwise).
+  std::string note;
+
+  /// True when the sample may enter the comparator's label set.
+  bool usable() const;
 };
 
 /// All pre-training material of one source task.
@@ -39,16 +51,50 @@ struct SampleCollectionOptions {
   uint64_t seed = 101;
 };
 
+/// Per-sample persistence hook for CollectSamples — the seam the
+/// checkpoint/resume subsystem plugs into without the collector knowing
+/// about files. Both methods are invoked with the (task, slot) coordinates
+/// of the serial draw order, which are identical across runs and thread
+/// counts, so restored labels land in exactly the slots they came from.
+class SampleBankHook {
+ public:
+  virtual ~SampleBankHook() = default;
+
+  /// Returns true and fills the fate fields (r_prime, quarantined, retries,
+  /// note) when (task, slot) was already labeled by a previous run;
+  /// `sample->arch_hyper` and `shared` are pre-filled by the caller and
+  /// may be used to verify alignment. False means "train it".
+  virtual bool Restore(int task, int slot, LabeledSample* sample) = 0;
+
+  /// Called after a sample's fate is decided (trained, retried, or
+  /// quarantined). Serialized by the collector — implementations need no
+  /// locking of their own.
+  virtual void Commit(int task, int slot, const LabeledSample& sample) = 0;
+};
+
 /// Trains and early-validates the shared pool plus per-task random
 /// arch-hypers on every task, and computes each task's preliminary
 /// embedding. This is the expensive, GPU-hours-in-the-paper step, so the
 /// per-sample trainings fan out across `ctx`'s pool: all RNG streams are
 /// forked up front in the serial draw order, which makes the collected
 /// samples identical for every pool size.
+///
+/// Fault tolerance: a sample whose training trips the non-finite
+/// guardrails is retried once at half the learning rate (same model seed);
+/// if the retry diverges too, the sample is quarantined — kept in the bank
+/// with a reason but excluded from the comparator's label set. `hook`, when
+/// given, is consulted before each training (checkpoint resume) and
+/// notified after each completed sample (checkpoint write).
 std::vector<TaskSampleSet> CollectSamples(
     const std::vector<ForecastTask>& tasks, const JointSearchSpace& space,
     const TaskEncoder& encoder, const ScaleConfig& scale,
-    const SampleCollectionOptions& options, const ExecContext& ctx = {});
+    const SampleCollectionOptions& options, const ExecContext& ctx = {},
+    SampleBankHook* hook = nullptr);
+
+/// Robustness counters derivable from a collected bank: quarantined and
+/// retried samples, the non-finite events they imply, and one reason line
+/// per quarantined sample.
+RobustnessReport ScanSampleBank(const std::vector<TaskSampleSet>& data);
 
 /// Knobs for T-AHC pre-training (Alg. 1, lines 8–18).
 struct PretrainOptions {
@@ -69,6 +115,9 @@ struct PretrainReport {
   /// epoch (sanity signal; ~0.5 means the comparator learned nothing).
   double final_accuracy = 0.0;
   int total_pairs_trained = 0;
+  /// What the guardrails absorbed across the whole pipeline (sample
+  /// collection quarantines, excluded labels, checkpoint writes).
+  RobustnessReport robustness;
 };
 
 /// Algorithm 1: data-level curriculum (shared samples first, random samples
@@ -79,7 +128,8 @@ PretrainReport PretrainComparator(Comparator* comparator,
                                   const ExecContext& ctx = {});
 
 /// Ranking quality of a comparator on a labeled set: fraction of ordered
-/// pairs it classifies consistently with the R' labels.
+/// pairs it classifies consistently with the R' labels. Quarantined and
+/// non-finite-labeled samples are excluded from the pairing.
 double PairwiseAccuracy(const Comparator& comparator,
                         const TaskSampleSet& task_set);
 

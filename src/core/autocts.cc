@@ -1,7 +1,9 @@
 #include "core/autocts.h"
 
 #include <chrono>
+#include <sstream>
 
+#include "common/fault.h"
 #include "data/synthetic.h"
 #include "model/searched_model.h"
 
@@ -11,6 +13,79 @@ namespace {
 double Seconds(std::chrono::steady_clock::time_point from) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - from)
       .count();
+}
+
+/// Fingerprint of everything a Pretrain() run's results depend on: the
+/// options that shape RNG consumption or sample labeling, and the task
+/// identities. Deliberately excludes num_threads (results are thread-count
+/// invariant, so a checkpoint written at -j1 must resume at -j4) and purely
+/// cosmetic knobs.
+uint64_t PretrainConfigHash(const AutoCtsOptions& o,
+                            const std::vector<ForecastTask>& tasks) {
+  std::ostringstream key;
+  key << o.seed << '|' << o.use_mlp_encoder << '|' << o.ts2vec.repr_dim << ','
+      << o.ts2vec.hidden << '|' << o.ts2vec_pretrain.epochs << ','
+      << o.ts2vec_pretrain.batches_per_epoch << ','
+      << o.ts2vec_pretrain.batch_size << ','
+      << o.ts2vec_pretrain.crop_len << '|' << o.comparator.repr_dim
+      << ',' << o.comparator.f1 << ',' << o.comparator.f2 << ','
+      << o.comparator.task_aware << '|' << o.collect.seed << ','
+      << o.collect.shared_count << ',' << o.collect.random_count << ','
+      << o.collect.early_validation_epochs << ',' << o.collect.windows_per_task
+      << ',' << o.collect.train.epochs << ',' << o.collect.train.batch_size
+      << ',' << o.collect.train.batches_per_epoch << ','
+      << o.collect.train.lr << ',' << o.collect.train.seed << '|'
+      << o.pretrain.seed << ',' << o.pretrain.epochs << ','
+      << o.pretrain.batch_size << ',' << o.pretrain.lr << '|'
+      << o.scale.hidden_divisor << ',' << o.scale.batch_size;
+  for (const ForecastTask& t : tasks) {
+    key << '|' << t.name() << ':' << t.p << ':' << t.q << ':'
+        << t.data->num_series() << ':' << t.data->num_steps();
+  }
+  const std::string bytes = key.str();
+  uint64_t h = 1469598103934665603ull;
+  for (char c : bytes) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// mt19937_64 text round-trip is exact, so a restored stream continues
+/// with precisely the draws the interrupted run would have made.
+std::string SerializeRngState(Rng* rng) {
+  std::ostringstream os;
+  os << rng->engine();
+  return os.str();
+}
+
+Status RestoreRngState(const std::string& state, Rng* rng) {
+  std::istringstream is(state);
+  is >> rng->engine();
+  if (is.fail()) {
+    return Status::Error("checkpoint holds an unreadable RNG state");
+  }
+  return Status::Ok();
+}
+
+/// Recomputes PretrainReport's ranking-accuracy summary from a restored
+/// bank + comparator (the per-epoch losses of the original run are not
+/// checkpointed — only results the rest of the pipeline depends on are).
+double BankPairwiseAccuracy(const Comparator& comparator,
+                            const std::vector<TaskSampleSet>& data) {
+  double correct = 0.0;
+  int total = 0;
+  for (const TaskSampleSet& set : data) {
+    double acc = PairwiseAccuracy(comparator, set);
+    int n = 0;
+    for (const LabeledSample& s : set.samples) {
+      if (s.usable()) ++n;
+    }
+    int pairs_n = n * (n - 1);
+    correct += acc * pairs_n;
+    total += pairs_n;
+  }
+  return total > 0 ? correct / total : 0.0;
 }
 
 }  // namespace
@@ -57,24 +132,94 @@ AutoCtsPlusPlus::AutoCtsPlusPlus(const AutoCtsOptions& options)
 
 PretrainReport AutoCtsPlusPlus::Pretrain(
     const std::vector<ForecastTask>& source_tasks) {
+  StatusOr<PretrainReport> report = TryPretrain(source_tasks);
+  CHECK(report.ok()) << report.status().message();
+  return std::move(report).value();
+}
+
+StatusOr<PretrainReport> AutoCtsPlusPlus::TryPretrain(
+    const std::vector<ForecastTask>& source_tasks) {
   CHECK(!source_tasks.empty());
   ExecContext ctx = exec_context();
   ExecScope scope(ctx);
+  std::unique_ptr<PipelineCheckpoint> ckpt;
+  if (!options_.checkpoint.dir.empty()) {
+    ckpt = std::make_unique<PipelineCheckpoint>(
+        options_.checkpoint.dir,
+        PretrainConfigHash(options_, source_tasks));
+    if (options_.checkpoint.resume) {
+      Status s = ckpt->Load();
+      if (!s.ok()) return s;
+    }
+  }
+
   // Stage 1: contrastive pre-training of TS2Vec on the source corpora
   // (skipped for the MLP ablation encoder, which is trained implicitly by
   // virtue of being random-projection features — as in the paper's
   // ablation, it simply lacks the semantic pre-training).
-  if (auto* ts2vec = dynamic_cast<Ts2Vec*>(encoder_.get())) {
-    std::vector<CtsDatasetPtr> corpora;
-    for (const ForecastTask& t : source_tasks) corpora.push_back(t.data);
-    PretrainTs2Vec(ts2vec, corpora, options_.ts2vec_pretrain, &rng_);
+  MaybeInjectKill(FaultPoint::kKillBeforeStage, kStageEncoder);
+  if (ckpt != nullptr && ckpt->stage_done() >= kStageEncoder) {
+    // The encoder's parameters round-trip as raw float bytes and the RNG
+    // stream continues from its serialized state, so everything downstream
+    // sees exactly what the interrupted run produced.
+    if (auto* ts2vec = dynamic_cast<Ts2Vec*>(encoder_.get())) {
+      (void)ts2vec;
+      Status s = LoadParameters(encoder_.get(), ckpt->EncoderPath());
+      if (!s.ok()) return s;
+    }
+    Status s = RestoreRngState(ckpt->rng_state(), &rng_);
+    if (!s.ok()) return s;
+  } else {
+    if (auto* ts2vec = dynamic_cast<Ts2Vec*>(encoder_.get())) {
+      std::vector<CtsDatasetPtr> corpora;
+      for (const ForecastTask& t : source_tasks) corpora.push_back(t.data);
+      PretrainTs2Vec(ts2vec, corpora, options_.ts2vec_pretrain, &rng_);
+      if (ckpt != nullptr) {
+        Status s = SaveParameters(*encoder_, ckpt->EncoderPath());
+        ckpt->NoteArtifactWrite(s);
+        // Committing the stage without its parameter file would make the
+        // manifest lie; degrade to "stage not persisted" instead.
+        if (s.ok()) ckpt->CommitStage(kStageEncoder, SerializeRngState(&rng_));
+      }
+    } else if (ckpt != nullptr) {
+      // MLP ablation: no training, but the RNG snapshot still marks the
+      // stage boundary so later stages resume uniformly.
+      ckpt->CommitStage(kStageEncoder, SerializeRngState(&rng_));
+    }
   }
-  // Stage 2: label collection (Alg. 1 lines 1–7).
+
+  // Stage 2: label collection (Alg. 1 lines 1–7). The checkpoint hook
+  // restores already-labeled samples and persists each new fate; the
+  // serial draw pass is recomputed every run (cheap and deterministic), so
+  // only fates need storing.
+  MaybeInjectKill(FaultPoint::kKillBeforeStage, kStageSamples);
   collected_ = CollectSamples(source_tasks, space_, *encoder_, options_.scale,
-                              options_.collect, ctx);
-  // Stage 3: curriculum + dynamic-pairing pre-training (lines 8–18).
-  PretrainReport report = PretrainComparator(comparator_.get(), collected_,
-                                             options_.pretrain, ctx);
+                              options_.collect, ctx, ckpt.get());
+  if (ckpt != nullptr && ckpt->stage_done() < kStageSamples) {
+    ckpt->CommitStage(kStageSamples);
+  }
+
+  // Stage 3: curriculum + dynamic-pairing pre-training (lines 8–18). Not
+  // checkpointed mid-epoch: it is the cheap stage and replays bit-exactly
+  // from its own seed and the (restored) bank.
+  MaybeInjectKill(FaultPoint::kKillBeforeStage, kStageComparator);
+  PretrainReport report;
+  if (ckpt != nullptr && ckpt->stage_done() >= kStageComparator) {
+    Status s = LoadParameters(comparator_.get(), ckpt->ComparatorPath());
+    if (!s.ok()) return s;
+    comparator_->SetTraining(false);
+    report.robustness = ScanSampleBank(collected_);
+    report.final_accuracy = BankPairwiseAccuracy(*comparator_, collected_);
+  } else {
+    report = PretrainComparator(comparator_.get(), collected_,
+                                options_.pretrain, ctx);
+    if (ckpt != nullptr) {
+      Status s = SaveParameters(*comparator_, ckpt->ComparatorPath());
+      ckpt->NoteArtifactWrite(s);
+      if (s.ok()) ckpt->CommitStage(kStageComparator);
+    }
+  }
+  if (ckpt != nullptr) report.robustness.Merge(ckpt->robustness());
   pretrained_ = true;
   return report;
 }
@@ -156,6 +301,7 @@ SearchOutcome AutoCtsPlusPlus::SearchAndTrain(const ForecastTask& task) {
                          exec_context().WithSeed(rng_.Fork()));
   outcome.embed_seconds = embed_seconds;
   outcome.rank_seconds = rank_seconds;
+  outcome.robustness.nonfinite_comparisons = searcher.nonfinite_comparisons();
   return outcome;
 }
 
@@ -181,7 +327,7 @@ SearchOutcome AutoCtsPlus::SearchAndTrain(const ForecastTask& task) {
       {task}, space_, stub_encoder, options_.scale, collect, ctx);
   PretrainOptions pre = options_.pretrain;
   pre.initial_random_fraction = 1.0f;  // No curriculum on a single task.
-  PretrainComparator(&ahc, data, pre, ctx);
+  PretrainReport fit = PretrainComparator(&ahc, data, pre, ctx);
   double label_and_fit_seconds = Seconds(t0);
 
   auto t1 = std::chrono::steady_clock::now();
@@ -196,6 +342,8 @@ SearchOutcome AutoCtsPlus::SearchAndTrain(const ForecastTask& task) {
   // For AutoCTS+ the per-task supervision is part of the search cost.
   outcome.embed_seconds = label_and_fit_seconds;
   outcome.rank_seconds = rank_seconds;
+  outcome.robustness.nonfinite_comparisons = searcher.nonfinite_comparisons();
+  outcome.robustness.Merge(fit.robustness);
   return outcome;
 }
 
@@ -225,15 +373,27 @@ SearchOutcome TrainTopKAndSelect(const std::vector<ArchHyper>& top_k,
                       trainer.Train(model.get());
                 }
               });
+  // Winner selection skips diverged candidates: their metrics are
+  // default-initialized (0.0 would always "win") and meaningless. If every
+  // candidate diverged, the first one is reported — its non-OK status
+  // tells the caller no usable model exists.
   double best_val = 0.0;
   bool first = true;
   for (size_t i = 0; i < top_k.size(); ++i) {
+    if (reports[i].diverged()) {
+      ++outcome.robustness.diverged_candidates;
+      continue;
+    }
     if (first || reports[i].val.mae < best_val) {
       first = false;
       best_val = reports[i].val.mae;
       outcome.best = top_k[i];
       outcome.best_report = reports[i];
     }
+  }
+  if (first) {
+    outcome.best = top_k.front();
+    outcome.best_report = reports.front();
   }
   outcome.train_seconds = Seconds(t0);
   return outcome;

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/scale_config.h"
 #include "comparator/pretrain.h"
+#include "core/checkpoint.h"
 #include "nn/serialize.h"
 #include "search/evolutionary.h"
 
@@ -26,6 +27,8 @@ struct AutoCtsOptions {
   TrainOptions final_train;
   /// Ablation (§4.2.3, "w/o TS2Vec"): encode tasks with a plain MLP.
   bool use_mlp_encoder = false;
+  /// Pipeline checkpoint/resume (see PipelineCheckpoint). Off by default.
+  CheckpointOptions checkpoint;
   uint64_t seed = 1234;
   /// Execution lanes for tensor kernels and coarse-grained phases (sample
   /// collection, ranking, top-K training). `<= 0` means hardware
@@ -46,6 +49,9 @@ struct SearchOutcome {
   double embed_seconds = 0.0;     ///< Task-embedding phase (Fig. 7).
   double rank_seconds = 0.0;      ///< Ranking/evolution phase (Fig. 7).
   double train_seconds = 0.0;     ///< Final top-K training phase (Fig. 7).
+  /// What the guardrails absorbed during this search: non-finite
+  /// comparator logits and diverged final-candidate trainings.
+  RobustnessReport robustness;
 };
 
 /// AutoCTS++: zero-shot joint neural architecture and hyperparameter
@@ -57,8 +63,23 @@ class AutoCtsPlusPlus {
   explicit AutoCtsPlusPlus(const AutoCtsOptions& options);
 
   /// Pre-trains the TS2Vec encoder (contrastive) and T-AHC (Alg. 1) on the
-  /// source tasks. Must be called once before any search.
+  /// source tasks. Must be called once before any search. CHECK-fails on
+  /// checkpoint errors; prefer TryPretrain when options_.checkpoint is set.
   PretrainReport Pretrain(const std::vector<ForecastTask>& source_tasks);
+
+  /// Status-returning Pretrain. When `options().checkpoint.dir` is set, the
+  /// three pipeline stages (TS2Vec, sample collection, T-AHC) persist their
+  /// progress there after every completed unit of work; with
+  /// `checkpoint.resume` also set, completed work is restored instead of
+  /// recomputed and the run continues from the first unfinished sample.
+  /// The resumed run is bit-identical to an uninterrupted one: same sample
+  /// bank, same parameters, same downstream search results, at any thread
+  /// count (see DESIGN.md "Fault tolerance & checkpointing"). Errors only
+  /// on unusable checkpoints (corrupt manifest, config drift, unreadable
+  /// parameter files) — checkpoint *write* failures degrade to counters in
+  /// the report's RobustnessReport.
+  StatusOr<PretrainReport> TryPretrain(
+      const std::vector<ForecastTask>& source_tasks);
 
   /// Re-trains T-AHC on the union of the previously collected samples and
   /// `extra` — the sample-reuse workflow of paper §3.1.1 ("the samples

@@ -1,0 +1,187 @@
+#include "core/checkpoint.h"
+
+#include <cmath>
+#include <filesystem>
+#include <utility>
+
+#include "common/binio.h"
+#include "common/crc32.h"
+#include "common/fileio.h"
+
+namespace autocts {
+namespace {
+
+/// Manifest frame: magic, CRC32 of everything after the CRC field, payload.
+constexpr uint64_t kManifestMagic = 0x41435453434b5031ull;  // "ACTSCKP1"
+
+uint64_t Fnv1a(const std::string& bytes, uint64_t h = 1469598103934665603ull) {
+  for (char c : bytes) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+PipelineCheckpoint::PipelineCheckpoint(std::string dir, uint64_t config_hash)
+    : dir_(std::move(dir)), config_hash_(config_hash) {
+  CHECK(!dir_.empty()) << "checkpoint directory must be set";
+  // Failure to create the directory is not fatal here: every subsequent
+  // write degrades to a counted failure, which is the documented policy.
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string PipelineCheckpoint::ManifestPath() const {
+  return dir_ + "/pipeline.manifest";
+}
+
+std::string PipelineCheckpoint::EncoderPath() const {
+  return dir_ + "/encoder.params";
+}
+
+std::string PipelineCheckpoint::ComparatorPath() const {
+  return dir_ + "/tahc.params";
+}
+
+uint64_t PipelineCheckpoint::SampleSignature(const LabeledSample& sample) {
+  return Fnv1a(sample.shared ? "S" : "R",
+               Fnv1a(sample.arch_hyper.Signature()));
+}
+
+Status PipelineCheckpoint::Load() {
+  const std::string path = ManifestPath();
+  StatusOr<std::string> contents = ReadFileToString(path);
+  // A missing manifest is simply "nothing done yet" — the normal state of
+  // a first run launched with --resume for crash-safety.
+  if (!contents.ok()) return Status::Ok();
+  const std::string& bytes = contents.value();
+
+  FrameReader reader(bytes, 0);
+  uint64_t magic = 0;
+  uint32_t crc = 0;
+  if (!reader.Read(&magic) || !reader.Read(&crc)) {
+    return Status::Error("truncated checkpoint manifest " + path);
+  }
+  if (magic != kManifestMagic) {
+    return Status::Error("bad magic in checkpoint manifest " + path);
+  }
+  const size_t payload_offset = sizeof(uint64_t) + sizeof(uint32_t);
+  if (Crc32(bytes.data() + payload_offset, bytes.size() - payload_offset) !=
+      crc) {
+    return Status::Error("CRC mismatch in checkpoint manifest " + path +
+                         " (corrupt or torn file)");
+  }
+
+  // Parse into locals: nothing below may touch members until the whole
+  // manifest verified, so a rejected file leaves this object unchanged.
+  uint64_t config_hash = 0;
+  uint32_t stage = 0;
+  std::string rng_state;
+  uint64_t num_fates = 0;
+  if (!reader.Read(&config_hash) || !reader.Read(&stage) ||
+      !reader.ReadString(&rng_state) || !reader.Read(&num_fates)) {
+    return Status::Error("truncated checkpoint manifest " + path);
+  }
+  if (config_hash != config_hash_) {
+    return Status::Error(
+        "checkpoint manifest " + path +
+        " was written under a different configuration; refusing to resume");
+  }
+  if (stage > static_cast<uint32_t>(kStageComparator)) {
+    return Status::Error("checkpoint manifest " + path +
+                         " records unknown stage " + std::to_string(stage));
+  }
+  std::map<std::pair<int, int>, SampleFate> fates;
+  for (uint64_t i = 0; i < num_fates; ++i) {
+    int32_t task = 0, slot = 0, retries = 0;
+    uint8_t quarantined = 0;
+    SampleFate fate;
+    if (!reader.Read(&task) || !reader.Read(&slot) ||
+        !reader.Read(&fate.signature) || !reader.Read(&fate.r_prime) ||
+        !reader.Read(&quarantined) || !reader.Read(&retries) ||
+        !reader.ReadString(&fate.note)) {
+      return Status::Error("truncated checkpoint manifest " + path +
+                           " (sample record " + std::to_string(i) + ")");
+    }
+    fate.quarantined = quarantined != 0;
+    fate.retries = retries;
+    fates[{task, slot}] = std::move(fate);
+  }
+  if (reader.remaining() != 0) {
+    return Status::Error(std::to_string(reader.remaining()) +
+                         " trailing bytes in checkpoint manifest " + path);
+  }
+
+  stage_done_ = static_cast<int>(stage);
+  rng_state_ = std::move(rng_state);
+  fates_ = std::move(fates);
+  return Status::Ok();
+}
+
+void PipelineCheckpoint::WriteManifest() {
+  std::string payload;
+  AppendPod(&payload, config_hash_);
+  AppendPod(&payload, static_cast<uint32_t>(stage_done_));
+  AppendString(&payload, rng_state_);
+  AppendPod(&payload, static_cast<uint64_t>(fates_.size()));
+  for (const auto& [key, fate] : fates_) {
+    AppendPod(&payload, static_cast<int32_t>(key.first));
+    AppendPod(&payload, static_cast<int32_t>(key.second));
+    AppendPod(&payload, fate.signature);
+    AppendPod(&payload, fate.r_prime);
+    AppendPod(&payload, static_cast<uint8_t>(fate.quarantined ? 1 : 0));
+    AppendPod(&payload, static_cast<int32_t>(fate.retries));
+    AppendString(&payload, fate.note);
+  }
+  std::string frame;
+  frame.reserve(sizeof(uint64_t) + sizeof(uint32_t) + payload.size());
+  AppendPod(&frame, kManifestMagic);
+  AppendPod(&frame, Crc32(payload.data(), payload.size()));
+  frame += payload;
+  ++robustness_.checkpoint_writes;
+  if (!AtomicWriteFile(ManifestPath(), frame).ok()) {
+    ++robustness_.checkpoint_write_failures;
+  }
+}
+
+void PipelineCheckpoint::CommitStage(int stage, const std::string& rng_state) {
+  if (stage > stage_done_) stage_done_ = stage;
+  if (!rng_state.empty()) rng_state_ = rng_state;
+  WriteManifest();
+}
+
+void PipelineCheckpoint::NoteArtifactWrite(const Status& status) {
+  ++robustness_.checkpoint_writes;
+  if (!status.ok()) ++robustness_.checkpoint_write_failures;
+}
+
+bool PipelineCheckpoint::Restore(int task, int slot, LabeledSample* sample) {
+  auto it = fates_.find({task, slot});
+  if (it == fates_.end()) return false;
+  // The caller pre-filled arch_hyper/shared from its deterministic serial
+  // pass; a signature mismatch means the manifest belongs to a different
+  // draw (stale file, edited options) — retrain rather than mislabel.
+  if (it->second.signature != SampleSignature(*sample)) return false;
+  sample->r_prime = it->second.r_prime;
+  sample->quarantined = it->second.quarantined;
+  sample->retries = it->second.retries;
+  sample->note = it->second.note;
+  ++robustness_.resumed_samples;
+  return true;
+}
+
+void PipelineCheckpoint::Commit(int task, int slot,
+                                const LabeledSample& sample) {
+  SampleFate fate;
+  fate.signature = SampleSignature(sample);
+  fate.r_prime = sample.r_prime;
+  fate.quarantined = sample.quarantined;
+  fate.retries = sample.retries;
+  fate.note = sample.note;
+  fates_[{task, slot}] = std::move(fate);
+  WriteManifest();
+}
+
+}  // namespace autocts

@@ -1,5 +1,6 @@
 #include "data/csv_loader.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -27,6 +28,14 @@ StatusOr<float> ParseCell(const std::string& cell, int row, size_t col) {
   }
   if (cell.empty() || end == cell.c_str() || (end != nullptr && *end != '\0')) {
     return Status::Error("non-numeric cell '" + cell + "' at row " +
+                         std::to_string(row) + ", column " +
+                         std::to_string(col));
+  }
+  // strtof happily parses "nan"/"inf" (and overflows to inf); either would
+  // poison the z-score normalization and every window cut from the series,
+  // so reject at the gate with a locatable message.
+  if (!std::isfinite(v)) {
+    return Status::Error("non-finite value '" + cell + "' at row " +
                          std::to_string(row) + ", column " +
                          std::to_string(col));
   }

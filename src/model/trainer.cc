@@ -1,7 +1,12 @@
 #include "model/trainer.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
 
+#include "common/fault.h"
+#include "common/guard.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
 
@@ -22,11 +27,11 @@ ModelTrainer::ModelTrainer(const ForecastTask& task, TrainOptions options,
                            ExecContext ctx)
     : task_(task), options_(options), ctx_(ctx), provider_(task) {}
 
-void ModelTrainer::RunEpochs(Forecaster* model, int epochs,
-                             std::vector<double>* losses) const {
+Status ModelTrainer::RunEpochs(Forecaster* model, int epochs, float lr_scale,
+                               std::vector<double>* losses) const {
   Rng rng(options_.seed);
   Adam::Options opt;
-  opt.lr = options_.lr;
+  opt.lr = options_.lr * lr_scale;
   opt.weight_decay = options_.weight_decay;
   Adam adam(model->Parameters(), opt);
   model->SetTraining(true);
@@ -42,28 +47,53 @@ void ModelTrainer::RunEpochs(Forecaster* model, int epochs,
       // Inverse transform inside the graph; loss on the original scale.
       Tensor pred = AddScalar(MulScalar(pred_scaled, std), mean);
       Tensor loss = MaeLoss(pred, batch.y);
-      epoch_loss += loss.item();
+      float observed = loss.item();
+      if (AnyFaultArmed() && FaultFiresNanLoss()) {
+        observed = std::numeric_limits<float>::quiet_NaN();
+      }
+      // Loss guardrail: a non-finite loss means the model state is already
+      // garbage — stop before the backward pass spreads it further. The
+      // tape is released so the aborted step leaks no graph storage.
+      if (GuardsEnabled() && !std::isfinite(observed)) {
+        loss.ReleaseTape();
+        return Status::Error("non-finite loss at epoch " +
+                             std::to_string(epoch) + ", step " +
+                             std::to_string(step));
+      }
+      epoch_loss += observed;
       loss.Backward();
+      const int64_t skipped_before = adam.skipped_steps();
       adam.Step();
       // Sever the step's graph so its buffers go back to the pool now
       // (pred/pred_scaled handles would otherwise keep nodes alive until
       // they are reassigned next iteration).
       loss.ReleaseTape();
+      // Gradient guardrail: Adam refused the update because the post-clip
+      // gradient norm was non-finite. Parameters are still clean (the skip
+      // mutates nothing), but continuing would just repeat the overflow.
+      if (adam.skipped_steps() > skipped_before) {
+        return Status::Error("non-finite gradient norm at epoch " +
+                             std::to_string(epoch) + ", step " +
+                             std::to_string(step));
+      }
     }
     if (losses != nullptr) {
       losses->push_back(epoch_loss / options_.batches_per_epoch);
     }
   }
+  return Status::Ok();
 }
 
 TrainReport ModelTrainer::Train(Forecaster* model) const {
   ExecScope scope(ctx_);
   TrainReport report;
   auto start = std::chrono::steady_clock::now();
-  RunEpochs(model, options_.epochs, &report.epoch_train_loss);
+  report.status =
+      RunEpochs(model, options_.epochs, 1.0f, &report.epoch_train_loss);
   report.train_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (!report.status.ok()) return report;  // Metrics would be garbage.
   report.val = Evaluate(*model, 1);
   report.test = Evaluate(*model, 2);
   return report;
@@ -71,9 +101,21 @@ TrainReport ModelTrainer::Train(Forecaster* model) const {
 
 double ModelTrainer::EarlyValidationError(Forecaster* model,
                                           int k_epochs) const {
+  StatusOr<double> r = TryEarlyValidationError(model, k_epochs);
+  return r.ok() ? r.value() : std::numeric_limits<double>::quiet_NaN();
+}
+
+StatusOr<double> ModelTrainer::TryEarlyValidationError(Forecaster* model,
+                                                       int k_epochs,
+                                                       float lr_scale) const {
   ExecScope scope(ctx_);
-  RunEpochs(model, k_epochs, nullptr);
-  return Evaluate(*model, 1).mae;
+  Status s = RunEpochs(model, k_epochs, lr_scale, nullptr);
+  if (!s.ok()) return s;
+  double mae = Evaluate(*model, 1).mae;
+  if (GuardsEnabled() && !std::isfinite(mae)) {
+    return Status::Error("non-finite early-validation MAE");
+  }
+  return mae;
 }
 
 ForecastMetrics ModelTrainer::Evaluate(const Forecaster& model,

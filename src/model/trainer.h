@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/status.h"
 #include "data/metrics.h"
 #include "data/task.h"
 #include "model/forecaster.h"
@@ -29,6 +30,12 @@ struct TrainReport {
   ForecastMetrics test;
   double train_seconds = 0.0;
   std::vector<double> epoch_train_loss;
+  /// OK for a clean run. Non-OK when a guardrail tripped (non-finite loss
+  /// or gradient norm): training stopped at that step and the metrics are
+  /// meaningless — callers must exclude the run, not compare it.
+  Status status;
+
+  bool diverged() const { return !status.ok(); }
 };
 
 /// Builds the geometry a Forecaster is compiled against from a task.
@@ -46,13 +53,23 @@ class ModelTrainer {
   ModelTrainer(const ForecastTask& task, TrainOptions options,
                ExecContext ctx = {});
 
-  /// Full training run followed by val/test evaluation.
+  /// Full training run followed by val/test evaluation. A tripped
+  /// guardrail (non-finite loss or gradient norm) stops training and is
+  /// reported in TrainReport::status instead of poisoning the metrics.
   TrainReport Train(Forecaster* model) const;
 
   /// Early-validation metric R' (paper Eq. 22): validation MAE after only
   /// `k_epochs` epochs of training — the cheap label source for AHC/T-AHC
-  /// pre-training. Lower is better.
+  /// pre-training. Lower is better. Returns quiet NaN when training
+  /// diverged (prefer TryEarlyValidationError, which says why).
   double EarlyValidationError(Forecaster* model, int k_epochs) const;
+
+  /// Status-propagating variant of EarlyValidationError: a guardrail trip
+  /// becomes a descriptive error instead of a NaN label. `lr_scale`
+  /// multiplies the configured learning rate — the quarantine policy's
+  /// lr-halved retry passes 0.5 without rebuilding the trainer.
+  StatusOr<double> TryEarlyValidationError(Forecaster* model, int k_epochs,
+                                           float lr_scale = 1.0f) const;
 
   /// Metrics of the (already trained) model on split 0/1/2.
   ForecastMetrics Evaluate(const Forecaster& model, int split) const;
@@ -60,8 +77,10 @@ class ModelTrainer {
   const WindowProvider& provider() const { return provider_; }
 
  private:
-  void RunEpochs(Forecaster* model, int epochs,
-                 std::vector<double>* losses) const;
+  /// Runs the training loop; non-OK when a guardrail tripped. `lr_scale`
+  /// multiplies options_.lr for this run only.
+  Status RunEpochs(Forecaster* model, int epochs, float lr_scale,
+                   std::vector<double>* losses) const;
 
   ForecastTask task_;
   TrainOptions options_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/guard.h"
 #include "common/parallel.h"
 
 namespace autocts {
@@ -56,16 +57,12 @@ Adam::Adam(std::vector<Tensor> params, Options options)
 }
 
 void Adam::Step() {
-  ++step_;
-  // pow(beta, step) tracked incrementally in double: the old
-  // std::pow(b1, static_cast<float>(step_)) evaluated the float overload,
-  // whose error grows with the step count right where 1 - beta^t needs the
-  // most precision (beta2 = 0.999 leaves bc2 ~ t/1000 for small t).
-  beta1_pow_ *= static_cast<double>(options_.beta1);
-  beta2_pow_ *= static_cast<double>(options_.beta2);
   // Optional global-norm gradient clipping. The scale folds into the update
   // pass below instead of rewriting every gradient buffer in place; when no
   // clipping triggers, scale stays exactly 1.0f and g * 1.0f is bit-exact.
+  // The same reduction doubles as the non-finite guardrail: NaN/Inf in any
+  // gradient poisons the norm, and both the check and the skip happen
+  // before any optimizer state mutates, so a refused step is a true no-op.
   float scale = 1.0f;
   if (options_.clip_norm > 0.0f) {
     double sq = 0.0;
@@ -74,10 +71,29 @@ void Adam::Step() {
       sq += SquaredNormBlocked(g.data(), static_cast<int64_t>(g.size()));
     }
     double norm = std::sqrt(sq);
+    if (GuardsEnabled() && !std::isfinite(norm)) {
+      ++skipped_;
+      return;
+    }
     if (norm > options_.clip_norm) {
       scale = options_.clip_norm / static_cast<float>(norm);
     }
+  } else if (GuardsEnabled()) {
+    for (Tensor& p : params_) {
+      const auto& g = p.grad();
+      if (!AllFiniteBlocked(g.data(), static_cast<int64_t>(g.size()))) {
+        ++skipped_;
+        return;
+      }
+    }
   }
+  ++step_;
+  // pow(beta, step) tracked incrementally in double: the old
+  // std::pow(b1, static_cast<float>(step_)) evaluated the float overload,
+  // whose error grows with the step count right where 1 - beta^t needs the
+  // most precision (beta2 = 0.999 leaves bc2 ~ t/1000 for small t).
+  beta1_pow_ *= static_cast<double>(options_.beta1);
+  beta2_pow_ *= static_cast<double>(options_.beta2);
   const float b1 = options_.beta1, b2 = options_.beta2;
   const float bc1 = static_cast<float>(1.0 - beta1_pow_);
   const float bc2 = static_cast<float>(1.0 - beta2_pow_);

@@ -26,12 +26,21 @@ class Adam {
   Adam(std::vector<Tensor> params, Options options);
 
   /// Applies one update from the accumulated gradients.
+  ///
+  /// Non-finite guardrail: when guards are on (see common/guard.h), a
+  /// non-finite global gradient norm — NaN/Inf anywhere in any gradient —
+  /// skips the update entirely, leaving parameters, moments, and the
+  /// bias-correction powers untouched, and increments skipped_steps().
+  /// The check rides on the clip-norm reduction the step computes anyway;
+  /// with clipping disabled it falls back to a blocked isfinite sweep.
   void Step();
 
   /// Zeroes all parameter gradients.
   void ZeroGrad();
 
   int64_t step_count() const { return step_; }
+  /// Updates the guardrail refused because the gradient was non-finite.
+  int64_t skipped_steps() const { return skipped_; }
   /// Mutable options. Changing beta1/beta2 after the first Step() is not
   /// supported: the bias-correction powers are tracked incrementally.
   Options& options() { return options_; }
@@ -42,6 +51,7 @@ class Adam {
   std::vector<std::vector<float>> v_;
   Options options_;
   int64_t step_ = 0;
+  int64_t skipped_ = 0;
   /// beta^step accumulated in double (see Step for why not std::pow).
   double beta1_pow_ = 1.0;
   double beta2_pow_ = 1.0;

@@ -1,61 +1,122 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
-#include <fstream>
+#include <cstring>
+#include <string>
 #include <vector>
+
+#include "common/binio.h"
+#include "common/crc32.h"
+#include "common/fileio.h"
 
 namespace autocts {
 namespace {
 
-constexpr uint64_t kMagic = 0x4155544f43545321ull;  // "AUTOCTS!"
+/// Legacy frame (PR 0): magic, count, tensors — no checksum, and a reader
+/// that trusted the stream. Still readable for old checkpoints.
+constexpr uint64_t kMagicV1 = 0x4155544f43545321ull;  // "AUTOCTS!"
+/// Current frame: magic, CRC32 of everything after the CRC field, count,
+/// tensors. Written atomically (tmp + rename).
+constexpr uint64_t kMagicV2 = 0x4155544f43545332ull;  // "AUTOCTS2"
 
-}  // namespace
-
-Status SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Error("cannot open " + path + " for writing");
-  std::vector<Tensor> params = module.Parameters();
-  uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const Tensor& p : params) {
-    uint64_t numel = static_cast<uint64_t>(p.numel());
-    out.write(reinterpret_cast<const char*>(&numel), sizeof(numel));
-    out.write(reinterpret_cast<const char*>(p.data().data()),
-              static_cast<std::streamsize>(numel * sizeof(float)));
+/// Parses the tensor list of either frame version into staged buffers.
+/// Validates count/shape against the module and rejects both truncation
+/// (reader runs dry) and trailing garbage (bytes left after the last
+/// tensor — the classic symptom of a torn or concatenated write).
+Status ParseTensors(const std::string& bytes, size_t offset,
+                    const std::vector<Tensor>& params,
+                    const std::string& path,
+                    std::vector<std::vector<float>>* staged) {
+  FrameReader reader(bytes, offset);
+  uint64_t count = 0;
+  if (!reader.Read(&count)) {
+    return Status::Error("truncated checkpoint " + path +
+                         " (missing tensor count)");
   }
-  if (!out) return Status::Error("write failed for " + path);
-  return Status::Ok();
-}
-
-Status LoadParameters(Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::Error("cannot open " + path);
-  uint64_t magic = 0, count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in || magic != kMagic) return Status::Error("bad checkpoint magic");
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  std::vector<Tensor> params = module->Parameters();
   if (count != params.size()) {
     return Status::Error("checkpoint holds " + std::to_string(count) +
                          " tensors, module has " +
                          std::to_string(params.size()));
   }
-  // Stage into buffers first so a truncated file cannot half-update.
-  std::vector<std::vector<float>> staged;
-  staged.reserve(params.size());
-  for (const Tensor& p : params) {
+  staged->reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
     uint64_t numel = 0;
-    in.read(reinterpret_cast<char*>(&numel), sizeof(numel));
-    if (!in || numel != static_cast<uint64_t>(p.numel())) {
-      return Status::Error("tensor size mismatch in " + path);
+    if (!reader.Read(&numel)) {
+      return Status::Error("truncated checkpoint " + path + " (tensor " +
+                           std::to_string(i) + " header)");
     }
-    std::vector<float> buf(numel);
-    in.read(reinterpret_cast<char*>(buf.data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
-    if (!in) return Status::Error("truncated checkpoint " + path);
-    staged.push_back(std::move(buf));
+    if (numel != static_cast<uint64_t>(params[i].numel())) {
+      return Status::Error("tensor " + std::to_string(i) + " in " + path +
+                           " holds " + std::to_string(numel) +
+                           " elements, module expects " +
+                           std::to_string(params[i].numel()));
+    }
+    std::vector<float> buf;
+    if (!reader.ReadFloats(&buf, numel)) {
+      return Status::Error("truncated checkpoint " + path + " (tensor " +
+                           std::to_string(i) + " data)");
+    }
+    staged->push_back(std::move(buf));
   }
+  if (reader.remaining() != 0) {
+    return Status::Error(std::to_string(reader.remaining()) +
+                         " trailing bytes after the last tensor in " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::vector<Tensor> params = module.Parameters();
+  std::string payload;
+  AppendPod(&payload, static_cast<uint64_t>(params.size()));
+  for (const Tensor& p : params) {
+    AppendPod(&payload, static_cast<uint64_t>(p.numel()));
+    AppendRaw(&payload, p.data().data(), p.data().size() * sizeof(float));
+  }
+  std::string frame;
+  frame.reserve(sizeof(uint64_t) + sizeof(uint32_t) + payload.size());
+  AppendPod(&frame, kMagicV2);
+  AppendPod(&frame, Crc32(payload.data(), payload.size()));
+  frame += payload;
+  return AtomicWriteFile(path, frame);
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& bytes = contents.value();
+  FrameReader header(bytes, 0);
+  uint64_t magic = 0;
+  if (!header.Read(&magic)) {
+    return Status::Error("truncated checkpoint " + path + " (no magic)");
+  }
+  std::vector<Tensor> params = module->Parameters();
+  std::vector<std::vector<float>> staged;
+  if (magic == kMagicV2) {
+    uint32_t crc = 0;
+    if (!header.Read(&crc)) {
+      return Status::Error("truncated checkpoint " + path + " (no CRC)");
+    }
+    const size_t payload_offset = sizeof(uint64_t) + sizeof(uint32_t);
+    uint32_t actual = Crc32(bytes.data() + payload_offset,
+                            bytes.size() - payload_offset);
+    if (actual != crc) {
+      return Status::Error("CRC mismatch in " + path +
+                           " (corrupt or torn checkpoint)");
+    }
+    Status s = ParseTensors(bytes, payload_offset, params, path, &staged);
+    if (!s.ok()) return s;
+  } else if (magic == kMagicV1) {
+    // Legacy frame: no checksum to verify, but the strict parse still
+    // rejects truncation, shape drift, and trailing garbage.
+    Status s = ParseTensors(bytes, sizeof(uint64_t), params, path, &staged);
+    if (!s.ok()) return s;
+  } else {
+    return Status::Error("bad checkpoint magic in " + path);
+  }
+  // All-or-nothing commit: nothing above touched the module.
   for (size_t i = 0; i < params.size(); ++i) {
     params[i].data() = std::move(staged[i]);
   }

@@ -9,13 +9,17 @@
 namespace autocts {
 
 /// Writes all parameters of a module (recursively, in registration order)
-/// to a binary file: a magic header, the tensor count, then each tensor's
-/// element count and raw float data. Architecture is NOT stored — loading
-/// requires an identically constructed module.
+/// to a binary file: a magic header, a CRC32 of the payload, the tensor
+/// count, then each tensor's element count and raw float data. The write is
+/// atomic (tmp file + rename), so a crash mid-save leaves the previous
+/// checkpoint intact. Architecture is NOT stored — loading requires an
+/// identically constructed module.
 Status SaveParameters(const Module& module, const std::string& path);
 
-/// Restores parameters written by SaveParameters. Fails (without partial
-/// mutation of later tensors) on magic/count/shape mismatch.
+/// Restores parameters written by SaveParameters. Fails — without touching
+/// the module at all — on magic/count/shape mismatch, CRC mismatch,
+/// truncation, or trailing garbage. Checkpoints from the pre-CRC frame
+/// (old magic) still load, minus the checksum verification.
 Status LoadParameters(Module* module, const std::string& path);
 
 }  // namespace autocts

@@ -1,8 +1,10 @@
 #include "search/evolutionary.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
+#include "common/guard.h"
 #include "tensor/ops.h"
 
 namespace autocts {
@@ -44,7 +46,16 @@ std::vector<bool> EvolutionarySearcher::ComparePairs(
     Tensor logits = comparator_->CompareLogits(
         StackEncodings(first), StackEncodings(second), task_embeds);
     for (int i = 0; i < m; ++i) {
-      wins[begin + static_cast<size_t>(i)] = logits.at(i) >= 0.0f;
+      const float logit = logits.at(i);
+      if (GuardsEnabled() && !std::isfinite(logit)) {
+        // A NaN/inf logit carries no preference; count it and fall back to
+        // the deterministic "second wins" outcome (same verdict NaN >= 0
+        // would yield, but now observable in the RobustnessReport).
+        nonfinite_comparisons_.fetch_add(1, std::memory_order_relaxed);
+        wins[begin + static_cast<size_t>(i)] = false;
+        continue;
+      }
+      wins[begin + static_cast<size_t>(i)] = logit >= 0.0f;
     }
   };
   const int64_t num_batches =

@@ -1,6 +1,8 @@
 #ifndef REPRO_SEARCH_EVOLUTIONARY_H_
 #define REPRO_SEARCH_EVOLUTIONARY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "common/parallel.h"
@@ -53,6 +55,13 @@ class EvolutionarySearcher {
                                   const Tensor& task_embed,
                                   int compare_batch) const;
 
+  /// Comparator logits that came back NaN/inf across this searcher's
+  /// lifetime (guardrail counter; each such duel deterministically falls to
+  /// the second candidate). Thread-safe.
+  int64_t nonfinite_comparisons() const {
+    return nonfinite_comparisons_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Batched "first beats second" decisions for index pairs into `enc`.
   std::vector<bool> ComparePairs(
@@ -63,6 +72,8 @@ class EvolutionarySearcher {
   const Comparator* comparator_;
   const JointSearchSpace* space_;
   ExecContext ctx_;
+  /// Mutable: ComparePairs is logically const; the counter is telemetry.
+  mutable std::atomic<int64_t> nonfinite_comparisons_{0};
 };
 
 }  // namespace autocts

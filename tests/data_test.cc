@@ -1,10 +1,12 @@
 #include "data/cts_dataset.h"
 
 #include <cmath>
+#include <fstream>
 #include <set>
 
 #include <gtest/gtest.h>
 
+#include "data/csv_loader.h"
 #include "data/metrics.h"
 #include "data/synthetic.h"
 #include "data/task.h"
@@ -271,6 +273,59 @@ TEST(SubsetTaskTest, DeriveSubsetKeepsStructure) {
   EXPECT_GE(task.data->num_series(), 2);
   EXPECT_LE(task.data->num_steps(), d->num_steps());
   EXPECT_GT(task.num_windows(), 0);
+}
+
+std::string MalformedCsvPath(const std::string& name,
+                             const std::string& contents) {
+  std::string path = testing::TempDir() + "/" + name;
+  std::ofstream(path) << contents;
+  return path;
+}
+
+TEST(CsvGuardrailTest, RejectsNanValueWithLocation) {
+  std::string path =
+      MalformedCsvPath("nan.csv", "s0,s1\n1,2\n3,nan\n5,6\n");
+  StatusOr<CtsDataset> d = LoadCtsCsv(path);
+  ASSERT_FALSE(d.ok());
+  // Row 3 of the file (header is row 1), column 1 (0-based).
+  EXPECT_NE(d.status().message().find("non-finite"), std::string::npos)
+      << d.status().message();
+  EXPECT_NE(d.status().message().find("row 3"), std::string::npos)
+      << d.status().message();
+  EXPECT_NE(d.status().message().find("column 1"), std::string::npos)
+      << d.status().message();
+}
+
+TEST(CsvGuardrailTest, RejectsInfinityAndOverflow) {
+  // Explicit inf spelling and a value that overflows float to +inf: both
+  // would poison the z-score scaler silently.
+  EXPECT_FALSE(
+      LoadCtsCsv(MalformedCsvPath("inf.csv", "s0\n1\ninf\n")).ok());
+  EXPECT_FALSE(
+      LoadCtsCsv(MalformedCsvPath("huge.csv", "s0\n1\n1e99\n")).ok());
+  EXPECT_FALSE(
+      LoadCtsCsv(MalformedCsvPath("neginf.csv", "s0\n1\n-inf\n")).ok());
+}
+
+TEST(CsvGuardrailTest, RejectsRaggedRowWithCounts) {
+  std::string path =
+      MalformedCsvPath("ragged.csv", "s0,s1\n1,2\n3\n5,6\n");
+  StatusOr<CtsDataset> d = LoadCtsCsv(path);
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("ragged row 3"), std::string::npos)
+      << d.status().message();
+  EXPECT_NE(d.status().message().find("expected 2"), std::string::npos)
+      << d.status().message();
+  EXPECT_NE(d.status().message().find("got 1"), std::string::npos)
+      << d.status().message();
+}
+
+TEST(CsvGuardrailTest, RejectsNonFiniteAdjacency) {
+  std::string data = MalformedCsvPath("okdata.csv", "s0,s1\n1,2\n3,4\n5,6\n");
+  std::string adj = MalformedCsvPath("badadj.csv", "1,nan\nnan,1\n");
+  CsvOptions opts;
+  opts.adjacency_path = adj;
+  EXPECT_FALSE(LoadCtsCsv(data, opts).ok());
 }
 
 }  // namespace
