@@ -33,6 +33,7 @@
 #include "tensor/buffer_pool.h"
 #include "tensor/fused.h"
 #include "tensor/ops.h"
+#include "tensor/plan.h"
 #include "tensor/tensor.h"
 
 namespace autocts {
@@ -489,6 +490,213 @@ void AppendGuardrailRecords(int iters, bool clip,
   SetGuardsEnabled(saved);
 }
 
+// ---- Step-plan replay vs eager (BENCH_PR5.json) ---------------------------
+
+/// Wall-clock ns of one `fn()` call.
+template <typename Fn>
+double OnceNs(Fn fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double MedianOf(std::vector<double> v) {
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  return v[v.size() / 2];
+}
+
+/// Paired A/B of two step implementations that perform the same math:
+/// each repetition times one step of each leg back to back (order
+/// alternating, so neither leg systematically gets the warmer slot) and the
+/// per-repetition speedup base/fast cancels frequency-scaling drift. Emits
+/// <name>_eager, <name>_replay, and <name>_plan_speedup records.
+template <typename BaseFn, typename FastFn>
+void AppendPairedPlanRecords(const std::string& name, int reps, BaseFn base,
+                             FastFn fast, double tape_per_replay,
+                             double pool_roundtrips_per_replay,
+                             double arena_bytes,
+                             std::vector<bench::MicroBenchRecord>* records) {
+  std::vector<double> base_ns(static_cast<size_t>(reps));
+  std::vector<double> fast_ns(static_cast<size_t>(reps));
+  std::vector<double> speedups(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    if (i % 2 == 0) {
+      base_ns[static_cast<size_t>(i)] = OnceNs(base);
+      fast_ns[static_cast<size_t>(i)] = OnceNs(fast);
+    } else {
+      fast_ns[static_cast<size_t>(i)] = OnceNs(fast);
+      base_ns[static_cast<size_t>(i)] = OnceNs(base);
+    }
+    speedups[static_cast<size_t>(i)] =
+        base_ns[static_cast<size_t>(i)] / fast_ns[static_cast<size_t>(i)];
+  }
+  bench::MicroBenchRecord rec;
+  rec.threads = 1;
+  rec.op = name + "_eager";
+  rec.ns_per_iter = MedianOf(base_ns);
+  rec.ns_min = *std::min_element(base_ns.begin(), base_ns.end());
+  rec.ns_max = *std::max_element(base_ns.begin(), base_ns.end());
+  records->push_back(rec);
+  rec.op = name + "_replay";
+  rec.ns_per_iter = MedianOf(fast_ns);
+  rec.ns_min = *std::min_element(fast_ns.begin(), fast_ns.end());
+  rec.ns_max = *std::max_element(fast_ns.begin(), fast_ns.end());
+  rec.tape_nodes_per_step = tape_per_replay;
+  rec.pool_roundtrips_per_step = pool_roundtrips_per_replay;
+  rec.arena_bytes = arena_bytes;
+  records->push_back(rec);
+  bench::MicroBenchRecord sp;
+  sp.threads = 1;
+  sp.op = name + "_plan_speedup";
+  sp.ns_per_iter = MedianOf(base_ns) - MedianOf(fast_ns);
+  sp.speedup_min = *std::min_element(speedups.begin(), speedups.end());
+  sp.speedup_median = MedianOf(speedups);
+  sp.speedup_max = *std::max_element(speedups.begin(), speedups.end());
+  sp.arena_bytes = arena_bytes;
+  records->push_back(sp);
+}
+
+/// The PR-5 headline A/B: the PR-3 reference ST-block training step, eager
+/// (re-taped every step, the fused baseline) vs replayed from a captured
+/// StepPlan. Both paths compute bit-identical parameter updates
+/// (tests/plan_test.cc), so interleaving them on one model state is sound
+/// and the only difference the JSON can show is cost.
+void AppendPlanTrainRecords(int reps,
+                            std::vector<bench::MicroBenchRecord>* records) {
+  const bool saved = plan::PlansEnabled();
+  plan::SetPlansEnabled(true);
+  {
+    // Single thread: the >=1.3x acceptance bar is per-step work, not fan-out.
+    ThreadPool pool(1);
+    ExecScope scope(ExecContext{&pool, 0});
+    ScaleConfig cfg = ScaleConfig::Test();
+    ForecastTask task;
+    task.data = MakeSyntheticDataset("Los-Loop", cfg).value();
+    task.p = 12;
+    task.q = 12;
+    ForecasterSpec spec = MakeForecasterSpec(task);
+    ArchHyper ah = ParseArchHyper(
+                       "B4C5H32I64U1d0|0-1:GDCC,0-2:DGCN,2-3:INF-T,3-4:INF-S")
+                       .value();
+    Rng rng(17);
+    auto model = BuildSearchedModel(ah, spec, cfg, 8);
+    model->SetTraining(true);
+    WindowProvider provider(task);
+    Adam adam(model->Parameters(), {});
+    WindowBatch batch = provider.SampleTrainBatch(4, &rng);
+    auto eager_step = [&] {
+      adam.ZeroGrad();
+      Tensor loss = MaeLoss(model->Forward(batch.x), batch.y);
+      loss.Backward();
+      adam.Step();
+      loss.ReleaseTape();
+    };
+    for (int i = 0; i < 2; ++i) eager_step();  // Warm the pool + code paths.
+    StepPlan plan;
+    std::vector<Tensor> step_inputs = {batch.x, batch.y};
+    plan.BeginCapture(step_inputs, "bench_train_step");
+    adam.ZeroGrad();
+    Tensor loss = MaeLoss(model->Forward(batch.x), batch.y);
+    loss.Backward();
+    adam.Step();
+    plan.SetLoss(loss);
+    if (!plan.EndCapture()) {
+      // Poisoned capture: leave BENCH_PR5.json without the speedup record so
+      // the CI floor check fails loudly instead of comparing eager to eager.
+      loss.ReleaseTape();
+      plan::SetPlansEnabled(saved);
+      return;
+    }
+    auto replay_step = [&] {
+      plan.BeginStep(step_inputs);
+      plan.RunForward();
+      plan.RunBackward();
+      adam.Step();
+    };
+    replay_step();  // Warm the replay path too.
+    // Tape/pool counters over a separate untimed replay run: replay must
+    // tape ~0 nodes and take ~0 pool round-trips per step.
+    BufferPool::Global().ResetStats();
+    const uint64_t tape_before = TapeNodesCreated();
+    for (int i = 0; i < reps; ++i) replay_step();
+    const double tape_per_replay =
+        static_cast<double>(TapeNodesCreated() - tape_before) / reps;
+    PoolStats stats = ExecContext{}.pool_stats();
+    const double roundtrips =
+        static_cast<double>(stats.hits + stats.misses) / reps;
+    AppendPairedPlanRecords(
+        "st_block_train_step", reps, eager_step, replay_step, tape_per_replay,
+        roundtrips,
+        static_cast<double>(plan.arena_bytes() + plan.pinned_bytes()),
+        records);
+  }
+  plan::SetPlansEnabled(saved);
+}
+
+/// Comparator-inference A/B: an eval-mode CompareLogits batch (the
+/// evolutionary ranking hot path) eager vs replayed from an inference plan.
+/// Inference plans are captured under NoGradScope, so pure intermediates
+/// live in one liveness-packed bump arena — arena_bytes is nonzero here.
+void AppendPlanInferRecords(int reps,
+                            std::vector<bench::MicroBenchRecord>* records) {
+  const bool saved = plan::PlansEnabled();
+  plan::SetPlansEnabled(true);
+  {
+    ThreadPool pool(1);
+    ExecScope scope(ExecContext{&pool, 0});
+    Rng rng(19);
+    Comparator::Options opts;
+    opts.task_aware = false;
+    Comparator comp(opts, 6);
+    comp.SetTraining(false);
+    JointSearchSpace space;
+    constexpr int kPairs = 64;
+    std::vector<ArchHyperEncoding> first, second;
+    for (int i = 0; i < kPairs; ++i) {
+      first.push_back(EncodeArchHyper(space.Sample(&rng)));
+      second.push_back(EncodeArchHyper(space.Sample(&rng)));
+    }
+    EncodingBatch b1 = StackEncodings(first);
+    EncodingBatch b2 = StackEncodings(second);
+    NoGradScope no_grad;
+    auto eager_infer = [&] {
+      benchmark::DoNotOptimize(
+          comp.CompareLogits(b1, b2, Tensor()).data().data());
+    };
+    for (int i = 0; i < 2; ++i) eager_infer();
+    StepPlan plan;
+    std::vector<Tensor> inputs = {b1.adjacency, b1.op_onehot, b1.hyper,
+                                  b2.adjacency, b2.op_onehot, b2.hyper};
+    plan.BeginCapture(inputs, "bench_compare_logits");
+    Tensor logits = comp.CompareLogits(b1, b2, Tensor());
+    plan.AddOutput(logits);
+    if (!plan.EndCapture()) {
+      plan::SetPlansEnabled(saved);
+      return;
+    }
+    auto replay_infer = [&] {
+      plan.BeginStep(inputs);
+      plan.RunForward();
+      benchmark::DoNotOptimize(plan.output(0).data().data());
+    };
+    replay_infer();
+    BufferPool::Global().ResetStats();
+    const uint64_t tape_before = TapeNodesCreated();
+    for (int i = 0; i < reps; ++i) replay_infer();
+    const double tape_per_replay =
+        static_cast<double>(TapeNodesCreated() - tape_before) / reps;
+    PoolStats stats = ExecContext{}.pool_stats();
+    const double roundtrips =
+        static_cast<double>(stats.hits + stats.misses) / reps;
+    AppendPairedPlanRecords("compare_logits_b64", reps, eager_infer,
+                            replay_infer, tape_per_replay, roundtrips,
+                            static_cast<double>(plan.arena_bytes()), records);
+  }
+  plan::SetPlansEnabled(saved);
+}
+
 }  // namespace
 
 void WriteMicroReport() {
@@ -510,6 +718,12 @@ void WriteMicroReport() {
   AppendGuardrailRecords(std::max(iters, 20), /*clip=*/true, &guard_records);
   AppendGuardrailRecords(std::max(iters, 20), /*clip=*/false, &guard_records);
   bench::WriteBenchJson("BENCH_PR4.json", guard_records);
+  // Plan-vs-eager A/B: paired medians need a floor of 5 repetitions even
+  // under the CI smoke setting.
+  std::vector<bench::MicroBenchRecord> plan_records;
+  AppendPlanTrainRecords(std::max(iters, 5), &plan_records);
+  AppendPlanInferRecords(std::max(iters, 5), &plan_records);
+  bench::WriteBenchJson("BENCH_PR5.json", plan_records);
 }
 
 }  // namespace autocts

@@ -235,7 +235,12 @@ void WriteBenchJson(const std::string& path,
         << ", \"allocs_per_step\": " << r.allocs_per_step
         << ", \"tape_nodes_per_step\": " << r.tape_nodes_per_step
         << ", \"pool_roundtrips_per_step\": " << r.pool_roundtrips_per_step
-        << ", \"overhead_pct\": " << r.overhead_pct << "}"
+        << ", \"overhead_pct\": " << r.overhead_pct
+        << ", \"ns_min\": " << r.ns_min << ", \"ns_max\": " << r.ns_max
+        << ", \"speedup_min\": " << r.speedup_min
+        << ", \"speedup_median\": " << r.speedup_median
+        << ", \"speedup_max\": " << r.speedup_max
+        << ", \"arena_bytes\": " << r.arena_bytes << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";

@@ -98,6 +98,16 @@ struct MicroBenchRecord {
   /// For derived A/B records: percent cost of the "on" leg over the "off"
   /// leg (used by the BENCH_PR4.json guardrail-overhead records).
   double overhead_pct = 0.0;
+  /// Fastest/slowest repetition (0 when only the mean was measured).
+  double ns_min = 0.0;
+  double ns_max = 0.0;
+  /// For paired A/B records over >=5 repetitions: per-repetition speedup of
+  /// the fast leg over the baseline leg (BENCH_PR5.json plan-vs-eager).
+  double speedup_min = 0.0;
+  double speedup_median = 0.0;
+  double speedup_max = 0.0;
+  /// Plan arena footprint (bytes) live during the timed run, if any.
+  double arena_bytes = 0.0;
 };
 
 /// Writes `records` to `path` as a JSON array of flat objects.

@@ -214,16 +214,32 @@ std::atomic<PoolStatsProvider>& PoolStatsProviderSlot() {
   return provider;
 }
 
+/// Installed by tensor/plan.cc at static-init time.
+std::atomic<PlanStatsProvider>& PlanStatsProviderSlot() {
+  static std::atomic<PlanStatsProvider> provider{nullptr};
+  return provider;
+}
+
 }  // namespace
 
 void RegisterPoolStatsProvider(PoolStatsProvider provider) {
   PoolStatsProviderSlot().store(provider, std::memory_order_release);
 }
 
+void RegisterPlanStatsProvider(PlanStatsProvider provider) {
+  PlanStatsProviderSlot().store(provider, std::memory_order_release);
+}
+
 PoolStats ExecContext::pool_stats() const {
   PoolStatsProvider provider =
       PoolStatsProviderSlot().load(std::memory_order_acquire);
   return provider != nullptr ? provider() : PoolStats{};
+}
+
+PlanStats ExecContext::plan_stats() const {
+  PlanStatsProvider provider =
+      PlanStatsProviderSlot().load(std::memory_order_acquire);
+  return provider != nullptr ? provider() : PlanStats{};
 }
 
 std::vector<uint64_t> ForkSeeds(Rng* rng, int n) {

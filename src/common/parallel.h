@@ -139,6 +139,24 @@ struct PoolStats {
 using PoolStatsProvider = PoolStats (*)();
 void RegisterPoolStatsProvider(PoolStatsProvider provider);
 
+/// Counters of the step-plan capture/replay layer (see tensor/plan.h).
+/// Process-wide, like PoolStats; exposed on ExecContext so pipeline code and
+/// benches can watch plan-cache behaviour without a common -> tensor
+/// dependency.
+struct PlanStats {
+  uint64_t captures = 0;       ///< Steps successfully frozen into a plan.
+  uint64_t replays = 0;        ///< Steps executed by replaying a plan.
+  uint64_t invalidations = 0;  ///< Frozen plans dropped (shape/knob change).
+  uint64_t poisoned = 0;       ///< Captures abandoned (fell back to eager).
+  uint64_t arena_bytes = 0;    ///< Bytes in live plans' intermediate arenas.
+  uint64_t pinned_bytes = 0;   ///< Bytes pinned by live plans (data + grad).
+};
+
+/// Hook tensor/plan.cc installs so ExecContext::plan_stats() works without a
+/// common -> tensor dependency.
+using PlanStatsProvider = PlanStats (*)();
+void RegisterPlanStatsProvider(PlanStatsProvider provider);
+
 /// Execution context threaded through the trainer, the evolutionary search,
 /// and both frameworks: which pool to run kernels on and the base seed that
 /// per-worker RNG streams derive from. Passing contexts (instead of ad-hoc
@@ -163,6 +181,9 @@ struct ExecContext {
   /// provider is linked in). The pool is shared, not per-context; contexts
   /// expose it so observability travels with the execution plumbing.
   PoolStats pool_stats() const;
+  /// Counters of the process-wide step-plan layer (all zeros when no
+  /// provider is linked in).
+  PlanStats plan_stats() const;
 };
 
 /// Installs `ctx`'s pool as the current pool for the enclosing scope, so

@@ -7,10 +7,13 @@
 #include <mutex>
 #include <utility>
 
+#include <map>
+
 #include "common/fault.h"
 #include "model/searched_model.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
+#include "tensor/plan.h"
 
 namespace autocts {
 
@@ -166,6 +169,17 @@ struct Pair {
   int second = 0;
 };
 
+/// A cached pre-training step plan. Keyed by (batch size, per-row task id
+/// sequence): the recorded graph bakes in which rows share which EmbedTask
+/// result, so only a batch with the identical task layout can replay it.
+struct PretrainPlanEntry {
+  int sightings = 0;
+  std::unique_ptr<StepPlan> plan;
+};
+
+/// Distinct batch layouts worth compiling; rarer layouts stay eager.
+constexpr int kMaxPretrainPlans = 4;
+
 }  // namespace
 
 PretrainReport PretrainComparator(Comparator* comparator,
@@ -194,6 +208,11 @@ PretrainReport PretrainComparator(Comparator* comparator,
 
   PretrainReport report;
   report.robustness = ScanSampleBank(data);
+  // Compiled step plans, keyed by batch layout. A layout is captured on its
+  // second sighting (one-off tail batches never pay the capture cost) and
+  // replayed from then on.
+  std::map<std::pair<int, std::vector<int>>, PretrainPlanEntry> plan_cache;
+  int plans_allocated = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     // Curriculum (Alg. 1, line 12): shared samples are always in; the
     // admitted fraction Δ of random samples grows linearly to 1.
@@ -238,9 +257,7 @@ PretrainReport PretrainComparator(Comparator* comparator,
                             begin + static_cast<size_t>(options.batch_size));
       std::vector<ArchHyperEncoding> first, second;
       std::vector<float> labels;
-      std::vector<Tensor> task_rows;
-      // Task embeddings are trainable; compute one per task per batch.
-      std::vector<Tensor> cached_embeds(data.size());
+      std::vector<int> task_seq;
       for (size_t p = begin; p < end; ++p) {
         const Pair& pair = pairs[p];
         const TaskSampleSet& set = data[static_cast<size_t>(pair.task)];
@@ -253,29 +270,74 @@ PretrainReport PretrainComparator(Comparator* comparator,
                     set.samples[static_cast<size_t>(pair.second)].r_prime
                 ? 1.0f
                 : 0.0f);
-        if (comparator->options().task_aware) {
-          Tensor& cached = cached_embeds[static_cast<size_t>(pair.task)];
-          if (!cached.defined()) {
-            cached = comparator->EmbedTask(set.preliminary);
-          }
-          task_rows.push_back(
-              Reshape(cached, {1, comparator->options().f2}));
-        }
+        if (comparator->options().task_aware) task_seq.push_back(pair.task);
       }
       const int m = static_cast<int>(labels.size());
+      EncodingBatch b1 = StackEncodings(first);
+      EncodingBatch b2 = StackEncodings(second);
+      Tensor target = Tensor::FromVector({m}, std::move(labels));
+      std::vector<Tensor> step_inputs = {b1.adjacency, b1.op_onehot, b1.hyper,
+                                         b2.adjacency, b2.op_onehot, b2.hyper,
+                                         target};
+      PretrainPlanEntry& entry = plan_cache[{m, task_seq}];
+      ++entry.sightings;
+      StepPlan* plan = entry.plan.get();
+      if (plan != nullptr && plan->ready() &&
+          !plan->MatchesInputs(step_inputs)) {
+        plan->Invalidate();
+      }
+      if (plan != nullptr && plan->ready()) {
+        // Replay: BeginStep's grad zeroing is the eager ZeroGrad, the
+        // recorded thunks are the eager forward (EmbedTask, Concat and
+        // CompareLogits included), the recorded closures the eager backward.
+        plan->BeginStep(step_inputs);
+        plan->RunForward();
+        plan->RunBackward();
+        adam.Step();
+        epoch_loss += plan->LossValue();
+        ++batches;
+        report.total_pairs_trained += m;
+        continue;
+      }
+      if (plan == nullptr && entry.sightings >= 2 && plan::PlansEnabled() &&
+          plans_allocated < kMaxPretrainPlans) {
+        entry.plan = std::make_unique<StepPlan>();
+        plan = entry.plan.get();
+        ++plans_allocated;
+      }
+      const bool capture =
+          plan != nullptr && plan::PlansEnabled() && !plan->capture_failed();
+      if (capture) plan->BeginCapture(step_inputs, "pretrain_step");
+      // Task embeddings are trainable; compute one per task per batch
+      // (inside the capture — the rows are recorded ops).
+      std::vector<Tensor> task_rows;
+      std::vector<Tensor> cached_embeds(data.size());
+      for (size_t p = begin; p < end; ++p) {
+        const Pair& pair = pairs[p];
+        if (!comparator->options().task_aware) break;
+        Tensor& cached = cached_embeds[static_cast<size_t>(pair.task)];
+        if (!cached.defined()) {
+          cached = comparator->EmbedTask(
+              data[static_cast<size_t>(pair.task)].preliminary);
+        }
+        task_rows.push_back(Reshape(cached, {1, comparator->options().f2}));
+      }
       Tensor task_embeds;
       if (!task_rows.empty()) task_embeds = Concat(task_rows, 0);
-      Tensor logits = comparator->CompareLogits(StackEncodings(first),
-                                                StackEncodings(second),
-                                                task_embeds);
-      Tensor target = Tensor::FromVector({m}, std::move(labels));
+      Tensor logits = comparator->CompareLogits(b1, b2, task_embeds);
       Tensor loss = BceLoss(Sigmoid(logits), target);
       adam.ZeroGrad();
       loss.Backward();
       adam.Step();
       epoch_loss += loss.item();
-      // Recycle the step's graph storage through the buffer pool.
-      loss.ReleaseTape();
+      bool pinned_by_plan = false;
+      if (capture) {
+        plan->SetLoss(loss);
+        pinned_by_plan = plan->EndCapture();
+      }
+      // Recycle the step's graph storage through the buffer pool (a frozen
+      // plan keeps it pinned for replay instead).
+      if (!pinned_by_plan) loss.ReleaseTape();
       ++batches;
       report.total_pairs_trained += m;
     }

@@ -9,6 +9,7 @@
 #include "common/guard.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
+#include "tensor/plan.h"
 
 namespace autocts {
 
@@ -37,11 +38,48 @@ Status ModelTrainer::RunEpochs(Forecaster* model, int epochs, float lr_scale,
   model->SetTraining(true);
   const float mean = provider_.mean();
   const float std = provider_.std();
+  // One captured step plan per RunEpochs call. The first eager step is
+  // recorded; every following step replays it (no tape nodes, no shape
+  // inference, no pool round-trips). The plan is local on purpose: a
+  // NaN-quarantine retry re-enters RunEpochs with a halved lr and naturally
+  // recaptures against the reset parameters.
+  StepPlan plan;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     double epoch_loss = 0.0;
     for (int step = 0; step < options_.batches_per_epoch; ++step) {
       WindowBatch batch =
           provider_.SampleTrainBatch(options_.batch_size, &rng);
+      std::vector<Tensor> step_inputs = {batch.x, batch.y};
+      if (plan.ready() && !plan.MatchesInputs(step_inputs)) plan.Invalidate();
+      if (plan.ready()) {
+        // ---- Replay path: same observable sequence as the eager step.
+        plan.BeginStep(step_inputs);
+        plan.RunForward();
+        float observed = plan.LossValue();
+        if (AnyFaultArmed() && FaultFiresNanLoss()) {
+          observed = std::numeric_limits<float>::quiet_NaN();
+        }
+        // Loss guardrail (see the eager branch). Replay has no per-step
+        // tape to release — the graph stays pinned in the plan.
+        if (GuardsEnabled() && !std::isfinite(observed)) {
+          return Status::Error("non-finite loss at epoch " +
+                               std::to_string(epoch) + ", step " +
+                               std::to_string(step));
+        }
+        epoch_loss += observed;
+        plan.RunBackward();
+        const int64_t skipped_before = adam.skipped_steps();
+        adam.Step();
+        if (adam.skipped_steps() > skipped_before) {
+          return Status::Error("non-finite gradient norm at epoch " +
+                               std::to_string(epoch) + ", step " +
+                               std::to_string(step));
+        }
+        continue;
+      }
+      const bool capture =
+          plan::PlansEnabled() && !plan.capture_failed() && !plan.capturing();
+      if (capture) plan.BeginCapture(step_inputs, "train_step");
       adam.ZeroGrad();
       Tensor pred_scaled = model->Forward(batch.x);
       // Inverse transform inside the graph; loss on the original scale.
@@ -55,6 +93,7 @@ Status ModelTrainer::RunEpochs(Forecaster* model, int epochs, float lr_scale,
       // garbage — stop before the backward pass spreads it further. The
       // tape is released so the aborted step leaks no graph storage.
       if (GuardsEnabled() && !std::isfinite(observed)) {
+        if (capture) plan.AbortCapture();
         loss.ReleaseTape();
         return Status::Error("non-finite loss at epoch " +
                              std::to_string(epoch) + ", step " +
@@ -64,10 +103,19 @@ Status ModelTrainer::RunEpochs(Forecaster* model, int epochs, float lr_scale,
       loss.Backward();
       const int64_t skipped_before = adam.skipped_steps();
       adam.Step();
+      bool pinned_by_plan = false;
+      if (capture) {
+        plan.SetLoss(loss);
+        // On success the plan pins the step graph (closures and buffers are
+        // replayed in place), so the tape must NOT be released. A poisoned
+        // capture falls through to the normal per-step release and every
+        // later step stays eager.
+        pinned_by_plan = plan.EndCapture();
+      }
       // Sever the step's graph so its buffers go back to the pool now
       // (pred/pred_scaled handles would otherwise keep nodes alive until
       // they are reassigned next iteration).
-      loss.ReleaseTape();
+      if (!pinned_by_plan) loss.ReleaseTape();
       // Gradient guardrail: Adam refused the update because the post-clip
       // gradient norm was non-finite. Parameters are still clean (the skip
       // mutates nothing), but continuing would just repeat the overflow.
@@ -125,6 +173,8 @@ ForecastMetrics ModelTrainer::Evaluate(const Forecaster& model,
   Forecaster& mutable_model = const_cast<Forecaster&>(model);
   bool was_training = model.training();
   mutable_model.SetTraining(false);
+  // Forward-only: skip the autograd tape entirely (values are unchanged).
+  NoGradScope no_grad;
 
   std::vector<int> starts = provider_.Starts(split, options_.max_eval_windows);
   const float mean = provider_.mean();

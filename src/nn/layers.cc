@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "tensor/plan.h"
 
 namespace autocts {
 namespace {
@@ -162,39 +163,53 @@ Tensor MultiHeadAttention::Forward(const Tensor& x) const {
     // output, the rest fall back to mean(V).
     int u = std::max(1, static_cast<int>(std::ceil(std::log2(l))));
     if (u < l) {
-      const auto& sd = scores.data();
-      std::vector<float> mask_data(static_cast<size_t>(b) * heads_ * l, 0.0f);
-      // Each (batch, head) writes a disjoint slice of the mask; the scratch
-      // vector lives inside the chunk so lanes never share it.
-      ParallelFor(
-          0, static_cast<int64_t>(b) * heads_,
-          GrainFor(static_cast<int64_t>(l) * l), [&](int64_t g0, int64_t g1) {
-            std::vector<std::pair<float, int>> m(static_cast<size_t>(l));
-            for (int64_t gi = g0; gi < g1; ++gi) {
-              int64_t base = gi * static_cast<int64_t>(l) * l;
-              for (int i = 0; i < l; ++i) {
-                float mx = -1e30f, mean = 0.0f;
-                for (int j = 0; j < l; ++j) {
-                  float s = sd[static_cast<size_t>(
-                                base + static_cast<int64_t>(i) * l + j)] *
-                            scale;
-                  mx = std::max(mx, s);
-                  mean += s;
+      const int heads = heads_;
+      const int64_t mask_n = static_cast<int64_t>(b) * heads * l;
+      // The mask is a deterministic function of `scores`, so a recording
+      // plan replays it as a compute thunk (zero-fill included — replay
+      // reuses the buffer). Each (batch, head) writes a disjoint slice;
+      // the scratch vector lives inside the chunk so lanes never share it.
+      auto mask_kernel = [b, heads, l, u, scale, mask_n](const float* sd,
+                                                         float* mp) {
+        std::fill(mp, mp + mask_n, 0.0f);
+        ParallelFor(
+            0, static_cast<int64_t>(b) * heads,
+            GrainFor(static_cast<int64_t>(l) * l), [&](int64_t g0, int64_t g1) {
+              std::vector<std::pair<float, int>> m(static_cast<size_t>(l));
+              for (int64_t gi = g0; gi < g1; ++gi) {
+                int64_t base = gi * static_cast<int64_t>(l) * l;
+                for (int i = 0; i < l; ++i) {
+                  float mx = -1e30f, mean = 0.0f;
+                  for (int j = 0; j < l; ++j) {
+                    float s = sd[static_cast<size_t>(
+                                  base + static_cast<int64_t>(i) * l + j)] *
+                              scale;
+                    mx = std::max(mx, s);
+                    mean += s;
+                  }
+                  mean /= static_cast<float>(l);
+                  m[static_cast<size_t>(i)] = {mx - mean, i};
                 }
-                mean /= static_cast<float>(l);
-                m[static_cast<size_t>(i)] = {mx - mean, i};
+                std::partial_sort(
+                    m.begin(), m.begin() + u, m.end(),
+                    [](auto& a2, auto& b2) { return a2.first > b2.first; });
+                for (int t = 0; t < u; ++t) {
+                  mp[static_cast<size_t>(gi * l +
+                                         m[static_cast<size_t>(t)].second)] =
+                      1.0f;
+                }
               }
-              std::partial_sort(
-                  m.begin(), m.begin() + u, m.end(),
-                  [](auto& a2, auto& b2) { return a2.first > b2.first; });
-              for (int t = 0; t < u; ++t) {
-                mask_data[static_cast<size_t>(gi * l +
-                                              m[static_cast<size_t>(t)].second)] =
-                    1.0f;
-              }
-            }
-          });
+            });
+      };
+      std::vector<float> mask_data(static_cast<size_t>(mask_n));
+      mask_kernel(scores.data().data(), mask_data.data());
       Tensor mask = Tensor::FromVector({b, heads_, l, 1}, std::move(mask_data));
+      if (plan::Recording()) {
+        const int is = plan::In(scores), im = plan::Out(mask);
+        plan::Commit([mask_kernel, is, im](float* const* bufs) {
+          mask_kernel(bufs[is], bufs[im]);
+        });
+      }
       Tensor mean_v = Mean(v, 2, /*keepdim=*/true);  // [B, H, 1, Dh]
       Tensor inv_mask = AddScalar(Neg(mask), 1.0f);
       out = Add(Mul(mask, out), Mul(inv_mask, mean_v));

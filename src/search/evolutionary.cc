@@ -2,12 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
 #include <numeric>
 
 #include "common/guard.h"
 #include "tensor/ops.h"
+#include "tensor/plan.h"
 
 namespace autocts {
+
+namespace {
+
+/// Per-thread cache of compiled comparator-inference plans, one per batch
+/// size, valid for one (comparator, task embedding) context. Thread-local
+/// because a StepPlan must replay on the thread that captured it, and
+/// ComparePairs fans batches out across the pool.
+struct TlsCompareCache {
+  const void* comparator = nullptr;
+  const void* task_embed = nullptr;
+  /// Pins the task embedding's storage so `task_embed` can never be a
+  /// recycled-address false match (ABA) while this cache context is live.
+  Tensor task_embed_keep;
+  /// Constant [1, f2] view of the embedding, shared by every captured plan.
+  Tensor task_row;
+  std::map<int, std::unique_ptr<StepPlan>> by_batch;
+};
+
+thread_local TlsCompareCache t_compare_cache;
+
+}  // namespace
 
 EvolutionarySearcher::EvolutionarySearcher(const Comparator* comparator,
                                            const JointSearchSpace* space,
@@ -24,27 +48,8 @@ std::vector<bool> EvolutionarySearcher::ComparePairs(
   std::vector<bool> wins(pairs.size());
   const bool task_aware = comparator_->options().task_aware;
   const int f2 = comparator_->options().f2;
-  Tensor task_row;
-  if (task_aware) {
-    CHECK(task_embed.defined());
-    task_row = Reshape(task_embed, {1, f2});
-  }
-  auto run_batch = [&](size_t begin) {
-    size_t end =
-        std::min(pairs.size(), begin + static_cast<size_t>(compare_batch));
-    std::vector<ArchHyperEncoding> first, second;
-    for (size_t p = begin; p < end; ++p) {
-      first.push_back(enc[static_cast<size_t>(pairs[p].first)]);
-      second.push_back(enc[static_cast<size_t>(pairs[p].second)]);
-    }
-    const int m = static_cast<int>(end - begin);
-    Tensor task_embeds;
-    if (task_aware) {
-      std::vector<Tensor> rows(static_cast<size_t>(m), task_row);
-      task_embeds = Concat(rows, 0);
-    }
-    Tensor logits = comparator_->CompareLogits(
-        StackEncodings(first), StackEncodings(second), task_embeds);
+  if (task_aware) CHECK(task_embed.defined());
+  auto record_logits = [&](size_t begin, int m, const Tensor& logits) {
     for (int i = 0; i < m; ++i) {
       const float logit = logits.at(i);
       if (GuardsEnabled() && !std::isfinite(logit)) {
@@ -58,25 +63,153 @@ std::vector<bool> EvolutionarySearcher::ComparePairs(
       wins[begin + static_cast<size_t>(i)] = logit >= 0.0f;
     }
   };
+  auto stack_batch = [&](size_t begin, size_t end, EncodingBatch* b1,
+                         EncodingBatch* b2) {
+    std::vector<ArchHyperEncoding> first, second;
+    for (size_t p = begin; p < end; ++p) {
+      first.push_back(enc[static_cast<size_t>(pairs[p].first)]);
+      second.push_back(enc[static_cast<size_t>(pairs[p].second)]);
+    }
+    *b1 = StackEncodings(first);
+    *b2 = StackEncodings(second);
+  };
   const int64_t num_batches =
       (static_cast<int64_t>(pairs.size()) + compare_batch - 1) / compare_batch;
   if (!comparator_->training()) {
     // Eval-mode inference is pure (dropout is a no-op, so no shared RNG),
-    // and batches are independent — fan them out across the pool.
+    // and batches are independent — fan them out across the pool. Each
+    // worker compiles one inference plan per batch size (captured under
+    // NoGradScope, so pure intermediates live in the plan's bump arena) and
+    // replays it for every later batch of that size.
     ExecScope scope(ctx_);
-    ParallelFor(0, num_batches, 1, [&](int64_t b0, int64_t b1) {
-      for (int64_t bi = b0; bi < b1; ++bi) {
-        run_batch(static_cast<size_t>(bi) *
-                  static_cast<size_t>(compare_batch));
+    ParallelFor(0, num_batches, 1, [&](int64_t b0, int64_t b1r) {
+      NoGradScope no_grad;
+      TlsCompareCache& cache = t_compare_cache;
+      const void* embed_key = task_aware
+                                  ? static_cast<const void*>(task_embed.impl())
+                                  : nullptr;
+      if (cache.comparator != static_cast<const void*>(comparator_) ||
+          cache.task_embed != embed_key) {
+        cache.by_batch.clear();
+        cache.comparator = comparator_;
+        cache.task_embed = embed_key;
+        cache.task_embed_keep = task_aware ? task_embed : Tensor();
+        cache.task_row =
+            task_aware ? Reshape(task_embed, {1, f2}) : Tensor();
+      }
+      for (int64_t bi = b0; bi < b1r; ++bi) {
+        const size_t begin =
+            static_cast<size_t>(bi) * static_cast<size_t>(compare_batch);
+        const size_t end =
+            std::min(pairs.size(), begin + static_cast<size_t>(compare_batch));
+        const int m = static_cast<int>(end - begin);
+        EncodingBatch eb1, eb2;
+        stack_batch(begin, end, &eb1, &eb2);
+        std::vector<Tensor> step_inputs = {eb1.adjacency, eb1.op_onehot,
+                                           eb1.hyper,     eb2.adjacency,
+                                           eb2.op_onehot, eb2.hyper};
+        std::unique_ptr<StepPlan>& plan = cache.by_batch[m];
+        if (plan == nullptr) plan = std::make_unique<StepPlan>();
+        if (plan->ready() && !plan->MatchesInputs(step_inputs)) {
+          plan->Invalidate();
+        }
+        if (plan->ready()) {
+          plan->BeginStep(step_inputs);
+          plan->RunForward();
+          record_logits(begin, m, plan->output(0));
+          continue;
+        }
+        const bool capture =
+            plan::PlansEnabled() && !plan->capture_failed() &&
+            LiveTapeNodesThisThread() == plan::PinnedTapeNodesThisThread();
+        if (capture) plan->BeginCapture(step_inputs, "compare_logits");
+        Tensor task_embeds;
+        if (task_aware) {
+          std::vector<Tensor> rows(static_cast<size_t>(m), cache.task_row);
+          task_embeds = Concat(rows, 0);
+        }
+        Tensor logits = comparator_->CompareLogits(eb1, eb2, task_embeds);
+        if (capture) {
+          plan->AddOutput(logits);
+          plan->EndCapture();
+        }
+        record_logits(begin, m, logits);
       }
     });
   } else {
-    // Training mode shares one dropout RNG; keep the sequential draw order.
+    // Training mode shares one dropout RNG; keep the sequential draw order
+    // and stay eager (the graph must re-tape every step).
+    Tensor task_row;
+    if (task_aware) task_row = Reshape(task_embed, {1, f2});
     for (int64_t bi = 0; bi < num_batches; ++bi) {
-      run_batch(static_cast<size_t>(bi) * static_cast<size_t>(compare_batch));
+      const size_t begin =
+          static_cast<size_t>(bi) * static_cast<size_t>(compare_batch);
+      const size_t end =
+          std::min(pairs.size(), begin + static_cast<size_t>(compare_batch));
+      const int m = static_cast<int>(end - begin);
+      EncodingBatch eb1, eb2;
+      stack_batch(begin, end, &eb1, &eb2);
+      Tensor task_embeds;
+      if (task_aware) {
+        std::vector<Tensor> rows(static_cast<size_t>(m), task_row);
+        task_embeds = Concat(rows, 0);
+      }
+      Tensor logits = comparator_->CompareLogits(eb1, eb2, task_embeds);
+      record_logits(begin, m, logits);
     }
   }
   return wins;
+}
+
+ArchHyperEncoding EvolutionarySearcher::CachedEncoding(
+    const ArchHyper& ah) const {
+  const std::string key = ah.Signature();
+  {
+    std::lock_guard<std::mutex> lock(encode_mu_);
+    auto it = encode_cache_.find(key);
+    if (it != encode_cache_.end()) return it->second;
+  }
+  // Encode outside the lock; a racing duplicate encode is harmless (both
+  // produce identical tensors, the first insert wins).
+  ArchHyperEncoding enc = EncodeArchHyper(ah);
+  std::lock_guard<std::mutex> lock(encode_mu_);
+  return encode_cache_.try_emplace(key, std::move(enc)).first->second;
+}
+
+std::vector<bool> EvolutionarySearcher::DedupedOutcomes(
+    const std::vector<ArchHyper>& items,
+    const std::vector<ArchHyperEncoding>& enc,
+    const std::vector<std::pair<int, int>>& pairs, const Tensor& task_embed,
+    int compare_batch) const {
+  // Canonical representative per signature: crossover/mutation churn yields
+  // duplicate arch-hypers across generations, so round-robins repeat many
+  // (first, second) encoding pairs verbatim.
+  std::unordered_map<std::string, int> canon_by_sig;
+  std::vector<int> canon(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto it = canon_by_sig.try_emplace(items[i].Signature(),
+                                       static_cast<int>(i));
+    canon[i] = it.first->second;
+  }
+  std::map<std::pair<int, int>, int> slot_of;
+  std::vector<std::pair<int, int>> unique_pairs;
+  std::vector<int> pair_slot(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const std::pair<int, int> cp = {canon[static_cast<size_t>(pairs[p].first)],
+                                    canon[static_cast<size_t>(pairs[p].second)]};
+    auto it = slot_of.try_emplace(cp, static_cast<int>(unique_pairs.size()));
+    if (it.second) unique_pairs.push_back(cp);
+    pair_slot[p] = it.first->second;
+  }
+  // Bit-safe broadcast: every comparator op is row-local, so a pair's logit
+  // does not depend on which other rows share its batch.
+  std::vector<bool> unique_outcomes =
+      ComparePairs(enc, unique_pairs, task_embed, compare_batch);
+  std::vector<bool> outcomes(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    outcomes[p] = unique_outcomes[static_cast<size_t>(pair_slot[p])];
+  }
+  return outcomes;
 }
 
 std::vector<int> EvolutionarySearcher::SparseWinCounts(
@@ -85,7 +218,7 @@ std::vector<int> EvolutionarySearcher::SparseWinCounts(
   const int n = static_cast<int>(pool.size());
   std::vector<ArchHyperEncoding> enc;
   enc.reserve(pool.size());
-  for (const ArchHyper& ah : pool) enc.push_back(EncodeArchHyper(ah));
+  for (const ArchHyper& ah : pool) enc.push_back(CachedEncoding(ah));
   std::vector<std::pair<int, int>> pairs;
   for (int i = 0; i < n; ++i) {
     for (int o = 0; o < opponents; ++o) {
@@ -95,7 +228,7 @@ std::vector<int> EvolutionarySearcher::SparseWinCounts(
     }
   }
   std::vector<bool> outcomes =
-      ComparePairs(enc, pairs, task_embed, compare_batch);
+      DedupedOutcomes(pool, enc, pairs, task_embed, compare_batch);
   std::vector<int> wins(static_cast<size_t>(n), 0);
   for (size_t p = 0; p < pairs.size(); ++p) {
     // Credit both sides: the winner of each duel gets a point.
@@ -114,7 +247,7 @@ std::vector<int> EvolutionarySearcher::RoundRobinWins(
   const int n = static_cast<int>(candidates.size());
   std::vector<ArchHyperEncoding> enc;
   enc.reserve(candidates.size());
-  for (const ArchHyper& ah : candidates) enc.push_back(EncodeArchHyper(ah));
+  for (const ArchHyper& ah : candidates) enc.push_back(CachedEncoding(ah));
   std::vector<std::pair<int, int>> pairs;
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
@@ -122,7 +255,7 @@ std::vector<int> EvolutionarySearcher::RoundRobinWins(
     }
   }
   std::vector<bool> outcomes =
-      ComparePairs(enc, pairs, task_embed, compare_batch);
+      DedupedOutcomes(candidates, enc, pairs, task_embed, compare_batch);
   std::vector<int> wins(static_cast<size_t>(n), 0);
   for (size_t p = 0; p < pairs.size(); ++p) {
     if (outcomes[p]) ++wins[static_cast<size_t>(pairs[p].first)];

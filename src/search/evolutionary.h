@@ -3,6 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -69,11 +73,30 @@ class EvolutionarySearcher {
       const std::vector<std::pair<int, int>>& pairs, const Tensor& task_embed,
       int compare_batch) const;
 
+  /// EncodeArchHyper memoized on ArchHyper::Signature() (equal signatures
+  /// ⇔ equal arch-hypers ⇒ equal encodings). Population survivors re-enter
+  /// every generation's round-robin, so most encodings repeat many times.
+  ArchHyperEncoding CachedEncoding(const ArchHyper& ah) const;
+
+  /// ComparePairs with duplicate (first, second) *encodings* collapsed:
+  /// each signature-distinct ordered pair's logit is computed once and the
+  /// outcome broadcast to every duplicate duel. Bit-safe because every
+  /// comparator op is row-local, so a logit does not depend on which batch
+  /// rows surround it.
+  std::vector<bool> DedupedOutcomes(const std::vector<ArchHyper>& items,
+                                    const std::vector<ArchHyperEncoding>& enc,
+                                    const std::vector<std::pair<int, int>>& pairs,
+                                    const Tensor& task_embed,
+                                    int compare_batch) const;
+
   const Comparator* comparator_;
   const JointSearchSpace* space_;
   ExecContext ctx_;
   /// Mutable: ComparePairs is logically const; the counter is telemetry.
   mutable std::atomic<int64_t> nonfinite_comparisons_{0};
+  /// Signature -> encoding memo (guarded; searchers may be shared).
+  mutable std::mutex encode_mu_;
+  mutable std::unordered_map<std::string, ArchHyperEncoding> encode_cache_;
 };
 
 }  // namespace autocts

@@ -11,6 +11,7 @@
 #include "common/parallel.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
+#include "tensor/plan.h"
 
 // Same internal 32-byte vector type as gemm.cc; ABI warning is noise.
 #pragma GCC diagnostic ignored "-Wpsabi"
@@ -128,11 +129,12 @@ Tensor PermutedCopy(const Tensor& x, const std::vector<int>& view_shape,
   CHECK_LT(d1, nd);
   PermuteMap map(view_shape, d0, d1);
   std::vector<float> out = BufferPool::Global().Acquire(count);
-  const float* xd = x.data().data();
-  float* od = out.data();
-  ParallelFor(0, count, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) od[i] = xd[map.Src(i)];
-  });
+  auto kernel = [map, count](const float* xp, float* op) {
+    ParallelFor(0, count, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) op[i] = xp[map.Src(i)];
+    });
+  };
+  kernel(x.data().data(), out.data());
   Tensor tx = x;
   auto backward = [tx, map, count](internal::TensorImpl& node) mutable {
     const float* g = node.grad.data();
@@ -141,8 +143,15 @@ Tensor PermutedCopy(const Tensor& x, const std::vector<int>& view_shape,
       for (int64_t i = i0; i < i1; ++i) gx[map.Src(i)] += g[i];
     });
   };
-  return Tensor::MakeFromOp(std::move(final_shape), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(std::move(final_shape), std::move(out),
+                                     {x}, std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor ApplyActOp(const Tensor& x, FusedAct act, float slope) {
@@ -268,41 +277,42 @@ Tensor FusedLayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const float invn = 1.0f / static_cast<float>(n);
   BufferPool& pool = BufferPool::Global();
   std::vector<float> out = pool.Acquire(x.numel());
-  // Per-row (mean, stddev) cached for backward. Wrapped in a Tensor so the
-  // buffer rides the closure's lifetime and returns to the pool with it.
-  std::vector<float> stats = pool.Acquire(rows * 2);
-  const float* xd = x.data().data();
-  const float* gd = gamma.data().data();
-  const float* bd = beta.data().data();
-  float* od = out.data();
-  float* st = stats.data();
-  ParallelFor(0, rows, GrainFor(4 * n), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* xr = xd + r * n;
-      float* orow = od + r * n;
-      float sum = 0.0f;
-      for (int j = 0; j < n; ++j) sum += xr[j];
-      const float mu = sum * invn;
-      float sq = 0.0f;
-      for (int j = 0; j < n; ++j) {
-        const float c = xr[j] - mu;
-        orow[j] = c;  // Stash centered values; overwritten below.
-        sq += c * c;
+  // Per-row (mean, stddev) cached for backward. Wrapped in a Tensor (created
+  // up front so a recording plan can bind it as a second output of this op's
+  // thunk) so the buffer rides the closure's lifetime and returns to the
+  // pool with it.
+  Tensor stats_t = Tensor::FromVector({static_cast<int>(rows), 2},
+                                      pool.Acquire(rows * 2));
+  auto kernel = [rows, n, invn, eps](const float* xd, const float* gd,
+                                     const float* bd, float* od, float* st) {
+    ParallelFor(0, rows, GrainFor(4 * n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* xr = xd + r * n;
+        float* orow = od + r * n;
+        float sum = 0.0f;
+        for (int j = 0; j < n; ++j) sum += xr[j];
+        const float mu = sum * invn;
+        float sq = 0.0f;
+        for (int j = 0; j < n; ++j) {
+          const float c = xr[j] - mu;
+          orow[j] = c;  // Stash centered values; overwritten below.
+          sq += c * c;
+        }
+        const float sd = std::sqrt(sq * invn + eps);
+        st[2 * r] = mu;
+        st[2 * r + 1] = sd;
+        const v8 vsd = Splat(sd);
+        int j = 0;
+        for (; j + 8 <= n; j += 8) {
+          Store8(orow + j,
+                 (Load8(orow + j) / vsd) * Load8(gd + j) + Load8(bd + j));
+        }
+        for (; j < n; ++j) orow[j] = (orow[j] / sd) * gd[j] + bd[j];
       }
-      const float sd = std::sqrt(sq * invn + eps);
-      st[2 * r] = mu;
-      st[2 * r + 1] = sd;
-      const v8 vsd = Splat(sd);
-      int j = 0;
-      for (; j + 8 <= n; j += 8) {
-        Store8(orow + j,
-               (Load8(orow + j) / vsd) * Load8(gd + j) + Load8(bd + j));
-      }
-      for (; j < n; ++j) orow[j] = (orow[j] / sd) * gd[j] + bd[j];
-    }
-  });
-  Tensor stats_t =
-      Tensor::FromVector({static_cast<int>(rows), 2}, std::move(stats));
+    });
+  };
+  kernel(x.data().data(), gamma.data().data(), beta.data().data(), out.data(),
+         stats_t.data().data());
   Tensor tx = x, tgamma = gamma, tbeta = beta;
   auto backward = [tx, tgamma, tbeta, stats_t, rows, n,
                    invn](internal::TensorImpl& node) mutable {
@@ -359,8 +369,16 @@ Tensor FusedLayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       }
     });
   };
-  return Tensor::MakeFromOp(x.shape(), std::move(out), {x, gamma, beta},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(x.shape(), std::move(out),
+                                     {x, gamma, beta}, std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), ig = plan::In(gamma), ib = plan::In(beta);
+    const int io = plan::Out(result), is = plan::Out(stats_t);
+    plan::Commit([kernel, ix, ig, ib, io, is](float* const* bufs) {
+      kernel(bufs[ix], bufs[ig], bufs[ib], bufs[io], bufs[is]);
+    });
+  }
+  return result;
 }
 
 /// ---- FusedGlu -------------------------------------------------------------
@@ -370,16 +388,16 @@ Tensor FusedGlu(const Tensor& a, const Tensor& b) {
   CHECK(a.shape() == b.shape());
   const int64_t count = a.numel();
   std::vector<float> out = BufferPool::Global().Acquire(count);
-  const float* ad = a.data().data();
-  const float* bd = b.data().data();
-  float* od = out.data();
-  ParallelFor(0, count, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float t = std::tanh(ad[i]);
-      const float s = 1.0f / (1.0f + std::exp(-bd[i]));
-      od[i] = t * s;
-    }
-  });
+  auto kernel = [count](const float* ad, const float* bd, float* od) {
+    ParallelFor(0, count, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        const float t = std::tanh(ad[i]);
+        const float s = 1.0f / (1.0f + std::exp(-bd[i]));
+        od[i] = t * s;
+      }
+    });
+  };
+  kernel(a.data().data(), b.data().data(), out.data());
   Tensor ta = a, tb = b;
   auto backward = [ta, tb, count](internal::TensorImpl& node) mutable {
     const float* g = node.grad.data();
@@ -398,8 +416,15 @@ Tensor FusedGlu(const Tensor& a, const Tensor& b) {
       }
     });
   };
-  return Tensor::MakeFromOp(a.shape(), std::move(out), {a, b},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(a.shape(), std::move(out), {a, b},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ia = plan::In(a), ib = plan::In(b), io = plan::Out(result);
+    plan::Commit([kernel, ia, ib, io](float* const* bufs) {
+      kernel(bufs[ia], bufs[ib], bufs[io]);
+    });
+  }
+  return result;
 }
 
 /// ---- FusedSoftmax ---------------------------------------------------------
@@ -410,32 +435,33 @@ Tensor FusedSoftmax(const Tensor& x, float scale) {
   int n;
   LastAxisGeometry(x, &rows, &n);
   std::vector<float> out = BufferPool::Global().Acquire(x.numel());
-  const float* xd = x.data().data();
-  float* od = out.data();
-  ParallelFor(0, rows, GrainFor(3 * n), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* xr = xd + r * n;
-      float* orow = od + r * n;
-      // Scale into the output buffer (x * 1.0f is exact, so scale == 1
-      // reproduces the plain Softmax bit-for-bit), tracking the max with
-      // the same ascending std::max fold as the unfused kernel.
-      float mx = -std::numeric_limits<float>::infinity();
-      for (int j = 0; j < n; ++j) {
-        const float v = xr[j] * scale;
-        orow[j] = v;
-        mx = std::max(mx, v);
+  auto kernel = [rows, n, scale](const float* xd, float* od) {
+    ParallelFor(0, rows, GrainFor(3 * n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* xr = xd + r * n;
+        float* orow = od + r * n;
+        // Scale into the output buffer (x * 1.0f is exact, so scale == 1
+        // reproduces the plain Softmax bit-for-bit), tracking the max with
+        // the same ascending std::max fold as the unfused kernel.
+        float mx = -std::numeric_limits<float>::infinity();
+        for (int j = 0; j < n; ++j) {
+          const float v = xr[j] * scale;
+          orow[j] = v;
+          mx = std::max(mx, v);
+        }
+        float denom = 0.0f;
+        for (int j = 0; j < n; ++j) {
+          orow[j] = std::exp(orow[j] - mx);
+          denom += orow[j];
+        }
+        const v8 vden = Splat(denom);
+        int j = 0;
+        for (; j + 8 <= n; j += 8) Store8(orow + j, Load8(orow + j) / vden);
+        for (; j < n; ++j) orow[j] /= denom;
       }
-      float denom = 0.0f;
-      for (int j = 0; j < n; ++j) {
-        orow[j] = std::exp(orow[j] - mx);
-        denom += orow[j];
-      }
-      const v8 vden = Splat(denom);
-      int j = 0;
-      for (; j + 8 <= n; j += 8) Store8(orow + j, Load8(orow + j) / vden);
-      for (; j < n; ++j) orow[j] /= denom;
-    }
-  });
+    });
+  };
+  kernel(x.data().data(), out.data());
   Tensor tx = x;
   auto backward = [tx, rows, n, scale](internal::TensorImpl& node) mutable {
     const float* g = node.grad.data();
@@ -454,8 +480,15 @@ Tensor FusedSoftmax(const Tensor& x, float scale) {
       }
     });
   };
-  return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(x.shape(), std::move(out), {x},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 /// ---- FusedBiasAct ---------------------------------------------------------
@@ -469,18 +502,19 @@ Tensor FusedBiasAct(const Tensor& x, const Tensor& bias, FusedAct act,
   CHECK_EQ(bias.ndim(), 1);
   CHECK_EQ(bias.dim(0), n);
   std::vector<float> out = BufferPool::Global().Acquire(x.numel());
-  const float* xd = x.data().data();
-  const float* bd = bias.data().data();
-  float* od = out.data();
-  ParallelFor(0, rows, GrainFor(2 * n), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* xr = xd + r * n;
-      float* orow = od + r * n;
-      for (int j = 0; j < n; ++j) {
-        orow[j] = ActForward(act, xr[j] + bd[j], slope);
+  auto kernel = [rows, n, act, slope](const float* xd, const float* bd,
+                                      float* od) {
+    ParallelFor(0, rows, GrainFor(2 * n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* xr = xd + r * n;
+        float* orow = od + r * n;
+        for (int j = 0; j < n; ++j) {
+          orow[j] = ActForward(act, xr[j] + bd[j], slope);
+        }
       }
-    }
-  });
+    });
+  };
+  kernel(x.data().data(), bias.data().data(), out.data());
   Tensor tx = x, tbias = bias;
   auto backward = [tx, tbias, rows, n, act,
                    slope](internal::TensorImpl& node) mutable {
@@ -515,8 +549,15 @@ Tensor FusedBiasAct(const Tensor& x, const Tensor& bias, FusedAct act,
       }
     });
   };
-  return Tensor::MakeFromOp(x.shape(), std::move(out), {x, bias},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(x.shape(), std::move(out), {x, bias},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), ib = plan::In(bias), io = plan::Out(result);
+    plan::Commit([kernel, ix, ib, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[ib], bufs[io]);
+    });
+  }
+  return result;
 }
 
 /// ---- FusedAddAct ----------------------------------------------------------
@@ -527,14 +568,15 @@ Tensor FusedAddAct(const Tensor& a, const Tensor& b, FusedAct act,
   CHECK(a.shape() == b.shape());
   const int64_t count = a.numel();
   std::vector<float> out = BufferPool::Global().Acquire(count);
-  const float* ad = a.data().data();
-  const float* bd = b.data().data();
-  float* od = out.data();
-  ParallelFor(0, count, kElemGrain / 2, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      od[i] = ActForward(act, ad[i] + bd[i], slope);
-    }
-  });
+  auto kernel = [count, act, slope](const float* ad, const float* bd,
+                                    float* od) {
+    ParallelFor(0, count, kElemGrain / 2, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        od[i] = ActForward(act, ad[i] + bd[i], slope);
+      }
+    });
+  };
+  kernel(a.data().data(), b.data().data(), out.data());
   Tensor ta = a, tb = b;
   auto backward = [ta, tb, count, act,
                    slope](internal::TensorImpl& node) mutable {
@@ -552,8 +594,15 @@ Tensor FusedAddAct(const Tensor& a, const Tensor& b, FusedAct act,
       }
     });
   };
-  return Tensor::MakeFromOp(a.shape(), std::move(out), {a, b},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(a.shape(), std::move(out), {a, b},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ia = plan::In(a), ib = plan::In(b), io = plan::Out(result);
+    plan::Commit([kernel, ia, ib, io](float* const* bufs) {
+      kernel(bufs[ia], bufs[ib], bufs[io]);
+    });
+  }
+  return result;
 }
 
 /// ---- FusedScalarScale -----------------------------------------------------
@@ -562,21 +611,26 @@ Tensor FusedScalarScale(const Tensor& x, const Tensor& s, float shift) {
   if (!FusedKernelsEnabled()) return ScalarScaleReference(x, s, shift);
   CHECK_EQ(s.numel(), 1);
   const int64_t count = x.numel();
-  const float t = s.data()[0] + shift;
   std::vector<float> out = BufferPool::Global().Acquire(count);
-  const float* xd = x.data().data();
-  float* od = out.data();
-  const v8 vt = Splat(t);
-  ParallelFor(0, count, kElemGrain, [&](int64_t i0, int64_t i1) {
-    int64_t i = i0;
-    for (; i + 8 <= i1; i += 8) Store8(od + i, Load8(xd + i) * vt);
-    for (; i < i1; ++i) od[i] = xd[i] * t;
-  });
+  // The scalar is read at call time (sd[0]), not frozen into the lambda: s
+  // is typically a learnable parameter, so a replaying plan must see the
+  // value the optimizer last wrote — same for the backward closure below.
+  auto kernel = [count, shift](const float* xd, const float* sd, float* od) {
+    const float t = sd[0] + shift;
+    const v8 vt = Splat(t);
+    ParallelFor(0, count, kElemGrain, [&](int64_t i0, int64_t i1) {
+      int64_t i = i0;
+      for (; i + 8 <= i1; i += 8) Store8(od + i, Load8(xd + i) * vt);
+      for (; i < i1; ++i) od[i] = xd[i] * t;
+    });
+  };
+  kernel(x.data().data(), s.data().data(), out.data());
   Tensor tx = x, ts = s;
-  auto backward = [tx, ts, count, t](internal::TensorImpl& node) mutable {
+  auto backward = [tx, ts, count, shift](internal::TensorImpl& node) mutable {
     const float* g = node.grad.data();
     const float* xd = tx.data().data();
     float* gx = tx.grad().data();
+    const float t = ts.data()[0] + shift;
     const v8 vt = Splat(t);
     ParallelFor(0, count, kElemGrain, [&](int64_t i0, int64_t i1) {
       int64_t i = i0;
@@ -591,8 +645,15 @@ Tensor FusedScalarScale(const Tensor& x, const Tensor& s, float shift) {
     for (int64_t i = 0; i < count; ++i) acc += g[i] * xd[i];
     ts.grad()[0] += acc * 1.0f;
   };
-  return Tensor::MakeFromOp(x.shape(), std::move(out), {x, s},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(x.shape(), std::move(out), {x, s},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), is = plan::In(s), io = plan::Out(result);
+    plan::Commit([kernel, ix, is, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[is], bufs[io]);
+    });
+  }
+  return result;
 }
 
 /// ---- Permute-pair fusions -------------------------------------------------
@@ -635,23 +696,25 @@ Tensor FusedAddN(const std::vector<Tensor>& parts) {
   if (parts.size() == 1) return parts[0];
   if (!FusedKernelsEnabled()) return AddNReference(parts);
   const int64_t count = parts[0].numel();
+  const size_t k = parts.size();
   std::vector<const float*> src;
-  src.reserve(parts.size());
+  src.reserve(k);
   for (const Tensor& p : parts) {
     CHECK(p.shape() == parts[0].shape());
     src.push_back(p.data().data());
   }
   std::vector<float> out = BufferPool::Global().Acquire(count);
-  float* od = out.data();
-  const size_t k = parts.size();
-  ParallelFor(0, count, kElemGrain / 2, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      // The chained composition is the left fold ((p0 + p1) + p2) + ...
-      float acc = src[0][i] + src[1][i];
-      for (size_t p = 2; p < k; ++p) acc += src[p][i];
-      od[i] = acc;
-    }
-  });
+  auto kernel = [count, k](const float* const* sp, float* od) {
+    ParallelFor(0, count, kElemGrain / 2, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        // The chained composition is the left fold ((p0 + p1) + p2) + ...
+        float acc = sp[0][i] + sp[1][i];
+        for (size_t p = 2; p < k; ++p) acc += sp[p][i];
+        od[i] = acc;
+      }
+    });
+  };
+  kernel(src.data(), out.data());
   std::vector<Tensor> held = parts;
   auto backward = [held, count](internal::TensorImpl& node) mutable {
     const float* g = node.grad.data();
@@ -668,8 +731,21 @@ Tensor FusedAddN(const std::vector<Tensor>& parts) {
       });
     }
   };
-  return Tensor::MakeFromOp(parts[0].shape(), std::move(out), parts,
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(parts[0].shape(), std::move(out), parts,
+                                     std::move(backward));
+  if (plan::Recording()) {
+    std::vector<int> part_slots;
+    part_slots.reserve(k);
+    for (const Tensor& p : parts) part_slots.push_back(plan::In(p));
+    const int io = plan::Out(result);
+    plan::Commit([kernel, part_slots, io](float* const* bufs) {
+      std::vector<const float*> sp;
+      sp.reserve(part_slots.size());
+      for (int slot : part_slots) sp.push_back(bufs[slot]);
+      kernel(sp.data(), bufs[io]);
+    });
+  }
+  return result;
 }
 
 /// ---- FusedAddLayerNorm ----------------------------------------------------
@@ -699,41 +775,42 @@ Tensor FusedAddLayerNorm(const Tensor& a, const Tensor& b,
   const float invn = 1.0f / static_cast<float>(n);
   BufferPool& pool = BufferPool::Global();
   std::vector<float> out = pool.Acquire(a.numel());
-  std::vector<float> stats = pool.Acquire(rows * 2);
-  const float* ad = a.data().data();
-  const float* bd2 = b.data().data();
-  const float* gd = gamma.data().data();
-  const float* bed = beta.data().data();
-  float* od = out.data();
-  float* st = stats.data();
-  ParallelFor(0, rows, GrainFor(5 * n), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* ar = ad + r * n;
-      const float* br = bd2 + r * n;
-      float* orow = od + r * n;
-      float sum = 0.0f;
-      for (int j = 0; j < n; ++j) sum += ar[j] + br[j];
-      const float mu = sum * invn;
-      float sq = 0.0f;
-      for (int j = 0; j < n; ++j) {
-        const float c = (ar[j] + br[j]) - mu;
-        orow[j] = c;  // Stash centered values; overwritten below.
-        sq += c * c;
+  // Stats tensor created up front so a recording plan can bind it as a
+  // second output of this op's thunk (see FusedLayerNorm).
+  Tensor stats_t = Tensor::FromVector({static_cast<int>(rows), 2},
+                                      pool.Acquire(rows * 2));
+  auto kernel = [rows, n, invn, eps](const float* ad, const float* bd2,
+                                     const float* gd, const float* bed,
+                                     float* od, float* st) {
+    ParallelFor(0, rows, GrainFor(5 * n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* ar = ad + r * n;
+        const float* br = bd2 + r * n;
+        float* orow = od + r * n;
+        float sum = 0.0f;
+        for (int j = 0; j < n; ++j) sum += ar[j] + br[j];
+        const float mu = sum * invn;
+        float sq = 0.0f;
+        for (int j = 0; j < n; ++j) {
+          const float c = (ar[j] + br[j]) - mu;
+          orow[j] = c;  // Stash centered values; overwritten below.
+          sq += c * c;
+        }
+        const float sd = std::sqrt(sq * invn + eps);
+        st[2 * r] = mu;
+        st[2 * r + 1] = sd;
+        const v8 vsd = Splat(sd);
+        int j = 0;
+        for (; j + 8 <= n; j += 8) {
+          Store8(orow + j,
+                 (Load8(orow + j) / vsd) * Load8(gd + j) + Load8(bed + j));
+        }
+        for (; j < n; ++j) orow[j] = (orow[j] / sd) * gd[j] + bed[j];
       }
-      const float sd = std::sqrt(sq * invn + eps);
-      st[2 * r] = mu;
-      st[2 * r + 1] = sd;
-      const v8 vsd = Splat(sd);
-      int j = 0;
-      for (; j + 8 <= n; j += 8) {
-        Store8(orow + j,
-               (Load8(orow + j) / vsd) * Load8(gd + j) + Load8(bed + j));
-      }
-      for (; j < n; ++j) orow[j] = (orow[j] / sd) * gd[j] + bed[j];
-    }
-  });
-  Tensor stats_t =
-      Tensor::FromVector({static_cast<int>(rows), 2}, std::move(stats));
+    });
+  };
+  kernel(a.data().data(), b.data().data(), gamma.data().data(),
+         beta.data().data(), out.data(), stats_t.data().data());
   Tensor ta = a, tb = b, tgamma = gamma, tbeta = beta;
   auto backward = [ta, tb, tgamma, tbeta, stats_t, rows, n,
                    invn](internal::TensorImpl& node) mutable {
@@ -797,8 +874,17 @@ Tensor FusedAddLayerNorm(const Tensor& a, const Tensor& b,
       }
     });
   };
-  return Tensor::MakeFromOp(a.shape(), std::move(out), {a, b, gamma, beta},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(a.shape(), std::move(out),
+                                     {a, b, gamma, beta}, std::move(backward));
+  if (plan::Recording()) {
+    const int ia = plan::In(a), ib = plan::In(b);
+    const int ig = plan::In(gamma), ie = plan::In(beta);
+    const int io = plan::Out(result), is = plan::Out(stats_t);
+    plan::Commit([kernel, ia, ib, ig, ie, io, is](float* const* bufs) {
+      kernel(bufs[ia], bufs[ib], bufs[ig], bufs[ie], bufs[io], bufs[is]);
+    });
+  }
+  return result;
 }
 
 /// ---- FusedReluSoftmax -----------------------------------------------------
@@ -809,31 +895,32 @@ Tensor FusedReluSoftmax(const Tensor& x) {
   int n;
   LastAxisGeometry(x, &rows, &n);
   std::vector<float> out = BufferPool::Global().Acquire(x.numel());
-  const float* xd = x.data().data();
-  float* od = out.data();
-  ParallelFor(0, rows, GrainFor(3 * n), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* xr = xd + r * n;
-      float* orow = od + r * n;
-      // Relu into the output buffer, then the plain softmax sequence —
-      // the same ascending folds as Softmax over the Relu'd values.
-      float mx = -std::numeric_limits<float>::infinity();
-      for (int j = 0; j < n; ++j) {
-        const float v = xr[j] > 0.0f ? xr[j] : 0.0f;
-        orow[j] = v;
-        mx = std::max(mx, v);
+  auto kernel = [rows, n](const float* xd, float* od) {
+    ParallelFor(0, rows, GrainFor(3 * n), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* xr = xd + r * n;
+        float* orow = od + r * n;
+        // Relu into the output buffer, then the plain softmax sequence —
+        // the same ascending folds as Softmax over the Relu'd values.
+        float mx = -std::numeric_limits<float>::infinity();
+        for (int j = 0; j < n; ++j) {
+          const float v = xr[j] > 0.0f ? xr[j] : 0.0f;
+          orow[j] = v;
+          mx = std::max(mx, v);
+        }
+        float denom = 0.0f;
+        for (int j = 0; j < n; ++j) {
+          orow[j] = std::exp(orow[j] - mx);
+          denom += orow[j];
+        }
+        const v8 vden = Splat(denom);
+        int j = 0;
+        for (; j + 8 <= n; j += 8) Store8(orow + j, Load8(orow + j) / vden);
+        for (; j < n; ++j) orow[j] /= denom;
       }
-      float denom = 0.0f;
-      for (int j = 0; j < n; ++j) {
-        orow[j] = std::exp(orow[j] - mx);
-        denom += orow[j];
-      }
-      const v8 vden = Splat(denom);
-      int j = 0;
-      for (; j + 8 <= n; j += 8) Store8(orow + j, Load8(orow + j) / vden);
-      for (; j < n; ++j) orow[j] /= denom;
-    }
-  });
+    });
+  };
+  kernel(x.data().data(), out.data());
   Tensor tx = x;
   auto backward = [tx, rows, n](internal::TensorImpl& node) mutable {
     const float* g = node.grad.data();
@@ -856,8 +943,15 @@ Tensor FusedReluSoftmax(const Tensor& x) {
       }
     });
   };
-  return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(x.shape(), std::move(out), {x},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 /// ---- FusedMaeLoss ---------------------------------------------------------
@@ -872,10 +966,13 @@ Tensor FusedMaeLoss(const Tensor& pred, const Tensor& target) {
   CHECK(pred.shape() == target.shape());
   const int64_t count = pred.numel();
   const float invn = 1.0f / static_cast<float>(count);
-  const float* pd = pred.data().data();
-  const float* td = target.data().data();
-  float total = 0.0f;
-  for (int64_t i = 0; i < count; ++i) total += std::fabs(pd[i] - td[i]);
+  auto kernel = [count, invn](const float* pd, const float* td, float* op) {
+    float total = 0.0f;
+    for (int64_t i = 0; i < count; ++i) total += std::fabs(pd[i] - td[i]);
+    op[0] = total * invn;
+  };
+  float loss = 0.0f;
+  kernel(pred.data().data(), target.data().data(), &loss);
   Tensor tp = pred, tt = target;
   auto backward = [tp, tt, count, invn](internal::TensorImpl& node) mutable {
     // MulScalar then SumAll broadcast: every element sees g[0] * invn.
@@ -895,8 +992,16 @@ Tensor FusedMaeLoss(const Tensor& pred, const Tensor& target) {
       }
     });
   };
-  return Tensor::MakeFromOp({1}, {total * invn}, {pred, target},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp({1}, {loss}, {pred, target},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ip = plan::In(pred), it = plan::In(target);
+    const int io = plan::Out(result);
+    plan::Commit([kernel, ip, it, io](float* const* bufs) {
+      kernel(bufs[ip], bufs[it], bufs[io]);
+    });
+  }
+  return result;
 }
 
 }  // namespace autocts

@@ -9,12 +9,20 @@
 #include "tensor/buffer_pool.h"
 #include "tensor/fused.h"
 #include "tensor/gemm.h"
+#include "tensor/plan.h"
 
 namespace autocts {
 namespace {
 
 /// Alias for the shared grain constant (see common/parallel.h).
 constexpr int64_t kElemGrain = kParallelGrainWork;
+
+// Every op in this file follows the capture protocol from tensor/plan.h:
+// the forward pass is a lambda over raw pointers, invoked once eagerly; if
+// a StepPlan is recording, the same lambda is committed as the op's replay
+// thunk over the plan's slot table. Replay therefore runs the identical
+// kernel (same accumulation order, same ParallelFor partitioning) on the
+// same buffers, which is what makes it memcmp-equal to eager execution.
 
 /// Broadcast shape of two operand shapes (numpy rules).
 std::vector<int> BroadcastShape(const std::vector<int>& a,
@@ -65,32 +73,33 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
   // once (same pattern in the other fully-overwriting ops in this file).
   std::vector<float> out = BufferPool::Global().Acquire(n);
   const bool same = a.shape() == b.shape();
-  if (same) {
-    // Raw pointers hoisted out of the loop: indexing through the vector
-    // references re-loads the data pointer every element because the
-    // by-reference closure capture may alias anything the compiler can see.
-    const float* ap = a.data().data();
-    const float* bp = b.data().data();
-    float* op = out.data();
-    ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        op[i] = fwd(ap[i], bp[i]);
-      }
-    });
-  } else {
-    std::vector<int64_t> os = Strides(out_shape);
-    std::vector<int64_t> as = AlignedStrides(a.shape(), out_shape);
-    std::vector<int64_t> bs = AlignedStrides(b.shape(), out_shape);
-    const auto& av = a.data();
-    const auto& bv = b.data();
-    ParallelFor(0, n, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) {
-        out[static_cast<size_t>(i)] =
-            fwd(av[static_cast<size_t>(MapOffset(i, out_shape, os, as))],
-                bv[static_cast<size_t>(MapOffset(i, out_shape, os, bs))]);
-      }
-    });
+  std::vector<int64_t> os, as, bs;
+  if (!same) {
+    os = Strides(out_shape);
+    as = AlignedStrides(a.shape(), out_shape);
+    bs = AlignedStrides(b.shape(), out_shape);
   }
+  // Raw pointers hoisted out of the loops: indexing through the vector
+  // references re-loads the data pointer every element because the
+  // by-reference closure capture may alias anything the compiler can see.
+  auto kernel = [n, same, fwd, out_shape, os, as,
+                 bs](const float* ap, const float* bp, float* op) {
+    if (same) {
+      ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          op[i] = fwd(ap[i], bp[i]);
+        }
+      });
+    } else {
+      ParallelFor(0, n, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          op[i] = fwd(ap[MapOffset(i, out_shape, os, as)],
+                      bp[MapOffset(i, out_shape, os, bs)]);
+        }
+      });
+    }
+  };
+  kernel(a.data().data(), b.data().data(), out.data());
   Tensor ta = a, tb = b;
   auto backward = [ta, tb, out_shape, same, da,
                    db](internal::TensorImpl& node) mutable {
@@ -129,8 +138,15 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, DA da, DB db) {
       }
     }
   };
-  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {a, b},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(std::move(out_shape), std::move(out),
+                                     {a, b}, std::move(backward));
+  if (plan::Recording()) {
+    const int ia = plan::In(a), ib = plan::In(b), io = plan::Out(result);
+    plan::Commit([kernel, ia, ib, io](float* const* bufs) {
+      kernel(bufs[ia], bufs[ib], bufs[io]);
+    });
+  }
+  return result;
 }
 
 /// Generic differentiable elementwise unary op. dydx receives (x, y).
@@ -138,11 +154,12 @@ template <typename F, typename D>
 Tensor UnaryOp(const Tensor& x, F fwd, D dydx) {
   const int64_t n = x.numel();
   std::vector<float> out = BufferPool::Global().Acquire(n);
-  const float* xp = x.data().data();
-  float* op = out.data();
-  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) op[i] = fwd(xp[i]);
-  });
+  auto kernel = [n, fwd](const float* xp, float* op) {
+    ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) op[i] = fwd(xp[i]);
+    });
+  };
+  kernel(x.data().data(), out.data());
   Tensor tx = x;
   auto backward = [tx, dydx](internal::TensorImpl& node) mutable {
     const float* g = node.grad.data();
@@ -159,8 +176,15 @@ Tensor UnaryOp(const Tensor& x, F fwd, D dydx) {
                   }
                 });
   };
-  return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
-                            std::move(backward));
+  Tensor result =
+      Tensor::MakeFromOp(x.shape(), std::move(out), {x}, std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 }  // namespace
@@ -300,19 +324,21 @@ MatMulPlan PlanMatMul(const Tensor& a, const Tensor& b) {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   MatMulPlan p = PlanMatMul(a, b);
-  std::vector<float> out =
-      BufferPool::Global().AcquireZeroed(NumElements(p.out_shape));
+  const int64_t total = NumElements(p.out_shape);
+  std::vector<float> out = BufferPool::Global().Acquire(total);
   const int64_t a_stride = p.a_broadcast ? 0 : static_cast<int64_t>(p.m) * p.k;
   const int64_t b_stride = p.b_broadcast ? 0 : static_cast<int64_t>(p.k) * p.n;
   const int64_t c_stride = static_cast<int64_t>(p.m) * p.n;
-  {
-    // Rows of the (flattened) output are independent, and GemmAcc
-    // accumulates every element in ascending-k order regardless of how many
-    // rows one call covers, so neither the chunk boundaries nor the
-    // blocked/small kernel choice (pure function of the chunk's shape) can
-    // change any output bit.
-    const float* ad = a.data().data();
-    const float* bd = b.data().data();
+  // Rows of the (flattened) output are independent, and GemmAcc
+  // accumulates every element in ascending-k order regardless of how many
+  // rows one call covers, so neither the chunk boundaries nor the
+  // blocked/small kernel choice (pure function of the chunk's shape) can
+  // change any output bit. The zero-fill lives inside the kernel so replay
+  // (which reuses the buffer) accumulates from zero exactly like the
+  // freshly zero-acquired eager buffer.
+  auto kernel = [p, total, a_stride, b_stride,
+                 c_stride](const float* ad, const float* bd, float* cd) {
+    std::fill(cd, cd + total, 0.0f);
     const int64_t row_work = static_cast<int64_t>(p.k) * p.n;
     ParallelFor(0, p.batch * p.m, GrainFor(row_work),
                 [&](int64_t r0, int64_t r1) {
@@ -322,12 +348,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                     const int64_t rows = std::min(r1 - r, p.m - i);
                     GemmAcc(ad + bi * a_stride + i * p.k, p.k, false,
                             bd + bi * b_stride, p.n, false,
-                            out.data() + bi * c_stride + i * p.n, p.n,
+                            cd + bi * c_stride + i * p.n, p.n,
                             static_cast<int>(rows), p.k, p.n);
                     r += rows;
                   }
                 });
-  }
+  };
+  kernel(a.data().data(), b.data().data(), out.data());
   Tensor ta = a, tb = b;
   auto backward = [ta, tb, p, a_stride, b_stride,
                    c_stride](internal::TensorImpl& node) mutable {
@@ -362,8 +389,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
     });
   };
-  return Tensor::MakeFromOp(p.out_shape, std::move(out), {a, b},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(p.out_shape, std::move(out), {a, b},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ia = plan::In(a), ib = plan::In(b), io = plan::Out(result);
+    plan::Commit([kernel, ia, ib, io](float* const* bufs) {
+      kernel(bufs[ia], bufs[ib], bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor Transpose(const Tensor& x, int d0, int d1) {
@@ -384,13 +418,15 @@ Tensor Transpose(const Tensor& x, int d0, int d1) {
   std::vector<int64_t> out_strides = Strides(out_shape);
   int64_t n = x.numel();
   std::vector<float> out = BufferPool::Global().Acquire(n);
-  const auto& xv = x.data();
-  ParallelFor(0, n, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      int64_t src = MapOffset(i, out_shape, out_strides, perm_strides);
-      out[static_cast<size_t>(i)] = xv[static_cast<size_t>(src)];
-    }
-  });
+  auto kernel = [n, out_shape, out_strides,
+                 perm_strides](const float* xp, float* op) {
+    ParallelFor(0, n, kElemGrain / 4, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        op[i] = xp[MapOffset(i, out_shape, out_strides, perm_strides)];
+      }
+    });
+  };
+  kernel(x.data().data(), out.data());
   Tensor tx = x;
   auto backward = [tx, out_shape, out_strides,
                    perm_strides](internal::TensorImpl& node) mutable {
@@ -404,8 +440,15 @@ Tensor Transpose(const Tensor& x, int d0, int d1) {
       }
     });
   };
-  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor Reshape(const Tensor& x, std::vector<int> shape) {
@@ -430,10 +473,18 @@ Tensor Reshape(const Tensor& x, std::vector<int> shape) {
     auto& gx = tx.grad();
     for (size_t i = 0; i < node.grad.size(); ++i) gx[i] += node.grad[i];
   };
-  std::vector<float> out = BufferPool::Global().Acquire(x.numel());
+  const int64_t n = x.numel();
+  std::vector<float> out = BufferPool::Global().Acquire(n);
   std::copy(x.data().begin(), x.data().end(), out.begin());
-  return Tensor::MakeFromOp(std::move(shape), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(std::move(shape), std::move(out), {x},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([n, ix, io](float* const* bufs) {
+      std::copy(bufs[ix], bufs[ix] + n, bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int axis) {
@@ -458,16 +509,24 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
   std::vector<float> out = BufferPool::Global().Acquire(NumElements(out_shape));
   std::vector<int> axis_sizes;
   for (const Tensor& p : parts) axis_sizes.push_back(p.dim(axis));
-  for (int64_t o = 0; o < outer; ++o) {
-    int64_t dst_axis_off = 0;
-    for (size_t pi = 0; pi < parts.size(); ++pi) {
-      const auto& pv = parts[pi].data();
-      int an = axis_sizes[pi];
-      const float* src = pv.data() + o * an * inner;
-      float* dst = out.data() + (o * total_axis + dst_axis_off) * inner;
-      std::copy(src, src + an * inner, dst);
-      dst_axis_off += an;
+  auto kernel = [outer, inner, total_axis,
+                 axis_sizes](const float* const* srcs, size_t num_parts,
+                             float* op) {
+    for (int64_t o = 0; o < outer; ++o) {
+      int64_t dst_axis_off = 0;
+      for (size_t pi = 0; pi < num_parts; ++pi) {
+        int an = axis_sizes[pi];
+        const float* src = srcs[pi] + o * an * inner;
+        float* dst = op + (o * total_axis + dst_axis_off) * inner;
+        std::copy(src, src + an * inner, dst);
+        dst_axis_off += an;
+      }
     }
+  };
+  {
+    std::vector<const float*> srcs;
+    for (const Tensor& p : parts) srcs.push_back(p.data().data());
+    kernel(srcs.data(), srcs.size(), out.data());
   }
   std::vector<Tensor> parents = parts;
   auto backward = [parents, axis_sizes, outer, inner,
@@ -487,8 +546,21 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
       }
     }
   };
-  return Tensor::MakeFromOp(std::move(out_shape), std::move(out),
-                            std::move(parents), std::move(backward));
+  Tensor result = Tensor::MakeFromOp(std::move(out_shape), std::move(out),
+                                     std::move(parents), std::move(backward));
+  if (plan::Recording()) {
+    std::vector<int> part_slots;
+    for (const Tensor& p : parts) part_slots.push_back(plan::In(p));
+    const int io = plan::Out(result);
+    plan::Commit([kernel, part_slots, io](float* const* bufs) {
+      std::vector<const float*> srcs(part_slots.size());
+      for (size_t pi = 0; pi < part_slots.size(); ++pi) {
+        srcs[pi] = bufs[part_slots[static_cast<size_t>(pi)]];
+      }
+      kernel(srcs.data(), srcs.size(), bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor Slice(const Tensor& x, int axis, int start, int length) {
@@ -506,12 +578,14 @@ Tensor Slice(const Tensor& x, int axis, int start, int length) {
   for (int d = 0; d < axis; ++d) outer *= x.dim(d);
   for (int d = axis + 1; d < nd; ++d) inner *= x.dim(d);
   std::vector<float> out = BufferPool::Global().Acquire(NumElements(out_shape));
-  const auto& xv = x.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* src = xv.data() + (o * an + start) * inner;
-    float* dst = out.data() + o * length * inner;
-    std::copy(src, src + static_cast<int64_t>(length) * inner, dst);
-  }
+  auto kernel = [outer, inner, an, start, length](const float* xp, float* op) {
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = xp + (o * an + start) * inner;
+      float* dst = op + o * length * inner;
+      std::copy(src, src + static_cast<int64_t>(length) * inner, dst);
+    }
+  };
+  kernel(x.data().data(), out.data());
   Tensor tx = x;
   auto backward = [tx, outer, inner, an, start,
                    length](internal::TensorImpl& node) mutable {
@@ -524,8 +598,15 @@ Tensor Slice(const Tensor& x, int axis, int start, int length) {
       }
     }
   };
-  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor IndexSelect(const Tensor& x, int axis, const std::vector<int>& indices) {
@@ -544,17 +625,19 @@ Tensor IndexSelect(const Tensor& x, int axis, const std::vector<int>& indices) {
   for (int d = 0; d < axis; ++d) outer *= x.dim(d);
   for (int d = axis + 1; d < nd; ++d) inner *= x.dim(d);
   std::vector<float> out = BufferPool::Global().Acquire(NumElements(out_shape));
-  const auto& xv = x.data();
   int64_t k = static_cast<int64_t>(indices.size());
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t j = 0; j < k; ++j) {
-      const float* src = xv.data() + (o * an + indices[static_cast<size_t>(j)]) * inner;
-      float* dst = out.data() + (o * k + j) * inner;
-      std::copy(src, src + inner, dst);
-    }
-  }
-  Tensor tx = x;
   std::vector<int> idx = indices;
+  auto kernel = [outer, inner, an, k, idx](const float* xp, float* op) {
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t j = 0; j < k; ++j) {
+        const float* src = xp + (o * an + idx[static_cast<size_t>(j)]) * inner;
+        float* dst = op + (o * k + j) * inner;
+        std::copy(src, src + inner, dst);
+      }
+    }
+  };
+  kernel(x.data().data(), out.data());
+  Tensor tx = x;
   auto backward = [tx, idx, outer, inner, an,
                    k](internal::TensorImpl& node) mutable {
     auto& gx = tx.grad();
@@ -566,8 +649,15 @@ Tensor IndexSelect(const Tensor& x, int axis, const std::vector<int>& indices) {
       }
     }
   };
-  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 namespace {
@@ -601,17 +691,21 @@ Tensor Sum(const Tensor& x, int axis, bool keepdim) {
     }
   }
   if (out_shape.empty()) out_shape.push_back(1);
-  std::vector<float> out = BufferPool::Global().AcquireZeroed(outer * inner);
-  const auto& xv = x.data();
-  ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
-    for (int64_t o = o0; o < o1; ++o) {
-      for (int64_t j = 0; j < n; ++j) {
-        const float* src = xv.data() + (o * n + j) * inner;
-        float* dst = out.data() + o * inner;
-        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+  std::vector<float> out = BufferPool::Global().Acquire(outer * inner);
+  // Zero-fill inside the kernel so replay accumulates from zero too.
+  auto kernel = [outer, n, inner](const float* xp, float* op) {
+    std::fill(op, op + outer * inner, 0.0f);
+    ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        for (int64_t j = 0; j < n; ++j) {
+          const float* src = xp + (o * n + j) * inner;
+          float* dst = op + o * inner;
+          for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+        }
       }
-    }
-  });
+    });
+  };
+  kernel(x.data().data(), out.data());
   Tensor tx = x;
   auto backward = [tx, outer, n, inner](internal::TensorImpl& node) mutable {
     auto& gx = tx.grad();
@@ -625,8 +719,15 @@ Tensor Sum(const Tensor& x, int axis, bool keepdim) {
       }
     });
   };
-  return Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(std::move(out_shape), std::move(out), {x},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor Mean(const Tensor& x, int axis, bool keepdim) {
@@ -636,15 +737,29 @@ Tensor Mean(const Tensor& x, int axis, bool keepdim) {
 }
 
 Tensor SumAll(const Tensor& x) {
+  const int64_t n = x.numel();
+  // Serial fold in flat index order (thread-count invariant by construction).
+  auto kernel = [n](const float* xp, float* op) {
+    float total = 0.0f;
+    for (int64_t i = 0; i < n; ++i) total += xp[i];
+    op[0] = total;
+  };
   float total = 0.0f;
-  for (float v : x.data()) total += v;
+  kernel(x.data().data(), &total);
   Tensor tx = x;
   auto backward = [tx](internal::TensorImpl& node) mutable {
     auto& gx = tx.grad();
     float g = node.grad[0];
     for (auto& v : gx) v += g;
   };
-  return Tensor::MakeFromOp({1}, {total}, {x}, std::move(backward));
+  Tensor result = Tensor::MakeFromOp({1}, {total}, {x}, std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor MeanAll(const Tensor& x) {
@@ -656,26 +771,27 @@ Tensor Softmax(const Tensor& x, int axis) {
   int64_t outer, n, inner;
   AxisGeometry(x, &ax, &outer, &n, &inner);
   std::vector<float> out = BufferPool::Global().Acquire(x.numel());
-  const float* xp = x.data().data();
-  float* op = out.data();
-  ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
-    for (int64_t o = o0; o < o1; ++o) {
-      for (int64_t i = 0; i < inner; ++i) {
-        const int64_t base = o * n * inner + i;
-        float mx = -std::numeric_limits<float>::infinity();
-        for (int64_t j = 0; j < n; ++j) {
-          mx = std::max(mx, xp[base + j * inner]);
+  auto kernel = [outer, n, inner](const float* xp, float* op) {
+    ParallelFor(0, outer, GrainFor(n * inner), [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        for (int64_t i = 0; i < inner; ++i) {
+          const int64_t base = o * n * inner + i;
+          float mx = -std::numeric_limits<float>::infinity();
+          for (int64_t j = 0; j < n; ++j) {
+            mx = std::max(mx, xp[base + j * inner]);
+          }
+          float denom = 0.0f;
+          for (int64_t j = 0; j < n; ++j) {
+            const int64_t idx = base + j * inner;
+            op[idx] = std::exp(xp[idx] - mx);
+            denom += op[idx];
+          }
+          for (int64_t j = 0; j < n; ++j) op[base + j * inner] /= denom;
         }
-        float denom = 0.0f;
-        for (int64_t j = 0; j < n; ++j) {
-          const int64_t idx = base + j * inner;
-          op[idx] = std::exp(xp[idx] - mx);
-          denom += op[idx];
-        }
-        for (int64_t j = 0; j < n; ++j) op[base + j * inner] /= denom;
       }
-    }
-  });
+    });
+  };
+  kernel(x.data().data(), out.data());
   Tensor tx = x;
   auto backward = [tx, outer, n, inner](internal::TensorImpl& node) mutable {
     float* gx = tx.grad().data();
@@ -700,8 +816,15 @@ Tensor Softmax(const Tensor& x, int axis) {
       }
     });
   };
-  return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(x.shape(), std::move(out), {x},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
@@ -717,39 +840,44 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
     CHECK_EQ(b.dim(0), c_out);
   }
   std::vector<int> out_shape = {rows, t_len, c_out};
-  // With a bias every output slot is overwritten by the bias row before any
-  // accumulation; without one the kernel accumulates from zero.
-  std::vector<float> out =
-      b.defined() ? BufferPool::Global().Acquire(NumElements(out_shape))
-                  : BufferPool::Global().AcquireZeroed(NumElements(out_shape));
-  const auto& xv = x.data();
-  const auto& wv = w.data();
+  std::vector<float> out = BufferPool::Global().Acquire(NumElements(out_shape));
+  const bool has_bias = b.defined();
   const int64_t conv_row_work =
       static_cast<int64_t>(t_len) * kernel * c_in * c_out;
-  ParallelFor(0, rows, GrainFor(conv_row_work), [&](int64_t r0, int64_t r1) {
-  for (int r = static_cast<int>(r0); r < r1; ++r) {
-    for (int t = 0; t < t_len; ++t) {
-      float* dst = out.data() + (static_cast<int64_t>(r) * t_len + t) * c_out;
-      if (b.defined()) {
-        const auto& bv = b.data();
-        for (int o = 0; o < c_out; ++o) dst[o] = bv[static_cast<size_t>(o)];
-      }
-      for (int k = 0; k < kernel; ++k) {
-        int tau = t - k * dilation;
-        if (tau < 0) continue;
-        const float* src =
-            xv.data() + (static_cast<int64_t>(r) * t_len + tau) * c_in;
-        const float* wk = wv.data() + static_cast<int64_t>(k) * c_in * c_out;
-        for (int ci = 0; ci < c_in; ++ci) {
-          float sv = src[ci];
-          if (sv == 0.0f) continue;
-          const float* wrow = wk + static_cast<int64_t>(ci) * c_out;
-          for (int o = 0; o < c_out; ++o) dst[o] += sv * wrow[o];
+  // With a bias every output slot is overwritten by the bias row before any
+  // accumulation; without one the kernel zero-fills first so replay
+  // accumulates from zero too. `bp` is null iff has_bias is false.
+  auto fwd_kernel = [rows, t_len, c_in, kernel, c_out, dilation, has_bias,
+                     conv_row_work](const float* xp, const float* wp,
+                                    const float* bp, float* op) {
+    if (!has_bias) {
+      std::fill(op, op + static_cast<int64_t>(rows) * t_len * c_out, 0.0f);
+    }
+    ParallelFor(0, rows, GrainFor(conv_row_work), [&](int64_t r0, int64_t r1) {
+      for (int r = static_cast<int>(r0); r < r1; ++r) {
+        for (int t = 0; t < t_len; ++t) {
+          float* dst = op + (static_cast<int64_t>(r) * t_len + t) * c_out;
+          if (has_bias) {
+            for (int o = 0; o < c_out; ++o) dst[o] = bp[o];
+          }
+          for (int k = 0; k < kernel; ++k) {
+            int tau = t - k * dilation;
+            if (tau < 0) continue;
+            const float* src = xp + (static_cast<int64_t>(r) * t_len + tau) * c_in;
+            const float* wk = wp + static_cast<int64_t>(k) * c_in * c_out;
+            for (int ci = 0; ci < c_in; ++ci) {
+              float sv = src[ci];
+              if (sv == 0.0f) continue;
+              const float* wrow = wk + static_cast<int64_t>(ci) * c_out;
+              for (int o = 0; o < c_out; ++o) dst[o] += sv * wrow[o];
+            }
+          }
         }
       }
-    }
-  }
-  });
+    });
+  };
+  fwd_kernel(x.data().data(), w.data().data(),
+             has_bias ? b.data().data() : nullptr, out.data());
   Tensor tx = x, tw = w, tb = b;
   std::vector<Tensor> parents = {x, w};
   if (b.defined()) parents.push_back(b);
@@ -854,8 +982,17 @@ Tensor CausalConv1d(const Tensor& x, const Tensor& w, const Tensor& b,
       }
     }
   };
-  return Tensor::MakeFromOp(std::move(out_shape), std::move(out),
-                            std::move(parents), std::move(backward));
+  Tensor result = Tensor::MakeFromOp(std::move(out_shape), std::move(out),
+                                     std::move(parents), std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), iw = plan::In(w);
+    const int ib = has_bias ? plan::In(b) : -1;
+    const int io = plan::Out(result);
+    plan::Commit([fwd_kernel, ix, iw, ib, io](float* const* bufs) {
+      fwd_kernel(bufs[ix], bufs[iw], ib >= 0 ? bufs[ib] : nullptr, bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
@@ -866,21 +1003,39 @@ Tensor Dropout(const Tensor& x, float p, Rng* rng, bool training) {
   if (!training || p <= 0.0f) return x;
   CHECK_LT(p, 1.0f);
   float scale = 1.0f / (1.0f - p);
-  std::vector<float> mask(x.data().size());
-  for (auto& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
+  const size_t n = x.data().size();
+  // The mask lives behind a shared_ptr so the replay thunk and the backward
+  // closure observe the same draw: on every replay the thunk re-rolls the
+  // mask from the SAME Rng in the same element order an eager step would
+  // (the RNG stream stays bit-identical to eager execution), and the
+  // retained backward closure reads the refreshed values through the
+  // pointer instead of a frozen copy.
+  auto mask = std::make_shared<std::vector<float>>(n);
+  auto kernel = [mask, n, p, scale, rng](const float* xp, float* op) {
+    float* mp = mask->data();
+    for (size_t i = 0; i < n; ++i) mp[i] = rng->Bernoulli(p) ? 0.0f : scale;
+    for (size_t i = 0; i < n; ++i) op[i] = xp[i] * mp[i];
+  };
   std::vector<float> out =
-      BufferPool::Global().Acquire(static_cast<int64_t>(x.data().size()));
-  const auto& xv = x.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = xv[i] * mask[i];
+      BufferPool::Global().Acquire(static_cast<int64_t>(n));
+  kernel(x.data().data(), out.data());
   Tensor tx = x;
   auto backward = [tx, mask](internal::TensorImpl& node) mutable {
     auto& gx = tx.grad();
+    const float* mp = mask->data();
     for (size_t i = 0; i < node.grad.size(); ++i) {
-      gx[i] += node.grad[i] * mask[i];
+      gx[i] += node.grad[i] * mp[i];
     }
   };
-  return Tensor::MakeFromOp(x.shape(), std::move(out), {x},
-                            std::move(backward));
+  Tensor result = Tensor::MakeFromOp(x.shape(), std::move(out), {x},
+                                     std::move(backward));
+  if (plan::Recording()) {
+    const int ix = plan::In(x), io = plan::Out(result);
+    plan::Commit([kernel, ix, io](float* const* bufs) {
+      kernel(bufs[ix], bufs[io]);
+    });
+  }
+  return result;
 }
 
 Tensor MaeLoss(const Tensor& pred, const Tensor& target) {

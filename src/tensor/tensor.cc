@@ -7,12 +7,21 @@
 #include <utility>
 
 #include "tensor/buffer_pool.h"
+#include "tensor/plan.h"
 
 namespace autocts {
+
+namespace {
+/// Live tape nodes created on this thread; see LiveTapeNodesThisThread().
+thread_local uint64_t t_live_tape_nodes = 0;
+/// NoGradScope nesting depth on this thread.
+thread_local int t_no_grad_depth = 0;
+}  // namespace
 
 namespace internal {
 
 TensorImpl::~TensorImpl() {
+  if (backward) --t_live_tape_nodes;
   BufferPool& pool = BufferPool::Global();
   pool.Release(std::move(data));
   pool.Release(std::move(grad));
@@ -195,11 +204,18 @@ void Tensor::Backward() {
   // Seed this node's gradient with ones and run closures root-to-leaf.
   impl_->EnsureGrad();
   std::fill(impl_->grad.begin(), impl_->grad.end(), 1.0f);
+  // While a StepPlan is capturing, the exact invocation order of the
+  // closures is recorded once; Replay() re-runs the same closures in the
+  // same order without re-deriving it. The DFS order is structural (shapes
+  // and graph topology only), so one recording is valid for every replay.
+  const bool recording = plan::Recording();
+  if (recording) plan::detail::NoteBackwardBegin(impl_.get());
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     internal::TensorImpl* node = *it;
     if (node->backward) {
       node->EnsureGrad();
       node->backward(*node);
+      if (recording) plan::detail::NoteBackwardNode(node);
     }
   }
 }
@@ -224,7 +240,10 @@ void Tensor::ReleaseTape() {
   }
   for (const auto& node : refs) {
     node->parents.clear();
-    node->backward = nullptr;
+    if (node->backward) {
+      --t_live_tape_nodes;
+      node->backward = nullptr;
+    }
   }
 }
 
@@ -280,6 +299,14 @@ uint64_t TapeNodesCreated() {
   return g_tape_nodes_created.load(std::memory_order_relaxed);
 }
 
+uint64_t LiveTapeNodesThisThread() { return t_live_tape_nodes; }
+
+NoGradScope::NoGradScope() { ++t_no_grad_depth; }
+
+NoGradScope::~NoGradScope() { --t_no_grad_depth; }
+
+bool GradTapeEnabled() { return t_no_grad_depth == 0; }
+
 Tensor Tensor::MakeFromOp(std::vector<int> shape, std::vector<float> data,
                           std::vector<Tensor> parents,
                           std::function<void(internal::TensorImpl&)> backward) {
@@ -288,13 +315,20 @@ Tensor Tensor::MakeFromOp(std::vector<int> shape, std::vector<float> data,
     CHECK(p.defined());
     if (p.requires_grad() || p.impl()->backward) any_grad = true;
   }
+  if (t_no_grad_depth > 0) any_grad = false;
   auto impl = NewImpl(std::move(shape), std::move(data), any_grad);
   if (any_grad) {
     impl->parents = std::move(parents);
     impl->backward = std::move(backward);
     g_tape_nodes_created.fetch_add(1, std::memory_order_relaxed);
+    ++t_live_tape_nodes;
   }
-  return Tensor(std::move(impl));
+  Tensor out(std::move(impl));
+  // Every op output born during a capture must be bound to the recording
+  // plan by its op site (plan::Out); EndCapture cross-checks this set so an
+  // uninstrumented op poisons the capture instead of replaying garbage.
+  if (plan::Recording()) plan::detail::NoteNodeCreated(out);
+  return out;
 }
 
 }  // namespace autocts

@@ -113,12 +113,34 @@ class Tensor {
 
   internal::TensorImpl* impl() const { return impl_.get(); }
 
+  /// Number of Tensor handles sharing this storage (0 for undefined).
+  /// StepPlan uses this at freeze time to prove an intermediate has no
+  /// outside observers before aliasing its buffer into the replay arena.
+  long use_count() const { return impl_.use_count(); }
+
  private:
   explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
       : impl_(std::move(impl)) {}
 
   std::shared_ptr<internal::TensorImpl> impl_;
 };
+
+/// RAII scope that disables autograd taping on the current thread: while one
+/// is alive, MakeFromOp drops parents/backward and returns constant leaves
+/// even when inputs require grad (the torch.no_grad() idiom). Used by
+/// inference paths — evaluation and comparator search — so forward passes
+/// build no graph; forward values are unchanged. Scopes nest.
+class NoGradScope {
+ public:
+  NoGradScope();
+  ~NoGradScope();
+
+  NoGradScope(const NoGradScope&) = delete;
+  NoGradScope& operator=(const NoGradScope&) = delete;
+};
+
+/// False while a NoGradScope is alive on this thread.
+bool GradTapeEnabled();
 
 namespace internal {
 
@@ -154,6 +176,15 @@ struct TensorImpl {
 /// Monotonic and thread-safe — diff across a training step to measure the
 /// step's tape size, as the fused-kernel benchmark does.
 uint64_t TapeNodesCreated();
+
+/// Number of tape nodes currently alive that were created on this thread
+/// (created minus released/destroyed). By repo convention every training
+/// step ends with ReleaseTape(), so this is zero between steps; StepPlan
+/// capture asserts on it (debug builds) so a capture can never silently pin
+/// a stale graph left over from an unreleased step. Per-thread because
+/// graphs are built and torn down on the thread that trains the model (a
+/// node released on a different thread would skew a global counter).
+uint64_t LiveTapeNodesThisThread();
 
 /// Number of elements implied by a shape.
 int64_t NumElements(const std::vector<int>& shape);
