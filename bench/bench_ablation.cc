@@ -10,11 +10,20 @@
 // distinct checkpoint tag) and then zero-shot searches on every target
 // dataset under all four forecasting settings: P-12/Q-12 (Table 9),
 // P-24/Q-24 (Table 10), P-48/Q-48 (Table 11), P-168/Q-1 3rd (Table 12).
+//
+// PR 6 adds a comparator-precision ablation: pairwise rank agreement of
+// the quantized bf16/int8 CompareLogits path vs fp32, measured on the full
+// variant's pre-trained T-AHC with a real task embedding (the regime the
+// ≥99% acceptance bar is defined in).
+#include <algorithm>
 #include <iostream>
 #include <map>
+#include <numeric>
 
 #include "bench/harness.h"
 #include "common/table.h"
+#include "comparator/quant.h"
+#include "tensor/ops.h"
 
 namespace autocts {
 namespace bench {
@@ -44,6 +53,77 @@ AutoCtsOptions VariantOptions(const BenchEnv& env, const std::string& name) {
   return opts;
 }
 
+/// Rank agreement of quantized comparator inference vs fp32, on the full
+/// framework's pre-trained comparator: every ordered pair over `count`
+/// sampled candidates, scored through the fp32 tensor path and through
+/// QuantizedComparator at each reduced precision. Reports the fraction of
+/// agreeing pairwise verdicts and whether the top win-count candidate
+/// matches — the quantities that decide whether AUTOCTS_COMPARATOR_PRECISION
+/// is safe to flip during zero-shot search.
+void PrecisionAblation(AutoCtsPlusPlus* framework, const BenchEnv& env) {
+  Comparator* comp = framework->comparator();
+  comp->SetTraining(false);
+  const bool task_aware = comp->options().task_aware;
+  Tensor task_vec;
+  if (task_aware) {
+    ForecastTask task = MakeTargetTask("PEMS-BAY", 12, 12, false, env.scale);
+    task_vec = Reshape(framework->EmbedTask(task), {1, comp->options().f2});
+  }
+  Rng rng(41);
+  constexpr int kCount = 20;
+  std::vector<ArchHyperEncoding> encs;
+  for (int i = 0; i < kCount; ++i) {
+    encs.push_back(EncodeArchHyper(framework->space().Sample(&rng)));
+  }
+
+  std::cout << "\n=== Comparator-precision ablation (quantized inference) "
+               "===\n";
+  TextTable table({"Precision", "Pairs", "Rank agreement", "Top-1 match"});
+  NoGradScope no_grad;
+  for (ComparatorPrecision precision :
+       {ComparatorPrecision::kBf16, ComparatorPrecision::kInt8}) {
+    QuantizedComparator quant(*comp, precision);
+    int agree = 0, total = 0;
+    std::vector<int> wins_fp32(kCount, 0), wins_quant(kCount, 0);
+    for (int i = 0; i < kCount; ++i) {
+      std::vector<ArchHyperEncoding> first, second;
+      for (int j = 0; j < kCount; ++j) {
+        if (j == i) continue;
+        first.push_back(encs[static_cast<size_t>(i)]);
+        second.push_back(encs[static_cast<size_t>(j)]);
+      }
+      const int m = static_cast<int>(first.size());
+      EncodingBatch b1 = StackEncodings(first);
+      EncodingBatch b2 = StackEncodings(second);
+      Tensor te;
+      if (task_aware) {
+        std::vector<Tensor> rows(static_cast<size_t>(m), task_vec);
+        te = Concat(rows, 0);
+      }
+      Tensor ref = comp->CompareLogits(b1, b2, te);
+      std::vector<float> got = quant.CompareLogits(b1, b2, te);
+      for (int r = 0; r < m; ++r) {
+        const bool ref_win = ref.at(r) >= 0.0f;
+        const bool got_win = got[static_cast<size_t>(r)] >= 0.0f;
+        agree += ref_win == got_win ? 1 : 0;
+        ++total;
+        if (ref_win) ++wins_fp32[static_cast<size_t>(i)];
+        if (got_win) ++wins_quant[static_cast<size_t>(i)];
+      }
+    }
+    auto top1 = [](const std::vector<int>& wins) {
+      return static_cast<int>(std::distance(
+          wins.begin(), std::max_element(wins.begin(), wins.end())));
+    };
+    table.AddRow({ComparatorPrecisionName(precision), std::to_string(total),
+                  TextTable::Num(static_cast<double>(agree) / total, 4),
+                  top1(wins_fp32) == top1(wins_quant) ? "yes" : "NO"});
+  }
+  std::cout << table.ToString()
+            << "(acceptance: agreement >= 0.99 with identical top-K; "
+               "enforced per-seed by tests/comparator_quant_test.cc)\n";
+}
+
 void Run() {
   BenchEnv env = BenchEnv::FromEnv();
   std::vector<Variant> variants = {
@@ -60,6 +140,7 @@ void Run() {
     frameworks[v.name] =
         PretrainedFramework(lean_env, VariantOptions(env, v.name), v.tag);
   }
+  PrecisionAblation(frameworks["AutoCTS++"].get(), env);
 
   struct Setting {
     const char* table;

@@ -7,7 +7,9 @@
 // writes BENCH_PR2.json (kernel throughput, buffer-pool hit rate, and
 // allocations per training step), BENCH_PR3.json (fused vs op-graph
 // ST-block A/B), and BENCH_PR4.json (guardrails armed vs disarmed, with
-// the <2% overhead budget) for CI to archive. AUTOCTS_BENCH_ITERS sets
+// the <2% overhead budget), BENCH_PR5.json (step-plan replay vs eager), and
+// BENCH_PR6.json (per-backend GEMM throughput and the quantized-vs-fp32
+// comparator ranking A/B) for CI to archive. AUTOCTS_BENCH_ITERS sets
 // the iteration count (default 5; CI smoke uses 2).
 #include <benchmark/benchmark.h>
 
@@ -21,7 +23,9 @@
 #include "bench/harness.h"
 #include "common/guard.h"
 #include "common/parallel.h"
+#include "common/runtime_stats.h"
 #include "comparator/comparator.h"
+#include "comparator/quant.h"
 #include "data/synthetic.h"
 #include "model/operators.h"
 #include "model/trainer.h"
@@ -30,6 +34,7 @@
 #include "search/evolutionary.h"
 #include "searchspace/parse.h"
 #include "supernet/supernet.h"
+#include "tensor/backend.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/fused.h"
 #include "tensor/ops.h"
@@ -697,6 +702,174 @@ void AppendPlanInferRecords(int reps,
   plan::SetPlansEnabled(saved);
 }
 
+// ---- Backend dispatch & quantized comparator (BENCH_PR6.json) -------------
+
+/// Per-backend blocked-GEMM throughput: the same 512^3 MatMul as the PR-2
+/// record, once per compiled-in, CPU-supported kernel backend. Every
+/// backend produces bit-identical output (tests/backend_test.cc), so the
+/// only difference the JSON can show is GFLOP/s.
+void AppendBackendMatMulRecords(int iters,
+                                std::vector<bench::MicroBenchRecord>* records) {
+  constexpr int kN = 512;
+  const double flop = 2.0 * kN * kN * kN;
+  Rng rng(23);
+  Tensor a = Tensor::Randn({kN, kN}, &rng);
+  Tensor b = Tensor::Randn({kN, kN}, &rng);
+  const std::string original = kernels::ActiveBackend().name;
+  for (const kernels::Backend* backend : kernels::AvailableBackends()) {
+    if (!kernels::SetActiveBackend(backend->name)) continue;
+    for (int threads : {1, 4}) {
+      ThreadPool pool(threads);
+      ExecScope scope(ExecContext{&pool, 0});
+      double ns = MeanNs(iters, [&] {
+        benchmark::DoNotOptimize(MatMul(a, b).data().data());
+      });
+      bench::MicroBenchRecord rec;
+      rec.op = "matmul_blocked_512_backend";
+      rec.backend = backend->name;
+      rec.threads = threads;
+      rec.gflops = flop / ns;
+      rec.ns_per_iter = ns;
+      records->push_back(rec);
+    }
+  }
+  kernels::SetActiveBackend(original);
+}
+
+/// Trains the comparator to rank a synthetic total order, so the quantized
+/// A/B below measures rank agreement on learned logit margins — the regime
+/// zero-shot ranking actually runs in (a random-init comparator emits
+/// near-zero logits whose signs are numerical noise; see
+/// tests/comparator_quant_test.cc for the same setup).
+void TrainComparatorOnSyntheticOrder(Comparator* comp, int steps,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  JointSearchSpace space;
+  constexpr int kPool = 24;
+  constexpr int kBatch = 16;
+  std::vector<ArchHyperEncoding> encs;
+  std::vector<float> score;
+  for (int i = 0; i < kPool; ++i) {
+    encs.push_back(EncodeArchHyper(space.Sample(&rng)));
+    score.push_back(rng.Normal(0.0f, 1.0f));
+  }
+  comp->SetTraining(true);
+  Adam adam(comp->Parameters(), {});
+  for (int s = 0; s < steps; ++s) {
+    std::vector<ArchHyperEncoding> first, second;
+    std::vector<float> target;
+    for (int bi = 0; bi < kBatch; ++bi) {
+      const int i = rng.Int(0, kPool - 1);
+      int j = rng.Int(0, kPool - 2);
+      if (j >= i) ++j;
+      first.push_back(encs[static_cast<size_t>(i)]);
+      second.push_back(encs[static_cast<size_t>(j)]);
+      target.push_back(score[static_cast<size_t>(i)] >=
+                               score[static_cast<size_t>(j)]
+                           ? 1.0f
+                           : 0.0f);
+    }
+    adam.ZeroGrad();
+    Tensor loss = BceLoss(
+        Sigmoid(comp->CompareLogits(StackEncodings(first),
+                                    StackEncodings(second), Tensor())),
+        Tensor::FromVector({kBatch}, std::move(target)));
+    loss.Backward();
+    adam.Step();
+    loss.ReleaseTape();
+  }
+  comp->SetTraining(false);
+}
+
+/// Quantized-vs-fp32 comparator ranking A/B: an eval-mode 64-pair
+/// CompareLogits batch through the fp32 tensor path vs the off-tape
+/// bf16/int8 path (comparator/quant.h), paired per repetition so
+/// frequency-scaling drift cancels. Each quantized record carries the
+/// active kernel backend and the pairwise rank agreement vs fp32 over the
+/// measured batch. CI gates on speedup_median >= 1.2 when the backend is
+/// AVX2-class; the >= 0.99 agreement bar is enforced by
+/// tests/comparator_quant_test.cc (the batch here pairs unseen candidates,
+/// so the archived agreement is informational).
+void AppendQuantCompareRecords(int reps,
+                               std::vector<bench::MicroBenchRecord>* records) {
+  ThreadPool pool(1);
+  ExecScope scope(ExecContext{&pool, 0});
+  Rng rng(29);
+  Comparator::Options opts;
+  opts.task_aware = false;
+  Comparator comp(opts, 6);
+  TrainComparatorOnSyntheticOrder(&comp, /*steps=*/60, /*seed=*/31);
+  JointSearchSpace space;
+  constexpr int kPairs = 64;
+  std::vector<ArchHyperEncoding> first, second;
+  for (int i = 0; i < kPairs; ++i) {
+    first.push_back(EncodeArchHyper(space.Sample(&rng)));
+    second.push_back(EncodeArchHyper(space.Sample(&rng)));
+  }
+  EncodingBatch b1 = StackEncodings(first);
+  EncodingBatch b2 = StackEncodings(second);
+  NoGradScope no_grad;
+  std::vector<float> fp32_logits(comp.CompareLogits(b1, b2, Tensor()).data());
+  auto fp32_leg = [&] {
+    benchmark::DoNotOptimize(
+        comp.CompareLogits(b1, b2, Tensor()).data().data());
+  };
+  for (int i = 0; i < 2; ++i) fp32_leg();
+  const std::string backend = kernels::ActiveBackend().name;
+  for (ComparatorPrecision precision :
+       {ComparatorPrecision::kBf16, ComparatorPrecision::kInt8}) {
+    const char* tag = ComparatorPrecisionName(precision);
+    QuantizedComparator quant(comp, precision);
+    std::vector<float> quant_logits = quant.CompareLogits(b1, b2, Tensor());
+    int agree = 0;
+    for (int i = 0; i < kPairs; ++i) {
+      agree += (fp32_logits[static_cast<size_t>(i)] >= 0.0f) ==
+                       (quant_logits[static_cast<size_t>(i)] >= 0.0f)
+                   ? 1
+                   : 0;
+    }
+    const double agreement = static_cast<double>(agree) / kPairs;
+    auto quant_leg = [&] {
+      benchmark::DoNotOptimize(quant.CompareLogits(b1, b2, Tensor()).data());
+    };
+    for (int i = 0; i < 2; ++i) quant_leg();
+    std::vector<double> fp32_ns(static_cast<size_t>(reps));
+    std::vector<double> quant_ns(static_cast<size_t>(reps));
+    std::vector<double> speedups(static_cast<size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+      if (i % 2 == 0) {
+        fp32_ns[static_cast<size_t>(i)] = OnceNs(fp32_leg);
+        quant_ns[static_cast<size_t>(i)] = OnceNs(quant_leg);
+      } else {
+        quant_ns[static_cast<size_t>(i)] = OnceNs(quant_leg);
+        fp32_ns[static_cast<size_t>(i)] = OnceNs(fp32_leg);
+      }
+      speedups[static_cast<size_t>(i)] =
+          fp32_ns[static_cast<size_t>(i)] / quant_ns[static_cast<size_t>(i)];
+    }
+    bench::MicroBenchRecord rec;
+    rec.threads = 1;
+    rec.backend = backend;
+    rec.op = std::string("compare_logits_b64_fp32_vs_") + tag;
+    rec.ns_per_iter = MedianOf(fp32_ns);
+    records->push_back(rec);
+    rec.op = std::string("compare_logits_b64_") + tag;
+    rec.ns_per_iter = MedianOf(quant_ns);
+    rec.rank_agreement = agreement;
+    records->push_back(rec);
+    bench::MicroBenchRecord sp;
+    sp.threads = 1;
+    sp.backend = backend;
+    sp.op = std::string("compare_logits_b64_") + tag + "_quant_speedup";
+    sp.ns_per_iter = MedianOf(fp32_ns) - MedianOf(quant_ns);
+    sp.speedup_min = *std::min_element(speedups.begin(), speedups.end());
+    sp.speedup_median = MedianOf(speedups);
+    sp.speedup_max = *std::max_element(speedups.begin(), speedups.end());
+    sp.rank_agreement = agreement;
+    records->push_back(sp);
+  }
+}
+
 }  // namespace
 
 void WriteMicroReport() {
@@ -724,6 +897,17 @@ void WriteMicroReport() {
   AppendPlanTrainRecords(std::max(iters, 5), &plan_records);
   AppendPlanInferRecords(std::max(iters, 5), &plan_records);
   bench::WriteBenchJson("BENCH_PR5.json", plan_records);
+  // Backend dispatch + quantized comparator A/B: the paired speedup needs a
+  // floor of 5 repetitions even under the CI smoke setting.
+  std::vector<bench::MicroBenchRecord> backend_records;
+  AppendBackendMatMulRecords(iters, &backend_records);
+  AppendQuantCompareRecords(std::max(iters, 5), &backend_records);
+  bench::WriteBenchJson("BENCH_PR6.json", backend_records);
+  // One RuntimeStats snapshot at the end of the run, through the same
+  // serializer as the reports — the per-backend kernel counters confirm
+  // which dispatch paths the benches above actually exercised.
+  std::cout << "[bench] runtime stats: " << RuntimeStats::Snapshot().ToJson()
+            << "\n";
 }
 
 }  // namespace autocts

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "baselines/registry.h"
+#include "common/jsonio.h"
 #include "common/table.h"
 #include "model/searched_model.h"
 
@@ -228,20 +229,27 @@ void WriteBenchJson(const std::string& path,
   out << "[\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const MicroBenchRecord& r = records[i];
-    out << "  {\"op\": \"" << r.op << "\", \"threads\": " << r.threads
-        << ", \"gflops\": " << r.gflops
-        << ", \"ns_per_iter\": " << r.ns_per_iter
-        << ", \"pool_hit_rate\": " << r.pool_hit_rate
-        << ", \"allocs_per_step\": " << r.allocs_per_step
-        << ", \"tape_nodes_per_step\": " << r.tape_nodes_per_step
-        << ", \"pool_roundtrips_per_step\": " << r.pool_roundtrips_per_step
-        << ", \"overhead_pct\": " << r.overhead_pct
-        << ", \"ns_min\": " << r.ns_min << ", \"ns_max\": " << r.ns_max
-        << ", \"speedup_min\": " << r.speedup_min
-        << ", \"speedup_median\": " << r.speedup_median
-        << ", \"speedup_max\": " << r.speedup_max
-        << ", \"arena_bytes\": " << r.arena_bytes << "}"
-        << (i + 1 < records.size() ? "," : "") << "\n";
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("op", r.op);
+    w.Field("threads", r.threads);
+    w.Field("gflops", r.gflops);
+    w.Field("ns_per_iter", r.ns_per_iter);
+    w.Field("pool_hit_rate", r.pool_hit_rate);
+    w.Field("allocs_per_step", r.allocs_per_step);
+    w.Field("tape_nodes_per_step", r.tape_nodes_per_step);
+    w.Field("pool_roundtrips_per_step", r.pool_roundtrips_per_step);
+    w.Field("overhead_pct", r.overhead_pct);
+    w.Field("ns_min", r.ns_min);
+    w.Field("ns_max", r.ns_max);
+    w.Field("speedup_min", r.speedup_min);
+    w.Field("speedup_median", r.speedup_median);
+    w.Field("speedup_max", r.speedup_max);
+    w.Field("arena_bytes", r.arena_bytes);
+    w.Field("backend", r.backend);
+    w.Field("rank_agreement", r.rank_agreement);
+    w.EndObject();
+    out << "  " << w.str() << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
   std::cout << "[bench] wrote " << path << " (" << records.size()

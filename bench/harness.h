@@ -108,6 +108,12 @@ struct MicroBenchRecord {
   double speedup_max = 0.0;
   /// Plan arena footprint (bytes) live during the timed run, if any.
   double arena_bytes = 0.0;
+  /// Kernel backend active during the measurement ("" when the op does not
+  /// dispatch through tensor/backend.h or the backend is irrelevant).
+  std::string backend;
+  /// For quantized-vs-fp32 comparator A/B records: fraction of pairwise
+  /// verdicts agreeing with fp32 over the measured sweep (0 if unmeasured).
+  double rank_agreement = 0.0;
 };
 
 /// Writes `records` to `path` as a JSON array of flat objects.

@@ -15,12 +15,19 @@
 //                autocts_cli eval --dataset Los-Loop --p 12 --q 12 \
 //                    --arch "B2C5H32I64U1d0|0-1:GDCC,0-2:DGCN,2-3:INF-T,3-4:INF-S"
 //   info       print search-space and dataset registry information.
+//   print-config
+//              print the process runtime configuration (every AUTOCTS_*
+//              knob, parsed once at startup) plus the resolved kernel
+//              backend, as one JSON object. `--print-config` also works.
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "common/jsonio.h"
+#include "common/runtime_config.h"
 #include "core/autocts.h"
+#include "tensor/backend.h"
 #include "data/csv_loader.h"
 #include "data/synthetic.h"
 #include "model/searched_model.h"
@@ -203,9 +210,30 @@ int Info() {
   return 0;
 }
 
+/// Dumps the startup RuntimeConfig plus the backend dispatch resolution
+/// (active + available) as one JSON object — the debugging entry point for
+/// "which knobs is this process actually running with?".
+int PrintConfig() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("config");
+  w.Raw(GlobalRuntimeConfig().ToJson());
+  w.Field("active_backend", std::string(kernels::ActiveBackend().name));
+  w.Key("available_backends");
+  w.BeginArray();
+  for (const kernels::Backend* b : kernels::AvailableBackends()) {
+    w.Value(b->name);
+  }
+  w.EndArray();
+  w.EndObject();
+  std::cout << w.str() << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: autocts_cli {pretrain|search|eval|info} [--flags]\n"
+    std::cerr << "usage: autocts_cli {pretrain|search|eval|info|print-config} "
+                 "[--flags]\n"
                  "see the header of examples/autocts_cli.cpp for details\n";
     return 2;
   }
@@ -215,6 +243,9 @@ int Main(int argc, char** argv) {
   if (command == "search") return Search(flags);
   if (command == "eval") return Eval(flags);
   if (command == "info") return Info();
+  if (command == "print-config" || command == "--print-config") {
+    return PrintConfig();
+  }
   std::cerr << "unknown command '" << command << "'\n";
   return 2;
 }

@@ -2,19 +2,17 @@
 
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
 
 #include "common/parallel.h"
+#include "common/runtime_config.h"
 
 namespace autocts {
 namespace {
 
-bool GuardsEnabledFromEnv() {
-  const char* env = std::getenv("AUTOCTS_NO_GUARDS");
-  return env == nullptr || env[0] == '\0' || env[0] == '0';
-}
+std::atomic<bool> g_guards_enabled{GlobalRuntimeConfig().guards};
 
-std::atomic<bool> g_guards_enabled{GuardsEnabledFromEnv()};
+std::atomic<uint64_t> g_finite_checks{0};
+std::atomic<uint64_t> g_nonfinite_detected{0};
 
 }  // namespace
 
@@ -26,7 +24,19 @@ void SetGuardsEnabled(bool enabled) {
   g_guards_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+GuardStats CurrentGuardStats() {
+  GuardStats s;
+  s.finite_checks = g_finite_checks.load(std::memory_order_relaxed);
+  s.nonfinite_detected = g_nonfinite_detected.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NoteNonfiniteDetected() {
+  g_nonfinite_detected.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool AllFiniteBlocked(const float* x, int64_t n) {
+  g_finite_checks.fetch_add(1, std::memory_order_relaxed);
   constexpr int64_t kBlock = 4096;
   const int64_t num_blocks = (n + kBlock - 1) / kBlock;
   auto block_finite = [&](int64_t b) {
@@ -41,18 +51,24 @@ bool AllFiniteBlocked(const float* x, int64_t n) {
     }
     return std::isfinite(acc);
   };
-  if (num_blocks <= 1) return n == 0 || block_finite(0);
-  std::atomic<bool> all_finite{true};
-  ParallelFor(0, num_blocks, 4, [&](int64_t b0, int64_t b1) {
-    for (int64_t b = b0; b < b1; ++b) {
-      if (!all_finite.load(std::memory_order_relaxed)) return;
-      if (!block_finite(b)) {
-        all_finite.store(false, std::memory_order_relaxed);
-        return;
+  bool finite;
+  if (num_blocks <= 1) {
+    finite = n == 0 || block_finite(0);
+  } else {
+    std::atomic<bool> all_finite{true};
+    ParallelFor(0, num_blocks, 4, [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) {
+        if (!all_finite.load(std::memory_order_relaxed)) return;
+        if (!block_finite(b)) {
+          all_finite.store(false, std::memory_order_relaxed);
+          return;
+        }
       }
-    }
-  });
-  return all_finite.load(std::memory_order_relaxed);
+    });
+    finite = all_finite.load(std::memory_order_relaxed);
+  }
+  if (!finite) NoteNonfiniteDetected();
+  return finite;
 }
 
 void RobustnessReport::Merge(const RobustnessReport& other) {

@@ -15,6 +15,20 @@ namespace autocts {
 bool GuardsEnabled();
 void SetGuardsEnabled(bool enabled);
 
+/// Process-wide counters of guardrail activity, folded into the
+/// RuntimeStats snapshot (see common/runtime_stats.h). Cheap relaxed
+/// atomics; the counts are telemetry, not control flow.
+struct GuardStats {
+  uint64_t finite_checks = 0;      ///< AllFiniteBlocked sweeps run.
+  uint64_t nonfinite_detected = 0; ///< Non-finite events guardrails caught.
+};
+GuardStats CurrentGuardStats();
+
+/// Bumps GuardStats::nonfinite_detected — call sites that catch a
+/// non-finite value by other means than AllFiniteBlocked (loss probes,
+/// logit checks) record it here so the snapshot sees every event.
+void NoteNonfiniteDetected();
+
 /// True when every element of `x` is finite. Blocked sweep: fixed
 /// 4096-element blocks checked independently (fanning out across the
 /// current pool when large enough), so the verdict — a pure property of the

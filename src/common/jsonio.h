@@ -1,0 +1,85 @@
+#ifndef REPRO_COMMON_JSONIO_H_
+#define REPRO_COMMON_JSONIO_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace autocts {
+
+/// Minimal ordered JSON writer — the one serializer behind RuntimeConfig,
+/// the RuntimeStats snapshot, and the bench report files, so every JSON
+/// artifact this repo emits formats numbers and escapes strings the same
+/// way instead of each call site hand-concatenating its own fields.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Field("op", "matmul");
+///   w.Field("gflops", 12.5);
+///   w.Key("pool"); w.BeginObject(); ... w.EndObject();
+///   w.EndObject();
+///   std::string json = w.str();
+///
+/// Commas are inserted automatically; keys must be plain ASCII.
+class JsonWriter {
+ public:
+  void BeginObject() { Sep(); out_ << '{'; first_ = true; }
+  void EndObject() { out_ << '}'; first_ = false; }
+  void BeginArray() { Sep(); out_ << '['; first_ = true; }
+  void EndArray() { out_ << ']'; first_ = false; }
+
+  /// Emits `"key": ` and leaves the writer expecting a value.
+  void Key(const std::string& key) {
+    Sep();
+    Escaped(key);
+    out_ << ": ";
+    first_ = true;  // The upcoming value must not be comma-prefixed.
+  }
+
+  /// Emits pre-serialized JSON verbatim — for embedding the output of
+  /// another serializer (e.g. RuntimeConfig::ToJson) as a nested value.
+  void Raw(const std::string& json) { Sep(); out_ << json; }
+
+  void Value(const std::string& v) { Sep(); Escaped(v); }
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(bool v) { Sep(); out_ << (v ? "true" : "false"); }
+  void Value(double v) { Sep(); out_ << v; }
+  void Value(int v) { Sep(); out_ << v; }
+  void Value(int64_t v) { Sep(); out_ << v; }
+  void Value(uint64_t v) { Sep(); out_ << v; }
+
+  template <typename T>
+  void Field(const std::string& key, const T& v) {
+    Key(key);
+    Value(v);
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Sep() {
+    if (!first_) out_ << ", ";
+    first_ = false;
+  }
+  void Escaped(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default: out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  bool first_ = true;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_JSONIO_H_

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <limits>
 #include <memory>
+
+#include "common/runtime_config.h"
 
 namespace autocts {
 namespace {
@@ -151,21 +152,14 @@ std::mutex& DefaultPoolMutex() {
   return mu;
 }
 
-int InitialDefaultThreads() {
-  const char* env = std::getenv("AUTOCTS_NUM_THREADS");
-  if (env != nullptr && *env != '\0') {
-    int n = std::atoi(env);
-    if (n > 0) return n;
-  }
-  return 0;  // Hardware concurrency.
-}
-
 }  // namespace
 
 ThreadPool* DefaultPool() {
   std::lock_guard<std::mutex> lock(DefaultPoolMutex());
   std::unique_ptr<ThreadPool>& pool = DefaultPoolSlot();
-  if (pool == nullptr) pool = std::make_unique<ThreadPool>(InitialDefaultThreads());
+  if (pool == nullptr) {
+    pool = std::make_unique<ThreadPool>(GlobalRuntimeConfig().num_threads);
+  }
   return pool.get();
 }
 

@@ -1,0 +1,70 @@
+#include "common/runtime_stats.h"
+
+#include <atomic>
+
+#include "common/jsonio.h"
+
+namespace autocts {
+namespace {
+
+std::atomic<BackendStatsProvider> g_backend_provider{nullptr};
+
+}  // namespace
+
+void RegisterBackendStatsProvider(BackendStatsProvider provider) {
+  g_backend_provider.store(provider, std::memory_order_release);
+}
+
+RuntimeStats RuntimeStats::Snapshot() {
+  RuntimeStats s;
+  ExecContext ctx;
+  s.pool = ctx.pool_stats();
+  s.plan = ctx.plan_stats();
+  s.guard = CurrentGuardStats();
+  if (BackendStatsProvider p =
+          g_backend_provider.load(std::memory_order_acquire)) {
+    s.backend = p();
+  }
+  return s;
+}
+
+std::string RuntimeStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("pool");
+  w.BeginObject();
+  w.Field("hits", pool.hits);
+  w.Field("misses", pool.misses);
+  w.Field("releases", pool.releases);
+  w.Field("dropped", pool.dropped);
+  w.Field("bypassed", pool.bypassed);
+  w.Field("bytes_pooled", pool.bytes_pooled);
+  w.Field("hit_rate", pool.hit_rate());
+  w.EndObject();
+  w.Key("plan");
+  w.BeginObject();
+  w.Field("captures", plan.captures);
+  w.Field("replays", plan.replays);
+  w.Field("invalidations", plan.invalidations);
+  w.Field("poisoned", plan.poisoned);
+  w.Field("arena_bytes", plan.arena_bytes);
+  w.Field("pinned_bytes", plan.pinned_bytes);
+  w.EndObject();
+  w.Key("guard");
+  w.BeginObject();
+  w.Field("finite_checks", guard.finite_checks);
+  w.Field("nonfinite_detected", guard.nonfinite_detected);
+  w.EndObject();
+  w.Key("backend");
+  w.BeginObject();
+  w.Field("active", backend.active.empty() ? "unlinked" : backend.active);
+  w.Field("gemm_micro_calls", backend.gemm_micro_calls);
+  w.Field("gemm_small_calls", backend.gemm_small_calls);
+  w.Field("qgemm_s8_calls", backend.qgemm_s8_calls);
+  w.Field("qgemm_bf16_calls", backend.qgemm_bf16_calls);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace autocts

@@ -1,0 +1,52 @@
+#ifndef REPRO_COMMON_RUNTIME_STATS_H_
+#define REPRO_COMMON_RUNTIME_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/guard.h"
+#include "common/parallel.h"
+
+namespace autocts {
+
+/// Counters of the runtime-dispatched kernel backend layer (see
+/// tensor/backend.h). `active` names the backend serving dispatched kernels
+/// at snapshot time; the call counters are process-wide totals across all
+/// backends that ran (switching backends does not reset them).
+struct BackendStats {
+  std::string active;             ///< "scalar", "avx2", "avx512", "neon".
+  uint64_t gemm_micro_calls = 0;  ///< Blocked-GEMM dispatches (micro path).
+  uint64_t gemm_small_calls = 0;  ///< Small-problem GEMM dispatches.
+  uint64_t qgemm_s8_calls = 0;    ///< int8 quantized GEMM dispatches.
+  uint64_t qgemm_bf16_calls = 0;  ///< bf16-weight GEMM dispatches.
+};
+
+/// Hook tensor/backend.cc installs so RuntimeStats::Snapshot() works
+/// without a common -> tensor dependency (same pattern as the pool and plan
+/// providers in common/parallel.h).
+using BackendStatsProvider = BackendStats (*)();
+void RegisterBackendStatsProvider(BackendStatsProvider provider);
+
+/// One unified snapshot of every process-wide runtime counter family:
+/// buffer pool, step plans, guardrails, and the kernel-backend dispatch
+/// layer. This is THE stats surface — benches, stats dumps, and the CLI all
+/// serialize this struct through its single JSON serializer instead of
+/// hand-formatting their own field subsets.
+struct RuntimeStats {
+  PoolStats pool;
+  PlanStats plan;
+  GuardStats guard;
+  BackendStats backend;
+
+  /// Gathers all four counter families (families whose subsystem is not
+  /// linked in stay at their zero defaults).
+  static RuntimeStats Snapshot();
+
+  /// Nested JSON object: {"pool": {...}, "plan": {...}, "guard": {...},
+  /// "backend": {...}} via the shared JsonWriter.
+  std::string ToJson() const;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_RUNTIME_STATS_H_

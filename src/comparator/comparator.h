@@ -58,6 +58,14 @@ class Comparator : public Module {
 
   const Options& options() const { return options_; }
 
+  /// Read-only submodule views for off-tape inference paths
+  /// (comparator/quant.h snapshots these weights once at quantize time).
+  const GinEncoder& gin() const { return gin_; }
+  const Linear& fc_pair() const { return *fc_pair_; }
+  const Linear* fc_task() const { return fc_task_.get(); }  ///< Null if !task_aware.
+  const Linear& fc_o() const { return *fc_o_; }
+  const Linear& fc_out() const { return *fc_out_; }
+
  private:
   Options options_;
   mutable Rng rng_;

@@ -34,6 +34,14 @@ class GinEncoder : public Module {
 
   int embed_dim() const { return options_.embed_dim; }
 
+  /// Read-only structure views for off-tape inference paths
+  /// (comparator/quant.cc replays this encoder with quantized weights).
+  int layers() const { return static_cast<int>(mlps_.size()); }
+  const Linear& op_proj() const { return op_proj_; }
+  const Linear& hyper_proj() const { return hyper_proj_; }
+  float epsilon(int layer) const { return epsilons_[layer].data()[0]; }
+  const Mlp& layer_mlp(int layer) const { return *mlps_[layer]; }
+
  private:
   Options options_;
   Linear op_proj_;     ///< W_e: one-hot |O| -> D.

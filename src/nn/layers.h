@@ -26,6 +26,11 @@ class Linear : public Module {
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }
 
+  /// Read-only parameter views for off-tape inference paths (e.g. the
+  /// quantized comparator, comparator/quant.h, which snapshots weights).
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
  private:
   int in_dim_;
   int out_dim_;
@@ -86,6 +91,10 @@ class Mlp : public Module {
   Mlp(int in_dim, int hidden_dim, int out_dim, Rng* rng);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// Read-only layer views for off-tape inference paths.
+  const Linear& fc1() const { return fc1_; }
+  const Linear& fc2() const { return fc2_; }
 
  private:
   Linear fc1_;

@@ -49,9 +49,9 @@ std::vector<bool> EvolutionarySearcher::ComparePairs(
   const bool task_aware = comparator_->options().task_aware;
   const int f2 = comparator_->options().f2;
   if (task_aware) CHECK(task_embed.defined());
-  auto record_logits = [&](size_t begin, int m, const Tensor& logits) {
+  auto record_raw = [&](size_t begin, int m, const float* logits) {
     for (int i = 0; i < m; ++i) {
-      const float logit = logits.at(i);
+      const float logit = logits[i];
       if (GuardsEnabled() && !std::isfinite(logit)) {
         // A NaN/inf logit carries no preference; count it and fall back to
         // the deterministic "second wins" outcome (same verdict NaN >= 0
@@ -62,6 +62,9 @@ std::vector<bool> EvolutionarySearcher::ComparePairs(
       }
       wins[begin + static_cast<size_t>(i)] = logit >= 0.0f;
     }
+  };
+  auto record_logits = [&](size_t begin, int m, const Tensor& logits) {
+    record_raw(begin, m, logits.data().data());
   };
   auto stack_batch = [&](size_t begin, size_t end, EncodingBatch* b1,
                          EncodingBatch* b2) {
@@ -75,6 +78,39 @@ std::vector<bool> EvolutionarySearcher::ComparePairs(
   };
   const int64_t num_batches =
       (static_cast<int64_t>(pairs.size()) + compare_batch - 1) / compare_batch;
+  const ComparatorPrecision precision =
+      ctx_.effective_config().comparator_precision;
+  if (!comparator_->training() && precision != ComparatorPrecision::kFp32) {
+    // Quantized inference path (AUTOCTS_COMPARATOR_PRECISION=bf16|int8):
+    // off-tape raw-buffer forward through the active kernel backend's
+    // quantized GEMMs — no tape, no plans, so it bypasses the plan cache
+    // entirely. Batches stay independent, so the same fan-out applies.
+    const QuantizedComparator* quant = Quantized(precision);
+    ExecScope scope(ctx_);
+    ParallelFor(0, num_batches, 1, [&](int64_t b0, int64_t b1r) {
+      NoGradScope no_grad;
+      Tensor task_row;
+      if (task_aware) task_row = Reshape(task_embed, {1, f2});
+      for (int64_t bi = b0; bi < b1r; ++bi) {
+        const size_t begin =
+            static_cast<size_t>(bi) * static_cast<size_t>(compare_batch);
+        const size_t end =
+            std::min(pairs.size(), begin + static_cast<size_t>(compare_batch));
+        const int m = static_cast<int>(end - begin);
+        EncodingBatch eb1, eb2;
+        stack_batch(begin, end, &eb1, &eb2);
+        Tensor task_embeds;
+        if (task_aware) {
+          std::vector<Tensor> rows(static_cast<size_t>(m), task_row);
+          task_embeds = Concat(rows, 0);
+        }
+        const std::vector<float> logits =
+            quant->CompareLogits(eb1, eb2, task_embeds);
+        record_raw(begin, m, logits.data());
+      }
+    });
+    return wins;
+  }
   if (!comparator_->training()) {
     // Eval-mode inference is pure (dropout is a no-op, so no shared RNG),
     // and batches are independent — fan them out across the pool. Each
@@ -159,6 +195,15 @@ std::vector<bool> EvolutionarySearcher::ComparePairs(
     }
   }
   return wins;
+}
+
+const QuantizedComparator* EvolutionarySearcher::Quantized(
+    ComparatorPrecision precision) const {
+  std::lock_guard<std::mutex> lock(quant_mu_);
+  if (quant_ == nullptr || quant_->precision() != precision) {
+    quant_ = std::make_unique<QuantizedComparator>(*comparator_, precision);
+  }
+  return quant_.get();
 }
 
 ArchHyperEncoding EvolutionarySearcher::CachedEncoding(

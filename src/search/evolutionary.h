@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -11,6 +12,7 @@
 
 #include "common/parallel.h"
 #include "comparator/comparator.h"
+#include "comparator/quant.h"
 #include "searchspace/search_space.h"
 
 namespace autocts {
@@ -73,6 +75,13 @@ class EvolutionarySearcher {
       const std::vector<std::pair<int, int>>& pairs, const Tensor& task_embed,
       int compare_batch) const;
 
+  /// The lazily built quantized comparator snapshot serving eval-mode
+  /// ComparePairs when ctx_.effective_config().comparator_precision is bf16
+  /// or int8. Weights are snapshotted at first quantized use — valid here
+  /// because the searcher holds the comparator const, so weights cannot
+  /// change across a search. Guarded: ComparePairs fans out across the pool.
+  const QuantizedComparator* Quantized(ComparatorPrecision precision) const;
+
   /// EncodeArchHyper memoized on ArchHyper::Signature() (equal signatures
   /// ⇔ equal arch-hypers ⇒ equal encodings). Population survivors re-enter
   /// every generation's round-robin, so most encodings repeat many times.
@@ -97,6 +106,9 @@ class EvolutionarySearcher {
   /// Signature -> encoding memo (guarded; searchers may be shared).
   mutable std::mutex encode_mu_;
   mutable std::unordered_map<std::string, ArchHyperEncoding> encode_cache_;
+  /// Quantized comparator snapshot (see Quantized()).
+  mutable std::mutex quant_mu_;
+  mutable std::unique_ptr<QuantizedComparator> quant_;
 };
 
 }  // namespace autocts

@@ -1,7 +1,8 @@
 #include "tensor/buffer_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "common/runtime_config.h"
 
 namespace autocts {
 namespace {
@@ -19,14 +20,6 @@ int CeilLog2(uint64_t x) {
   return (uint64_t{1} << b) == x ? b : b + 1;
 }
 
-uint64_t InitialCapacityBytes() {
-  if (const char* env = std::getenv("AUTOCTS_POOL_MB")) {
-    long mb = std::atol(env);
-    if (mb >= 0) return static_cast<uint64_t>(mb) << 20;
-  }
-  return uint64_t{256} << 20;  // 256 MiB.
-}
-
 }  // namespace
 
 BufferPool& BufferPool::Global() {
@@ -34,7 +27,8 @@ BufferPool& BufferPool::Global() {
   return *pool;
 }
 
-BufferPool::BufferPool() : capacity_bytes_(InitialCapacityBytes()) {}
+BufferPool::BufferPool()
+    : capacity_bytes_(GlobalRuntimeConfig().pool_capacity_bytes) {}
 
 std::vector<float> BufferPool::Acquire(int64_t n) {
   CHECK_GE(n, 0);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/runtime_config.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 #include "tensor/plan.h"
@@ -35,12 +36,7 @@ inline v8 Splat(float x) { return v8{x, x, x, x, x, x, x, x}; }
 
 constexpr int64_t kElemGrain = kParallelGrainWork;
 
-bool InitFusedEnabled() {
-  const char* e = std::getenv("AUTOCTS_NO_FUSED");
-  return e == nullptr || e[0] == '\0' || e[0] == '0';
-}
-
-std::atomic<bool> g_fused_enabled{InitFusedEnabled()};
+std::atomic<bool> g_fused_enabled{GlobalRuntimeConfig().fused_kernels};
 
 /// Rows x n geometry of a tensor normalized/activated over its last dim.
 void LastAxisGeometry(const Tensor& x, int64_t* rows, int* n) {

@@ -3,32 +3,16 @@
 #include <algorithm>
 #include <vector>
 
-// The 32-byte vector type below changes ABI when AVX is off; everything
-// using it is internal and inlined, so the warning is noise.
-#pragma GCC diagnostic ignored "-Wpsabi"
+#include "tensor/backend.h"
 
 namespace autocts {
 namespace {
 
-/// 8-wide float vector via the GCC/Clang vector extension: one ymm register
-/// under AVX2, a pair of xmm ops otherwise. All uses are elementwise
-/// (mul/add per lane, no horizontal reductions), so vectorization cannot
-/// change any per-element accumulation order — lane j of an accumulator is
-/// exactly the scalar sequence for column j.
-typedef float v8 __attribute__((vector_size(32)));
-/// Same type with alignment 4 for unaligned loads/stores of C rows.
-typedef float v8u __attribute__((vector_size(32), aligned(4)));
-
-inline v8 Load8(const float* p) { return *reinterpret_cast<const v8u*>(p); }
-inline void Store8(float* p, v8 v) { *reinterpret_cast<v8u*>(p) = v; }
-inline v8 Splat(float x) { return v8{x, x, x, x, x, x, x, x}; }
-
-/// Micro-kernel register tile: 6 rows x 16 columns of C = 12 named v8
-/// accumulators, leaving registers for the two B vectors and the A
-/// broadcast (15 of 16 ymm under AVX2). Named scalars instead of a 2-D
-/// array because GCC only register-allocates the tile reliably this way.
-constexpr int kMr = 6;
-constexpr int kNr = 16;
+/// Register-tile geometry, fixed across all kernel backends (see
+/// tensor/backend.h). The packing below produces exactly the strip/panel
+/// layout every backend's micro-kernel consumes.
+constexpr int kMr = kernels::kGemmMr;
+constexpr int kNr = kernels::kGemmNr;
 /// Cache blocking (Goto-style): the packed A block (kMc x kKc = 144 KiB)
 /// plus one B panel column (kKc x kNr = 24 KiB) target L2; a full packed B
 /// panel (kKc x kNc = 1.5 MiB) stays in the outer cache across all A
@@ -89,39 +73,10 @@ void PackB(float* dst, const float* b, int64_t ldb, bool trans_b, int pc,
   }
 }
 
-/// Full kMr x kNr tile: loads C into registers, accumulates all kb products
-/// per element in ascending-kk order, stores once. Per-element accumulation
-/// order is therefore identical to the reference triple loop.
-void MicroKernel(int kb, const float* __restrict ap, const float* __restrict bp,
-                 float* c, int64_t ldc) {
-  v8 c00 = Load8(c + 0 * ldc), c01 = Load8(c + 0 * ldc + 8);
-  v8 c10 = Load8(c + 1 * ldc), c11 = Load8(c + 1 * ldc + 8);
-  v8 c20 = Load8(c + 2 * ldc), c21 = Load8(c + 2 * ldc + 8);
-  v8 c30 = Load8(c + 3 * ldc), c31 = Load8(c + 3 * ldc + 8);
-  v8 c40 = Load8(c + 4 * ldc), c41 = Load8(c + 4 * ldc + 8);
-  v8 c50 = Load8(c + 5 * ldc), c51 = Load8(c + 5 * ldc + 8);
-  for (int kk = 0; kk < kb; ++kk) {
-    const float* arow = ap + kk * kMr;
-    const v8 b0 = Load8(bp + kk * kNr);
-    const v8 b1 = Load8(bp + kk * kNr + 8);
-    v8 a;
-    a = Splat(arow[0]), c00 += a * b0, c01 += a * b1;
-    a = Splat(arow[1]), c10 += a * b0, c11 += a * b1;
-    a = Splat(arow[2]), c20 += a * b0, c21 += a * b1;
-    a = Splat(arow[3]), c30 += a * b0, c31 += a * b1;
-    a = Splat(arow[4]), c40 += a * b0, c41 += a * b1;
-    a = Splat(arow[5]), c50 += a * b0, c51 += a * b1;
-  }
-  Store8(c + 0 * ldc, c00), Store8(c + 0 * ldc + 8, c01);
-  Store8(c + 1 * ldc, c10), Store8(c + 1 * ldc + 8, c11);
-  Store8(c + 2 * ldc, c20), Store8(c + 2 * ldc + 8, c21);
-  Store8(c + 3 * ldc, c30), Store8(c + 3 * ldc + 8, c31);
-  Store8(c + 4 * ldc, c40), Store8(c + 4 * ldc + 8, c41);
-  Store8(c + 5 * ldc, c50), Store8(c + 5 * ldc + 8, c51);
-}
-
 /// Edge tile (mr < kMr and/or nr < kNr): accumulates straight into C, same
-/// ascending-kk per-element order, touching only valid rows/columns.
+/// ascending-kk per-element order, touching only valid rows/columns. Shared
+/// across backends — edge tiles are a vanishing fraction of the work, so
+/// they stay scalar rather than living in every backend.
 void MicroKernelTail(int kb, const float* ap, const float* bp, float* c,
                      int64_t ldc, int mr, int nr) {
   for (int kk = 0; kk < kb; ++kk) {
@@ -131,38 +86,6 @@ void MicroKernelTail(int kb, const float* ap, const float* bp, float* c,
       const float av = arow[i];
       float* crow = c + i * ldc;
       for (int j = 0; j < nr; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// Unblocked path for small problems. The no-transpose case is the
-/// vectorizable axpy formulation; transposed operands read strided (small
-/// shapes only, so the strides stay cache-resident).
-void GemmSmall(const float* a, int64_t lda, bool trans_a, const float* b,
-               int64_t ldb, bool trans_b, float* c, int64_t ldc, int m, int k,
-               int n) {
-  if (!trans_a && !trans_b) {
-    for (int i = 0; i < m; ++i) {
-      const float* arow = a + i * lda;
-      float* crow = c + i * ldc;
-      for (int kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        const float* brow = b + kk * ldb;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-    return;
-  }
-  for (int i = 0; i < m; ++i) {
-    float* crow = c + i * ldc;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = At(a, lda, trans_a, i, kk);
-      if (!trans_b) {
-        const float* brow = b + kk * ldb;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      } else {
-        for (int j = 0; j < n; ++j) crow[j] += av * b[j * ldb + kk];
-      }
     }
   }
 }
@@ -186,10 +109,16 @@ void GemmAcc(const float* a, int64_t lda, bool trans_a, const float* b,
              int64_t ldb, bool trans_b, float* c, int64_t ldc, int m, int k,
              int n) {
   if (m <= 0 || n <= 0 || k <= 0) return;
+  // Resolve the backend once per call; full tiles below dispatch through it
+  // (bit-identical across backends, so a concurrent backend switch is
+  // benign — see backend.h).
+  const kernels::Backend& backend = kernels::ActiveBackend();
   if (static_cast<int64_t>(m) * k * n < kBlockedMinWork) {
-    GemmSmall(a, lda, trans_a, b, ldb, trans_b, c, ldc, m, k, n);
+    kernels::counters::NoteGemmSmall();
+    backend.gemm_small(a, lda, trans_a, b, ldb, trans_b, c, ldc, m, k, n);
     return;
   }
+  kernels::counters::NoteGemmMicro();
   // Per-thread packing scratch; callers fan out over disjoint row ranges of
   // C, so each worker packs its own copies (read-only inputs, no sharing).
   // Strip/panel counts round up, so the scratch must too (kMr/kNr need not
@@ -219,7 +148,7 @@ void GemmAcc(const float* a, int64_t lda, bool trans_a, const float* b,
                 a_pack.data() + static_cast<int64_t>(ir / kMr) * kb * kMr;
             float* cc = c + static_cast<int64_t>(ic + ir) * ldc + jc + jr;
             if (mr == kMr && nr == kNr) {
-              MicroKernel(kb, ap, bp, cc, ldc);
+              backend.gemm_micro(kb, ap, bp, cc, ldc);
             } else {
               MicroKernelTail(kb, ap, bp, cc, ldc, mr, nr);
             }

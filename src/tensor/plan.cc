@@ -10,6 +10,7 @@
 
 #include "common/guard.h"
 #include "common/parallel.h"
+#include "common/runtime_config.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/fused.h"
 
@@ -19,12 +20,7 @@ namespace plan {
 
 namespace {
 
-bool InitPlansEnabled() {
-  const char* v = std::getenv("AUTOCTS_NO_PLAN");
-  return v == nullptr || v[0] == '\0' || v[0] == '0';
-}
-
-std::atomic<bool> g_plans_enabled{InitPlansEnabled()};
+std::atomic<bool> g_plans_enabled{GlobalRuntimeConfig().step_plans};
 
 std::atomic<uint64_t> g_captures{0};
 std::atomic<uint64_t> g_replays{0};
