@@ -1,0 +1,347 @@
+// bench_serving — closed- and open-loop load generator for the zero-shot
+// serving layer (BENCH_PR7.json).
+//
+// Measures the two serving optimizations as A/B pairs:
+//   * micro-batching: max_batch=8/max-delay admission vs max_batch=1, same
+//     worker count and warm embed cache. The repeated-window multi-tenant
+//     workload (few distinct windows across many concurrent clients) is the
+//     serving regime the batcher targets — identical duels within one
+//     micro-batch collapse into single comparator rows.
+//   * embed cache: warm LRU cache vs caching disabled (capacity 0), same
+//     admission policy.
+//
+// Per-request latency percentiles (p50/p95/p99), sustained QPS, and the
+// per-repetition QPS speedup (min/median/max over REPS) land in
+// BENCH_PR7.json through the shared MicroBenchRecord writer. CI smoke mode
+// (--smoke or REPRO_SMOKE=1) shrinks the request count, keeps the shape.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "serve/service.h"
+
+namespace autocts {
+namespace bench {
+namespace {
+
+using serve::RecommendRequest;
+using serve::RecommendationService;
+using serve::ServeOptions;
+
+struct LoadConfig {
+  int distinct_windows = 4;  ///< Tenant diversity of the workload.
+  int clients = 8;           ///< Concurrent closed-loop client threads.
+  int requests = 256;        ///< Total requests per timed run.
+  int reps = 5;              ///< A/B repetitions (>=5 for speedup stats).
+  int num_series = 4;
+  int num_steps = 48;
+  /// Consecutive requests sharing one window. Multi-tenant serving sees
+  /// correlated bursts (many tenants querying the popular dataset of the
+  /// moment), which is exactly when intra-batch duel dedup pays; a block of
+  /// max_batch keeps concurrent in-flight requests on the same window.
+  int window_block = 8;
+};
+
+int WindowIndex(const LoadConfig& cfg, int request) {
+  return (request / cfg.window_block) % cfg.distinct_windows;
+}
+
+struct LoadResult {
+  std::vector<double> latency_ns;  ///< One entry per request.
+  double wall_seconds = 0.0;
+  double cache_hit_rate = 0.0;     ///< Embed-cache hit rate of the timed phase.
+  double mean_batch = 0.0;
+  uint64_t dedup_saved_rows = 0;   ///< Duel rows removed by packing/dedup.
+
+  double qps() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(latency_ns.size()) / wall_seconds
+               : 0.0;
+  }
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      std::min<double>(static_cast<double>(values.size()) - 1.0,
+                       p * static_cast<double>(values.size())));
+  return values[idx];
+}
+
+/// The same small task-aware fixture the serving tests use: weights are
+/// seeded (untrained) — latency does not care about recommendation quality.
+Comparator::Options BenchComparator() {
+  Comparator::Options opts;
+  opts.gin.layers = 2;
+  opts.gin.embed_dim = 8;
+  opts.repr_dim = 4;
+  opts.f1 = 8;
+  opts.f2 = 4;
+  opts.fc_dim = 16;
+  opts.task_aware = true;
+  return opts;
+}
+
+ServeOptions BenchServe(int max_batch, size_t embed_cache_entries) {
+  ServeOptions o = ServeOptions::ForScale(ScaleConfig::Test());
+  o.workers = 2;
+  o.max_batch = max_batch;
+  o.max_delay_us = 500;
+  o.embed_cache_entries = embed_cache_entries;
+  o.search.ranking_pool = 32;
+  o.search.opponents_per_candidate = 2;
+  o.search.population = 4;
+  o.search.top_k = 4;
+  o.windows_per_task = 3;
+  return o;
+}
+
+std::vector<RecommendRequest> MakeWorkload(const LoadConfig& cfg) {
+  std::vector<RecommendRequest> windows;
+  for (int w = 0; w < cfg.distinct_windows; ++w) {
+    RecommendRequest r;
+    r.num_series = cfg.num_series;
+    r.num_steps = cfg.num_steps;
+    Rng rng(1000 + static_cast<uint64_t>(w));
+    r.window.resize(static_cast<size_t>(cfg.num_series) *
+                    static_cast<size_t>(cfg.num_steps));
+    for (float& v : r.window) v = rng.Uniform(-1.0f, 1.0f);
+    r.p = 8;
+    r.q = 8;
+    r.top_k = 2;
+    windows.push_back(std::move(r));
+  }
+  return windows;
+}
+
+/// One closed-loop run: `clients` threads issue blocking Recommend calls
+/// round-robin over the distinct windows until `requests` are served. The
+/// service is warmed first (one pass over the windows primes the embed
+/// cache and the workers' captured plans), so the timed phase measures
+/// steady state — and so the cached arm's timed hit rate is exactly 1.0.
+LoadResult RunClosedLoop(RecommendationService* service,
+                         const std::vector<RecommendRequest>& windows,
+                         const LoadConfig& cfg) {
+  for (const RecommendRequest& w : windows) {
+    StatusOr<serve::Recommendation> warm = service->Recommend(w);
+    if (!warm.ok()) {
+      std::cerr << "warm-up failed: " << warm.status().message() << "\n";
+      std::exit(1);
+    }
+  }
+  const ServeStats before = service->stats();
+
+  LoadResult result;
+  result.latency_ns.assign(static_cast<size_t>(cfg.requests), 0.0);
+  std::atomic<int> next{0};
+  auto client = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= cfg.requests) return;
+      const RecommendRequest& req =
+          windows[static_cast<size_t>(WindowIndex(cfg, i))];
+      const auto t0 = std::chrono::steady_clock::now();
+      StatusOr<serve::Recommendation> rec = service->Recommend(req);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!rec.ok()) {
+        std::cerr << "request failed: " << rec.status().message() << "\n";
+        std::exit(1);
+      }
+      result.latency_ns[static_cast<size_t>(i)] =
+          std::chrono::duration<double, std::nano>(t1 - t0).count();
+    }
+  };
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < cfg.clients; ++c) threads.emplace_back(client);
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  const ServeStats after = service->stats();
+  const uint64_t hits = after.embed_hits - before.embed_hits;
+  const uint64_t misses = after.embed_misses - before.embed_misses;
+  result.cache_hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  const uint64_t reqs = after.batched_requests - before.batched_requests;
+  const uint64_t batches = after.batches - before.batches;
+  result.mean_batch = batches == 0 ? 0.0
+                                   : static_cast<double>(reqs) /
+                                         static_cast<double>(batches);
+  result.dedup_saved_rows = (after.duel_rows - before.duel_rows) -
+                            (after.duel_rows_evaluated -
+                             before.duel_rows_evaluated);
+  return result;
+}
+
+/// Open-loop arm: every request is admitted up front through TrySubmit (the
+/// overload-policy path) and latency includes queue wait. Shows tail
+/// behavior under burst, complementing the closed-loop arms.
+LoadResult RunOpenLoop(RecommendationService* service,
+                       const std::vector<RecommendRequest>& windows,
+                       const LoadConfig& cfg) {
+  for (const RecommendRequest& w : windows) {
+    (void)service->Recommend(w);  // Warm-up.
+  }
+  LoadResult result;
+  std::vector<std::future<StatusOr<serve::Recommendation>>> futures;
+  std::vector<std::chrono::steady_clock::time_point> submitted;
+  futures.reserve(static_cast<size_t>(cfg.requests));
+  const auto wall0 = std::chrono::steady_clock::now();
+  int rejected = 0;
+  for (int i = 0; i < cfg.requests; ++i) {
+    std::future<StatusOr<serve::Recommendation>> f;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!service
+             ->TrySubmit(windows[static_cast<size_t>(WindowIndex(cfg, i))], &f)
+             .ok()) {
+      ++rejected;  // Queue full: the burst outran capacity. Expected.
+      continue;
+    }
+    submitted.push_back(t0);
+    futures.push_back(std::move(f));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    StatusOr<serve::Recommendation> rec = futures[i].get();
+    if (!rec.ok()) continue;
+    result.latency_ns.push_back(std::chrono::duration<double, std::nano>(
+                                    std::chrono::steady_clock::now() -
+                                    submitted[i])
+                                    .count());
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  if (rejected > 0) {
+    std::cout << "[serving] open-loop burst: " << rejected
+              << " requests rejected at admission (bounded queue)\n";
+  }
+  return result;
+}
+
+MicroBenchRecord Record(const std::string& op, const LoadResult& r,
+                        int threads) {
+  MicroBenchRecord rec;
+  rec.op = op;
+  rec.threads = threads;
+  rec.ns_per_iter = Percentile(r.latency_ns, 0.5);
+  rec.p50_ns = Percentile(r.latency_ns, 0.5);
+  rec.p95_ns = Percentile(r.latency_ns, 0.95);
+  rec.p99_ns = Percentile(r.latency_ns, 0.99);
+  rec.qps = r.qps();
+  rec.cache_hit_rate = r.cache_hit_rate;
+  return rec;
+}
+
+int Main(int argc, char** argv) {
+  LoadConfig cfg;
+  bool smoke = std::getenv("REPRO_SMOKE") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) {
+    cfg.requests = 64;
+    cfg.reps = 5;  // Keep >=5: the speedup median gate needs the spread.
+  }
+
+  Comparator comparator(BenchComparator(), 77);
+  Rng enc_rng(78);
+  Ts2Vec::Options enc_opts;
+  enc_opts.repr_dim = 4;
+  enc_opts.hidden = 4;
+  enc_opts.layers = 1;
+  Ts2Vec encoder(1, enc_opts, &enc_rng);
+  JointSearchSpace space;
+  const std::vector<RecommendRequest> windows = MakeWorkload(cfg);
+
+  auto run_arm = [&](const ServeOptions& opts) {
+    RecommendationService service(&comparator, &encoder, &space, opts);
+    Status started = service.Start();
+    if (!started.ok()) {
+      std::cerr << "start failed: " << started.message() << "\n";
+      std::exit(1);
+    }
+    LoadResult r = RunClosedLoop(&service, windows, cfg);
+    service.Shutdown();
+    return r;
+  };
+
+  // --- A/B 1: batched vs unbatched admission, warm cache both sides. -----
+  std::vector<double> qps_speedups;
+  LoadResult last_unbatched, last_batched;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    last_unbatched = run_arm(BenchServe(/*max_batch=*/1, 64));
+    last_batched = run_arm(BenchServe(/*max_batch=*/8, 64));
+    const double speedup = last_unbatched.qps() > 0.0
+                               ? last_batched.qps() / last_unbatched.qps()
+                               : 0.0;
+    qps_speedups.push_back(speedup);
+    std::cout << "[serving] rep " << rep << ": unbatched "
+              << last_unbatched.qps() << " qps, batched "
+              << last_batched.qps() << " qps (x" << speedup
+              << ", mean batch " << last_batched.mean_batch
+              << ", dedup saved " << last_batched.dedup_saved_rows
+              << " duel rows)\n";
+  }
+  std::sort(qps_speedups.begin(), qps_speedups.end());
+
+  // --- A/B 2: warm embed cache vs caching disabled. ----------------------
+  LoadResult cached = run_arm(BenchServe(/*max_batch=*/8, 64));
+  LoadResult cold = run_arm(BenchServe(/*max_batch=*/8, 0));
+  std::cout << "[serving] embed cache: warm hit rate " << cached.cache_hit_rate
+            << " @ " << cached.qps() << " qps; disabled " << cold.qps()
+            << " qps\n";
+
+  // --- Open-loop burst through the bounded queue. ------------------------
+  LoadResult open_loop;
+  {
+    RecommendationService service(&comparator, &encoder, &space,
+                                  BenchServe(/*max_batch=*/8, 64));
+    if (!service.Start().ok()) return 1;
+    open_loop = RunOpenLoop(&service, windows, cfg);
+    service.Shutdown();
+  }
+
+  std::vector<MicroBenchRecord> records;
+  records.push_back(Record("serve_closed_unbatched", last_unbatched,
+                           cfg.clients));
+  records.push_back(Record("serve_closed_batched", last_batched, cfg.clients));
+  {
+    MicroBenchRecord ab;
+    ab.op = "serve_batched_vs_unbatched";
+    ab.threads = cfg.clients;
+    ab.qps = last_batched.qps();
+    ab.speedup_min = qps_speedups.front();
+    ab.speedup_median = qps_speedups[qps_speedups.size() / 2];
+    ab.speedup_max = qps_speedups.back();
+    ab.p99_ns = Percentile(last_batched.latency_ns, 0.99);
+    records.push_back(ab);
+  }
+  records.push_back(Record("serve_embed_cache_warm", cached, cfg.clients));
+  records.push_back(Record("serve_embed_cache_disabled", cold, cfg.clients));
+  records.push_back(Record("serve_open_loop_burst", open_loop, 1));
+  WriteBenchJson("BENCH_PR7.json", records);
+
+  std::cout << "[serving] qps speedup (batched/unbatched) min "
+            << qps_speedups.front() << ", median "
+            << qps_speedups[qps_speedups.size() / 2] << ", max "
+            << qps_speedups.back() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace autocts
+
+int main(int argc, char** argv) { return autocts::bench::Main(argc, argv); }

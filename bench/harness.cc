@@ -248,6 +248,11 @@ void WriteBenchJson(const std::string& path,
     w.Field("arena_bytes", r.arena_bytes);
     w.Field("backend", r.backend);
     w.Field("rank_agreement", r.rank_agreement);
+    w.Field("p50_ns", r.p50_ns);
+    w.Field("p95_ns", r.p95_ns);
+    w.Field("p99_ns", r.p99_ns);
+    w.Field("qps", r.qps);
+    w.Field("cache_hit_rate", r.cache_hit_rate);
     w.EndObject();
     out << "  " << w.str() << (i + 1 < records.size() ? "," : "") << "\n";
   }

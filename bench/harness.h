@@ -114,6 +114,16 @@ struct MicroBenchRecord {
   /// For quantized-vs-fp32 comparator A/B records: fraction of pairwise
   /// verdicts agreeing with fp32 over the measured sweep (0 if unmeasured).
   double rank_agreement = 0.0;
+  /// Latency-distribution fields for serving-style records (BENCH_PR7.json):
+  /// per-request latency percentiles over the measured run (0 when only a
+  /// mean was measured) and sustained request throughput.
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  double qps = 0.0;
+  /// Cache hit rate observed over the run (embed cache for serving records;
+  /// 0 when the record has no cache axis).
+  double cache_hit_rate = 0.0;
 };
 
 /// Writes `records` to `path` as a JSON array of flat objects.

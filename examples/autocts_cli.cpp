@@ -14,12 +14,24 @@
 //   eval       train + evaluate a specific arch-hyper signature:
 //                autocts_cli eval --dataset Los-Loop --p 12 --q 12 \
 //                    --arch "B2C5H32I64U1d0|0-1:GDCC,0-2:DGCN,2-3:INF-T,3-4:INF-S"
+//   serve      long-lived zero-shot recommendation server (HTTP front end
+//              over serve::RecommendationService):
+//                autocts_cli serve --ckpt /tmp/my_tahc [--port 8080] \
+//                    [--workers 2] [--max-batch 8] [--max-delay-us 200] \
+//                    [--embed-cache-entries 64]
+//              Flags default from the AUTOCTS_SERVE_* environment knobs
+//              (see print-config). POST a CSV window (one row per
+//              series, columns = time steps) to /recommend:
+//                curl -s -X POST --data-binary @window.csv \
+//                    'localhost:8080/recommend?p=12&q=12&topk=3'
 //   info       print search-space and dataset registry information.
 //   print-config
 //              print the process runtime configuration (every AUTOCTS_*
 //              knob, parsed once at startup) plus the resolved kernel
 //              backend, as one JSON object. `--print-config` also works.
+#include <csignal>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 #include <map>
 #include <string>
@@ -32,6 +44,8 @@
 #include "data/synthetic.h"
 #include "model/searched_model.h"
 #include "searchspace/parse.h"
+#include "serve/http.h"
+#include "serve/service.h"
 
 namespace autocts {
 namespace {
@@ -194,6 +208,71 @@ int Eval(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_interrupted = 0;
+
+void ServeSignalHandler(int) { g_serve_interrupted = 1; }
+
+/// Long-lived serving mode: pretrained checkpoint + RecommendationService +
+/// embedded HTTP front end. Flags default from the process AUTOCTS_SERVE_*
+/// environment knobs so `autocts_cli serve` alone honors the environment.
+int Serve(const std::map<std::string, std::string>& flags) {
+  const RuntimeConfig& rc = GlobalRuntimeConfig();
+  ScaleConfig scale = ScaleConfig::Bench();
+  AutoCtsOptions options = AutoCtsOptions::ForScale(scale);
+  AutoCtsPlusPlus framework(options);
+  std::string ckpt = StrFlag(flags, "ckpt", "./autocts_cli");
+  Status loaded = framework.LoadCheckpoint(ckpt);
+  if (!loaded.ok()) {
+    std::cerr << "error: cannot load checkpoint " << ckpt << " ("
+              << loaded.message() << "); run `autocts_cli pretrain` first\n";
+    return 1;
+  }
+  serve::ServeOptions serve_opts = serve::ServeOptions::ForScale(scale);
+  serve_opts.workers = IntFlag(flags, "workers", rc.serve_workers);
+  serve_opts.max_batch = IntFlag(flags, "max-batch", rc.serve_max_batch);
+  serve_opts.max_delay_us =
+      IntFlag(flags, "max-delay-us", rc.serve_max_delay_us);
+  serve_opts.embed_cache_entries = static_cast<size_t>(IntFlag(
+      flags, "embed-cache-entries",
+      static_cast<int>(rc.serve_embed_cache_entries)));
+  serve::RecommendationService service(framework.comparator(),
+                                       framework.encoder(),
+                                       &framework.space(), serve_opts);
+  Status started = service.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started.message() << "\n";
+    return 1;
+  }
+  serve::HttpOptions http_opts;
+  http_opts.port = IntFlag(flags, "port", rc.serve_port);
+  serve::HttpServer server(&service, http_opts);
+  Status bound = server.Start();
+  if (!bound.ok()) {
+    std::cerr << "error: " << bound.message() << "\n";
+    service.Shutdown();
+    return 1;
+  }
+  std::cout << "serving on port " << server.port() << " ("
+            << serve_opts.workers << " workers, max-batch "
+            << serve_opts.max_batch << ", max-delay " << serve_opts.max_delay_us
+            << "us, embed-cache " << serve_opts.embed_cache_entries
+            << " entries); POST /recommend, GET /stats — Ctrl-C stops\n";
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (g_serve_interrupted == 0) {
+    struct timespec ts = {0, 200 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::cout << "\nshutting down (draining in-flight requests)...\n";
+  server.Stop();
+  service.Shutdown();
+  ServeStats stats = service.stats();
+  std::cout << "served " << stats.requests << " requests in " << stats.batches
+            << " batches (mean batch " << stats.mean_batch_size()
+            << ", embed-cache hit rate " << stats.embed_hit_rate() << ")\n";
+  return 0;
+}
+
 int Info() {
   JointSearchSpace space;
   std::cout << "joint search space: 10^" << space.Log10Size()
@@ -232,8 +311,8 @@ int PrintConfig() {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: autocts_cli {pretrain|search|eval|info|print-config} "
-                 "[--flags]\n"
+    std::cerr << "usage: autocts_cli "
+                 "{pretrain|search|eval|serve|info|print-config} [--flags]\n"
                  "see the header of examples/autocts_cli.cpp for details\n";
     return 2;
   }
@@ -242,6 +321,7 @@ int Main(int argc, char** argv) {
   if (command == "pretrain") return Pretrain(flags);
   if (command == "search") return Search(flags);
   if (command == "eval") return Eval(flags);
+  if (command == "serve") return Serve(flags);
   if (command == "info") return Info();
   if (command == "print-config" || command == "--print-config") {
     return PrintConfig();

@@ -50,6 +50,31 @@ RuntimeConfig RuntimeConfig::FromEnv() {
     }
     // Anything else (incl. "fp32") keeps the fp32 default.
   }
+  if (const char* env = std::getenv("AUTOCTS_SERVE_PORT")) {
+    int n = std::atoi(env);
+    if (n >= 0 && n <= 65535) cfg.serve_port = n;
+  }
+  if (const char* env = std::getenv("AUTOCTS_SERVE_WORKERS")) {
+    int n = std::atoi(env);
+    if (n >= 0) cfg.serve_workers = n;
+  }
+  if (const char* env = std::getenv("AUTOCTS_SERVE_MAX_BATCH")) {
+    int n = std::atoi(env);
+    if (n > 0) cfg.serve_max_batch = n;
+  }
+  if (const char* env = std::getenv("AUTOCTS_SERVE_MAX_DELAY_US")) {
+    int n = std::atoi(env);
+    if (n >= 0) cfg.serve_max_delay_us = n;
+  }
+  if (const char* env = std::getenv("AUTOCTS_SERVE_EMBED_CACHE")) {
+    // 0 legitimately disables caching, so unparseable input must be told
+    // apart from a parsed zero.
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n >= 0) {
+      cfg.serve_embed_cache_entries = static_cast<size_t>(n);
+    }
+  }
   return cfg;
 }
 
@@ -64,6 +89,11 @@ std::string RuntimeConfig::ToJson() const {
   w.Field("backend", backend.empty() ? "auto" : backend);
   w.Field("comparator_precision",
           ComparatorPrecisionName(comparator_precision));
+  w.Field("serve_port", serve_port);
+  w.Field("serve_workers", serve_workers);
+  w.Field("serve_max_batch", serve_max_batch);
+  w.Field("serve_max_delay_us", serve_max_delay_us);
+  w.Field("serve_embed_cache_entries", serve_embed_cache_entries);
   w.EndObject();
   return w.str();
 }

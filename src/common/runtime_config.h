@@ -49,6 +49,18 @@ struct RuntimeConfig {
   std::string backend;
   /// AUTOCTS_COMPARATOR_PRECISION: "fp32" (default), "bf16", or "int8".
   ComparatorPrecision comparator_precision = ComparatorPrecision::kFp32;
+  /// AUTOCTS_SERVE_PORT: TCP port of `autocts_cli serve` (0 = ephemeral).
+  int serve_port = 8080;
+  /// AUTOCTS_SERVE_WORKERS: serving worker threads (0 = one per core, capped
+  /// at 8 — serving workers run kernels inline, so more rarely helps).
+  int serve_workers = 2;
+  /// AUTOCTS_SERVE_MAX_BATCH: requests coalesced into one micro-batch.
+  int serve_max_batch = 8;
+  /// AUTOCTS_SERVE_MAX_DELAY_US: straggler wait after the first request of a
+  /// micro-batch.
+  int serve_max_delay_us = 200;
+  /// AUTOCTS_SERVE_EMBED_CACHE: resident task embeddings (0 disables).
+  int serve_embed_cache_entries = 64;
 
   /// Parses every knob from the environment. Unparseable values keep their
   /// defaults (matching the historical per-site getenv behaviour).

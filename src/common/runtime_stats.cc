@@ -8,11 +8,16 @@ namespace autocts {
 namespace {
 
 std::atomic<BackendStatsProvider> g_backend_provider{nullptr};
+std::atomic<ServeStatsProvider> g_serve_provider{nullptr};
 
 }  // namespace
 
 void RegisterBackendStatsProvider(BackendStatsProvider provider) {
   g_backend_provider.store(provider, std::memory_order_release);
+}
+
+void RegisterServeStatsProvider(ServeStatsProvider provider) {
+  g_serve_provider.store(provider, std::memory_order_release);
 }
 
 RuntimeStats RuntimeStats::Snapshot() {
@@ -24,6 +29,9 @@ RuntimeStats RuntimeStats::Snapshot() {
   if (BackendStatsProvider p =
           g_backend_provider.load(std::memory_order_acquire)) {
     s.backend = p();
+  }
+  if (ServeStatsProvider p = g_serve_provider.load(std::memory_order_acquire)) {
+    s.serve = p();
   }
   return s;
 }
@@ -62,6 +70,24 @@ std::string RuntimeStats::ToJson() const {
   w.Field("gemm_small_calls", backend.gemm_small_calls);
   w.Field("qgemm_s8_calls", backend.qgemm_s8_calls);
   w.Field("qgemm_bf16_calls", backend.qgemm_bf16_calls);
+  w.EndObject();
+  w.Key("serve");
+  w.BeginObject();
+  w.Field("requests", serve.requests);
+  w.Field("rejected", serve.rejected);
+  w.Field("batches", serve.batches);
+  w.Field("batched_requests", serve.batched_requests);
+  w.Field("mean_batch_size", serve.mean_batch_size());
+  w.Field("queue_highwater", serve.queue_highwater);
+  w.Field("embed_hits", serve.embed_hits);
+  w.Field("embed_misses", serve.embed_misses);
+  w.Field("embed_hit_rate", serve.embed_hit_rate());
+  w.Field("embed_entries", serve.embed_entries);
+  w.Field("embed_evictions", serve.embed_evictions);
+  w.Field("duel_rows", serve.duel_rows);
+  w.Field("duel_rows_evaluated", serve.duel_rows_evaluated);
+  w.Field("models_trained", serve.models_trained);
+  w.Field("forecasts", serve.forecasts);
   w.EndObject();
   w.EndObject();
   return w.str();

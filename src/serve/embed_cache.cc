@@ -1,0 +1,155 @@
+#include "serve/embed_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace autocts {
+namespace serve {
+
+uint64_t WindowSignature(const float* values, int num_series, int num_steps,
+                         int p, int q, bool single_step) {
+  CHECK(values != nullptr);
+  CHECK_GT(num_series, 0);
+  CHECK_GT(num_steps, 0);
+  uint64_t h = Fnv1a(values, static_cast<size_t>(num_series) *
+                                 static_cast<size_t>(num_steps) *
+                                 sizeof(float));
+  const int32_t geom[4] = {num_series, num_steps, p, q};
+  h = Fnv1a(geom, sizeof(geom), h);
+  return Fnv1a(single_step ? "S" : "M", 1, h);
+}
+
+TaskEmbedCache::TaskEmbedCache(size_t capacity) : capacity_(capacity) {}
+
+Tensor TaskEmbedCache::GetOrCompute(uint64_t signature,
+                                    const std::function<Tensor()>& compute,
+                                    bool* hit) {
+  if (capacity_ == 0) {
+    if (hit != nullptr) *hit = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+    }
+    return compute();  // Caching disabled: every request computes its own.
+  }
+  for (;;) {
+    EntryPtr entry;
+    bool owner = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = by_sig_.find(signature);
+      if (it != by_sig_.end()) {
+        entry = *it->second;
+        if (entry->ready) {
+          // Move to the front of the LRU list: this is a plain hit.
+          lru_.splice(lru_.begin(), lru_, it->second);
+          ++stats_.hits;
+          if (hit != nullptr) *hit = true;
+          return entry->value;
+        }
+        // Another caller is computing this key: wait for it, then re-probe
+        // (the computation may have failed or been invalidated).
+        ready_cv_.wait(lock,
+                       [&] { return entry->ready || entry->failed; });
+        continue;
+      }
+      // Miss: insert a not-yet-ready entry so concurrent callers of the
+      // same key wait instead of duplicating the computation.
+      entry = std::make_shared<Entry>();
+      entry->signature = signature;
+      entry->generation = generation_;
+      lru_.push_front(entry);
+      by_sig_[signature] = lru_.begin();
+      if (lru_.size() > capacity_) EvictLru();
+      ++stats_.misses;
+      owner = true;
+    }
+    CHECK(owner);
+    if (hit != nullptr) *hit = false;
+    Tensor value;
+    try {
+      value = compute();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry->failed = true;
+      auto it = by_sig_.find(signature);
+      if (it != by_sig_.end() && *it->second == entry) {
+        lru_.erase(it->second);
+        by_sig_.erase(it);
+      }
+      ready_cv_.notify_all();
+      throw;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->value = value;
+    entry->ready = true;
+    if (entry->generation != generation_) {
+      // The context changed while we computed: the result is valid for the
+      // caller (it used the new context's kernels either way — flushes are
+      // insurance, see header) but must not linger in the cache, because we
+      // cannot prove which configuration it saw.
+      auto it = by_sig_.find(signature);
+      if (it != by_sig_.end() && *it->second == entry) {
+        lru_.erase(it->second);
+        by_sig_.erase(it);
+        ++stats_.invalidations;
+      }
+    }
+    ready_cv_.notify_all();
+    return value;
+  }
+}
+
+void TaskEmbedCache::EvictLru() {
+  // Evict the least-recently-used READY entry; in-flight entries are pinned
+  // (their owner still needs to publish). Caller holds mu_.
+  for (auto it = lru_.end(); it != lru_.begin();) {
+    --it;
+    if (!(*it)->ready) continue;
+    by_sig_.erase((*it)->signature);
+    lru_.erase(it);
+    ++stats_.evictions;
+    return;
+  }
+}
+
+void TaskEmbedCache::SetContext(const std::string& context) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (context == context_) return;
+  context_ = context;
+  ++generation_;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it)->ready) {
+      by_sig_.erase((*it)->signature);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;  // In-flight: dropped by its owner when it publishes.
+    }
+  }
+}
+
+void TaskEmbedCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it)->ready) {
+      by_sig_.erase((*it)->signature);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+TaskEmbedCache::Stats TaskEmbedCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = by_sig_.size();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace autocts

@@ -1,0 +1,118 @@
+#ifndef REPRO_SERVE_EMBED_CACHE_H_
+#define REPRO_SERVE_EMBED_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "tensor/tensor.h"
+
+namespace autocts {
+namespace serve {
+
+/// FNV-1a over arbitrary bytes — the signature idiom the pipeline checkpoint
+/// uses for sample identities, reused here for dataset windows.
+inline uint64_t Fnv1a(const void* bytes, size_t n,
+                      uint64_t h = 1469598103934665603ull) {
+  const unsigned char* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint64_t>(p[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Content signature of one recommendation request: the raw window values
+/// plus every field that changes what task the window describes. Two
+/// requests with bit-identical windows and geometry get the same signature,
+/// so embeddings (and downstream recommendations) are shareable between
+/// them regardless of which tenant sent which.
+uint64_t WindowSignature(const float* values, int num_series, int num_steps,
+                         int p, int q, bool single_step);
+
+/// LRU cache of task embeddings keyed by window signature, shared by every
+/// serving worker.
+///
+/// Concurrency contract: GetOrCompute runs `compute` OUTSIDE the cache lock
+/// and guarantees at most one computation per key — concurrent callers of
+/// the same signature block until the first caller's result lands, callers
+/// of different signatures compute in parallel. If the computing caller
+/// throws, waiting callers are released and one of them retries.
+///
+/// Staleness contract: entries are valid only for the (kernel backend,
+/// comparator precision) context they were computed under. SetContext
+/// flushes everything when the context string changes, so a
+/// kernels::SetActiveBackend or comparator_precision swap can never serve
+/// an embedding computed under the previous configuration. (Backends are
+/// bit-identical by construction, so this is insurance, not correctness —
+/// but insurance the serving layer should not reason its way out of.)
+class TaskEmbedCache {
+ public:
+  /// `capacity` = maximum resident embeddings; 0 disables caching (every
+  /// lookup is a miss and nothing is stored).
+  explicit TaskEmbedCache(size_t capacity);
+
+  /// The cached embedding for `signature`, computing and inserting it via
+  /// `compute` on a miss. `hit` (optional) reports whether the value came
+  /// from the cache.
+  Tensor GetOrCompute(uint64_t signature,
+                      const std::function<Tensor()>& compute,
+                      bool* hit = nullptr);
+
+  /// Flushes all entries when `context` differs from the last call (see the
+  /// staleness contract above). The initial context is "".
+  void SetContext(const std::string& context);
+
+  /// Drops every entry (in-flight computations finish and are dropped too).
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;     ///< Entries dropped by LRU capacity.
+    uint64_t invalidations = 0; ///< Entries dropped by context flushes.
+    size_t entries = 0;         ///< Resident embeddings right now.
+
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t signature = 0;
+    Tensor value;
+    bool ready = false;   ///< False while the first caller is computing.
+    bool failed = false;  ///< Compute threw; a waiter should retry.
+    /// Generation at insert; a context flush bumps the generation so a
+    /// computation started under the old context cannot land in the new one.
+    uint64_t generation = 0;
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  /// Unlinks `it` from map + LRU list. Caller holds mu_.
+  void EvictLru();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::string context_;
+  uint64_t generation_ = 0;
+  /// Most-recently-used first.
+  std::list<EntryPtr> lru_;
+  std::unordered_map<uint64_t, std::list<EntryPtr>::iterator> by_sig_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace autocts
+
+#endif  // REPRO_SERVE_EMBED_CACHE_H_

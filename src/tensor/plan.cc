@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -200,6 +202,11 @@ struct StepPlan::Impl {
   int64_t arena_bytes = 0;
   int64_t pinned_bytes = 0;
   uint64_t pinned_tape = 0;
+  /// Thread that ran BeginCapture. Frozen plans are bound to it: replay
+  /// thunks and the pinned-tape accounting (t_pinned_tape_nodes) are only
+  /// valid there. See StepPlan's class comment and ValidateReplayThread().
+  std::thread::id capture_thread;
+  std::string tag;  ///< Capture tag, kept for error messages.
 
   void ReleaseFrozen() {
     if (!ready) return;
@@ -250,6 +257,8 @@ void StepPlan::BeginCapture(std::vector<Tensor> inputs, std::string tag) {
   impl_->declared_inputs = std::move(inputs);
   impl_->loss = Tensor();
   impl_->outputs.clear();
+  impl_->capture_thread = std::this_thread::get_id();
+  impl_->tag = tag;
   impl_->rec = std::make_unique<plan::Recorder>(std::move(tag));
   plan::t_recorder = impl_->rec.get();
 }
@@ -472,6 +481,20 @@ void StepPlan::Invalidate() {
   plan::g_invalidations.fetch_add(1, std::memory_order_relaxed);
 }
 
+Status StepPlan::ValidateReplayThread() const {
+  const Impl& f = *impl_;
+  if (!f.ready || std::this_thread::get_id() == f.capture_thread) {
+    return Status::Ok();
+  }
+  std::ostringstream os;
+  os << "StepPlan '" << f.tag << "' replayed on thread "
+     << std::this_thread::get_id() << " but captured on thread "
+     << f.capture_thread
+     << "; plans are thread-local — replay (and destruction) must happen on "
+        "the capture thread";
+  return Status::Error(os.str());
+}
+
 bool StepPlan::MatchesInputs(const std::vector<Tensor>& inputs) const {
   const Impl& f = *impl_;
   if (!f.ready || !plan::PlansEnabled()) return false;
@@ -488,6 +511,9 @@ bool StepPlan::MatchesInputs(const std::vector<Tensor>& inputs) const {
 void StepPlan::BeginStep(const std::vector<Tensor>& inputs) {
   Impl& f = *impl_;
   CHECK(f.ready) << "BeginStep on a plan that is not frozen";
+#ifndef NDEBUG
+  CHECK(ValidateReplayThread().ok()) << ValidateReplayThread().message();
+#endif
   CHECK_EQ(inputs.size(), f.inputs.size());
   for (size_t i = 0; i < inputs.size(); ++i) {
     const Impl::InputBinding& b = f.inputs[i];
@@ -505,6 +531,9 @@ void StepPlan::BeginStep(const std::vector<Tensor>& inputs) {
 void StepPlan::RunForward() {
   Impl& f = *impl_;
   CHECK(f.ready);
+#ifndef NDEBUG
+  CHECK(ValidateReplayThread().ok()) << ValidateReplayThread().message();
+#endif
   float* const* bufs = f.bufs.data();
   for (const plan::Thunk& t : f.thunks) t(bufs);
   plan::g_replays.fetch_add(1, std::memory_order_relaxed);
@@ -519,6 +548,9 @@ void StepPlan::RunBackward() {
   Impl& f = *impl_;
   CHECK(f.ready);
   CHECK(f.loss_impl != nullptr) << "RunBackward on an inference plan";
+#ifndef NDEBUG
+  CHECK(ValidateReplayThread().ok()) << ValidateReplayThread().message();
+#endif
   // Grads were zeroed in BeginStep; seed the root exactly as Backward()
   // does and re-run the captured closures in the recorded order.
   std::fill(f.loss_impl->grad.begin(), f.loss_impl->grad.end(), 1.0f);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace autocts {
@@ -110,7 +111,14 @@ void NoteBackwardNode(internal::TensorImpl* node);
 ///
 /// Not thread-safe: capture and every replay of one StepPlan must happen on
 /// the thread that captured it (distinct plans on distinct threads are
-/// fine; recording state is thread-local).
+/// fine; recording state is thread-local). This is a hard invariant, not
+/// just a data race: frozen plans pin tape-node accounting in thread-local
+/// counters, so a cross-thread replay (or destruction) corrupts another
+/// thread's bookkeeping. The plan remembers its capture thread; debug
+/// builds assert the invariant inside BeginStep/RunForward/RunBackward, and
+/// ValidateReplayThread() reports a violation as a clear error Status for
+/// release-mode callers (long-lived serving workers) that would otherwise
+/// hit silent UB.
 class StepPlan {
  public:
   StepPlan();
@@ -158,6 +166,13 @@ class StepPlan {
   void Invalidate();
 
   /// ---- Replay ----------------------------------------------------------
+
+  /// Ok when the calling thread is allowed to replay this plan — i.e. it is
+  /// the thread that captured it, or the plan is not frozen. A descriptive
+  /// error otherwise. Replaying (or destroying) a frozen plan on any other
+  /// thread is UB; callers holding plans in long-lived worker threads should
+  /// validate on re-entry paths where thread affinity is not structural.
+  Status ValidateReplayThread() const;
 
   /// True when `inputs` have the captured shapes and the global knobs the
   /// plan was captured under (fused kernels, guardrails, plans enabled)

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -399,6 +400,45 @@ TEST(PlanTapeTest, LiveTapeNodeAccounting) {
     EXPECT_GT(LiveTapeNodesThisThread(), base);
   }
   EXPECT_EQ(LiveTapeNodesThisThread(), base);
+}
+
+TEST(PlanThreadTest, ValidateReplayThreadDetectsCrossThreadUse) {
+  // Frozen plans pin tape accounting in thread-local counters, so replaying
+  // (or destroying) a plan on a different thread corrupts another thread's
+  // bookkeeping — plan.h promotes this from a comment to a checkable
+  // invariant. Validation itself is side-effect-free, so probing from the
+  // wrong thread here is safe; only BeginStep/RunForward would be UB.
+  ThreadPool pool(1);
+  ExecScope scope(ExecContext{&pool, 0});
+  KnobGuard knobs;
+  plan::SetPlansEnabled(true);
+  Rng rng(63);
+  Tensor x = Tensor::Randn({2, 3}, &rng);
+  Tensor w = Tensor::Randn({3, 3}, &rng);
+  NoGradScope no_grad;
+  StepPlan plan;
+  EXPECT_TRUE(plan.ValidateReplayThread().ok()) << "not ready: vacuously ok";
+  plan.BeginCapture({x}, "thread_probe");
+  Tensor y = MatMul(x, w);
+  plan.AddOutput(y);
+  ASSERT_TRUE(plan.EndCapture());
+  ASSERT_TRUE(plan.ready());
+  EXPECT_TRUE(plan.ValidateReplayThread().ok());
+
+  Status cross;
+  std::thread other([&] { cross = plan.ValidateReplayThread(); });
+  other.join();
+  EXPECT_FALSE(cross.ok());
+  EXPECT_NE(cross.message().find("thread"), std::string::npos)
+      << cross.message();
+  EXPECT_NE(cross.message().find("thread_probe"), std::string::npos)
+      << "error should name the offending plan: " << cross.message();
+
+  // Back on the capture thread the plan still replays.
+  EXPECT_TRUE(plan.ValidateReplayThread().ok());
+  plan.BeginStep({x});
+  plan.RunForward();
+  EXPECT_TRUE(BitEqual(plan.output(0).data(), y.data()));
 }
 
 }  // namespace

@@ -79,6 +79,57 @@ TEST(RuntimeConfigTest, ParsesEveryKnob) {
   EXPECT_EQ(cfg.comparator_precision, ComparatorPrecision::kInt8);
 }
 
+TEST(RuntimeConfigTest, ParsesServeKnobs) {
+  {
+    unsetenv("AUTOCTS_SERVE_PORT");
+    unsetenv("AUTOCTS_SERVE_WORKERS");
+    unsetenv("AUTOCTS_SERVE_MAX_BATCH");
+    unsetenv("AUTOCTS_SERVE_MAX_DELAY_US");
+    unsetenv("AUTOCTS_SERVE_EMBED_CACHE");
+    RuntimeConfig cfg = RuntimeConfig::FromEnv();
+    EXPECT_EQ(cfg.serve_port, 8080);
+    EXPECT_EQ(cfg.serve_workers, 2);
+    EXPECT_EQ(cfg.serve_max_batch, 8);
+    EXPECT_EQ(cfg.serve_max_delay_us, 200);
+    EXPECT_EQ(cfg.serve_embed_cache_entries, 64u);
+  }
+  {
+    ScopedEnv port("AUTOCTS_SERVE_PORT", "9191");
+    ScopedEnv workers("AUTOCTS_SERVE_WORKERS", "4");
+    ScopedEnv batch("AUTOCTS_SERVE_MAX_BATCH", "16");
+    ScopedEnv delay("AUTOCTS_SERVE_MAX_DELAY_US", "1000");
+    ScopedEnv cache("AUTOCTS_SERVE_EMBED_CACHE", "128");
+    RuntimeConfig cfg = RuntimeConfig::FromEnv();
+    EXPECT_EQ(cfg.serve_port, 9191);
+    EXPECT_EQ(cfg.serve_workers, 4);
+    EXPECT_EQ(cfg.serve_max_batch, 16);
+    EXPECT_EQ(cfg.serve_max_delay_us, 1000);
+    EXPECT_EQ(cfg.serve_embed_cache_entries, 128u);
+  }
+  {
+    // Out-of-range or unparseable values keep defaults (port is 16-bit,
+    // max_batch must be positive, the others non-negative).
+    ScopedEnv port("AUTOCTS_SERVE_PORT", "70000");
+    ScopedEnv workers("AUTOCTS_SERVE_WORKERS", "-1");
+    ScopedEnv batch("AUTOCTS_SERVE_MAX_BATCH", "0");
+    ScopedEnv delay("AUTOCTS_SERVE_MAX_DELAY_US", "-5");
+    ScopedEnv cache("AUTOCTS_SERVE_EMBED_CACHE", "lots");
+    RuntimeConfig cfg = RuntimeConfig::FromEnv();
+    EXPECT_EQ(cfg.serve_port, 8080);
+    EXPECT_EQ(cfg.serve_workers, 2);
+    EXPECT_EQ(cfg.serve_max_batch, 8);
+    EXPECT_EQ(cfg.serve_max_delay_us, 200);
+    EXPECT_EQ(cfg.serve_embed_cache_entries, 64u);
+  }
+  // print-config surfaces the serving knobs through the shared serializer.
+  RuntimeConfig cfg;
+  const std::string json = cfg.ToJson();
+  EXPECT_NE(json.find("\"serve_port\": 8080"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve_max_batch\": 8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve_embed_cache_entries\": 64"), std::string::npos)
+      << json;
+}
+
 TEST(RuntimeConfigTest, DisableFlagTruthinessMatchesHistoricalGetenv) {
   {
     ScopedEnv off("AUTOCTS_NO_FUSED", "0");
