@@ -253,6 +253,8 @@ void WriteBenchJson(const std::string& path,
     w.Field("p99_ns", r.p99_ns);
     w.Field("qps", r.qps);
     w.Field("cache_hit_rate", r.cache_hit_rate);
+    w.Field("rss_bytes", r.rss_bytes);
+    w.Field("resume_ns", r.resume_ns);
     w.EndObject();
     out << "  " << w.str() << (i + 1 < records.size() ? "," : "") << "\n";
   }

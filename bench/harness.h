@@ -124,6 +124,12 @@ struct MicroBenchRecord {
   /// Cache hit rate observed over the run (embed cache for serving records;
   /// 0 when the record has no cache axis).
   double cache_hit_rate = 0.0;
+  /// Resident-set growth attributable to the measured resume path
+  /// (BENCH_PR8.json bank records; /proc/self/statm delta, 0 elsewhere).
+  double rss_bytes = 0.0;
+  /// Checkpoint-resume latency: open the bank and make every persisted
+  /// sample/embedding usable again (mean over repetitions, 0 elsewhere).
+  double resume_ns = 0.0;
 };
 
 /// Writes `records` to `path` as a JSON array of flat objects.

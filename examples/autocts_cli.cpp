@@ -24,6 +24,12 @@
 //              series, columns = time steps) to /recommend:
 //                curl -s -X POST --data-binary @window.csv \
 //                    'localhost:8080/recommend?p=12&q=12&topk=3'
+//   bank       inspect / CRC-verify a memory-mapped sample bank written by
+//              a checkpointed pretrain run:
+//                autocts_cli bank --path /tmp/ckpt/pipeline.bank [--json]
+//              Prints the header, per-task record counts and quarantine /
+//              retry tallies, and verifies every section CRC. Exits
+//              non-zero on any corruption — usable as an fsck in scripts.
 //   info       print search-space and dataset registry information.
 //   print-config
 //              print the process runtime configuration (every AUTOCTS_*
@@ -38,6 +44,7 @@
 
 #include "common/jsonio.h"
 #include "common/runtime_config.h"
+#include "comparator/bank_file.h"
 #include "core/autocts.h"
 #include "tensor/backend.h"
 #include "data/csv_loader.h"
@@ -289,6 +296,90 @@ int Info() {
   return 0;
 }
 
+/// `bank` subcommand: open a sample bank read-only (no config-hash gate —
+/// inspection must work on any bank), print its inventory, and CRC-verify
+/// every frame. Returns non-zero when the bank cannot be opened or any
+/// section fails verification.
+int BankInspect(const std::map<std::string, std::string>& flags) {
+  const std::string path = StrFlag(flags, "path", "");
+  if (path.empty()) {
+    std::cerr << "usage: autocts_cli bank --path <dir>/pipeline.bank\n";
+    return 2;
+  }
+  StatusOr<std::unique_ptr<SampleBank>> opened =
+      SampleBank::Open(path, std::nullopt, SampleBank::Mode::kReadOnly);
+  if (!opened.ok()) {
+    std::cerr << "error: " << opened.status().message() << "\n";
+    return 1;
+  }
+  const SampleBank& bank = *opened.value();
+
+  struct TaskTally {
+    int records = 0;
+    int quarantined = 0;
+    int retried = 0;
+    int sections = 0;
+  };
+  std::map<int, TaskTally> tallies;
+  for (const BankRecord& r : bank.records()) {
+    TaskTally& t = tallies[r.task];
+    ++t.records;
+    if (r.quarantined) ++t.quarantined;
+    if (r.retries > 0) ++t.retried;
+  }
+  uint64_t section_floats = 0;
+  for (const BankSection& s : bank.sections()) {
+    ++tallies[s.task].sections;
+    section_floats += s.float_count;
+  }
+  Status verified = bank.VerifyAll();
+
+  if (flags.count("json") > 0) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("path", bank.path());
+    w.Field("config_hash", bank.config_hash());
+    w.Field("bytes", bank.size());
+    w.Field("records", static_cast<uint64_t>(bank.records().size()));
+    w.Field("sections", static_cast<uint64_t>(bank.sections().size()));
+    w.Field("section_floats", section_floats);
+    w.Field("verified", verified.ok());
+    if (!verified.ok()) w.Field("error", verified.message());
+    w.Key("tasks");
+    w.BeginArray();
+    for (const auto& [task, t] : tallies) {
+      w.BeginObject();
+      w.Field("task", task);
+      w.Field("records", t.records);
+      w.Field("sections", t.sections);
+      w.Field("quarantined", t.quarantined);
+      w.Field("retried", t.retried);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::cout << w.str() << "\n";
+  } else {
+    std::cout << "sample bank " << bank.path() << "\n"
+              << "  config hash   " << bank.config_hash() << "\n"
+              << "  bytes         " << bank.size() << "\n"
+              << "  records       " << bank.records().size() << "\n"
+              << "  sections      " << bank.sections().size() << " ("
+              << section_floats << " floats)\n";
+    for (const auto& [task, t] : tallies) {
+      std::cout << "  task " << task << ": " << t.records << " records, "
+                << t.sections << " sections, " << t.quarantined
+                << " quarantined, " << t.retried << " retried\n";
+    }
+    if (verified.ok()) {
+      std::cout << "  verify        OK (every frame CRC checked)\n";
+    } else {
+      std::cout << "  verify        FAILED: " << verified.message() << "\n";
+    }
+  }
+  return verified.ok() ? 0 : 1;
+}
+
 /// Dumps the startup RuntimeConfig plus the backend dispatch resolution
 /// (active + available) as one JSON object — the debugging entry point for
 /// "which knobs is this process actually running with?".
@@ -312,7 +403,8 @@ int PrintConfig() {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: autocts_cli "
-                 "{pretrain|search|eval|serve|info|print-config} [--flags]\n"
+                 "{pretrain|search|eval|serve|bank|info|print-config} "
+                 "[--flags]\n"
                  "see the header of examples/autocts_cli.cpp for details\n";
     return 2;
   }
@@ -322,6 +414,7 @@ int Main(int argc, char** argv) {
   if (command == "search") return Search(flags);
   if (command == "eval") return Eval(flags);
   if (command == "serve") return Serve(flags);
+  if (command == "bank") return BankInspect(flags);
   if (command == "info") return Info();
   if (command == "print-config" || command == "--print-config") {
     return PrintConfig();

@@ -76,6 +76,7 @@ void RobustnessReport::Merge(const RobustnessReport& other) {
   retried_samples += other.retried_samples;
   quarantined_samples += other.quarantined_samples;
   resumed_samples += other.resumed_samples;
+  resumed_task_embeddings += other.resumed_task_embeddings;
   skipped_optimizer_steps += other.skipped_optimizer_steps;
   nonfinite_comparisons += other.nonfinite_comparisons;
   diverged_candidates += other.diverged_candidates;

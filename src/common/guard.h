@@ -48,6 +48,9 @@ struct RobustnessReport {
   int quarantined_samples = 0;
   /// Labeled samples restored from a checkpoint instead of retrained.
   int resumed_samples = 0;
+  /// Preliminary task embeddings borrowed zero-copy from the mmap sample
+  /// bank instead of recomputed through the encoder.
+  int resumed_task_embeddings = 0;
   /// Optimizer updates skipped because the gradient norm was non-finite.
   int64_t skipped_optimizer_steps = 0;
   /// Non-finite comparator logits treated as "no preference" during search.

@@ -1,0 +1,146 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault.h"
+
+namespace autocts {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<MmapFile>> MmapFile::OpenReadOnly(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::Error(Errno("cannot open", path));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status s = Status::Error(Errno("cannot stat", path));
+    ::close(fd);
+    return s;
+  }
+  auto file = std::shared_ptr<MmapFile>(new MmapFile());
+  file->path_ = path;
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* addr = ::mmap(nullptr, file->size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status s = Status::Error(Errno("cannot mmap", path));
+      ::close(fd);
+      return s;
+    }
+    file->data_ = static_cast<char*>(addr);
+  }
+  // The mapping outlives the descriptor; closing early keeps fd pressure
+  // independent of how many banks a process has open.
+  ::close(fd);
+  return file;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+namespace {
+
+/// Clamps [offset, offset+length) to [0, size) and rounds the start down
+/// to a page boundary (madvise requires page-aligned addresses).
+bool ClampToPages(const char* base, size_t size, size_t offset, size_t length,
+                  void** addr, size_t* len) {
+  if (base == nullptr || offset >= size || length == 0) return false;
+  length = std::min(length, size - offset);
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t start = offset & ~(page - 1);
+  *addr = const_cast<char*>(base) + start;
+  *len = length + (offset - start);
+  return true;
+}
+
+}  // namespace
+
+void MmapFile::AdviseSequential(size_t offset, size_t length) const {
+  void* addr = nullptr;
+  size_t len = 0;
+  if (ClampToPages(data_, size_, offset, length, &addr, &len)) {
+    (void)::madvise(addr, len, MADV_SEQUENTIAL);
+  }
+}
+
+void MmapFile::AdviseWillNeed(size_t offset, size_t length) const {
+  void* addr = nullptr;
+  size_t len = 0;
+  if (ClampToPages(data_, size_, offset, length, &addr, &len)) {
+    (void)::madvise(addr, len, MADV_WILLNEED);
+  }
+}
+
+StatusOr<std::shared_ptr<AppendFile>> AppendFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::Error(Errno("cannot open", path));
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    Status s = Status::Error(Errno("cannot seek", path));
+    ::close(fd);
+    return s;
+  }
+  auto file = std::shared_ptr<AppendFile>(new AppendFile());
+  file->path_ = path;
+  file->fd_ = fd;
+  file->size_ = static_cast<uint64_t>(end);
+  return file;
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendFile::Append(const void* data, size_t size) {
+  // The injected-fault probe fires before any byte moves, mirroring
+  // AtomicWriteFile: a "failed" append is indistinguishable from a full
+  // disk and must leave the file exactly as it was.
+  if (FaultFiresIoWrite()) {
+    return Status::Error("injected IO failure appending to " + path_);
+  }
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd_, p + written, size - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      // Roll back the partial tail so no torn record survives the failure.
+      (void)::ftruncate(fd_, static_cast<off_t>(size_));
+      (void)::lseek(fd_, static_cast<off_t>(size_), SEEK_SET);
+      return Status::Error(Errno("append failed for", path_));
+    }
+    written += static_cast<size_t>(n);
+  }
+  size_ += size;
+  return Status::Ok();
+}
+
+Status AppendFile::Truncate(uint64_t size) {
+  if (size >= size_) return Status::Ok();
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::Error(Errno("cannot truncate", path_));
+  }
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+    return Status::Error(Errno("cannot seek", path_));
+  }
+  size_ = size;
+  return Status::Ok();
+}
+
+}  // namespace autocts

@@ -1,0 +1,91 @@
+#ifndef REPRO_COMMON_MMAP_FILE_H_
+#define REPRO_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace autocts {
+
+/// RAII read-only memory mapping of a whole file (PROT_READ, MAP_SHARED).
+///
+/// The mapping is immutable from this process's point of view: writes
+/// through the mapped range fault, which is exactly the contract borrowed
+/// tensors need (see FloatStorage). Handles are created as shared_ptr so a
+/// consumer that outlives the opener — a Tensor borrowing a section, a
+/// StepPlan that pinned one — keeps the pages mapped via its keepalive.
+///
+/// Because the mapping is MAP_SHARED on a read-only file, any number of
+/// processes opening the same file share one set of physical pages; pages
+/// are evictable page cache, so resident size is working-set-sized rather
+/// than file-sized.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. An empty file maps to a null, zero-length
+  /// region (a valid handle). Missing or unmappable paths are errors.
+  static StatusOr<std::shared_ptr<MmapFile>> OpenReadOnly(
+      const std::string& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// madvise prefetch hints for out-of-core streaming. Offsets are clamped
+  /// to the mapping and rounded down to page boundaries; hints are
+  /// best-effort (errors ignored — they only cost prefetch, not
+  /// correctness).
+  void AdviseSequential(size_t offset, size_t length) const;
+  void AdviseWillNeed(size_t offset, size_t length) const;
+
+ private:
+  MmapFile() = default;
+
+  std::string path_;
+  char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Append-side companion of MmapFile: an fd held open on a growing file,
+/// with all-or-nothing appends. Every append first consults the injected
+/// IO-fault probe (FaultFiresIoWrite) and, on a short or failed write,
+/// truncates the file back to its pre-append length — so a failed append
+/// never leaves a partial record behind (readers see either the previous
+/// or the next complete frame sequence).
+class AppendFile {
+ public:
+  /// Opens (creating if absent) `path` for appending; the write position
+  /// starts at the current end of file.
+  static StatusOr<std::shared_ptr<AppendFile>> Open(const std::string& path);
+
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Appends all of `size` bytes or none of them.
+  Status Append(const void* data, size_t size);
+
+  /// Drops everything at and past `size` (torn-tail recovery on open).
+  Status Truncate(uint64_t size);
+
+  /// Current end-of-file offset (the next append's position).
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendFile() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+};
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_MMAP_FILE_H_

@@ -66,6 +66,9 @@ RuntimeConfig RuntimeConfig::FromEnv() {
     int n = std::atoi(env);
     if (n >= 0) cfg.serve_max_delay_us = n;
   }
+  cfg.sample_bank = !DisableFlagSet("AUTOCTS_BANK_DISABLE");
+  cfg.bank_madvise = !DisableFlagSet("AUTOCTS_BANK_NO_MADVISE");
+  cfg.bank_verify_on_open = DisableFlagSet("AUTOCTS_BANK_VERIFY");
   if (const char* env = std::getenv("AUTOCTS_SERVE_EMBED_CACHE")) {
     // 0 legitimately disables caching, so unparseable input must be told
     // apart from a parsed zero.
@@ -94,6 +97,9 @@ std::string RuntimeConfig::ToJson() const {
   w.Field("serve_max_batch", serve_max_batch);
   w.Field("serve_max_delay_us", serve_max_delay_us);
   w.Field("serve_embed_cache_entries", serve_embed_cache_entries);
+  w.Field("sample_bank", sample_bank);
+  w.Field("bank_madvise", bank_madvise);
+  w.Field("bank_verify_on_open", bank_verify_on_open);
   w.EndObject();
   return w.str();
 }

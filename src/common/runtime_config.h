@@ -61,6 +61,16 @@ struct RuntimeConfig {
   int serve_max_delay_us = 200;
   /// AUTOCTS_SERVE_EMBED_CACHE: resident task embeddings (0 disables).
   int serve_embed_cache_entries = 64;
+  /// AUTOCTS_BANK_DISABLE=1 routes sample-fate persistence through the
+  /// legacy wholesale checkpoint manifest instead of the mmap sample bank.
+  bool sample_bank = true;
+  /// AUTOCTS_BANK_NO_MADVISE=1 suppresses madvise streaming hints on bank
+  /// mappings.
+  bool bank_madvise = true;
+  /// AUTOCTS_BANK_VERIFY=1 CRC-verifies every section payload when a bank
+  /// is opened (default: sections verify on scrub only, keeping open cost
+  /// independent of bank size).
+  bool bank_verify_on_open = false;
 
   /// Parses every knob from the environment. Unparseable values keep their
   /// defaults (matching the historical per-site getenv behaviour).

@@ -21,6 +21,22 @@ bool LabeledSample::usable() const {
   return !quarantined && std::isfinite(r_prime);
 }
 
+uint64_t TaskSectionKey(const ForecastTask& task, int windows_per_task) {
+  std::string id = task.name();
+  id += '|';
+  id += std::to_string(task.p);
+  id += '|';
+  id += std::to_string(task.q);
+  id += '|';
+  id += std::to_string(windows_per_task);
+  uint64_t h = 1469598103934665603ull;
+  for (char c : id) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 std::vector<TaskSampleSet> CollectSamples(
     const std::vector<ForecastTask>& tasks, const JointSearchSpace& space,
     const TaskEncoder& encoder, const ScaleConfig& scale,
@@ -51,8 +67,23 @@ std::vector<TaskSampleSet> CollectSamples(
     const ForecastTask& task = tasks[ti];
     TaskSampleSet& set = out[ti];
     set.task = task;
-    set.preliminary = PreliminaryTaskEmbedding(encoder, task,
-                                               options.windows_per_task, &rng);
+    // The preliminary embedding is the expensive part of resume: when a
+    // previous run banked it, borrow that (zero-copy) and burn the draws
+    // the encoder path would have consumed, so every later sample in the
+    // serial stream is unchanged.
+    const uint64_t section_key = TaskSectionKey(task, options.windows_per_task);
+    if (hook != nullptr && hook->RestoreTaskSection(static_cast<int>(ti),
+                                                    section_key,
+                                                    &set.preliminary)) {
+      SkipPreliminaryEmbeddingDraws(task, options.windows_per_task, &rng);
+    } else {
+      set.preliminary = PreliminaryTaskEmbedding(
+          encoder, task, options.windows_per_task, &rng);
+      if (hook != nullptr) {
+        hook->CommitTaskSection(static_cast<int>(ti), section_key, task,
+                                set.preliminary);
+      }
+    }
     set.samples.resize(shared_pool.size() +
                        static_cast<size_t>(options.random_count));
     trainers.push_back(

@@ -1,6 +1,7 @@
 #ifndef REPRO_COMPARATOR_PRETRAIN_H_
 #define REPRO_COMPARATOR_PRETRAIN_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -70,7 +71,38 @@ class SampleBankHook {
   /// quarantined). Serialized by the collector — implementations need no
   /// locking of their own.
   virtual void Commit(int task, int slot, const LabeledSample& sample) = 0;
+
+  /// Returns true and fills `preliminary` (typically a zero-copy borrow
+  /// from the mmap sample bank) when the task's preliminary embedding was
+  /// persisted by a previous run under `key` (see TaskSectionKey). The
+  /// collector then skips the encoder forward but still burns the RNG draws
+  /// it would have made, keeping the serial stream bit-identical. Called
+  /// from the serial pass only. Default: nothing persisted.
+  virtual bool RestoreTaskSection(int task, uint64_t key, Tensor* preliminary) {
+    (void)task;
+    (void)key;
+    (void)preliminary;
+    return false;
+  }
+
+  /// Called from the serial pass right after a preliminary embedding was
+  /// computed fresh, so the persistence layer can append it to the bank.
+  /// Default: discard.
+  virtual void CommitTaskSection(int task, uint64_t key,
+                                 const ForecastTask& forecast_task,
+                                 const Tensor& preliminary) {
+    (void)task;
+    (void)key;
+    (void)forecast_task;
+    (void)preliminary;
+  }
 };
+
+/// Stable identity of a task's preliminary-embedding section in the sample
+/// bank: a hash of the task label, window geometry, and window count —
+/// everything the embedding's content depends on besides the encoder
+/// parameters (which the config hash covers).
+uint64_t TaskSectionKey(const ForecastTask& task, int windows_per_task);
 
 /// Trains and early-validates the shared pool plus per-task random
 /// arch-hypers on every task, and computes each task's preliminary

@@ -79,7 +79,7 @@ QuantizedComparator::QLinear QuantizedComparator::Snapshot(
   q.mode = mode;
   q.in = layer.in_dim();
   q.out = layer.out_dim();
-  const std::vector<float>& w = layer.weight().data();
+  const auto& w = layer.weight().data();
   CHECK_EQ(static_cast<int64_t>(w.size()),
            static_cast<int64_t>(q.in) * q.out);
   if (layer.bias().defined()) q.bias = layer.bias().data();
@@ -189,8 +189,8 @@ std::vector<float> QuantizedComparator::GinForward(
   const int b = batch.adjacency.dim(0);
   const int d = embed_dim_;
   const int nodes = kEncodingNodes;
-  const std::vector<float>& adj = batch.adjacency.data();   // [b,14,14]
-  const std::vector<float>& hyper = batch.hyper.data();     // [b,6]
+  const auto& adj = batch.adjacency.data();   // [b,14,14]
+  const auto& hyper = batch.hyper.data();     // [b,6]
 
   // Initial node features, mirroring GinEncoder::Forward: projected one-hot
   // rows 0..nodes-2 (padding rows stay zero — op_proj_ is bias-free), the

@@ -201,7 +201,13 @@ StatusOr<PretrainReport> AutoCtsPlusPlus::TryPretrain(
 
   // Stage 3: curriculum + dynamic-pairing pre-training (lines 8–18). Not
   // checkpointed mid-epoch: it is the cheap stage and replays bit-exactly
-  // from its own seed and the (restored) bank.
+  // from its own seed and the (restored) bank. Pre-training iterates the
+  // borrowed preliminary embeddings epoch after epoch, so tell the kernel
+  // to read the mapping ahead sequentially — out-of-core banks stream
+  // instead of faulting page by page.
+  if (ckpt != nullptr && ckpt->bank() != nullptr) {
+    ckpt->bank()->AdviseSequentialAll();
+  }
   MaybeInjectKill(FaultPoint::kKillBeforeStage, kStageComparator);
   PretrainReport report;
   if (ckpt != nullptr && ckpt->stage_done() >= kStageComparator) {

@@ -1,6 +1,7 @@
 #include "core/checkpoint.h"
 
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <utility>
 
@@ -12,7 +13,14 @@ namespace autocts {
 namespace {
 
 /// Manifest frame: magic, CRC32 of everything after the CRC field, payload.
-constexpr uint64_t kManifestMagic = 0x41435453434b5031ull;  // "ACTSCKP1"
+/// v1 ("ACTSCKP1") inlines every sample fate and is rewritten per commit;
+/// v2 ("ACTSCKP2") carries only config hash, stage, and RNG state — fates
+/// and embeddings live in the append-only sample bank next to it. v2 is
+/// written whenever the bank is enabled; v1 manifests still load (their
+/// fates migrate into the bank) and are still written with the bank
+/// disabled.
+constexpr uint64_t kManifestMagicV1 = 0x41435453434b5031ull;  // "ACTSCKP1"
+constexpr uint64_t kManifestMagicV2 = 0x41435453434b5032ull;  // "ACTSCKP2"
 
 uint64_t Fnv1a(const std::string& bytes, uint64_t h = 1469598103934665603ull) {
   for (char c : bytes) {
@@ -37,6 +45,10 @@ std::string PipelineCheckpoint::ManifestPath() const {
   return dir_ + "/pipeline.manifest";
 }
 
+std::string PipelineCheckpoint::BankPath() const {
+  return dir_ + "/pipeline.bank";
+}
+
 std::string PipelineCheckpoint::EncoderPath() const {
   return dir_ + "/encoder.params";
 }
@@ -54,96 +66,193 @@ Status PipelineCheckpoint::Load() {
   const std::string path = ManifestPath();
   StatusOr<std::string> contents = ReadFileToString(path);
   // A missing manifest is simply "nothing done yet" — the normal state of
-  // a first run launched with --resume for crash-safety.
-  if (!contents.ok()) return Status::Ok();
-  const std::string& bytes = contents.value();
+  // a first run launched with --resume for crash-safety. The bank may
+  // still exist (commits land before the first stage commit), so it is
+  // opened either way.
+  const bool have_manifest = contents.ok();
 
-  FrameReader reader(bytes, 0);
-  uint64_t magic = 0;
-  uint32_t crc = 0;
-  if (!reader.Read(&magic) || !reader.Read(&crc)) {
-    return Status::Error("truncated checkpoint manifest " + path);
-  }
-  if (magic != kManifestMagic) {
-    return Status::Error("bad magic in checkpoint manifest " + path);
-  }
-  const size_t payload_offset = sizeof(uint64_t) + sizeof(uint32_t);
-  if (Crc32(bytes.data() + payload_offset, bytes.size() - payload_offset) !=
-      crc) {
-    return Status::Error("CRC mismatch in checkpoint manifest " + path +
-                         " (corrupt or torn file)");
-  }
-
-  // Parse into locals: nothing below may touch members until the whole
-  // manifest verified, so a rejected file leaves this object unchanged.
-  uint64_t config_hash = 0;
+  // Parse into locals: nothing below may touch members until manifest AND
+  // bank verified, so a rejected file leaves this object unchanged.
   uint32_t stage = 0;
   std::string rng_state;
-  uint64_t num_fates = 0;
-  if (!reader.Read(&config_hash) || !reader.Read(&stage) ||
-      !reader.ReadString(&rng_state) || !reader.Read(&num_fates)) {
-    return Status::Error("truncated checkpoint manifest " + path);
-  }
-  if (config_hash != config_hash_) {
-    return Status::Error(
-        "checkpoint manifest " + path +
-        " was written under a different configuration; refusing to resume");
-  }
-  if (stage > static_cast<uint32_t>(kStageComparator)) {
-    return Status::Error("checkpoint manifest " + path +
-                         " records unknown stage " + std::to_string(stage));
-  }
-  std::map<std::pair<int, int>, SampleFate> fates;
-  for (uint64_t i = 0; i < num_fates; ++i) {
-    int32_t task = 0, slot = 0, retries = 0;
-    uint8_t quarantined = 0;
-    SampleFate fate;
-    if (!reader.Read(&task) || !reader.Read(&slot) ||
-        !reader.Read(&fate.signature) || !reader.Read(&fate.r_prime) ||
-        !reader.Read(&quarantined) || !reader.Read(&retries) ||
-        !reader.ReadString(&fate.note)) {
-      return Status::Error("truncated checkpoint manifest " + path +
-                           " (sample record " + std::to_string(i) + ")");
+  bool manifest_is_v1 = false;
+  std::map<std::pair<int, int>, SampleFate> manifest_fates;
+  if (have_manifest) {
+    const std::string& bytes = contents.value();
+    FrameReader reader(bytes, 0);
+    uint64_t magic = 0;
+    uint32_t crc = 0;
+    if (!reader.Read(&magic) || !reader.Read(&crc)) {
+      return Status::Error("truncated checkpoint manifest " + path);
     }
-    fate.quarantined = quarantined != 0;
-    fate.retries = retries;
-    fates[{task, slot}] = std::move(fate);
+    if (magic != kManifestMagicV1 && magic != kManifestMagicV2) {
+      return Status::Error("bad magic in checkpoint manifest " + path);
+    }
+    manifest_is_v1 = magic == kManifestMagicV1;
+    const size_t payload_offset = sizeof(uint64_t) + sizeof(uint32_t);
+    if (Crc32(bytes.data() + payload_offset, bytes.size() - payload_offset) !=
+        crc) {
+      return Status::Error("CRC mismatch in checkpoint manifest " + path +
+                           " (corrupt or torn file)");
+    }
+    uint64_t config_hash = 0;
+    if (!reader.Read(&config_hash) || !reader.Read(&stage) ||
+        !reader.ReadString(&rng_state)) {
+      return Status::Error("truncated checkpoint manifest " + path);
+    }
+    if (config_hash != config_hash_) {
+      return Status::Error(
+          "checkpoint manifest " + path +
+          " was written under a different configuration; refusing to resume");
+    }
+    if (stage > static_cast<uint32_t>(kStageComparator)) {
+      return Status::Error("checkpoint manifest " + path +
+                           " records unknown stage " + std::to_string(stage));
+    }
+    if (manifest_is_v1) {
+      uint64_t num_fates = 0;
+      if (!reader.Read(&num_fates)) {
+        return Status::Error("truncated checkpoint manifest " + path);
+      }
+      for (uint64_t i = 0; i < num_fates; ++i) {
+        int32_t task = 0, slot = 0, retries = 0;
+        uint8_t quarantined = 0;
+        SampleFate fate;
+        if (!reader.Read(&task) || !reader.Read(&slot) ||
+            !reader.Read(&fate.signature) || !reader.Read(&fate.r_prime) ||
+            !reader.Read(&quarantined) || !reader.Read(&retries) ||
+            !reader.ReadString(&fate.note)) {
+          return Status::Error("truncated checkpoint manifest " + path +
+                               " (sample record " + std::to_string(i) + ")");
+        }
+        fate.quarantined = quarantined != 0;
+        fate.retries = retries;
+        manifest_fates[{task, slot}] = std::move(fate);
+      }
+    }
+    if (reader.remaining() != 0) {
+      return Status::Error(std::to_string(reader.remaining()) +
+                           " trailing bytes in checkpoint manifest " + path);
+    }
   }
-  if (reader.remaining() != 0) {
-    return Status::Error(std::to_string(reader.remaining()) +
-                         " trailing bytes in checkpoint manifest " + path);
+
+  // The bank is authoritative for fates in v2 mode; open it (append mode,
+  // recovering a torn tail) before mutating anything so bank corruption is
+  // all-or-nothing too.
+  std::unique_ptr<SampleBank> bank;
+  std::map<std::pair<int, int>, SampleFate> bank_fates;
+  std::error_code ec;
+  if (SampleBankEnabled() && std::filesystem::exists(BankPath(), ec)) {
+    StatusOr<std::unique_ptr<SampleBank>> opened =
+        SampleBank::Open(BankPath(), config_hash_, SampleBank::Mode::kAppend);
+    if (!opened.ok()) return opened.status();
+    bank = std::move(opened).value();
+    for (const BankRecord& r : bank->records()) {
+      SampleFate fate;
+      fate.signature = r.signature;
+      fate.r_prime = r.r_prime;
+      fate.shared = r.shared;
+      fate.quarantined = r.quarantined;
+      fate.retries = r.retries;
+      fate.note = r.note;
+      fate.arch = r.arch;
+      bank_fates[{r.task, r.slot}] = std::move(fate);
+    }
   }
+
+  if (!have_manifest && bank == nullptr) return Status::Ok();
 
   stage_done_ = static_cast<int>(stage);
   rng_state_ = std::move(rng_state);
-  fates_ = std::move(fates);
+  fates_ = std::move(manifest_fates);
+  for (const auto& [key, fate] : bank_fates) fates_[key] = fate;
+  bank_ = std::move(bank);
+
+  // One-shot v1 migration: fates that only the legacy manifest knows move
+  // into the bank now, so the next resume reads them from the mapping and
+  // this manifest can be rewritten fate-free at the next stage commit.
+  // Fates the bank already holds (a previous partially-completed
+  // migration) are not re-appended.
+  if (manifest_is_v1 && SampleBankEnabled()) {
+    for (const auto& [key, fate] : fates_) {
+      if (bank_fates.find(key) != bank_fates.end()) continue;
+      AppendFateToBank(key.first, key.second, fate);
+    }
+  }
   return Status::Ok();
 }
 
 void PipelineCheckpoint::WriteManifest() {
+  // With the bank enabled, the manifest carries only stage progress — the
+  // fates live in the append-only bank, so this write is O(1) instead of
+  // O(samples). The legacy mode inlines every fate (v1 layout).
+  const bool v1 = !SampleBankEnabled();
   std::string payload;
   AppendPod(&payload, config_hash_);
   AppendPod(&payload, static_cast<uint32_t>(stage_done_));
   AppendString(&payload, rng_state_);
-  AppendPod(&payload, static_cast<uint64_t>(fates_.size()));
-  for (const auto& [key, fate] : fates_) {
-    AppendPod(&payload, static_cast<int32_t>(key.first));
-    AppendPod(&payload, static_cast<int32_t>(key.second));
-    AppendPod(&payload, fate.signature);
-    AppendPod(&payload, fate.r_prime);
-    AppendPod(&payload, static_cast<uint8_t>(fate.quarantined ? 1 : 0));
-    AppendPod(&payload, static_cast<int32_t>(fate.retries));
-    AppendString(&payload, fate.note);
+  if (v1) {
+    AppendPod(&payload, static_cast<uint64_t>(fates_.size()));
+    for (const auto& [key, fate] : fates_) {
+      AppendPod(&payload, static_cast<int32_t>(key.first));
+      AppendPod(&payload, static_cast<int32_t>(key.second));
+      AppendPod(&payload, fate.signature);
+      AppendPod(&payload, fate.r_prime);
+      AppendPod(&payload, static_cast<uint8_t>(fate.quarantined ? 1 : 0));
+      AppendPod(&payload, static_cast<int32_t>(fate.retries));
+      AppendString(&payload, fate.note);
+    }
   }
   std::string frame;
   frame.reserve(sizeof(uint64_t) + sizeof(uint32_t) + payload.size());
-  AppendPod(&frame, kManifestMagic);
+  AppendPod(&frame, v1 ? kManifestMagicV1 : kManifestMagicV2);
   AppendPod(&frame, Crc32(payload.data(), payload.size()));
   frame += payload;
   ++robustness_.checkpoint_writes;
   if (!AtomicWriteFile(ManifestPath(), frame).ok()) {
     ++robustness_.checkpoint_write_failures;
   }
+}
+
+bool PipelineCheckpoint::EnsureBankWriter() {
+  if (bank_ != nullptr) return true;
+  StatusOr<std::unique_ptr<SampleBank>> opened =
+      SampleBank::Open(BankPath(), config_hash_, SampleBank::Mode::kAppend);
+  if (!opened.ok()) return false;
+  bank_ = std::move(opened).value();
+  return true;
+}
+
+void PipelineCheckpoint::AppendFateToBank(int task, int slot,
+                                          const SampleFate& fate) {
+  ++robustness_.checkpoint_writes;
+  if (!EnsureBankWriter()) {
+    ++robustness_.checkpoint_write_failures;
+    return;
+  }
+  BankRecord record;
+  record.task = task;
+  record.slot = slot;
+  record.signature = fate.signature;
+  record.r_prime = fate.r_prime;
+  record.shared = fate.shared;
+  record.quarantined = fate.quarantined;
+  record.retries = fate.retries;
+  record.note = fate.note;
+  record.arch = fate.arch;
+  if (!bank_->AppendRecord(record).ok()) {
+    ++robustness_.checkpoint_write_failures;
+  }
+}
+
+bool PipelineCheckpoint::SameFate(const SampleFate& a, const SampleFate& b) {
+  uint64_t ra = 0, rb = 0;
+  static_assert(sizeof(ra) == sizeof(a.r_prime));
+  std::memcpy(&ra, &a.r_prime, sizeof(ra));
+  std::memcpy(&rb, &b.r_prime, sizeof(rb));
+  return a.signature == b.signature && ra == rb &&
+         a.quarantined == b.quarantined && a.retries == b.retries &&
+         a.note == b.note;
 }
 
 void PipelineCheckpoint::CommitStage(int stage, const std::string& rng_state) {
@@ -177,11 +286,49 @@ void PipelineCheckpoint::Commit(int task, int slot,
   SampleFate fate;
   fate.signature = SampleSignature(sample);
   fate.r_prime = sample.r_prime;
+  fate.shared = sample.shared;
   fate.quarantined = sample.quarantined;
   fate.retries = sample.retries;
   fate.note = sample.note;
+  fate.arch = sample.arch_hyper.Signature();
+  // The collector commits restored samples too; an identical fate is
+  // already durable, and skipping it keeps a resumed run's bank file
+  // byte-identical to the uninterrupted one instead of growing duplicate
+  // records.
+  auto it = fates_.find({task, slot});
+  if (it != fates_.end() && SameFate(it->second, fate)) return;
   fates_[{task, slot}] = std::move(fate);
-  WriteManifest();
+  if (!SampleBankEnabled()) {
+    WriteManifest();
+    return;
+  }
+  AppendFateToBank(task, slot, fates_[{task, slot}]);
+}
+
+bool PipelineCheckpoint::RestoreTaskSection(int task, uint64_t key,
+                                            Tensor* preliminary) {
+  if (bank_ == nullptr) return false;
+  const BankSection* section = bank_->FindSection(task, key);
+  if (section == nullptr) return false;
+  bank_->AdviseWillNeed(*section);
+  *preliminary = bank_->BorrowSection(*section);
+  ++robustness_.resumed_task_embeddings;
+  return true;
+}
+
+void PipelineCheckpoint::CommitTaskSection(int task, uint64_t key,
+                                           const ForecastTask& forecast_task,
+                                           const Tensor& preliminary) {
+  if (!SampleBankEnabled()) return;
+  ++robustness_.checkpoint_writes;
+  if (!EnsureBankWriter()) {
+    ++robustness_.checkpoint_write_failures;
+    return;
+  }
+  Status appended = bank_->AppendSection(
+      task, key, forecast_task.name(), preliminary.shape(),
+      preliminary.data().data());
+  if (!appended.ok()) ++robustness_.checkpoint_write_failures;
 }
 
 }  // namespace autocts

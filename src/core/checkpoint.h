@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "common/guard.h"
 #include "common/status.h"
+#include "comparator/bank_file.h"
 #include "comparator/pretrain.h"
 
 namespace autocts {
@@ -34,16 +36,24 @@ enum PipelineStage : int {
 };
 
 /// Durable record of one Pretrain() run: a stage manifest (config hash,
-/// completed stage, serialized RNG stream, per-sample completion map with
-/// label fates) plus the encoder / T-AHC parameter files written at stage
-/// boundaries. All writes are atomic (tmp + rename) and CRC32-framed, so a
-/// kill at any instant leaves either the previous or the next complete
-/// version on disk — never a torn one.
+/// completed stage, serialized RNG stream), the mmap sample bank holding
+/// per-sample fates and preliminary task embeddings, and the encoder /
+/// T-AHC parameter files written at stage boundaries. Manifest writes are
+/// atomic (tmp + rename) and CRC32-framed; sample fates and embeddings go
+/// to the bank as appended CRC-framed records — O(1) IO per sample instead
+/// of rewriting the whole manifest — and the bank's torn-tail recovery
+/// keeps a kill at any instant from losing completed work.
+///
+/// With the bank disabled (AUTOCTS_BANK_DISABLE=1) the manifest falls back
+/// to the legacy v1 layout that inlines every fate; v1 manifests load
+/// either way and migrate their fates into the bank on the next resume.
 ///
 /// Doubles as the SampleBankHook for CollectSamples: Restore() answers
-/// per-sample "already labeled?" queries from the loaded manifest (after
-/// verifying the sample's signature still matches), and Commit() folds each
-/// freshly decided fate back into the manifest.
+/// per-sample "already labeled?" queries from the loaded state (after
+/// verifying the sample's signature still matches), Commit() appends each
+/// freshly decided fate, and RestoreTaskSection/CommitTaskSection do the
+/// same for preliminary embeddings (restored ones are zero-copy borrows
+/// from the bank mapping).
 ///
 /// Write failures never abort the pipeline — they degrade to counters in
 /// robustness() (a long run must not die because its checkpoint could not
@@ -56,6 +66,7 @@ class PipelineCheckpoint : public SampleBankHook {
   PipelineCheckpoint(std::string dir, uint64_t config_hash);
 
   std::string ManifestPath() const;
+  std::string BankPath() const;
   std::string EncoderPath() const;
   std::string ComparatorPath() const;
 
@@ -86,28 +97,50 @@ class PipelineCheckpoint : public SampleBankHook {
   // SampleBankHook:
   bool Restore(int task, int slot, LabeledSample* sample) override;
   void Commit(int task, int slot, const LabeledSample& sample) override;
+  bool RestoreTaskSection(int task, uint64_t key,
+                          Tensor* preliminary) override;
+  void CommitTaskSection(int task, uint64_t key,
+                         const ForecastTask& forecast_task,
+                         const Tensor& preliminary) override;
+
+  /// The open sample bank (null before Load, with the bank disabled, or
+  /// when no bank exists yet). Exposed for streaming hints and inspection.
+  const SampleBank* bank() const { return bank_.get(); }
 
   /// Checkpoint-side counters: manifest writes attempted/failed and
   /// samples restored instead of retrained.
   const RobustnessReport& robustness() const { return robustness_; }
 
  private:
-  /// One labeled sample's persisted fate.
+  /// One labeled sample's persisted fate. `shared` and `arch` only feed
+  /// the bank record (inspection); the v1 manifest stores neither.
   struct SampleFate {
     uint64_t signature = 0;
     double r_prime = 0.0;
+    bool shared = false;
     bool quarantined = false;
     int retries = 0;
     std::string note;
+    std::string arch;
   };
 
   void WriteManifest();
+  /// Lazily opens (creating if needed) the bank for appending. False — and
+  /// a null bank_ — when the open/create failed; the caller counts that as
+  /// one write failure.
+  bool EnsureBankWriter();
+  /// Appends one fate to the bank, degrading failures to counters.
+  void AppendFateToBank(int task, int slot, const SampleFate& fate);
+  /// True when the two fates describe the same decided outcome (bitwise on
+  /// r_prime so quarantined NaNs compare equal).
+  static bool SameFate(const SampleFate& a, const SampleFate& b);
 
   std::string dir_;
   uint64_t config_hash_ = 0;
   int stage_done_ = kStageNone;
   std::string rng_state_;
   std::map<std::pair<int, int>, SampleFate> fates_;  ///< Key: (task, slot).
+  std::unique_ptr<SampleBank> bank_;
   RobustnessReport robustness_;
 };
 

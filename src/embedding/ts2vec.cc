@@ -160,4 +160,17 @@ Tensor PreliminaryTaskEmbedding(const TaskEncoder& encoder,
   return Mean(grouped, 1).Detach();  // [W, S, D], constant thereafter.
 }
 
+void SkipPreliminaryEmbeddingDraws(const ForecastTask& task, int num_windows,
+                                   Rng* rng) {
+  // Must mirror PreliminaryTaskEmbedding draw-for-draw: one Int(0,
+  // max_start) per window, nothing else touches the stream.
+  const CtsDataset& d = *task.data;
+  const int s = task.p + task.q;
+  CHECK_GT(num_windows, 0);
+  int max_start = std::max(0, d.num_steps() - s);
+  for (int w = 0; w < num_windows; ++w) {
+    (void)rng->Int(0, max_start);
+  }
+}
+
 }  // namespace autocts

@@ -82,6 +82,13 @@ Tensor PreliminaryTaskEmbedding(const TaskEncoder& encoder,
                                 const ForecastTask& task, int num_windows,
                                 Rng* rng);
 
+/// Consumes exactly the RNG draws PreliminaryTaskEmbedding would have made
+/// for this task, without the encoder forward. Used when the embedding is
+/// restored from the sample bank: the serial draw stream must stay
+/// bit-identical to an uninterrupted run for everything sampled after it.
+void SkipPreliminaryEmbeddingDraws(const ForecastTask& task, int num_windows,
+                                   Rng* rng);
+
 }  // namespace autocts
 
 #endif  // REPRO_EMBEDDING_TS2VEC_H_

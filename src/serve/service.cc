@@ -802,7 +802,7 @@ StatusOr<std::vector<float>> RecommendationService::Forecast(
   }
   Tensor xt = Tensor::FromVector({1, n, p, 1}, std::move(x));
   Tensor y = entry->model->Forward(xt);  // [1, N, Q_out, 1], scaled.
-  const std::vector<float>& yd = y.data();
+  const auto& yd = y.data();
   std::vector<float> out(yd.size());
   for (size_t i = 0; i < yd.size(); ++i) {
     out[i] = yd[i] * entry->std + entry->mean;

@@ -23,7 +23,9 @@ namespace internal {
 TensorImpl::~TensorImpl() {
   if (backward) --t_live_tape_nodes;
   BufferPool& pool = BufferPool::Global();
-  pool.Release(std::move(data));
+  // TakeOwned is empty for borrowed storage: external memory (and its
+  // keepalive) is released to its owner, never to the pool.
+  pool.Release(data.TakeOwned());
   pool.Release(std::move(grad));
 }
 
@@ -107,6 +109,18 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
   return FromVector({1}, {value}, requires_grad);
 }
 
+Tensor Tensor::FromExternal(std::vector<int> shape, const float* data,
+                            size_t size,
+                            std::shared_ptr<const void> keepalive) {
+  CHECK_EQ(static_cast<int64_t>(size), NumElements(shape));
+  CHECK(size == 0 || data != nullptr);
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = FloatStorage::External(data, size, std::move(keepalive));
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
 const std::vector<int>& Tensor::shape() const {
   CHECK(defined());
   return impl_->shape;
@@ -127,12 +141,12 @@ int64_t Tensor::numel() const {
   return static_cast<int64_t>(impl_->data.size());
 }
 
-std::vector<float>& Tensor::data() {
+FloatStorage& Tensor::data() {
   CHECK(defined());
   return impl_->data;
 }
 
-const std::vector<float>& Tensor::data() const {
+const FloatStorage& Tensor::data() const {
   CHECK(defined());
   return impl_->data;
 }

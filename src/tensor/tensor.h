@@ -1,6 +1,7 @@
 #ifndef REPRO_TENSOR_TENSOR_H_
 #define REPRO_TENSOR_TENSOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,6 +16,98 @@ namespace autocts {
 namespace internal {
 struct TensorImpl;
 }  // namespace internal
+
+/// Storage behind a TensorImpl: either an owned, pool-recyclable
+/// std::vector<float> (every tensor the ops produce) or a non-owning view
+/// of externally managed read-only memory (Tensor::FromExternal — e.g. an
+/// fp32 section of a memory-mapped sample bank). The surface mirrors the
+/// vector subset the kernels use, so call sites are agnostic to the mode;
+/// `keepalive` pins the external owner for as long as any handle references
+/// this storage, which is what lets a borrowed tensor outlive the object
+/// that produced it (lifetime rules: DESIGN.md "Memory-mapped sample
+/// bank").
+class FloatStorage {
+ public:
+  using value_type = float;
+  using iterator = float*;
+  using const_iterator = const float*;
+
+  FloatStorage() = default;
+  /// Owned mode; implicit so vector-producing code assigns straight in.
+  FloatStorage(std::vector<float> owned)  // NOLINT(runtime/explicit)
+      : owned_(std::move(owned)) {}
+
+  /// Borrowed mode: a read-only view of `size` floats at `data`, kept
+  /// valid by `keepalive` (typically a shared_ptr to an mmap region).
+  static FloatStorage External(const float* data, size_t size,
+                               std::shared_ptr<const void> keepalive) {
+    FloatStorage s;
+    s.ext_ = data;
+    s.ext_size_ = size;
+    s.keepalive_ = std::move(keepalive);
+    return s;
+  }
+
+  /// Assigning an owned vector replaces the storage (drops any borrow).
+  FloatStorage& operator=(std::vector<float> owned) {
+    owned_ = std::move(owned);
+    ext_ = nullptr;
+    ext_size_ = 0;
+    keepalive_.reset();
+    return *this;
+  }
+
+  bool borrowed() const { return ext_ != nullptr; }
+  size_t size() const { return borrowed() ? ext_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+
+  const float* data() const { return borrowed() ? ext_ : owned_.data(); }
+  /// Non-const access to borrowed storage yields the same read-only bytes;
+  /// writing through it is a contract violation. Borrowed tensors are
+  /// constant leaves and no op mutates its inputs' data, and the bank maps
+  /// its file PROT_READ, so a violation faults loudly instead of silently
+  /// corrupting the on-disk bank.
+  float* data() { return borrowed() ? const_cast<float*>(ext_) : owned_.data(); }
+
+  const float* begin() const { return data(); }
+  const float* end() const { return data() + size(); }
+  float* begin() { return data(); }
+  float* end() { return data() + size(); }
+
+  const float& operator[](size_t i) const { return data()[i]; }
+  float& operator[](size_t i) { return data()[i]; }
+
+  /// Moves out the owned buffer for pool recycling; empty when borrowed
+  /// (external memory is never pooled). Leaves this storage empty.
+  std::vector<float> TakeOwned() {
+    ext_ = nullptr;
+    ext_size_ = 0;
+    keepalive_.reset();
+    return std::move(owned_);
+  }
+
+  /// Materializes a copy — the pre-FloatStorage `std::vector<float>` value
+  /// semantics, so sites that copied the data keep doing exactly that.
+  operator std::vector<float>() const {  // NOLINT(runtime/explicit)
+    return std::vector<float>(begin(), end());
+  }
+
+  friend bool operator==(const FloatStorage& a, const FloatStorage& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const FloatStorage& a, const std::vector<float>& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const std::vector<float>& a, const FloatStorage& b) {
+    return b == a;
+  }
+
+ private:
+  std::vector<float> owned_;
+  const float* ext_ = nullptr;
+  size_t ext_size_ = 0;
+  std::shared_ptr<const void> keepalive_;
+};
 
 /// A dense n-dimensional float tensor with reverse-mode autograd.
 ///
@@ -50,6 +143,15 @@ class Tensor {
                      bool requires_grad = false);
   /// A scalar (shape {1}) tensor.
   static Tensor Scalar(float value, bool requires_grad = false);
+  /// A constant leaf that borrows `size` floats of externally managed
+  /// read-only memory instead of owning a buffer — the zero-copy path the
+  /// memory-mapped sample bank hands its fp32 sections through. `keepalive`
+  /// pins the owner (e.g. the mmap region) for the life of the storage; the
+  /// borrowed bytes must stay valid and unchanged for that long. The
+  /// result never requires grad and its buffer is never pool-recycled.
+  static Tensor FromExternal(std::vector<int> shape, const float* data,
+                             size_t size,
+                             std::shared_ptr<const void> keepalive);
 
   /// ---- Introspection ---------------------------------------------------
 
@@ -62,8 +164,8 @@ class Tensor {
   /// Total number of elements.
   int64_t numel() const;
 
-  std::vector<float>& data();
-  const std::vector<float>& data() const;
+  FloatStorage& data();
+  const FloatStorage& data() const;
   /// Gradient buffer (same length as data). Zeros until Backward() ran.
   std::vector<float>& grad();
   const std::vector<float>& grad() const;
@@ -156,8 +258,10 @@ struct TensorImpl {
   TensorImpl& operator=(const TensorImpl&) = delete;
 
   std::vector<int> shape;
-  std::vector<float> data;
-  /// Lazily sized to data.size() when gradients first flow.
+  /// Owned (pooled vector) or borrowed (external read-only view).
+  FloatStorage data;
+  /// Lazily sized to data.size() when gradients first flow. Always owned —
+  /// even a borrowed-data tensor accumulates gradients locally.
   std::vector<float> grad;
   bool requires_grad = false;
   /// Inputs of the op that produced this node (empty for leaves).

@@ -19,6 +19,7 @@
 
 #include "common/fileio.h"
 #include "common/guard.h"
+#include "comparator/bank_file.h"
 #include "core/autocts.h"
 #include "core/checkpoint.h"
 #include "data/synthetic.h"
@@ -33,6 +34,7 @@ class FaultTest : public ::testing::Test {
   void TearDown() override {
     DisarmAllFaults();
     SetGuardsEnabled(true);
+    SetSampleBankEnabled(true);
   }
 };
 
@@ -257,6 +259,9 @@ TEST_F(CheckpointResumeTest, TruncatedManifestRejected) {
   LabeledSample sample;
   sample.r_prime = 2.5;
   writer.Commit(0, 0, sample);
+  // Commit appends the fate to the bank; the manifest itself is written at
+  // stage boundaries.
+  writer.CommitStage(kStageSamples);
   std::string bytes = ReadFileToString(writer.ManifestPath()).value();
   for (size_t keep : {size_t{4}, size_t{11}, size_t{20}, bytes.size() - 1}) {
     ASSERT_TRUE(
@@ -438,6 +443,96 @@ TEST_F(CheckpointResumeTest, CompletedRunResumesWithoutRetraining) {
   ExpectBanksIdentical(fp.bank, fp2.bank);
   EXPECT_TRUE(BitEqual(fp.encoder_params, fp2.encoder_params));
   EXPECT_TRUE(BitEqual(fp.tahc_params, fp2.tahc_params));
+}
+
+TEST_F(CheckpointResumeTest, CompletedResumeLeavesBankFileByteIdentical) {
+  // A resume that restores everything must not grow or rewrite the bank:
+  // restored fates dedup against what the file already holds, and restored
+  // embeddings are borrowed, not re-appended.
+  std::string dir = FreshDir("bank_bytes");
+  AutoCtsOptions opts = TinyOptions(2);
+  opts.checkpoint.dir = dir;
+  opts.checkpoint.resume = true;
+  {
+    AutoCtsPlusPlus first(opts);
+    first.Pretrain(TinySourceTasks());
+  }
+  std::string bank_path = dir + "/pipeline.bank";
+  std::string before = ReadFileToString(bank_path).value();
+
+  AutoCtsPlusPlus second(opts);
+  StatusOr<PretrainReport> report = second.TryPretrain(TinySourceTasks());
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report.value().robustness.resumed_samples, kPendingSamples);
+  // Both tasks' preliminary embeddings came back as zero-copy borrows.
+  EXPECT_EQ(report.value().robustness.resumed_task_embeddings, 2);
+
+  std::string after = ReadFileToString(bank_path).value();
+  ASSERT_EQ(before.size(), after.size());
+  EXPECT_EQ(std::memcmp(before.data(), after.data(), before.size()), 0);
+}
+
+TEST_F(CheckpointResumeTest, TornBankTailRecoveredOnResume) {
+  // Kill mid-collection, then chop bytes off the bank — the state a real
+  // SIGKILL leaves when it lands inside an append. Resume must truncate
+  // back to the last complete frame, retrain what was lost, and still end
+  // bit-identical to an uninterrupted run.
+  PipelineFingerprint baseline = RunUninterrupted(1);
+  std::string dir = FreshDir("torn_bank");
+  AutoCtsOptions opts = TinyOptions(1);
+  opts.checkpoint.dir = dir;
+  opts.checkpoint.resume = true;
+  {
+    AutoCtsPlusPlus fw(opts);
+    ArmFault(FaultPoint::kKillBeforeSample, 2);
+    EXPECT_THROW(fw.Pretrain(TinySourceTasks()), InjectedKill);
+    DisarmAllFaults();
+  }
+  std::string bank_path = dir + "/pipeline.bank";
+  uint64_t size = std::filesystem::file_size(bank_path);
+  ASSERT_GT(size, 72u);  // Header plus at least one frame to tear.
+  std::filesystem::resize_file(bank_path, size - 8);
+
+  AutoCtsPlusPlus resumed(opts);
+  StatusOr<PretrainReport> report = resumed.TryPretrain(TinySourceTasks());
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  PipelineFingerprint fp = Fingerprint(&resumed);
+  ExpectBanksIdentical(baseline.bank, fp.bank);
+  EXPECT_TRUE(BitEqual(baseline.encoder_params, fp.encoder_params));
+  EXPECT_TRUE(BitEqual(baseline.tahc_params, fp.tahc_params));
+}
+
+TEST_F(CheckpointResumeTest, LegacyV1ManifestFatesMigrateIntoBank) {
+  // A run checkpointed with the bank disabled writes the legacy v1
+  // manifest with every fate inlined. Re-enabling the bank and resuming
+  // must restore all of it, migrate the fates into a fresh bank file, and
+  // change nothing about the math.
+  std::string dir = FreshDir("v1_migrate");
+  AutoCtsOptions opts = TinyOptions(1);
+  opts.checkpoint.dir = dir;
+  opts.checkpoint.resume = true;
+  SetSampleBankEnabled(false);
+  {
+    AutoCtsPlusPlus fw(opts);
+    fw.Pretrain(TinySourceTasks());
+  }
+  std::string bank_path = dir + "/pipeline.bank";
+  EXPECT_FALSE(std::filesystem::exists(bank_path));
+  SetSampleBankEnabled(true);
+
+  AutoCtsPlusPlus resumed(opts);
+  StatusOr<PretrainReport> report = resumed.TryPretrain(TinySourceTasks());
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report.value().robustness.resumed_samples, kPendingSamples);
+  PipelineFingerprint baseline = RunUninterrupted(1);
+  ExpectBanksIdentical(baseline.bank, Fingerprint(&resumed).bank);
+
+  // The migrated fates are now in the bank, readable on their own.
+  auto bank =
+      SampleBank::Open(bank_path, std::nullopt, SampleBank::Mode::kReadOnly);
+  ASSERT_TRUE(bank.ok()) << bank.status().message();
+  EXPECT_EQ(bank.value()->records().size(),
+            static_cast<size_t>(kPendingSamples));
 }
 
 TEST_F(CheckpointResumeTest, ResumeWithCorruptManifestFailsCleanly) {

@@ -130,6 +130,33 @@ TEST(RuntimeConfigTest, ParsesServeKnobs) {
       << json;
 }
 
+TEST(RuntimeConfigTest, ParsesBankKnobs) {
+  {
+    unsetenv("AUTOCTS_BANK_DISABLE");
+    unsetenv("AUTOCTS_BANK_NO_MADVISE");
+    unsetenv("AUTOCTS_BANK_VERIFY");
+    RuntimeConfig cfg = RuntimeConfig::FromEnv();
+    EXPECT_TRUE(cfg.sample_bank);
+    EXPECT_TRUE(cfg.bank_madvise);
+    EXPECT_FALSE(cfg.bank_verify_on_open);
+  }
+  {
+    ScopedEnv disable("AUTOCTS_BANK_DISABLE", "1");
+    ScopedEnv no_madvise("AUTOCTS_BANK_NO_MADVISE", "1");
+    ScopedEnv verify("AUTOCTS_BANK_VERIFY", "1");
+    RuntimeConfig cfg = RuntimeConfig::FromEnv();
+    EXPECT_FALSE(cfg.sample_bank);
+    EXPECT_FALSE(cfg.bank_madvise);
+    EXPECT_TRUE(cfg.bank_verify_on_open);
+  }
+  RuntimeConfig cfg;
+  const std::string json = cfg.ToJson();
+  EXPECT_NE(json.find("\"sample_bank\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bank_madvise\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bank_verify_on_open\": false"), std::string::npos)
+      << json;
+}
+
 TEST(RuntimeConfigTest, DisableFlagTruthinessMatchesHistoricalGetenv) {
   {
     ScopedEnv off("AUTOCTS_NO_FUSED", "0");

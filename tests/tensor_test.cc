@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -260,6 +261,41 @@ TEST(AutogradTest, ZeroGradClears) {
   EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
   x.ZeroGrad();
   EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, FromExternalBorrowsWithoutCopying) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{1.f, 2.f, 3.f, 4.f, 5.f, 6.f});
+  Tensor t = Tensor::FromExternal({2, 3}, backing->data(), backing->size(),
+                                  backing);
+  EXPECT_EQ(t.shape(), (std::vector<int>{2, 3}));
+  EXPECT_FALSE(t.requires_grad());
+  // Zero-copy: the view points straight at the external buffer.
+  EXPECT_EQ(t.data().data(), backing->data());
+  EXPECT_EQ(t.data(), *backing);
+}
+
+TEST(TensorTest, FromExternalKeepaliveOutlivesOwner) {
+  Tensor t;
+  const float* raw = nullptr;
+  {
+    auto backing = std::make_shared<std::vector<float>>(
+        std::vector<float>{7.f, 8.f, 9.f});
+    raw = backing->data();
+    t = Tensor::FromExternal({3}, backing->data(), backing->size(), backing);
+  }  // Only the tensor's keepalive holds the buffer now.
+  EXPECT_EQ(t.data().data(), raw);
+  EXPECT_EQ(t.data(), (std::vector<float>{7.f, 8.f, 9.f}));
+}
+
+TEST(TensorTest, FromExternalFeedsOpsLikeOwnedTensors) {
+  auto backing = std::make_shared<std::vector<float>>(
+      std::vector<float>{1.f, 2.f, 3.f});
+  Tensor ext = Tensor::FromExternal({3}, backing->data(), backing->size(),
+                                    backing);
+  Tensor owned = Tensor::FromVector({3}, {1.f, 2.f, 3.f});
+  EXPECT_EQ(Add(ext, owned).data(), (std::vector<float>{2.f, 4.f, 6.f}));
+  EXPECT_FLOAT_EQ(SumAll(ext).at(0), 6.0f);
 }
 
 }  // namespace
