@@ -255,6 +255,13 @@ void WriteBenchJson(const std::string& path,
     w.Field("cache_hit_rate", r.cache_hit_rate);
     w.Field("rss_bytes", r.rss_bytes);
     w.Field("resume_ns", r.resume_ns);
+    w.Field("mae_pre", r.mae_pre);
+    w.Field("mae_degraded", r.mae_degraded);
+    w.Field("mae_post", r.mae_post);
+    w.Field("recovery_ticks", r.recovery_ticks);
+    w.Field("recovery_ns", r.recovery_ns);
+    w.Field("drifts", r.drifts);
+    w.Field("swaps", r.swaps);
     w.EndObject();
     out << "  " << w.str() << (i + 1 < records.size() ? "," : "") << "\n";
   }

@@ -130,6 +130,18 @@ struct MicroBenchRecord {
   /// Checkpoint-resume latency: open the bank and make every persisted
   /// sample/embedding usable again (mean over repetitions, 0 elsewhere).
   double resume_ns = 0.0;
+  /// Streaming-scenario fields (BENCH_PR9.json): online MAE before the
+  /// fault onset, between onset and the first hot-swap (or to the end when
+  /// the arm never recovers), and after the first swap; how many ticks and
+  /// wall ns the first recovery took (0 when no swap happened); and the
+  /// session's drift/swap counters. 0 on non-streaming records.
+  double mae_pre = 0.0;
+  double mae_degraded = 0.0;
+  double mae_post = 0.0;
+  double recovery_ticks = 0.0;
+  double recovery_ns = 0.0;
+  double drifts = 0.0;
+  double swaps = 0.0;
 };
 
 /// Writes `records` to `path` as a JSON array of flat objects.

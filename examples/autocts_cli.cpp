@@ -24,6 +24,16 @@
 //              series, columns = time steps) to /recommend:
 //                curl -s -X POST --data-binary @window.csv \
 //                    'localhost:8080/recommend?p=12&q=12&topk=3'
+//   stream     online forecasting under an injected fault scenario, with
+//              drift-triggered zero-shot re-search and model hot-swap:
+//                autocts_cli stream --ckpt /tmp/my_tahc --dataset PEMS-BAY \
+//                    [--scenario regime-shift|dropout|anomaly|drift|stationary] \
+//                    [--ticks 192] [--onset 64] [--magnitude 3.0] \
+//                    [--seed-steps 160] [--no-recovery] [--ph-lambda 8] \
+//                    [--warmup 64] [--deadline 32] [--research-delay 0]
+//              Prints drift / hot-swap events and the online MAE
+//              pre-onset, degraded, and post-recovery. Detector and
+//              recovery flags default from the AUTOCTS_STREAM_* knobs.
 //   bank       inspect / CRC-verify a memory-mapped sample bank written by
 //              a checkpointed pretrain run:
 //                autocts_cli bank --path /tmp/ckpt/pipeline.bank [--json]
@@ -35,12 +45,14 @@
 //              print the process runtime configuration (every AUTOCTS_*
 //              knob, parsed once at startup) plus the resolved kernel
 //              backend, as one JSON object. `--print-config` also works.
+#include <algorithm>
 #include <csignal>
 #include <cstring>
 #include <ctime>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/jsonio.h"
 #include "common/runtime_config.h"
@@ -280,6 +292,195 @@ int Serve(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+double DoubleFlag(const std::map<std::string, std::string>& flags,
+                  const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+/// `stream` subcommand: online forecasting under an injected fault
+/// scenario. Seeds a streaming session from the head of the dataset, then
+/// feeds the remainder tick by tick through a deterministic scenario
+/// overlay (regime shift, sensor dropout, anomaly burst, concept drift, or
+/// stationary), printing drift / hot-swap events as they land and the
+/// online MAE before, during, and after recovery.
+int Stream(const std::map<std::string, std::string>& flags) {
+  const RuntimeConfig& rc = GlobalRuntimeConfig();
+  ScaleConfig scale = ScaleConfig::Bench();
+  AutoCtsOptions options = AutoCtsOptions::ForScale(scale);
+  StatusOr<ForecastTask> built = BuildTask(flags, scale);
+  if (!built.ok()) {
+    std::cerr << "error: " << built.status().message() << "\n";
+    return 1;
+  }
+  const ForecastTask& task = built.value();
+  const CtsDataset& data = *task.data;
+
+  const int min_seed = task.p + task.q + 19;
+  int seed_steps = IntFlag(flags, "seed-steps",
+                           std::max(min_seed, data.num_steps() / 3));
+  if (seed_steps < min_seed) seed_steps = min_seed;
+  int ticks = IntFlag(flags, "ticks", data.num_steps() - seed_steps);
+  ticks = std::min(ticks, data.num_steps() - seed_steps);
+  if (ticks < 1) {
+    std::cerr << "error: dataset too short: need seed-steps + ticks <= "
+              << data.num_steps() << " steps\n";
+    return 1;
+  }
+
+  const std::string scenario = StrFlag(flags, "scenario", "regime-shift");
+  ScenarioSpec spec;
+  if (scenario == "stationary") {
+    spec.kind = ScenarioKind::kStationary;
+  } else if (scenario == "regime-shift") {
+    spec.kind = ScenarioKind::kRegimeShift;
+  } else if (scenario == "dropout") {
+    spec.kind = ScenarioKind::kSensorDropout;
+  } else if (scenario == "anomaly") {
+    spec.kind = ScenarioKind::kAnomalyBurst;
+  } else if (scenario == "drift") {
+    spec.kind = ScenarioKind::kConceptDrift;
+  } else {
+    std::cerr << "error: unknown --scenario '" << scenario
+              << "' (stationary|regime-shift|dropout|anomaly|drift)\n";
+    return 2;
+  }
+  spec.onset = IntFlag(flags, "onset", ticks / 3);
+  spec.duration = IntFlag(flags, "duration", 0);
+  spec.magnitude = static_cast<float>(DoubleFlag(flags, "magnitude", 3.0));
+  spec.fraction = static_cast<float>(DoubleFlag(flags, "fraction", 0.3));
+  spec.seed = static_cast<uint64_t>(IntFlag(flags, "seed", 1234));
+  ScenarioData sc = ApplyScenario(
+      std::make_shared<const CtsDataset>(
+          data.TemporalSlice(seed_steps, ticks)),
+      spec);
+
+  AutoCtsPlusPlus framework(options);
+  std::string ckpt = StrFlag(flags, "ckpt", "./autocts_cli");
+  Status loaded = framework.LoadCheckpoint(ckpt);
+  if (!loaded.ok()) {
+    std::cerr << "error: cannot load checkpoint " << ckpt << " ("
+              << loaded.message() << "); run `autocts_cli pretrain` first\n";
+    return 1;
+  }
+  serve::ServeOptions serve_opts = serve::ServeOptions::ForScale(scale);
+  serve::RecommendationService service(framework.comparator(),
+                                       framework.encoder(),
+                                       &framework.space(), serve_opts);
+  Status started = service.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started.message() << "\n";
+    return 1;
+  }
+
+  CtsDataset seed_window = data.TemporalSlice(0, seed_steps);
+  serve::RecommendRequest req;
+  req.window = seed_window.values();
+  req.num_series = data.num_series();
+  req.num_steps = seed_steps;
+  req.adjacency = seed_window.adjacency();
+  req.p = task.p;
+  req.q = task.q;
+  req.single_step = task.single_step;
+
+  stream::StreamOptions knobs = stream::StreamOptions::FromConfig(rc);
+  knobs.warmup = IntFlag(flags, "warmup", knobs.warmup);
+  knobs.ph_delta =
+      static_cast<float>(DoubleFlag(flags, "ph-delta", knobs.ph_delta));
+  knobs.ph_lambda =
+      static_cast<float>(DoubleFlag(flags, "ph-lambda", knobs.ph_lambda));
+  knobs.research_deadline =
+      IntFlag(flags, "deadline", knobs.research_deadline);
+  knobs.research_backoff = IntFlag(flags, "backoff", knobs.research_backoff);
+  knobs.research_retries = IntFlag(flags, "retries", knobs.research_retries);
+  knobs.research_delay = IntFlag(flags, "research-delay", knobs.research_delay);
+  if (flags.count("no-recovery") > 0) knobs.recovery = false;
+
+  std::cout << "opening stream (seed window " << seed_steps << " steps, "
+            << ticks << " live ticks, scenario " << scenario << " @ tick "
+            << spec.onset << ")...\n";
+  StatusOr<uint64_t> session = service.StreamOpen(req, knobs);
+  if (!session.ok()) {
+    std::cerr << "error: " << session.status().message() << "\n";
+    service.Shutdown();
+    return 1;
+  }
+
+  const int n = data.num_series();
+  std::vector<float> tick(static_cast<size_t>(n));
+  std::vector<uint8_t> miss(static_cast<size_t>(n));
+  const CtsDataset& observed = *sc.observed;
+  double pre_sum = 0.0, during_sum = 0.0, post_sum = 0.0;
+  int pre_count = 0, during_count = 0, post_count = 0;
+  int first_swap_tick = -1;
+  for (int t = 0; t < ticks; ++t) {
+    bool any_missing = false;
+    for (int s = 0; s < n; ++s) {
+      tick[static_cast<size_t>(s)] = observed.value(s, t, 0);
+      const bool m =
+          sc.missing[static_cast<size_t>(s) * ticks + t] != 0;
+      miss[static_cast<size_t>(s)] = m ? 1 : 0;
+      any_missing = any_missing || m;
+    }
+    StatusOr<stream::TickResult> pushed = service.StreamPush(
+        session.value(), tick,
+        any_missing ? miss : std::vector<uint8_t>{});
+    if (!pushed.ok()) {
+      std::cerr << "error: " << pushed.status().message() << "\n";
+      service.Shutdown();
+      return 1;
+    }
+    const stream::TickResult& r = pushed.value();
+    if (r.drift) {
+      std::cout << "tick " << t << ": drift detected (online MAE "
+                << r.recent_mae << ")\n";
+    }
+    if (r.swapped) {
+      std::cout << "tick " << t << ": model hot-swapped (generation "
+                << r.generation << ")\n";
+      // Segment on the first swap at or after the scenario onset; a swap
+      // triggered by pre-onset noise is printed but doesn't count as the
+      // recovery from the injected fault.
+      if (first_swap_tick < 0 && t >= spec.onset) first_swap_tick = t;
+    }
+    if (!r.scored) continue;
+    if (t < spec.onset) {
+      pre_sum += r.error;
+      ++pre_count;
+    } else if (first_swap_tick < 0) {
+      during_sum += r.error;
+      ++during_count;
+    } else {
+      post_sum += r.error;
+      ++post_count;
+    }
+  }
+
+  StatusOr<stream::StreamEngineStats> st =
+      service.StreamStats(session.value());
+  std::cout << "online MAE: pre-onset "
+            << (pre_count > 0 ? pre_sum / pre_count : 0.0) << " ("
+            << pre_count << " ticks), degraded "
+            << (during_count > 0 ? during_sum / during_count : 0.0) << " ("
+            << during_count << " ticks), post-recovery "
+            << (post_count > 0 ? post_sum / post_count : 0.0) << " ("
+            << post_count << " ticks)\n";
+  if (first_swap_tick >= 0) {
+    std::cout << "recovery latency: " << first_swap_tick - spec.onset
+              << " ticks after onset\n";
+  }
+  if (st.ok()) {
+    const stream::StreamEngineStats& e = st.value();
+    std::cout << "drifts " << e.drifts << ", re-searches "
+              << e.research_launched << " (" << e.research_failures
+              << " failed, " << e.swap_stalls << " stalled), swaps "
+              << e.swaps << ", imputed points " << e.imputed_points << "\n";
+  }
+  service.StreamClose(session.value());
+  service.Shutdown();
+  return 0;
+}
+
 int Info() {
   JointSearchSpace space;
   std::cout << "joint search space: 10^" << space.Log10Size()
@@ -403,7 +604,7 @@ int PrintConfig() {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: autocts_cli "
-                 "{pretrain|search|eval|serve|bank|info|print-config} "
+                 "{pretrain|search|eval|serve|stream|bank|info|print-config} "
                  "[--flags]\n"
                  "see the header of examples/autocts_cli.cpp for details\n";
     return 2;
@@ -414,6 +615,7 @@ int Main(int argc, char** argv) {
   if (command == "search") return Search(flags);
   if (command == "eval") return Eval(flags);
   if (command == "serve") return Serve(flags);
+  if (command == "stream") return Stream(flags);
   if (command == "bank") return BankInspect(flags);
   if (command == "info") return Info();
   if (command == "print-config" || command == "--print-config") {

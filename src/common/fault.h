@@ -34,9 +34,21 @@ enum class FaultPoint : int {
   /// Simulated SIGKILL at a pipeline stage boundary. Addressed by the
   /// PipelineCheckpoint stage number about to start; throws InjectedKill.
   kKillBeforeStage = 3,
+  /// The streaming engine's drift-triggered zero-shot re-search fails with
+  /// an error Status instead of producing a replacement model. Addressed by
+  /// the engine's re-search ordinal (0 = first re-search attempt after
+  /// arming); the engine keeps serving the old model and counts the
+  /// failure.
+  kStreamResearchFail = 4,
+  /// A completed re-search result stalls past the engine's swap deadline:
+  /// the ready model is discarded as too stale to install. Addressed by the
+  /// engine's swap ordinal. Exercises the "never serve a half-swapped
+  /// model" guarantee — the old model serves every tick until a full
+  /// replacement is installed atomically.
+  kStreamSwapStall = 5,
 };
 
-inline constexpr int kNumFaultPoints = 4;
+inline constexpr int kNumFaultPoints = 6;
 
 /// Thrown by the kill points to model a process death the enclosing test
 /// observes without actually losing the process. Everything written to disk

@@ -69,6 +69,45 @@ RuntimeConfig RuntimeConfig::FromEnv() {
   cfg.sample_bank = !DisableFlagSet("AUTOCTS_BANK_DISABLE");
   cfg.bank_madvise = !DisableFlagSet("AUTOCTS_BANK_NO_MADVISE");
   cfg.bank_verify_on_open = DisableFlagSet("AUTOCTS_BANK_VERIFY");
+  if (const char* env = std::getenv("AUTOCTS_STREAM_WARMUP")) {
+    int n = std::atoi(env);
+    if (n > 0) cfg.stream_warmup = n;
+  }
+  if (const char* env = std::getenv("AUTOCTS_STREAM_PH_DELTA")) {
+    char* end = nullptr;
+    const float v = std::strtof(env, &end);
+    if (end != env && v >= 0.0f) cfg.stream_ph_delta = v;
+  }
+  if (const char* env = std::getenv("AUTOCTS_STREAM_PH_LAMBDA")) {
+    char* end = nullptr;
+    const float v = std::strtof(env, &end);
+    if (end != env && v > 0.0f) cfg.stream_ph_lambda = v;
+  }
+  if (const char* env = std::getenv("AUTOCTS_STREAM_ERROR_WINDOW")) {
+    int n = std::atoi(env);
+    if (n > 0) cfg.stream_error_window = n;
+  }
+  if (const char* env = std::getenv("AUTOCTS_STREAM_RESEARCH_RETRIES")) {
+    // 0 legitimately means "one attempt, no retries".
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n >= 0) cfg.stream_research_retries = static_cast<int>(n);
+  }
+  if (const char* env = std::getenv("AUTOCTS_STREAM_RESEARCH_BACKOFF")) {
+    int n = std::atoi(env);
+    if (n > 0) cfg.stream_research_backoff = n;
+  }
+  if (const char* env = std::getenv("AUTOCTS_STREAM_RESEARCH_DEADLINE")) {
+    int n = std::atoi(env);
+    if (n > 0) cfg.stream_research_deadline = n;
+  }
+  if (const char* env = std::getenv("AUTOCTS_STREAM_RESEARCH_DELAY")) {
+    // 0 legitimately means "snapshot at the trigger tick".
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n >= 0) cfg.stream_research_delay = static_cast<int>(n);
+  }
+  cfg.stream_recovery = !DisableFlagSet("AUTOCTS_STREAM_NO_RECOVERY");
   if (const char* env = std::getenv("AUTOCTS_SERVE_EMBED_CACHE")) {
     // 0 legitimately disables caching, so unparseable input must be told
     // apart from a parsed zero.
@@ -100,6 +139,15 @@ std::string RuntimeConfig::ToJson() const {
   w.Field("sample_bank", sample_bank);
   w.Field("bank_madvise", bank_madvise);
   w.Field("bank_verify_on_open", bank_verify_on_open);
+  w.Field("stream_warmup", stream_warmup);
+  w.Field("stream_ph_delta", stream_ph_delta);
+  w.Field("stream_ph_lambda", stream_ph_lambda);
+  w.Field("stream_error_window", stream_error_window);
+  w.Field("stream_research_retries", stream_research_retries);
+  w.Field("stream_research_backoff", stream_research_backoff);
+  w.Field("stream_research_deadline", stream_research_deadline);
+  w.Field("stream_research_delay", stream_research_delay);
+  w.Field("stream_recovery", stream_recovery);
   w.EndObject();
   return w.str();
 }

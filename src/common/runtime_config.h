@@ -71,6 +71,35 @@ struct RuntimeConfig {
   /// is opened (default: sections verify on scrub only, keeping open cost
   /// independent of bank size).
   bool bank_verify_on_open = false;
+  /// AUTOCTS_STREAM_WARMUP: ticks the drift detector observes before its
+  /// error baseline freezes and triggering becomes possible.
+  int stream_warmup = 64;
+  /// AUTOCTS_STREAM_PH_DELTA: Page–Hinkley drift tolerance — per-tick slack
+  /// subtracted from the normalized-error deviation before it accumulates.
+  float stream_ph_delta = 0.05f;
+  /// AUTOCTS_STREAM_PH_LAMBDA: Page–Hinkley trigger threshold on the
+  /// accumulated deviation (larger = less sensitive).
+  float stream_ph_lambda = 8.0f;
+  /// AUTOCTS_STREAM_ERROR_WINDOW: rolling online-error window length used
+  /// for the recent-MAE estimate reported per tick.
+  int stream_error_window = 128;
+  /// AUTOCTS_STREAM_RESEARCH_RETRIES: re-search attempts per drift trigger
+  /// before the engine gives up and keeps the degraded model.
+  int stream_research_retries = 2;
+  /// AUTOCTS_STREAM_RESEARCH_BACKOFF: ticks between re-search retries
+  /// (doubles per consecutive failure).
+  int stream_research_backoff = 16;
+  /// AUTOCTS_STREAM_RESEARCH_DEADLINE: ticks after which an outstanding
+  /// background re-search is collected (the swap point; the old model
+  /// serves every tick until then).
+  int stream_research_deadline = 32;
+  /// AUTOCTS_STREAM_RESEARCH_DELAY: ticks between a drift trigger and the
+  /// re-search launch, letting the history ring refill with post-drift
+  /// data before the training snapshot is taken (0 = launch immediately).
+  int stream_research_delay = 0;
+  /// AUTOCTS_STREAM_NO_RECOVERY=1 disables drift-triggered re-search and
+  /// hot-swap; the detector still counts drifts (degraded-baseline mode).
+  bool stream_recovery = true;
 
   /// Parses every knob from the environment. Unparseable values keep their
   /// defaults (matching the historical per-site getenv behaviour).

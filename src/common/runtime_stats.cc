@@ -88,6 +88,12 @@ std::string RuntimeStats::ToJson() const {
   w.Field("duel_rows_evaluated", serve.duel_rows_evaluated);
   w.Field("models_trained", serve.models_trained);
   w.Field("forecasts", serve.forecasts);
+  w.Field("stream_sessions", serve.stream_sessions);
+  w.Field("stream_ticks", serve.stream_ticks);
+  w.Field("stream_drifts", serve.stream_drifts);
+  w.Field("stream_swaps", serve.stream_swaps);
+  w.Field("stream_research_failures", serve.stream_research_failures);
+  w.Field("stream_swap_stalls", serve.stream_swap_stalls);
   w.EndObject();
   w.EndObject();
   return w.str();

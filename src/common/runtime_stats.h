@@ -43,6 +43,12 @@ struct ServeStats {
   uint64_t duel_rows_evaluated = 0; ///< Duel rows actually run (post-dedup).
   uint64_t models_trained = 0;    ///< Forecast models trained on demand.
   uint64_t forecasts = 0;         ///< Forecasts served (trained or cached).
+  uint64_t stream_sessions = 0;   ///< Stream sessions opened since Start().
+  uint64_t stream_ticks = 0;      ///< Observations pushed across sessions.
+  uint64_t stream_drifts = 0;     ///< Drift-detector triggers.
+  uint64_t stream_swaps = 0;      ///< Model hot-swaps installed.
+  uint64_t stream_research_failures = 0;  ///< Re-search attempts that failed.
+  uint64_t stream_swap_stalls = 0;        ///< Ready models discarded as stale.
 
   /// Requests coalesced per micro-batch, on average.
   double mean_batch_size() const {

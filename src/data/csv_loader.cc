@@ -42,9 +42,32 @@ StatusOr<float> ParseCell(const std::string& cell, int row, size_t col) {
   return v;
 }
 
-StatusOr<std::vector<std::vector<float>>> ReadMatrix(const std::string& path,
-                                                     char delim,
-                                                     bool skip_header) {
+/// Reads a CSV into row-major floats. When `missing_rows` is non-null,
+/// cells that strict mode rejects for being empty or non-finite become
+/// missing entries (value 0 placeholder, mask 1) instead of errors;
+/// genuinely malformed cells ("abc") still fail either way.
+/// True for cells the missing-value mode absorbs: empty / whitespace-only
+/// cells and tokens that parse as a non-finite float ("nan", "inf", values
+/// that overflowed). Malformed text stays an error in both modes.
+bool IsMissingCell(const std::string& cell) {
+  size_t i = 0;
+  while (i < cell.size() &&
+         (cell[i] == ' ' || cell[i] == '\t' || cell[i] == '\r')) {
+    ++i;
+  }
+  if (i == cell.size()) return true;  // Empty or all-whitespace.
+  char* end = nullptr;
+  float v = std::strtof(cell.c_str(), &end);
+  while (end != nullptr && (*end == ' ' || *end == '\t' || *end == '\r')) {
+    ++end;
+  }
+  if (end == cell.c_str() || (end != nullptr && *end != '\0')) return false;
+  return !std::isfinite(v);
+}
+
+StatusOr<std::vector<std::vector<float>>> ReadMatrix(
+    const std::string& path, char delim, bool skip_header,
+    std::vector<std::vector<uint8_t>>* missing_rows = nullptr) {
   std::ifstream in(path);
   if (!in) return Status::Error("cannot open " + path);
   std::vector<std::vector<float>> rows;
@@ -62,12 +85,23 @@ StatusOr<std::vector<std::vector<float>>> ReadMatrix(const std::string& path,
     first = false;
     std::vector<std::string> cells = SplitLine(line, delim);
     std::vector<float> values;
+    std::vector<uint8_t> missing;
     values.reserve(cells.size());
+    if (missing_rows != nullptr) missing.reserve(cells.size());
     for (size_t c = 0; c < cells.size(); ++c) {
       StatusOr<float> v = ParseCell(cells[c], row_number, c);
-      if (!v.ok()) return v.status();
+      if (!v.ok()) {
+        if (missing_rows != nullptr && IsMissingCell(cells[c])) {
+          values.push_back(0.0f);
+          missing.push_back(1);
+          continue;
+        }
+        return v.status();
+      }
       values.push_back(v.value());
+      if (missing_rows != nullptr) missing.push_back(0);
     }
+    if (missing_rows != nullptr) missing_rows->push_back(std::move(missing));
     if (!rows.empty() && values.size() != rows.front().size()) {
       return Status::Error("ragged row " + std::to_string(row_number) +
                            ": expected " +
@@ -84,18 +118,57 @@ StatusOr<std::vector<std::vector<float>>> ReadMatrix(const std::string& path,
 
 StatusOr<CtsDataset> LoadCtsCsv(const std::string& path,
                                 const CsvOptions& options) {
+  std::vector<std::vector<uint8_t>> missing_rows;
   StatusOr<std::vector<std::vector<float>>> matrix =
-      ReadMatrix(path, options.delimiter, options.has_header);
+      ReadMatrix(path, options.delimiter, options.has_header,
+                 options.allow_missing ? &missing_rows : nullptr);
   if (!matrix.ok()) return matrix.status();
   const auto& rows = matrix.value();
   const int t = static_cast<int>(rows.size());
   const int n = static_cast<int>(rows.front().size());
   // CSV is time-major; CtsDataset stores series-major [n][t][f=1].
   std::vector<float> values(static_cast<size_t>(n) * t);
+  std::vector<uint8_t> missing;
+  if (options.allow_missing) missing.assign(values.size(), 0);
+  bool any_missing = false;
   for (int ti = 0; ti < t; ++ti) {
     for (int ni = 0; ni < n; ++ni) {
       values[static_cast<size_t>(ni) * t + ti] =
           rows[static_cast<size_t>(ti)][static_cast<size_t>(ni)];
+      if (options.allow_missing &&
+          missing_rows[static_cast<size_t>(ti)][static_cast<size_t>(ni)]) {
+        missing[static_cast<size_t>(ni) * t + ti] = 1;
+        any_missing = true;
+      }
+    }
+  }
+  if (any_missing) {
+    // Impute holes with last-observed-carry-forward per series so windows
+    // cut from the values stay finite; leading holes take the series mean
+    // of the observed points (0 if the whole series is missing). The mask
+    // still marks them so scalers and masked metrics can skip them.
+    for (int ni = 0; ni < n; ++ni) {
+      float* v = values.data() + static_cast<size_t>(ni) * t;
+      const uint8_t* m = missing.data() + static_cast<size_t>(ni) * t;
+      double sum = 0.0;
+      int64_t count = 0;
+      for (int ti = 0; ti < t; ++ti) {
+        if (!m[ti]) {
+          sum += v[ti];
+          ++count;
+        }
+      }
+      const float fallback =
+          count > 0 ? static_cast<float>(sum / static_cast<double>(count))
+                    : 0.0f;
+      float last = fallback;
+      for (int ti = 0; ti < t; ++ti) {
+        if (m[ti]) {
+          v[ti] = last;
+        } else {
+          last = v[ti];
+        }
+      }
     }
   }
   std::vector<float> adjacency;
@@ -121,8 +194,10 @@ StatusOr<CtsDataset> LoadCtsCsv(const std::string& path,
   if (slash != std::string::npos) name = name.substr(slash + 1);
   size_t dot = name.find_last_of('.');
   if (dot != std::string::npos) name = name.substr(0, dot);
-  return CtsDataset(name, n, t, /*num_features=*/1, std::move(values),
-                    std::move(adjacency));
+  CtsDataset dataset(name, n, t, /*num_features=*/1, std::move(values),
+                     std::move(adjacency));
+  if (any_missing) dataset.SetMissing(std::move(missing));
+  return dataset;
 }
 
 Status SaveCtsCsv(const CtsDataset& dataset, const std::string& path,

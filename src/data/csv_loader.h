@@ -18,6 +18,14 @@ struct CsvOptions {
   /// dataset gets an all-ones adjacency and models rely on their learned
   /// self-adaptive adjacency instead.
   std::string adjacency_path;
+  /// When set, empty cells and non-finite values ("nan"/"inf") in the data
+  /// matrix become explicit missing entries: the dataset carries a missing
+  /// mask (CtsDataset::missing()) and the masked values are imputed with
+  /// the last observed value of the same series (series mean before the
+  /// first observation). Off by default — strict mode keeps rejecting such
+  /// cells with a locatable error, so existing pipelines cannot silently
+  /// train on holes. Adjacency parsing is always strict.
+  bool allow_missing = false;
 };
 
 /// Loads a dataset whose rows are time steps and whose columns are series

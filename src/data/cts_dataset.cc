@@ -22,6 +22,11 @@ CtsDataset::CtsDataset(std::string name, int num_series, int num_steps,
            static_cast<size_t>(num_series_) * num_series_);
 }
 
+void CtsDataset::SetMissing(std::vector<uint8_t> missing) {
+  if (!missing.empty()) CHECK_EQ(missing.size(), values_.size());
+  missing_ = std::move(missing);
+}
+
 void CtsDataset::MeanStd(double fraction, float* mean, float* std) const {
   int t_max = std::max(1, static_cast<int>(num_steps_ * fraction));
   double sum = 0.0, sq = 0.0;
@@ -29,12 +34,20 @@ void CtsDataset::MeanStd(double fraction, float* mean, float* std) const {
   for (int n = 0; n < num_series_; ++n) {
     for (int t = 0; t < t_max; ++t) {
       for (int f = 0; f < num_features_; ++f) {
+        // Missing readings hold placeholder values; letting them into the
+        // scaler would bias it toward the imputation constant.
+        if (is_missing(n, t, f)) continue;
         double v = value(n, t, f);
         sum += v;
         sq += v * v;
         ++count;
       }
     }
+  }
+  if (count == 0) {  // Fully masked train split: fall back to identity.
+    *mean = 0.0f;
+    *std = 1.0f;
+    return;
   }
   double mu = sum / static_cast<double>(count);
   double var = std::max(sq / static_cast<double>(count) - mu * mu, 1e-8);
@@ -56,10 +69,24 @@ CtsDataset CtsDataset::TemporalSlice(int t0, int length) const {
       }
     }
   }
-  return CtsDataset(name_ + "[t" + std::to_string(t0) + "+" +
-                        std::to_string(length) + "]",
-                    num_series_, length, num_features_, std::move(sliced),
-                    adjacency_);
+  CtsDataset out(name_ + "[t" + std::to_string(t0) + "+" +
+                     std::to_string(length) + "]",
+                 num_series_, length, num_features_, std::move(sliced),
+                 adjacency_);
+  if (!missing_.empty()) {
+    std::vector<uint8_t> mask(static_cast<size_t>(num_series_) * length *
+                              num_features_);
+    for (int n = 0; n < num_series_; ++n) {
+      for (int t = 0; t < length; ++t) {
+        for (int f = 0; f < num_features_; ++f) {
+          mask[(static_cast<size_t>(n) * length + t) * num_features_ + f] =
+              missing_[FlatIndex(n, t0 + t, f)];
+        }
+      }
+    }
+    out.SetMissing(std::move(mask));
+  }
+  return out;
 }
 
 CtsDataset CtsDataset::SelectSensors(const std::vector<int>& sensors) const {
@@ -86,8 +113,23 @@ CtsDataset CtsDataset::SelectSensors(const std::vector<int>& sensors) const {
                     sensors[static_cast<size_t>(j)]);
     }
   }
-  return CtsDataset(name_ + "[n" + std::to_string(m) + "]", m, num_steps_,
-                    num_features_, std::move(sub_values), std::move(sub_adj));
+  CtsDataset out(name_ + "[n" + std::to_string(m) + "]", m, num_steps_,
+                 num_features_, std::move(sub_values), std::move(sub_adj));
+  if (!missing_.empty()) {
+    std::vector<uint8_t> mask(static_cast<size_t>(m) * num_steps_ *
+                              num_features_);
+    for (int i = 0; i < m; ++i) {
+      int n = sensors[static_cast<size_t>(i)];
+      for (int t = 0; t < num_steps_; ++t) {
+        for (int f = 0; f < num_features_; ++f) {
+          mask[(static_cast<size_t>(i) * num_steps_ + t) * num_features_ + f] =
+              missing_[FlatIndex(n, t, f)];
+        }
+      }
+    }
+    out.SetMissing(std::move(mask));
+  }
+  return out;
 }
 
 }  // namespace autocts

@@ -1,6 +1,7 @@
 #ifndef REPRO_DATA_CTS_DATASET_H_
 #define REPRO_DATA_CTS_DATASET_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +36,18 @@ class CtsDataset {
     return adjacency_[static_cast<size_t>(i) * num_series_ + j];
   }
 
+  /// Optional per-point missing mask, same layout as values() (non-zero =
+  /// the reading is missing and values() holds an imputation placeholder).
+  /// Empty for fully observed datasets — the common case pays no storage.
+  const std::vector<uint8_t>& missing() const { return missing_; }
+  bool has_missing() const { return !missing_.empty(); }
+  bool is_missing(int n, int t, int f) const {
+    return !missing_.empty() && missing_[FlatIndex(n, t, f)] != 0;
+  }
+
+  /// Attaches a missing mask (values().size() entries, or empty to clear).
+  void SetMissing(std::vector<uint8_t> missing);
+
   /// Mean and (population) standard deviation of values over the first
   /// `fraction` of time steps (used to fit the scaler on the train split
   /// only, never on validation/test).
@@ -65,6 +78,7 @@ class CtsDataset {
   int num_features_;
   std::vector<float> values_;
   std::vector<float> adjacency_;
+  std::vector<uint8_t> missing_;
 };
 
 using CtsDatasetPtr = std::shared_ptr<const CtsDataset>;

@@ -43,6 +43,56 @@ double Mape(const std::vector<float>& pred, const std::vector<float>& target,
   return 100.0 * sum / static_cast<double>(count);
 }
 
+double MaskedMae(const std::vector<float>& pred,
+                 const std::vector<float>& target,
+                 const std::vector<uint8_t>& skip) {
+  CHECK_EQ(pred.size(), target.size());
+  if (!skip.empty()) CHECK_EQ(skip.size(), pred.size());
+  double sum = 0.0;
+  int64_t count = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (!skip.empty() && skip[i] != 0) continue;
+    sum += std::fabs(static_cast<double>(pred[i]) - target[i]);
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  return sum / static_cast<double>(count);
+}
+
+double MaskedRmse(const std::vector<float>& pred,
+                  const std::vector<float>& target,
+                  const std::vector<uint8_t>& skip) {
+  CHECK_EQ(pred.size(), target.size());
+  if (!skip.empty()) CHECK_EQ(skip.size(), pred.size());
+  double sum = 0.0;
+  int64_t count = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (!skip.empty() && skip[i] != 0) continue;
+    double d = static_cast<double>(pred[i]) - target[i];
+    sum += d * d;
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  return std::sqrt(sum / static_cast<double>(count));
+}
+
+double MaskedMape(const std::vector<float>& pred,
+                  const std::vector<float>& target,
+                  const std::vector<uint8_t>& skip, float mask_threshold) {
+  CHECK_EQ(pred.size(), target.size());
+  if (!skip.empty()) CHECK_EQ(skip.size(), pred.size());
+  double sum = 0.0;
+  int64_t count = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (!skip.empty() && skip[i] != 0) continue;
+    if (std::fabs(target[i]) <= mask_threshold) continue;
+    sum += std::fabs((static_cast<double>(pred[i]) - target[i]) / target[i]);
+    ++count;
+  }
+  if (count == 0) return 0.0;
+  return 100.0 * sum / static_cast<double>(count);
+}
+
 double Rrse(const std::vector<float>& pred, const std::vector<float>& target) {
   CHECK_EQ(pred.size(), target.size());
   CHECK(!pred.empty());

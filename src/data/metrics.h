@@ -1,6 +1,7 @@
 #ifndef REPRO_DATA_METRICS_H_
 #define REPRO_DATA_METRICS_H_
 
+#include <cstdint>
 #include <vector>
 
 namespace autocts {
@@ -33,6 +34,22 @@ double Corr(const std::vector<float>& pred, const std::vector<float>& target,
 /// Spearman's rank correlation between two score vectors (used by the task
 /// similarity study, Table 4).
 double SpearmanRho(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Masked metric variants for the streaming evaluator: `skip` marks points
+/// to exclude (non-zero = excluded — missing sensor readings, injected
+/// anomalies); an empty `skip` includes every point. When every point is
+/// skipped the metrics return 0 rather than dividing by zero — a fully
+/// masked tick contributes nothing to the online-error window.
+double MaskedMae(const std::vector<float>& pred,
+                 const std::vector<float>& target,
+                 const std::vector<uint8_t>& skip);
+double MaskedRmse(const std::vector<float>& pred,
+                  const std::vector<float>& target,
+                  const std::vector<uint8_t>& skip);
+double MaskedMape(const std::vector<float>& pred,
+                  const std::vector<float>& target,
+                  const std::vector<uint8_t>& skip,
+                  float mask_threshold = 1e-3f);
 
 /// Summary of one evaluation pass.
 struct ForecastMetrics {

@@ -330,4 +330,147 @@ StatusOr<CtsDatasetPtr> MakeSyntheticDataset(const std::string& name,
   return GenerateSynthetic(profile.value());
 }
 
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kStationary: return "stationary";
+    case ScenarioKind::kRegimeShift: return "regime_shift";
+    case ScenarioKind::kSensorDropout: return "sensor_dropout";
+    case ScenarioKind::kAnomalyBurst: return "anomaly_burst";
+    case ScenarioKind::kConceptDrift: return "concept_drift";
+  }
+  return "stationary";
+}
+
+namespace {
+
+/// Per-series population stds of a single-feature dataset — scenario
+/// magnitudes are expressed in these units so one spec works across
+/// domains whose value ranges differ by orders of magnitude.
+std::vector<float> PerSeriesStd(const CtsDataset& data) {
+  const int n = data.num_series();
+  const int t_len = data.num_steps();
+  std::vector<float> stds(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0, sq = 0.0;
+    for (int t = 0; t < t_len; ++t) {
+      double v = data.value(i, t, 0);
+      sum += v;
+      sq += v * v;
+    }
+    double mu = sum / t_len;
+    double var = std::max(sq / t_len - mu * mu, 1e-8);
+    stds[static_cast<size_t>(i)] = static_cast<float>(std::sqrt(var));
+  }
+  return stds;
+}
+
+/// The first `count` sensors of a seeded shuffle — which sensors a fault
+/// hits depends only on spec.seed.
+std::vector<int> PickSensors(int n, float fraction, Rng* rng) {
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&order);
+  int count = std::clamp(static_cast<int>(n * fraction + 0.5f), 1, n);
+  order.resize(static_cast<size_t>(count));
+  return order;
+}
+
+}  // namespace
+
+ScenarioData ApplyScenario(const CtsDatasetPtr& clean,
+                           const ScenarioSpec& spec) {
+  CHECK(clean != nullptr);
+  CHECK_EQ(clean->num_features(), 1);
+  const int n = clean->num_series();
+  const int t_len = clean->num_steps();
+  const int onset = std::clamp(spec.onset, 0, t_len);
+  const int end = spec.duration > 0
+                      ? std::min(onset + spec.duration, t_len)
+                      : t_len;
+
+  ScenarioData out;
+  out.clean = clean;
+  out.missing.assign(static_cast<size_t>(n) * t_len, 0);
+  out.anomaly.assign(static_cast<size_t>(n) * t_len, 0);
+  std::vector<float> values = clean->values();
+  const std::vector<float> stds = PerSeriesStd(*clean);
+  Rng rng(spec.seed);
+
+  switch (spec.kind) {
+    case ScenarioKind::kStationary:
+      break;
+    case ScenarioKind::kRegimeShift: {
+      // Abrupt level shift of every series: the post-onset distribution
+      // the pre-drift model was fitted to no longer exists.
+      for (int i = 0; i < n; ++i) {
+        const float shift = spec.magnitude * stds[static_cast<size_t>(i)];
+        for (int t = onset; t < end; ++t) {
+          values[static_cast<size_t>(i) * t_len + t] += shift;
+        }
+      }
+      break;
+    }
+    case ScenarioKind::kSensorDropout: {
+      // A sensor subset stops reporting: mask the run, impute with the
+      // last pre-dropout observation (what a streaming consumer would see).
+      for (int i : PickSensors(n, spec.fraction, &rng)) {
+        const float held =
+            onset > 0 ? values[static_cast<size_t>(i) * t_len + (onset - 1)]
+                      : 0.0f;
+        for (int t = onset; t < end; ++t) {
+          values[static_cast<size_t>(i) * t_len + t] = held;
+          out.missing[static_cast<size_t>(i) * t_len + t] = 1;
+        }
+      }
+      break;
+    }
+    case ScenarioKind::kAnomalyBurst: {
+      // Short spike bursts on a sensor subset; each burst flips sign at
+      // random so anomalies do not average out into a level shift.
+      for (int i : PickSensors(n, spec.fraction, &rng)) {
+        int t = onset;
+        while (t < end) {
+          if (rng.Bernoulli(0.08)) {
+            const int burst = rng.Int(1, 4);
+            const float sign = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+            for (int b = 0; b < burst && t + b < end; ++b) {
+              values[static_cast<size_t>(i) * t_len + (t + b)] +=
+                  sign * spec.magnitude * stds[static_cast<size_t>(i)];
+              out.anomaly[static_cast<size_t>(i) * t_len + (t + b)] = 1;
+            }
+            t += burst;
+          } else {
+            ++t;
+          }
+        }
+      }
+      break;
+    }
+    case ScenarioKind::kConceptDrift: {
+      // Gradual ramp from onset: reaches the full shift at `end`, then
+      // holds — slow enough that a single-tick detector must integrate.
+      const int ramp = std::max(end - onset, 1);
+      for (int i = 0; i < n; ++i) {
+        const float shift = spec.magnitude * stds[static_cast<size_t>(i)];
+        for (int t = onset; t < t_len; ++t) {
+          const float frac =
+              std::min(1.0f, static_cast<float>(t - onset + 1) /
+                                 static_cast<float>(ramp));
+          values[static_cast<size_t>(i) * t_len + t] += frac * shift;
+        }
+      }
+      break;
+    }
+  }
+
+  auto observed = std::make_shared<CtsDataset>(
+      std::string(clean->name()) + "+" + ScenarioKindName(spec.kind), n,
+      t_len, 1, std::move(values), clean->adjacency());
+  bool any_missing = false;
+  for (uint8_t m : out.missing) any_missing |= (m != 0);
+  if (any_missing) observed->SetMissing(out.missing);
+  out.observed = std::move(observed);
+  return out;
+}
+
 }  // namespace autocts

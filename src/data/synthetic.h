@@ -61,6 +61,45 @@ CtsDatasetPtr GenerateSynthetic(const DatasetProfile& profile);
 StatusOr<CtsDatasetPtr> MakeSyntheticDataset(const std::string& name,
                                              const ScaleConfig& cfg);
 
+/// Robustness scenario flavours layered on top of a clean synthetic series
+/// (the streaming engine's test diet — see DESIGN.md "Streaming &
+/// drift-triggered re-search").
+enum class ScenarioKind {
+  kStationary,    ///< No fault — the drift detector's false-positive guard.
+  kRegimeShift,   ///< Abrupt level shift of every series at `onset`.
+  kSensorDropout, ///< A sensor subset goes missing for `duration` ticks.
+  kAnomalyBurst,  ///< Short spike bursts on random sensors.
+  kConceptDrift,  ///< Gradual level ramp from `onset` over `duration`.
+};
+
+const char* ScenarioKindName(ScenarioKind kind);
+
+/// Deterministic, seed-driven specification of one scenario overlay.
+struct ScenarioSpec {
+  ScenarioKind kind = ScenarioKind::kStationary;
+  int onset = 0;          ///< First faulted tick.
+  int duration = 0;       ///< Fault extent in ticks (0 = until the end).
+  float magnitude = 1.0f; ///< Shift/spike size in units of the series std.
+  float fraction = 0.3f;  ///< Fraction of sensors hit (dropout/anomaly).
+  uint64_t seed = 1234;   ///< Drives sensor choice and spike placement.
+};
+
+/// A scenario stream: faulted observations plus the ground truth and masks
+/// the streaming evaluator scores against. All layouts match
+/// CtsDataset::values() ([n][t], single feature).
+struct ScenarioData {
+  CtsDatasetPtr observed;        ///< What the stream sees (faults applied;
+                                 ///< dropouts imputed, mask set).
+  CtsDatasetPtr clean;           ///< Fault-free ground truth.
+  std::vector<uint8_t> missing;  ///< Non-zero = reading was dropped.
+  std::vector<uint8_t> anomaly;  ///< Non-zero = reading is an injected spike.
+};
+
+/// Applies `spec` to a clean dataset. Deterministic in (clean, spec): the
+/// overlay draws only from spec.seed, never from the clean generator state.
+ScenarioData ApplyScenario(const CtsDatasetPtr& clean,
+                           const ScenarioSpec& spec);
+
 }  // namespace autocts
 
 #endif  // REPRO_DATA_SYNTHETIC_H_

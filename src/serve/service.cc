@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "common/guard.h"
 #include "model/searched_model.h"
+#include "searchspace/parse.h"
 #include "tensor/backend.h"
 #include "tensor/ops.h"
 #include "tensor/plan.h"
@@ -193,6 +194,9 @@ Status RecommendationService::Start() {
 }
 
 void RecommendationService::Shutdown() {
+  // Sessions first, while workers still serve: an in-flight background
+  // re-search blocks in Recommend(), and closing its engine waits for it.
+  CloseAllStreams();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
@@ -298,6 +302,25 @@ ServeStats RecommendationService::stats() const {
   s.embed_misses = es.misses;
   s.embed_entries = es.entries;
   s.embed_evictions = es.evictions;
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    s.stream_sessions = streams_opened_;
+    stream::StreamEngineStats total = closed_streams_;
+    for (const auto& kv : streams_) {
+      std::lock_guard<std::mutex> sl(kv.second->stats_mu);
+      const stream::StreamEngineStats& e = kv.second->snapshot;
+      total.ticks += e.ticks;
+      total.drifts += e.drifts;
+      total.swaps += e.swaps;
+      total.research_failures += e.research_failures;
+      total.swap_stalls += e.swap_stalls;
+    }
+    s.stream_ticks = total.ticks;
+    s.stream_drifts = total.drifts;
+    s.stream_swaps = total.swaps;
+    s.stream_research_failures = total.research_failures;
+    s.stream_swap_stalls = total.swap_stalls;
+  }
   return s;
 }
 
@@ -716,9 +739,11 @@ void RecommendationService::ProcessBatch(std::vector<PendingPtr> batch,
   }
 }
 
-StatusOr<std::vector<float>> RecommendationService::Forecast(
-    const ForecastTask& task, uint64_t signature, const ArchHyper& best,
-    const ExecContext& ctx, bool* model_hit) const {
+StatusOr<RecommendationService::ModelEntryPtr>
+RecommendationService::TrainedModel(const ForecastTask& task,
+                                    uint64_t signature, const ArchHyper& best,
+                                    const ExecContext& ctx,
+                                    bool* model_hit) const {
   const std::string key = HexSig(signature) + "/" + best.Signature();
   ModelEntryPtr entry;
   bool owner = false;
@@ -784,6 +809,16 @@ StatusOr<std::vector<float>> RecommendationService::Forecast(
     model_ready_.notify_all();
   }
   if (!entry->train_status.ok()) return entry->train_status;
+  return entry;
+}
+
+StatusOr<std::vector<float>> RecommendationService::Forecast(
+    const ForecastTask& task, uint64_t signature, const ArchHyper& best,
+    const ExecContext& ctx, bool* model_hit) const {
+  StatusOr<ModelEntryPtr> trained =
+      TrainedModel(task, signature, best, ctx, model_hit);
+  if (!trained.ok()) return trained.status();
+  const ModelEntryPtr& entry = trained.value();
 
   // Inference: z-score the window's last p steps with the scaler the model
   // was trained under, predict, inverse-transform.
@@ -809,6 +844,217 @@ StatusOr<std::vector<float>> RecommendationService::Forecast(
   }
   forecasts_.fetch_add(1, std::memory_order_relaxed);
   return out;
+}
+
+StatusOr<stream::StreamModel> RecommendationService::ResearchModel(
+    const CtsDatasetPtr& recent, int p, int q, bool single_step) {
+  // Zero-shot rank through the normal request queue: a re-search is just
+  // another tenant asking "what fits this window?", and shares the embed /
+  // duel / model caches with everyone else.
+  RecommendRequest r;
+  r.num_series = recent->num_series();
+  r.num_steps = recent->num_steps();
+  r.window = recent->values();  // [n][t][1] slab == series-major window.
+  r.adjacency = recent->adjacency();
+  r.p = p;
+  r.q = q;
+  r.single_step = single_step;
+  r.top_k = 1;
+  StatusOr<Recommendation> rec = Recommend(r);
+  if (!rec.ok()) return rec.status();
+  StatusOr<ArchHyper> best = ParseArchHyper(rec.value().ranked.front());
+  if (!best.ok()) return best.status();
+
+  // Train (or fetch) the winner on the recent window itself — `recent`
+  // keeps its missing mask, so the scaler fit skips imputed points. A local
+  // 1-lane pool makes the result independent of the calling thread (the
+  // opener's or a background researcher's).
+  ForecastTask task;
+  task.data = recent;
+  task.p = p;
+  task.q = q;
+  task.single_step = single_step;
+  ThreadPool local_pool(1);
+  ExecContext ctx;
+  ctx.pool = &local_pool;
+  ctx.seed = options_.search.seed;
+  ctx.config = &config_;
+  ExecScope scope(ctx);
+  bool model_hit = false;
+  StatusOr<ModelEntryPtr> entry = TrainedModel(
+      task, rec.value().task_signature, best.value(), ctx, &model_hit);
+  if (!entry.ok()) return entry.status();
+
+  stream::StreamModel m;
+  m.model = entry.value()->model;
+  m.mean = entry.value()->mean;
+  m.std = entry.value()->std;
+  m.arch = rec.value().ranked.front();
+  return m;
+}
+
+StatusOr<uint64_t> RecommendationService::StreamOpen(
+    const RecommendRequest& request) {
+  return StreamOpen(request, stream::StreamOptions::FromConfig(config_));
+}
+
+StatusOr<uint64_t> RecommendationService::StreamOpen(
+    const RecommendRequest& request, const stream::StreamOptions& knobs) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!started_ || stopping_) {
+      return Status::Error("StreamOpen needs a started service");
+    }
+  }
+  RecommendRequest r = request;
+  r.want_forecast = false;
+  r.top_k = 1;
+  const Status valid = Validate(r);
+  if (!valid.ok()) return valid;
+  if (r.num_steps - (r.p + r.q) + 1 < 20) {
+    return Status::Error(
+        "stream seed window too short: training the initial model needs "
+        "num_steps >= p + q + 19");
+  }
+  const uint64_t signature =
+      WindowSignature(r.window.data(), r.num_series, r.num_steps, r.p, r.q,
+                      r.single_step);
+  ForecastTask task = MakeTask(r, signature);
+  StatusOr<stream::StreamModel> initial =
+      ResearchModel(task.data, r.p, r.q, r.single_step);
+  if (!initial.ok()) return initial.status();
+
+  stream::StreamOptions so = knobs;
+  so.num_series = r.num_series;
+  so.p = r.p;
+  so.adjacency = task.data->adjacency();
+  // The tenant's seed window length defines the re-search window: every
+  // re-search trains on the same span the initial model saw.
+  so.history = r.num_steps;
+  so.seed = options_.search.seed ^ signature;
+
+  auto session = std::make_shared<StreamSession>();
+  const int p = r.p;
+  const int q = r.q;
+  const bool single_step = r.single_step;
+  stream::Researcher researcher =
+      [this, p, q, single_step](const CtsDatasetPtr& recent,
+                                uint64_t) -> StatusOr<stream::StreamModel> {
+    // The content-derived seed the engine offers is subsumed by the window
+    // signature Recommend derives from the same bytes.
+    return ResearchModel(recent, p, q, single_step);
+  };
+  session->engine = std::make_unique<stream::StreamEngine>(
+      std::move(so), std::move(initial).value(), std::move(researcher));
+
+  // Replay the seed window through the engine: the ring window is full and
+  // the detector mid-warm-up (on the very data the model was trained on) by
+  // the time the tenant's first live tick arrives.
+  {
+    std::lock_guard<std::mutex> push(session->mu);
+    std::vector<float> tick(static_cast<size_t>(r.num_series));
+    std::vector<uint8_t> miss(static_cast<size_t>(r.num_series));
+    const CtsDataset& data = *task.data;
+    for (int t = 0; t < r.num_steps; ++t) {
+      bool any_missing = false;
+      for (int n = 0; n < r.num_series; ++n) {
+        tick[static_cast<size_t>(n)] = data.value(n, t, 0);
+        miss[static_cast<size_t>(n)] = data.is_missing(n, t, 0) ? 1 : 0;
+        any_missing = any_missing || miss[static_cast<size_t>(n)] != 0;
+      }
+      session->engine->Push(tick.data(),
+                            any_missing ? miss.data() : nullptr);
+    }
+    std::lock_guard<std::mutex> sl(session->stats_mu);
+    session->snapshot = session->engine->stats();
+  }
+
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  const uint64_t id = next_stream_id_++;
+  ++streams_opened_;
+  streams_.emplace(id, std::move(session));
+  return id;
+}
+
+StatusOr<stream::TickResult> RecommendationService::StreamPush(
+    uint64_t id, const std::vector<float>& values,
+    const std::vector<uint8_t>& missing) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    auto it = streams_.find(id);
+    if (it == streams_.end()) {
+      return Status::Error("unknown stream session");
+    }
+    session = it->second;
+  }
+  const size_t n =
+      static_cast<size_t>(session->engine->options().num_series);
+  if (values.size() != n) {
+    return Status::Error("tick must carry num_series values");
+  }
+  if (!missing.empty() && missing.size() != n) {
+    return Status::Error("missing mask must be empty or num_series long");
+  }
+  std::lock_guard<std::mutex> push(session->mu);
+  stream::TickResult result = session->engine->Push(
+      values.data(), missing.empty() ? nullptr : missing.data());
+  {
+    std::lock_guard<std::mutex> sl(session->stats_mu);
+    session->snapshot = session->engine->stats();
+  }
+  return result;
+}
+
+StatusOr<stream::StreamEngineStats> RecommendationService::StreamStats(
+    uint64_t id) const {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    auto it = streams_.find(id);
+    if (it == streams_.end()) {
+      return Status::Error("unknown stream session");
+    }
+    session = it->second;
+  }
+  std::lock_guard<std::mutex> sl(session->stats_mu);
+  return session->snapshot;
+}
+
+Status RecommendationService::StreamClose(uint64_t id) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    auto it = streams_.find(id);
+    if (it == streams_.end()) {
+      return Status::Error("unknown stream session");
+    }
+    session = std::move(it->second);
+    streams_.erase(it);
+  }
+  stream::StreamEngineStats final_stats;
+  {
+    std::lock_guard<std::mutex> push(session->mu);
+    final_stats = session->engine->stats();
+    session->engine.reset();  // Waits out any in-flight re-search.
+  }
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  closed_streams_.ticks += final_stats.ticks;
+  closed_streams_.drifts += final_stats.drifts;
+  closed_streams_.swaps += final_stats.swaps;
+  closed_streams_.research_failures += final_stats.research_failures;
+  closed_streams_.swap_stalls += final_stats.swap_stalls;
+  return Status::Ok();
+}
+
+void RecommendationService::CloseAllStreams() {
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    ids.reserve(streams_.size());
+    for (const auto& kv : streams_) ids.push_back(kv.first);
+  }
+  for (uint64_t id : ids) StreamClose(id);
 }
 
 }  // namespace serve

@@ -24,6 +24,7 @@
 #include "model/trainer.h"
 #include "search/evolutionary.h"
 #include "serve/embed_cache.h"
+#include "stream/stream.h"
 
 namespace autocts {
 namespace serve {
@@ -164,6 +165,40 @@ class RecommendationService {
   /// tests can reproduce a serve response with EvolutionarySearcher.
   Tensor TaskEmbeddingFor(const RecommendRequest& request) const;
 
+  /// ---- Streaming sessions (DESIGN.md "Streaming & drift-triggered
+  /// re-search") -------------------------------------------------------
+
+  /// Opens a per-tenant streaming session: zero-shot ranks an arch-hyper on
+  /// the request window, trains the initial model on it (cached like any
+  /// forecast model), replays the window through a fresh StreamEngine so
+  /// forecasting and detector warm-up start hot, and returns the session
+  /// id. Drift-triggered re-search re-enters this service's own rank+train
+  /// pipeline on a background thread. The service must be Start()ed; the
+  /// window must afford training (num_steps >= p + q + 19). Detector and
+  /// recovery knobs come from the AUTOCTS_STREAM_* environment.
+  StatusOr<uint64_t> StreamOpen(const RecommendRequest& request);
+  /// Same, with explicit detector/recovery knobs (num_series, p, adjacency,
+  /// history, and seed are still derived from the request). The CLI's
+  /// --no-recovery / --ph-* flags and the degraded-baseline bench arm use
+  /// this; the one-argument form reads the environment snapshot.
+  StatusOr<uint64_t> StreamOpen(const RecommendRequest& request,
+                                const stream::StreamOptions& knobs);
+
+  /// Advances session `id` by one tick: `values[num_series]`, `missing`
+  /// empty (fully observed) or per-series non-zero = did-not-report.
+  /// Pushes on one session serialize; distinct sessions run concurrently.
+  StatusOr<stream::TickResult> StreamPush(
+      uint64_t id, const std::vector<float>& values,
+      const std::vector<uint8_t>& missing = {});
+
+  /// Counters of a live session (post-last-Push snapshot; never blocks on
+  /// an in-flight Push).
+  StatusOr<stream::StreamEngineStats> StreamStats(uint64_t id) const;
+
+  /// Closes a session: waits out any in-flight Push and background
+  /// re-search, folds the engine's counters into the service totals.
+  Status StreamClose(uint64_t id);
+
   ServeStats stats() const;
   const ServeOptions& options() const { return options_; }
 
@@ -216,6 +251,33 @@ class RecommendationService {
                                         const ArchHyper& best,
                                         const ExecContext& ctx,
                                         bool* model_hit) const;
+  /// The cache/train half of Forecast (also the streaming model source):
+  /// returns the ready entry for (task, arch), training it here when cold.
+  StatusOr<ModelEntryPtr> TrainedModel(const ForecastTask& task,
+                                       uint64_t signature,
+                                       const ArchHyper& best,
+                                       const ExecContext& ctx,
+                                       bool* model_hit) const;
+
+  /// One per-tenant streaming session. `mu` serializes Push/Close (an
+  /// engine tick is single-threaded by contract); `stats_mu` guards only
+  /// the post-Push counter snapshot so stats() never waits out a tick.
+  struct StreamSession {
+    std::mutex mu;
+    std::unique_ptr<stream::StreamEngine> engine;
+    mutable std::mutex stats_mu;
+    stream::StreamEngineStats snapshot;
+  };
+
+  /// The streaming Researcher: zero-shot ranks on `recent` via this
+  /// service's own Recommend queue, then trains the winner (model cache
+  /// shared with want_forecast requests). Used both to seed StreamOpen and
+  /// as the drift-recovery hook.
+  StatusOr<stream::StreamModel> ResearchModel(const CtsDatasetPtr& recent,
+                                              int p, int q, bool single_step);
+  /// Closes every live session (Shutdown runs this while workers are still
+  /// serving, so in-flight re-searches can finish their Recommend calls).
+  void CloseAllStreams();
 
   Comparator* comparator_;
   const TaskEncoder* encoder_;
@@ -259,6 +321,14 @@ class RecommendationService {
   mutable std::atomic<uint64_t> duel_rows_evaluated_{0};
   mutable std::atomic<uint64_t> models_trained_{0};
   mutable std::atomic<uint64_t> forecasts_{0};
+
+  // Streaming sessions (per-tenant engines) + counters folded from closed
+  // sessions into ServeStats.
+  mutable std::mutex stream_mu_;
+  uint64_t next_stream_id_ = 1;
+  uint64_t streams_opened_ = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<StreamSession>> streams_;
+  stream::StreamEngineStats closed_streams_;
 };
 
 }  // namespace serve

@@ -1,0 +1,53 @@
+#include "stream/drift.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace autocts {
+namespace stream {
+
+PageHinkleyDetector::PageHinkleyDetector(int warmup, float delta, float lambda)
+    : warmup_(warmup), delta_(delta), lambda_(lambda) {
+  CHECK_GT(warmup_, 0);
+  CHECK_GE(delta_, 0.0);
+  CHECK_GT(lambda_, 0.0);
+}
+
+bool PageHinkleyDetector::Update(double error) {
+  ++observed_;
+  if (!warmed_) {
+    warmup_sum_ += error;
+    if (observed_ >= static_cast<uint64_t>(warmup_)) {
+      // Floor the baseline: a perfect warm-up (error 0 on a constant
+      // series) must not turn every later error into an infinite ratio.
+      baseline_ = std::max(warmup_sum_ / static_cast<double>(warmup_), 1e-9);
+      warmed_ = true;
+    }
+    return false;
+  }
+  const double x = error / baseline_;
+  ++count_;
+  mean_ += (x - mean_) / static_cast<double>(count_);
+  m_ += x - mean_ - delta_;
+  min_m_ = std::min(min_m_, m_);
+  return m_ - min_m_ > lambda_;
+}
+
+void PageHinkleyDetector::Reset() {
+  observed_ = 0;
+  warmup_sum_ = 0.0;
+  warmed_ = false;
+  baseline_ = 1.0;
+  count_ = 0;
+  mean_ = 0.0;
+  m_ = 0.0;
+  min_m_ = 0.0;
+}
+
+double PageHinkleyDetector::statistic() const {
+  return warmed_ ? m_ - min_m_ : 0.0;
+}
+
+}  // namespace stream
+}  // namespace autocts

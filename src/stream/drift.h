@@ -1,0 +1,69 @@
+#ifndef REPRO_STREAM_DRIFT_H_
+#define REPRO_STREAM_DRIFT_H_
+
+#include <cstdint>
+
+namespace autocts {
+namespace stream {
+
+/// Page–Hinkley mean-shift detector over the online one-step forecast error
+/// (see DESIGN.md "Streaming & drift-triggered re-search").
+///
+/// The raw error scale depends on the dataset, so the detector first
+/// observes `warmup` ticks and freezes their mean as a baseline; every
+/// subsequent error is normalized by it (x_t = e_t / baseline, ≈1 while the
+/// model still fits). The Page–Hinkley statistic then accumulates the
+/// deviation of x_t above its running mean minus a per-tick slack `delta`:
+///
+///   m_t  = m_{t-1} + (x_t - mean_t - delta),   m_0 = 0
+///   PH_t = m_t - min_{s<=t} m_s
+///
+/// and triggers when PH_t > lambda. On a stationary stream x_t hovers
+/// around its own mean, so the increment averages -delta and m_t drifts
+/// downward with the running minimum — PH stays near zero and the detector
+/// never fires (the false-positive guard stream_test enforces). A genuine
+/// error shift pushes x_t above mean_t persistently, PH grows linearly, and
+/// the trigger fires after about lambda / (shift - delta) ticks — detection
+/// latency scales inversely with how bad the degradation is.
+///
+/// The detector is a pure function of the error sequence: no wall clock, no
+/// randomness, so every run over the same stream triggers at the same tick.
+class PageHinkleyDetector {
+ public:
+  PageHinkleyDetector(int warmup, float delta, float lambda);
+
+  /// Feeds one online error observation; true when drift triggers this
+  /// tick. Never triggers during warm-up. The caller decides whether to
+  /// Reset() after a trigger (the engine resets on model swap).
+  bool Update(double error);
+
+  /// Forgets everything, including the frozen baseline — the detector
+  /// re-warms against the swapped-in model's own error level.
+  void Reset();
+
+  bool warmed() const { return warmed_; }
+  /// Mean warm-up error the normalization divides by (0 until warmed).
+  double baseline() const { return warmed_ ? baseline_ : 0.0; }
+  /// Current Page–Hinkley statistic (0 until warmed).
+  double statistic() const;
+  uint64_t observed() const { return observed_; }
+
+ private:
+  int warmup_;
+  double delta_;
+  double lambda_;
+
+  uint64_t observed_ = 0;
+  double warmup_sum_ = 0.0;
+  bool warmed_ = false;
+  double baseline_ = 1.0;
+  uint64_t count_ = 0;   ///< Normalized observations since warm-up.
+  double mean_ = 0.0;    ///< Running mean of normalized errors.
+  double m_ = 0.0;       ///< Cumulative deviation.
+  double min_m_ = 0.0;   ///< Running minimum of m_.
+};
+
+}  // namespace stream
+}  // namespace autocts
+
+#endif  // REPRO_STREAM_DRIFT_H_

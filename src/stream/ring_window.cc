@@ -1,0 +1,45 @@
+#include "stream/ring_window.h"
+
+#include "common/check.h"
+
+namespace autocts {
+namespace stream {
+
+RingWindow::RingWindow(int num_series, int window_len)
+    : num_series_(num_series), window_len_(window_len) {
+  CHECK_GT(num_series_, 0);
+  CHECK_GT(window_len_, 0);
+  ring_.assign(static_cast<size_t>(num_series_) * 2 * window_len_, 0.0f);
+  last_.assign(static_cast<size_t>(num_series_), 0.0f);
+}
+
+void RingWindow::Push(const float* values, const uint8_t* missing) {
+  const int idx = static_cast<int>(ticks_ % window_len_);
+  for (int n = 0; n < num_series_; ++n) {
+    float v;
+    if (missing != nullptr && missing[n] != 0) {
+      v = last_[static_cast<size_t>(n)];  // LOCF imputation.
+    } else {
+      v = values[n];
+      last_[static_cast<size_t>(n)] = v;
+    }
+    float* ring = ring_.data() + static_cast<size_t>(n) * 2 * window_len_;
+    ring[idx] = v;
+    ring[idx + window_len_] = v;
+  }
+  ++ticks_;
+}
+
+const float* RingWindow::window(int n) const {
+  CHECK_GE(n, 0);
+  CHECK_LT(n, num_series_);
+  CHECK(full()) << "window() before " << window_len_ << " ticks";
+  // After Push the newest value sits at idx = (ticks-1) mod P (and at
+  // idx + P); the P values ending there start at idx + 1 in the doubled
+  // buffer.
+  const int start = static_cast<int>((ticks_ - 1) % window_len_) + 1;
+  return ring_.data() + static_cast<size_t>(n) * 2 * window_len_ + start;
+}
+
+}  // namespace stream
+}  // namespace autocts

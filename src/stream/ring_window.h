@@ -1,0 +1,58 @@
+#ifndef REPRO_STREAM_RING_WINDOW_H_
+#define REPRO_STREAM_RING_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace autocts {
+namespace stream {
+
+/// Fixed-length sliding window over a live multi-series stream, maintained
+/// with the doubled-buffer ring trick: each series owns 2P slots and every
+/// new value is written at positions `idx` and `idx + P` (idx = tick mod P),
+/// so the most recent P values are ALWAYS contiguous at offset `idx + 1`.
+/// Advancing the window costs two scalar writes per series instead of the
+/// P-element shift (or full window rebuild) a naive sliding window pays —
+/// the incremental-update half of the streaming StepPlan path, which copies
+/// each series' contiguous window straight into the plan's captured input
+/// buffer (see StreamEngine).
+///
+/// Missing values are imputed at ingest with the series' last observed
+/// value (0 before the first observation) — the stream must keep serving
+/// through dropouts, never abort. The per-tick missing flags are the
+/// caller's to retain; the ring only stores the imputed values.
+class RingWindow {
+ public:
+  RingWindow(int num_series, int window_len);
+
+  /// Ingests one tick: `values[n]` per series, `missing[n]` non-zero when
+  /// series n did not report (nullptr = fully observed tick). Missing
+  /// entries ignore `values` and repeat the last observation.
+  void Push(const float* values, const uint8_t* missing);
+
+  /// True once `window_len` ticks have been ingested.
+  bool full() const { return ticks_ >= static_cast<int64_t>(window_len_); }
+  int64_t ticks() const { return ticks_; }
+  int num_series() const { return num_series_; }
+  int window_len() const { return window_len_; }
+
+  /// The last `window_len` (imputed) values of series `n`, oldest first,
+  /// contiguous. Valid until the next Push.
+  const float* window(int n) const;
+
+  /// Latest imputed value of series `n` (the LOCF state).
+  float last(int n) const { return last_[static_cast<size_t>(n)]; }
+
+ private:
+  int num_series_;
+  int window_len_;
+  int64_t ticks_ = 0;
+  std::vector<float> ring_;  ///< [num_series][2 * window_len].
+  std::vector<float> last_;  ///< Last observed (or imputed) value per series.
+};
+
+}  // namespace stream
+}  // namespace autocts
+
+#endif  // REPRO_STREAM_RING_WINDOW_H_

@@ -528,6 +528,31 @@ void StepPlan::BeginStep(const std::vector<Tensor>& inputs) {
   }
 }
 
+float* StepPlan::input_data(size_t i) {
+  Impl& f = *impl_;
+  CHECK(f.ready) << "input_data on a plan that is not frozen";
+  CHECK_LT(i, f.inputs.size());
+  return f.inputs[i].dst;
+}
+
+int64_t StepPlan::input_size(size_t i) const {
+  const Impl& f = *impl_;
+  CHECK(f.ready) << "input_size on a plan that is not frozen";
+  CHECK_LT(i, f.inputs.size());
+  return f.inputs[i].n;
+}
+
+void StepPlan::BeginStepInPlace() {
+  Impl& f = *impl_;
+  CHECK(f.ready) << "BeginStepInPlace on a plan that is not frozen";
+#ifndef NDEBUG
+  CHECK(ValidateReplayThread().ok()) << ValidateReplayThread().message();
+#endif
+  for (const Impl::Span& z : f.grad_zero) {
+    std::fill(z.p, z.p + z.n, 0.0f);
+  }
+}
+
 void StepPlan::RunForward() {
   Impl& f = *impl_;
   CHECK(f.ready);

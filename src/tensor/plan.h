@@ -184,6 +184,22 @@ class StepPlan {
   /// intermediate grads plus optimizer ZeroGrad).
   void BeginStep(const std::vector<Tensor>& inputs);
 
+  /// Writable view of the `i`-th captured input buffer (the slot BeginStep
+  /// memcpys into), or nullptr when no recorded op reads that input. The
+  /// streaming engine maintains its window directly in this buffer —
+  /// updating the few slots a new tick changes — and then replays via
+  /// BeginStepInPlace(), skipping the full per-step window copy. The
+  /// pointer is stable for the lifetime of the frozen plan (until
+  /// Invalidate()); writing it from a thread other than the capture thread
+  /// follows the same affinity rule as replay.
+  float* input_data(size_t i);
+  /// Element count of the `i`-th captured input buffer.
+  int64_t input_size(size_t i) const;
+
+  /// BeginStep for callers that already refreshed the input buffers via
+  /// input_data(): zeroes pinned gradients only, copies nothing.
+  void BeginStepInPlace();
+
   /// Executes the recorded forward thunks.
   void RunForward();
 

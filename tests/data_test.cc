@@ -1,5 +1,6 @@
 #include "data/cts_dataset.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <set>
@@ -326,6 +327,148 @@ TEST(CsvGuardrailTest, RejectsNonFiniteAdjacency) {
   CsvOptions opts;
   opts.adjacency_path = adj;
   EXPECT_FALSE(LoadCtsCsv(data, opts).ok());
+}
+
+TEST(CsvMissingTest, StrictModeRejectsHolesAllowMissingAccepts) {
+  // Same file, both modes: an empty cell and a "nan" cell.
+  std::string path = MalformedCsvPath("holes.csv", "s0,s1\n,10\n2,nan\n4,30\n");
+  // Strict (default) keeps rejecting with a locatable error.
+  StatusOr<CtsDataset> strict = LoadCtsCsv(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("row 2"), std::string::npos)
+      << strict.status().message();
+  // allow_missing loads, masks the holes, and imputes.
+  CsvOptions opts;
+  opts.allow_missing = true;
+  StatusOr<CtsDataset> loaded = LoadCtsCsv(path, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const CtsDataset& d = loaded.value();
+  ASSERT_TRUE(d.has_missing());
+  EXPECT_TRUE(d.is_missing(0, 0, 0));   // Empty cell.
+  EXPECT_TRUE(d.is_missing(1, 1, 0));   // "nan" cell.
+  EXPECT_FALSE(d.is_missing(0, 1, 0));
+  EXPECT_FALSE(d.is_missing(1, 2, 0));
+  // Series 0 leads with a hole: imputed with the mean of its observed
+  // points {2, 4}. Series 1's interior hole carries the last observation.
+  EXPECT_FLOAT_EQ(d.value(0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(d.value(0, 1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(d.value(1, 1, 0), 10.0f);
+  EXPECT_FLOAT_EQ(d.value(1, 2, 0), 30.0f);
+}
+
+TEST(CsvMissingTest, FullyObservedFileCarriesNoMask) {
+  std::string path = MalformedCsvPath("full.csv", "s0,s1\n1,2\n3,4\n");
+  CsvOptions opts;
+  opts.allow_missing = true;
+  StatusOr<CtsDataset> loaded = LoadCtsCsv(path, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_FALSE(loaded.value().has_missing());
+  EXPECT_FLOAT_EQ(loaded.value().value(1, 1, 0), 4.0f);
+}
+
+TEST(CtsDatasetTest, MissingMaskPropagatesAndScalerSkipsHoles) {
+  // Series 0 = 0..5 with t=1,2 masked; series 1 = 10..15 fully observed.
+  std::vector<float> v = {0, 1, 2, 3, 4, 5, 10, 11, 12, 13, 14, 15};
+  std::vector<float> adj = {1, 0.5f, 0.5f, 1};
+  CtsDataset d("tiny-miss", 2, 6, 1, v, adj);
+  std::vector<uint8_t> mask(12, 0);
+  mask[1] = mask[2] = 1;
+  d.SetMissing(mask);
+  ASSERT_TRUE(d.has_missing());
+  // MeanStd over the full span skips the two masked points:
+  // observed = {0,3,4,5, 10..15} -> mean = 87/10.
+  float mean = 0, std = 0;
+  d.MeanStd(1.0, &mean, &std);
+  EXPECT_NEAR(mean, 8.7f, 1e-5);
+  // TemporalSlice keeps the overlapping mask entries.
+  CtsDataset slice = d.TemporalSlice(1, 3);  // t = 1..3
+  ASSERT_TRUE(slice.has_missing());
+  EXPECT_TRUE(slice.is_missing(0, 0, 0));
+  EXPECT_TRUE(slice.is_missing(0, 1, 0));
+  EXPECT_FALSE(slice.is_missing(0, 2, 0));
+  EXPECT_FALSE(slice.is_missing(1, 0, 0));
+  // SelectSensors keeps the selected series' mask rows.
+  CtsDataset sel = d.SelectSensors({1, 0});
+  ASSERT_TRUE(sel.has_missing());
+  EXPECT_FALSE(sel.is_missing(0, 1, 0));  // Old series 1 -> new series 0.
+  EXPECT_TRUE(sel.is_missing(1, 1, 0));   // Old series 0 -> new series 1.
+}
+
+TEST(MetricsTest, MaskedVariantsMatchHandComputedValues) {
+  std::vector<float> pred = {1, 2, 3, 4};
+  std::vector<float> tgt = {2, 2, 5, 0};
+  std::vector<uint8_t> skip = {0, 1, 0, 0};  // Point 1 excluded.
+  // Included errors: |1-2|=1, |3-5|=2, |4-0|=4.
+  EXPECT_NEAR(MaskedMae(pred, tgt, skip), 7.0 / 3.0, 1e-9);
+  EXPECT_NEAR(MaskedRmse(pred, tgt, skip), std::sqrt(21.0 / 3.0), 1e-9);
+  // MAPE further drops point 3 (|target| below threshold):
+  // 100 * (1/2 + 2/5) / 2.
+  EXPECT_NEAR(MaskedMape(pred, tgt, skip), 45.0, 1e-6);
+  // Empty skip vector = include everything (matches unmasked metrics).
+  EXPECT_NEAR(MaskedMae(pred, tgt, {}), Mae(pred, tgt), 1e-12);
+  EXPECT_NEAR(MaskedRmse(pred, tgt, {}), Rmse(pred, tgt), 1e-12);
+  // Fully masked tick contributes 0, not a division by zero.
+  std::vector<uint8_t> all(4, 1);
+  EXPECT_EQ(MaskedMae(pred, tgt, all), 0.0);
+  EXPECT_EQ(MaskedRmse(pred, tgt, all), 0.0);
+  EXPECT_EQ(MaskedMape(pred, tgt, all), 0.0);
+}
+
+TEST(SyntheticTest, ScenarioOverlaysAreDeterministicAndWellFormed) {
+  ScaleConfig cfg;
+  StatusOr<CtsDatasetPtr> clean = MakeSyntheticDataset("METR-LA", cfg);
+  ASSERT_TRUE(clean.ok()) << clean.status().message();
+
+  ScenarioSpec spec;
+  spec.kind = ScenarioKind::kSensorDropout;
+  spec.onset = 40;
+  spec.duration = 30;
+  spec.fraction = 0.5f;
+  spec.seed = 77;
+  ScenarioData a = ApplyScenario(clean.value(), spec);
+  ScenarioData b = ApplyScenario(clean.value(), spec);
+  // Same (clean, spec) -> bit-identical overlay.
+  EXPECT_EQ(a.observed->values(), b.observed->values());
+  EXPECT_EQ(a.missing, b.missing);
+  EXPECT_EQ(a.anomaly, b.anomaly);
+  // Dropout marks readings missing and mirrors the mask onto the dataset.
+  size_t dropped = 0;
+  for (uint8_t m : a.missing) dropped += m != 0;
+  EXPECT_GT(dropped, 0u);
+  EXPECT_TRUE(a.observed->has_missing());
+  // Ground truth is untouched.
+  EXPECT_EQ(a.clean->values(), clean.value()->values());
+
+  // Stationary = identity overlay.
+  ScenarioSpec none;
+  none.kind = ScenarioKind::kStationary;
+  ScenarioData s = ApplyScenario(clean.value(), none);
+  EXPECT_EQ(s.observed->values(), clean.value()->values());
+  EXPECT_TRUE(s.missing.empty() ||
+              std::count(s.missing.begin(), s.missing.end(), 1) == 0);
+
+  // Regime shift changes values only from onset on.
+  ScenarioSpec shift;
+  shift.kind = ScenarioKind::kRegimeShift;
+  shift.onset = 60;
+  shift.magnitude = 3.0f;
+  ScenarioData r = ApplyScenario(clean.value(), shift);
+  const CtsDataset& cd = *clean.value();
+  for (int n = 0; n < cd.num_series(); ++n) {
+    for (int t = 0; t < shift.onset; ++t) {
+      ASSERT_EQ(r.observed->value(n, t, 0), cd.value(n, t, 0));
+    }
+  }
+  bool changed = false;
+  for (int n = 0; n < cd.num_series() && !changed; ++n) {
+    for (int t = shift.onset; t < cd.num_steps(); ++t) {
+      if (r.observed->value(n, t, 0) != cd.value(n, t, 0)) {
+        changed = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(changed);
 }
 
 }  // namespace

@@ -186,6 +186,36 @@ TEST_F(FaultTest, FiresBudgetDisarmsAfterConsumption) {
   EXPECT_FALSE(AnyFaultArmed());
 }
 
+TEST_F(FaultTest, StreamPointsAddressByOrdinalIndependently) {
+  // The streaming engine probes kStreamResearchFail with the re-search
+  // ordinal and kStreamSwapStall with the swap ordinal. Arming one point
+  // never fires the other, and the address picks a single attempt.
+  ArmFault(FaultPoint::kStreamResearchFail, 1, /*fires=*/1);
+  EXPECT_FALSE(FaultFires(FaultPoint::kStreamSwapStall, 1));
+  EXPECT_FALSE(FaultFires(FaultPoint::kStreamResearchFail, 0));
+  EXPECT_TRUE(FaultFires(FaultPoint::kStreamResearchFail, 1));
+  EXPECT_FALSE(AnyFaultArmed());
+
+  ArmFault(FaultPoint::kStreamSwapStall, 0);
+  EXPECT_FALSE(FaultFires(FaultPoint::kStreamResearchFail, 0));
+  EXPECT_TRUE(FaultFires(FaultPoint::kStreamSwapStall, 0));
+}
+
+TEST_F(FaultTest, StreamPointsHonorFiresBudget) {
+  // fires=2 on any address: exactly the first two re-search attempts fail,
+  // the third proceeds — the bounded-retry path a recovering stream takes.
+  ArmFault(FaultPoint::kStreamResearchFail, kAnyAddress, /*fires=*/2);
+  EXPECT_TRUE(FaultFires(FaultPoint::kStreamResearchFail, 0));
+  EXPECT_TRUE(FaultFires(FaultPoint::kStreamResearchFail, 1));
+  EXPECT_FALSE(FaultFires(FaultPoint::kStreamResearchFail, 2));
+  EXPECT_FALSE(AnyFaultArmed());
+
+  ArmFault(FaultPoint::kStreamSwapStall, kAnyAddress, /*fires=*/1);
+  EXPECT_TRUE(FaultFires(FaultPoint::kStreamSwapStall, 0));
+  EXPECT_FALSE(FaultFires(FaultPoint::kStreamSwapStall, 1));
+  EXPECT_FALSE(AnyFaultArmed());
+}
+
 TEST_F(FaultTest, AmbientAddressScopesNest) {
   EXPECT_EQ(CurrentFaultAddress(), kAnyAddress);
   {

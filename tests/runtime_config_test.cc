@@ -130,6 +130,81 @@ TEST(RuntimeConfigTest, ParsesServeKnobs) {
       << json;
 }
 
+TEST(RuntimeConfigTest, ParsesStreamKnobs) {
+  {
+    unsetenv("AUTOCTS_STREAM_WARMUP");
+    unsetenv("AUTOCTS_STREAM_PH_DELTA");
+    unsetenv("AUTOCTS_STREAM_PH_LAMBDA");
+    unsetenv("AUTOCTS_STREAM_ERROR_WINDOW");
+    unsetenv("AUTOCTS_STREAM_RESEARCH_RETRIES");
+    unsetenv("AUTOCTS_STREAM_RESEARCH_BACKOFF");
+    unsetenv("AUTOCTS_STREAM_RESEARCH_DEADLINE");
+    unsetenv("AUTOCTS_STREAM_RESEARCH_DELAY");
+    unsetenv("AUTOCTS_STREAM_NO_RECOVERY");
+    RuntimeConfig cfg = RuntimeConfig::FromEnv();
+    EXPECT_EQ(cfg.stream_warmup, 64);
+    EXPECT_EQ(cfg.stream_research_delay, 0);
+    EXPECT_FLOAT_EQ(cfg.stream_ph_delta, 0.05f);
+    EXPECT_FLOAT_EQ(cfg.stream_ph_lambda, 8.0f);
+    EXPECT_EQ(cfg.stream_error_window, 128);
+    EXPECT_EQ(cfg.stream_research_retries, 2);
+    EXPECT_EQ(cfg.stream_research_backoff, 16);
+    EXPECT_EQ(cfg.stream_research_deadline, 32);
+    EXPECT_TRUE(cfg.stream_recovery);
+  }
+  {
+    ScopedEnv warmup("AUTOCTS_STREAM_WARMUP", "16");
+    ScopedEnv delta("AUTOCTS_STREAM_PH_DELTA", "0.1");
+    ScopedEnv lambda("AUTOCTS_STREAM_PH_LAMBDA", "12.5");
+    ScopedEnv window("AUTOCTS_STREAM_ERROR_WINDOW", "32");
+    ScopedEnv retries("AUTOCTS_STREAM_RESEARCH_RETRIES", "0");
+    ScopedEnv backoff("AUTOCTS_STREAM_RESEARCH_BACKOFF", "8");
+    ScopedEnv deadline("AUTOCTS_STREAM_RESEARCH_DEADLINE", "10");
+    ScopedEnv delay("AUTOCTS_STREAM_RESEARCH_DELAY", "48");
+    ScopedEnv no_recovery("AUTOCTS_STREAM_NO_RECOVERY", "1");
+    RuntimeConfig cfg = RuntimeConfig::FromEnv();
+    EXPECT_EQ(cfg.stream_research_delay, 48);
+    EXPECT_EQ(cfg.stream_warmup, 16);
+    EXPECT_FLOAT_EQ(cfg.stream_ph_delta, 0.1f);
+    EXPECT_FLOAT_EQ(cfg.stream_ph_lambda, 12.5f);
+    EXPECT_EQ(cfg.stream_error_window, 32);
+    // Retries = 0 is meaningful: one attempt, no retry.
+    EXPECT_EQ(cfg.stream_research_retries, 0);
+    EXPECT_EQ(cfg.stream_research_backoff, 8);
+    EXPECT_EQ(cfg.stream_research_deadline, 10);
+    EXPECT_FALSE(cfg.stream_recovery);
+  }
+  {
+    // Invalid values keep defaults; NO_RECOVERY follows the disable-flag
+    // truthiness rules ("0"/"" stay enabled).
+    ScopedEnv warmup("AUTOCTS_STREAM_WARMUP", "-3");
+    ScopedEnv delta("AUTOCTS_STREAM_PH_DELTA", "abc");
+    ScopedEnv lambda("AUTOCTS_STREAM_PH_LAMBDA", "0");
+    ScopedEnv window("AUTOCTS_STREAM_ERROR_WINDOW", "nope");
+    ScopedEnv retries("AUTOCTS_STREAM_RESEARCH_RETRIES", "-1");
+    ScopedEnv backoff("AUTOCTS_STREAM_RESEARCH_BACKOFF", "0");
+    ScopedEnv deadline("AUTOCTS_STREAM_RESEARCH_DEADLINE", "-7");
+    ScopedEnv delay("AUTOCTS_STREAM_RESEARCH_DELAY", "-2");
+    ScopedEnv no_recovery("AUTOCTS_STREAM_NO_RECOVERY", "0");
+    RuntimeConfig cfg = RuntimeConfig::FromEnv();
+    EXPECT_EQ(cfg.stream_research_delay, 0);
+    EXPECT_EQ(cfg.stream_warmup, 64);
+    EXPECT_FLOAT_EQ(cfg.stream_ph_delta, 0.05f);
+    EXPECT_FLOAT_EQ(cfg.stream_ph_lambda, 8.0f);
+    EXPECT_EQ(cfg.stream_error_window, 128);
+    EXPECT_EQ(cfg.stream_research_retries, 2);
+    EXPECT_EQ(cfg.stream_research_backoff, 16);
+    EXPECT_EQ(cfg.stream_research_deadline, 32);
+    EXPECT_TRUE(cfg.stream_recovery);
+  }
+  // print-config surfaces the streaming knobs.
+  RuntimeConfig cfg;
+  const std::string json = cfg.ToJson();
+  EXPECT_NE(json.find("\"stream_warmup\": 64"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stream_ph_lambda\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stream_recovery\": true"), std::string::npos) << json;
+}
+
 TEST(RuntimeConfigTest, ParsesBankKnobs) {
   {
     unsetenv("AUTOCTS_BANK_DISABLE");

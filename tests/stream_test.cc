@@ -1,0 +1,602 @@
+#include "stream/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "serve/service.h"
+#include "stream/drift.h"
+#include "stream/ring_window.h"
+#include "tensor/ops.h"
+#include "tensor/plan.h"
+
+namespace autocts {
+namespace stream {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RingWindow
+// ---------------------------------------------------------------------------
+
+TEST(RingWindowTest, WindowIsContiguousAndOldestFirst) {
+  RingWindow ring(2, 3);
+  EXPECT_FALSE(ring.full());
+  for (int t = 0; t < 7; ++t) {
+    const float v[2] = {static_cast<float>(t), static_cast<float>(100 + t)};
+    ring.Push(v, nullptr);
+    if (t >= 2) {
+      ASSERT_TRUE(ring.full());
+      const float* w0 = ring.window(0);
+      const float* w1 = ring.window(1);
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_EQ(w0[k], static_cast<float>(t - 2 + k)) << "t=" << t;
+        EXPECT_EQ(w1[k], static_cast<float>(100 + t - 2 + k)) << "t=" << t;
+      }
+    }
+  }
+  EXPECT_EQ(ring.ticks(), 7);
+}
+
+TEST(RingWindowTest, MissingValuesCarryLastObservation) {
+  RingWindow ring(1, 3);
+  const uint8_t hit[1] = {1};
+  const uint8_t ok[1] = {0};
+  float v = 5.0f;
+  ring.Push(&v, ok);
+  v = 7.0f;
+  ring.Push(&v, ok);
+  v = 999.0f;  // Dropped reading: the value must be ignored.
+  ring.Push(&v, hit);
+  const float* w = ring.window(0);
+  EXPECT_EQ(w[0], 5.0f);
+  EXPECT_EQ(w[1], 7.0f);
+  EXPECT_EQ(w[2], 7.0f);  // LOCF.
+  EXPECT_EQ(ring.last(0), 7.0f);
+  // Missing before any observation imputes 0.
+  RingWindow cold(1, 2);
+  v = 123.0f;
+  cold.Push(&v, hit);
+  cold.Push(&v, hit);
+  EXPECT_EQ(cold.window(0)[0], 0.0f);
+  EXPECT_EQ(cold.window(0)[1], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Page–Hinkley detector
+// ---------------------------------------------------------------------------
+
+TEST(PageHinkleyTest, StationaryErrorsNeverTrigger) {
+  PageHinkleyDetector det(64, 0.05f, 8.0f);
+  Rng rng(42);
+  for (int t = 0; t < 20000; ++t) {
+    const double e = 1.0 + 0.3 * rng.Uniform(-1.0f, 1.0f);
+    ASSERT_FALSE(det.Update(e)) << "false positive at tick " << t;
+  }
+  EXPECT_TRUE(det.warmed());
+  EXPECT_NEAR(det.baseline(), 1.0, 0.05);
+}
+
+TEST(PageHinkleyTest, SustainedShiftTriggersAndLatencyScalesWithLambda) {
+  auto trigger_tick = [](float lambda) {
+    PageHinkleyDetector det(32, 0.05f, lambda);
+    Rng rng(7);
+    int t = 0;
+    for (; t < 200; ++t) {  // Warm-up + stationary stretch.
+      EXPECT_FALSE(det.Update(1.0 + 0.1 * rng.Uniform(-1.0f, 1.0f)));
+    }
+    for (; t < 5000; ++t) {  // Error doubles: sustained degradation.
+      if (det.Update(2.0 + 0.1 * rng.Uniform(-1.0f, 1.0f))) return t;
+    }
+    return -1;
+  };
+  const int fast = trigger_tick(4.0f);
+  const int slow = trigger_tick(16.0f);
+  ASSERT_GT(fast, 199);
+  ASSERT_GT(slow, fast) << "higher lambda must detect later";
+  EXPECT_LT(slow, 300) << "a 2x error shift should be caught quickly";
+  // Determinism: the same error sequence triggers at the same tick.
+  EXPECT_EQ(trigger_tick(4.0f), fast);
+}
+
+TEST(PageHinkleyTest, ResetRewarmsAtTheNewErrorLevel) {
+  PageHinkleyDetector det(16, 0.05f, 4.0f);
+  for (int t = 0; t < 40; ++t) det.Update(1.0);
+  // A persistent 5x shift triggers...
+  int fired = -1;
+  for (int t = 0; t < 100; ++t) {
+    if (det.Update(5.0)) {
+      fired = t;
+      break;
+    }
+  }
+  ASSERT_GE(fired, 0);
+  det.Reset();
+  EXPECT_FALSE(det.warmed());
+  // ...and after Reset the 5.0 level becomes the new normal: no re-trigger.
+  for (int t = 0; t < 2000; ++t) {
+    ASSERT_FALSE(det.Update(5.0)) << "re-triggered on the re-based level";
+  }
+  EXPECT_NEAR(det.baseline(), 5.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// StreamEngine — protocol, determinism, fault injection. The toy forecaster
+// predicts the scaled-window constant 0, i.e. the unscaled value `mean`:
+// swapping models is swapping regime estimates, which makes recovery
+// observable without real training.
+// ---------------------------------------------------------------------------
+
+class ToyMeanForecaster : public Forecaster {
+ public:
+  Tensor Forward(const Tensor& x) const override {
+    // [1,N,P,1] -> [1,N,1,1]: 0 * mean(window). Reads the input (so captured
+    // plans exercise the in-place input path) but predicts a constant.
+    return MulScalar(Mean(x, 2, /*keepdim=*/true), 0.0f);
+  }
+  std::string name() const override { return "toy-mean"; }
+};
+
+StreamModel ToyModel(float level) {
+  StreamModel m;
+  m.model = std::make_shared<ToyMeanForecaster>();
+  m.mean = level;
+  m.std = 1.0f;
+  m.arch = "toy@" + std::to_string(level);
+  return m;
+}
+
+constexpr int kSeries = 3;
+constexpr float kOldLevel = 10.0f;
+constexpr float kNewLevel = 35.0f;
+
+/// Deterministic stream: per-series offsets around `level` plus small
+/// seeded noise; regime shift to kNewLevel at `shift_tick` (-1 = never).
+std::vector<std::vector<float>> MakeStream(int ticks, int shift_tick) {
+  Rng rng(99);
+  std::vector<std::vector<float>> out;
+  out.reserve(static_cast<size_t>(ticks));
+  for (int t = 0; t < ticks; ++t) {
+    const float level =
+        (shift_tick >= 0 && t >= shift_tick) ? kNewLevel : kOldLevel;
+    std::vector<float> tick(kSeries);
+    for (int n = 0; n < kSeries; ++n) {
+      tick[static_cast<size_t>(n)] =
+          level + 0.3f * n + 0.05f * rng.Uniform(-1.0f, 1.0f);
+    }
+    out.push_back(std::move(tick));
+  }
+  return out;
+}
+
+StreamOptions ToyOptions() {
+  StreamOptions o;
+  o.num_series = kSeries;
+  o.p = 4;
+  o.history = 32;
+  o.warmup = 8;
+  o.ph_delta = 0.05f;
+  o.ph_lambda = 4.0f;
+  o.error_window = 16;
+  o.research_retries = 1;
+  o.research_backoff = 4;
+  o.research_deadline = 6;
+  return o;
+}
+
+/// The "oracle" researcher: hands back the correct new-regime model. Engine
+/// tests exercise the drift->launch->collect->swap protocol; re-search
+/// QUALITY is the serving layer's concern (see the end-to-end test below).
+Researcher OracleResearcher(std::vector<uint64_t>* seeds = nullptr) {
+  return [seeds](const CtsDatasetPtr& recent,
+                 uint64_t seed) -> StatusOr<StreamModel> {
+    EXPECT_EQ(recent->num_series(), kSeries);
+    EXPECT_GT(recent->num_steps(), 0);
+    if (seeds != nullptr) seeds->push_back(seed);
+    return ToyModel(kNewLevel);
+  };
+}
+
+struct ScenarioRun {
+  std::vector<float> forecasts;  ///< Concatenated per-tick forecasts.
+  std::vector<int> drift_ticks;
+  std::vector<int> swap_ticks;
+  StreamEngineStats stats;
+};
+
+ScenarioRun RunScenario(const std::vector<std::vector<float>>& stream,
+                        int threads, bool plans) {
+  const bool plans_before = plan::PlansEnabled();
+  plan::SetPlansEnabled(plans);
+  ScenarioRun run;
+  {
+    ThreadPool pool(threads);
+    ExecContext ctx;
+    ctx.pool = &pool;
+    ExecScope scope(ctx);
+    StreamEngine engine(ToyOptions(), ToyModel(kOldLevel),
+                        OracleResearcher());
+    for (int t = 0; t < static_cast<int>(stream.size()); ++t) {
+      TickResult r = engine.Push(stream[static_cast<size_t>(t)].data());
+      run.forecasts.insert(run.forecasts.end(), r.forecast.begin(),
+                           r.forecast.end());
+      if (r.drift) run.drift_ticks.push_back(t);
+      if (r.swapped) run.swap_ticks.push_back(t);
+    }
+    run.stats = engine.stats();
+  }
+  plan::SetPlansEnabled(plans_before);
+  return run;
+}
+
+TEST(StreamEngineTest, StationaryStreamNeverDriftsOrSwaps) {
+  const ScenarioRun run = RunScenario(MakeStream(400, -1), 1, true);
+  EXPECT_EQ(run.stats.drifts, 0u);
+  EXPECT_EQ(run.stats.swaps, 0u);
+  EXPECT_EQ(run.stats.research_launched, 0u);
+  EXPECT_EQ(run.stats.generation, 0u);
+  EXPECT_EQ(run.stats.ticks, 400u);
+  // Forecasts start once the window fills, one per series per tick.
+  EXPECT_EQ(run.forecasts.size(),
+            static_cast<size_t>((400 - 4 + 1) * kSeries));
+}
+
+TEST(StreamEngineTest, DriftTriggersResearchAndHotSwap) {
+  constexpr int kShift = 60;
+  std::vector<uint64_t> seeds;
+  const auto stream = MakeStream(120, kShift);
+  const bool plans_before = plan::PlansEnabled();
+  plan::SetPlansEnabled(true);
+  StreamEngine engine(ToyOptions(), ToyModel(kOldLevel),
+                      OracleResearcher(&seeds));
+  int drift_tick = -1;
+  int swap_tick = -1;
+  double post_error_sum = 0.0;
+  int post_count = 0;
+  for (int t = 0; t < static_cast<int>(stream.size()); ++t) {
+    TickResult r = engine.Push(stream[static_cast<size_t>(t)].data());
+    if (r.drift && drift_tick < 0) drift_tick = t;
+    if (r.swapped) {
+      EXPECT_EQ(swap_tick, -1) << "one shift, one swap";
+      swap_tick = t;
+      EXPECT_EQ(r.generation, 1u);
+    }
+    if (swap_tick >= 0 && t > swap_tick && r.scored) {
+      post_error_sum += r.error;
+      ++post_count;
+    }
+  }
+  plan::SetPlansEnabled(plans_before);
+  // The shift is detected promptly and the swap lands exactly at the
+  // deterministic deadline tick.
+  ASSERT_GE(drift_tick, kShift);
+  EXPECT_LE(drift_tick, kShift + 4);
+  ASSERT_GT(swap_tick, drift_tick);
+  EXPECT_EQ(swap_tick, drift_tick + ToyOptions().research_deadline);
+  ASSERT_EQ(seeds.size(), 1u);
+  // Hot-swap recovered: the new model serves the new regime.
+  ASSERT_GT(post_count, 0);
+  EXPECT_LT(post_error_sum / post_count, 0.5)
+      << "post-swap online error should collapse to the noise floor";
+  const StreamEngineStats s = engine.stats();
+  EXPECT_EQ(s.swaps, 1u);
+  EXPECT_EQ(s.generation, 1u);
+  EXPECT_EQ(s.research_failures, 0u);
+  EXPECT_EQ(engine.arch(), ToyModel(kNewLevel).arch);
+}
+
+TEST(StreamEngineTest, ResearchDelayDefersLaunchUntilHistoryRefills) {
+  // With research_delay set, the launch waits after the trigger so the
+  // training snapshot holds mostly post-drift data — the whole point of
+  // the knob: detection is fast, but retraining on a stale window would
+  // reproduce the OLD regime.
+  constexpr int kShift = 60;
+  constexpr int kDelay = 20;
+  StreamOptions opts = ToyOptions();
+  opts.research_delay = kDelay;
+  opts.history = 24;  // delay ~= history: snapshot is nearly all fresh.
+  CtsDatasetPtr snapshot;
+  Researcher researcher = [&snapshot](const CtsDatasetPtr& recent,
+                                      uint64_t) -> StatusOr<StreamModel> {
+    snapshot = recent;
+    return ToyModel(kNewLevel);
+  };
+  StreamEngine engine(opts, ToyModel(kOldLevel), std::move(researcher));
+  const auto stream = MakeStream(140, kShift);
+  int drift_tick = -1;
+  int swap_tick = -1;
+  for (int t = 0; t < static_cast<int>(stream.size()); ++t) {
+    TickResult r = engine.Push(stream[static_cast<size_t>(t)].data());
+    if (r.drift && drift_tick < 0) drift_tick = t;
+    if (r.swapped) swap_tick = t;
+  }
+  ASSERT_GE(drift_tick, kShift);
+  // The swap lands exactly at trigger + delay + deadline.
+  EXPECT_EQ(swap_tick, drift_tick + kDelay + opts.research_deadline);
+  ASSERT_NE(snapshot, nullptr);
+  // The snapshot (last `history` ticks before the launch) is dominated by
+  // the new regime: the launch happened delay ticks past the trigger.
+  int fresh = 0;
+  for (float v : snapshot->values()) {
+    if (v > (kOldLevel + kNewLevel) / 2) ++fresh;
+  }
+  EXPECT_GT(fresh, static_cast<int>(snapshot->values().size() * 3 / 4))
+      << "snapshot still stale: " << fresh << "/"
+      << snapshot->values().size() << " post-shift points";
+}
+
+TEST(StreamEngineTest, BitIdenticalAcrossThreadsAndPlanMode) {
+  // The full streaming loop — scoring, drift, re-search, swap, recovery —
+  // must be a pure function of the input stream: same bytes at 1 and 4
+  // kernel threads, plans on and off.
+  const auto stream = MakeStream(120, 60);
+  const ScenarioRun base = RunScenario(stream, 1, true);
+  ASSERT_EQ(base.swap_ticks.size(), 1u);
+  for (const auto& [threads, plans] :
+       std::vector<std::pair<int, bool>>{{4, true}, {1, false}, {4, false}}) {
+    const ScenarioRun other = RunScenario(stream, threads, plans);
+    ASSERT_EQ(other.forecasts.size(), base.forecasts.size())
+        << "threads=" << threads << " plans=" << plans;
+    EXPECT_EQ(std::memcmp(other.forecasts.data(), base.forecasts.data(),
+                          base.forecasts.size() * sizeof(float)),
+              0)
+        << "threads=" << threads << " plans=" << plans;
+    EXPECT_EQ(other.drift_ticks, base.drift_ticks);
+    EXPECT_EQ(other.swap_ticks, base.swap_ticks);
+    EXPECT_EQ(other.stats.swaps, base.stats.swaps);
+  }
+}
+
+TEST(StreamEngineTest, ResearchFailureKeepsOldModelServing) {
+  ArmFault(FaultPoint::kStreamResearchFail, kAnyAddress);
+  const auto stream = MakeStream(160, 60);
+  StreamEngine engine(ToyOptions(), ToyModel(kOldLevel), OracleResearcher());
+  bool any_empty_after_full = false;
+  for (int t = 0; t < static_cast<int>(stream.size()); ++t) {
+    TickResult r = engine.Push(stream[static_cast<size_t>(t)].data());
+    EXPECT_FALSE(r.swapped);
+    if (t >= 4 && r.forecast.empty()) any_empty_after_full = true;
+  }
+  DisarmAllFaults();
+  const StreamEngineStats s = engine.stats();
+  // Every attempt (initial + 1 retry, possibly re-triggered after re-warm)
+  // failed; the old model kept serving every tick and nothing crashed.
+  EXPECT_GE(s.research_failures, 2u);
+  EXPECT_EQ(s.research_launched, s.research_failures);
+  EXPECT_EQ(s.swaps, 0u);
+  EXPECT_EQ(s.generation, 0u);
+  EXPECT_GE(s.drifts, 1u);
+  EXPECT_FALSE(any_empty_after_full) << "degraded mode must keep forecasting";
+  EXPECT_EQ(engine.arch(), ToyModel(kOldLevel).arch);
+}
+
+TEST(StreamEngineTest, ResearchFailureAddressedByOrdinalAllowsRetry) {
+  // Fail only re-search #0: the first retry (ordinal 1) succeeds and swaps.
+  ArmFault(FaultPoint::kStreamResearchFail, 0);
+  const auto stream = MakeStream(160, 60);
+  StreamEngine engine(ToyOptions(), ToyModel(kOldLevel), OracleResearcher());
+  int swap_tick = -1;
+  int drift_tick = -1;
+  for (int t = 0; t < static_cast<int>(stream.size()); ++t) {
+    TickResult r = engine.Push(stream[static_cast<size_t>(t)].data());
+    if (r.drift && drift_tick < 0) drift_tick = t;
+    if (r.swapped) swap_tick = t;
+  }
+  DisarmAllFaults();
+  const StreamEngineStats s = engine.stats();
+  EXPECT_EQ(s.research_failures, 1u);
+  EXPECT_EQ(s.swaps, 1u);
+  EXPECT_EQ(s.generation, 1u);
+  ASSERT_GE(drift_tick, 0);
+  // Failed attempt at trigger, backoff (4 ticks), retry launch, collect at
+  // its deadline: the swap still lands at a deterministic tick.
+  EXPECT_EQ(swap_tick, drift_tick + ToyOptions().research_backoff +
+                           ToyOptions().research_deadline);
+}
+
+TEST(StreamEngineTest, SwapStallDiscardsReadyModel) {
+  StreamOptions opts = ToyOptions();
+  opts.research_retries = 0;  // One attempt: the stalled result ends recovery.
+  ArmFault(FaultPoint::kStreamSwapStall, kAnyAddress);
+  const auto stream = MakeStream(120, 60);
+  StreamEngine engine(opts, ToyModel(kOldLevel), OracleResearcher());
+  for (const auto& tick : stream) {
+    TickResult r = engine.Push(tick.data());
+    EXPECT_FALSE(r.swapped);
+  }
+  DisarmAllFaults();
+  const StreamEngineStats s = engine.stats();
+  EXPECT_GE(s.swap_stalls, 1u);
+  EXPECT_EQ(s.swaps, 0u);
+  EXPECT_EQ(s.generation, 0u);
+  // The research itself succeeded — only the installation was refused.
+  EXPECT_EQ(s.research_failures, 0u);
+  EXPECT_EQ(engine.arch(), ToyModel(kOldLevel).arch);
+}
+
+TEST(StreamEngineTest, MissingValuesAreImputedAndExcludedFromScoring) {
+  StreamOptions opts = ToyOptions();
+  StreamEngine engine(opts, ToyModel(kOldLevel), OracleResearcher());
+  const auto stream = MakeStream(40, -1);
+  std::vector<uint8_t> miss(kSeries, 0);
+  uint64_t expect_imputed = 0;
+  for (int t = 0; t < 40; ++t) {
+    const bool drop = t >= 10 && t < 20;
+    for (int n = 0; n < kSeries; ++n) {
+      miss[static_cast<size_t>(n)] = (drop && n == 1) ? 1 : 0;
+    }
+    if (drop) ++expect_imputed;
+    TickResult r = engine.Push(stream[static_cast<size_t>(t)].data(),
+                               drop ? miss.data() : nullptr);
+    if (t >= 4) {
+      EXPECT_EQ(r.forecast.size(), static_cast<size_t>(kSeries));
+    }
+  }
+  EXPECT_EQ(engine.stats().imputed_points, expect_imputed);
+  EXPECT_EQ(engine.stats().drifts, 0u)
+      << "dropout on a stationary stream must not read as drift";
+}
+
+// ---------------------------------------------------------------------------
+// Serving integration: per-tenant sessions, real re-search through the
+// service's own rank+train pipeline, /stats counters, graceful degradation.
+// ---------------------------------------------------------------------------
+
+serve::ServeOptions TinyServe() {
+  serve::ServeOptions o = serve::ServeOptions::ForScale(ScaleConfig::Test());
+  o.workers = 2;
+  o.max_batch = 4;
+  o.max_delay_us = 1000;
+  o.search.ranking_pool = 8;
+  o.search.opponents_per_candidate = 2;
+  o.search.population = 2;
+  o.search.top_k = 2;
+  o.windows_per_task = 2;
+  return o;
+}
+
+struct StreamServeFixture {
+  Rng rng{78};
+  Comparator comparator;
+  Ts2Vec encoder;
+  JointSearchSpace space;
+
+  StreamServeFixture()
+      : comparator(MakeComparatorOptions(), 77),
+        encoder(1, MakeEncoderOptions(), &rng) {}
+
+  static Comparator::Options MakeComparatorOptions() {
+    Comparator::Options opts;
+    opts.gin.layers = 2;
+    opts.gin.embed_dim = 8;
+    opts.repr_dim = 4;
+    opts.f1 = 8;
+    opts.f2 = 4;
+    opts.fc_dim = 16;
+    opts.task_aware = true;
+    return opts;
+  }
+  static Ts2Vec::Options MakeEncoderOptions() {
+    Ts2Vec::Options o;
+    o.repr_dim = 4;
+    o.hidden = 4;
+    o.layers = 1;
+    return o;
+  }
+
+  /// Seed window: smooth deterministic series the tiny trainer can fit.
+  serve::RecommendRequest Request() const {
+    serve::RecommendRequest r;
+    r.num_series = 2;
+    r.num_steps = 64;
+    r.p = 6;
+    r.q = 6;
+    r.window.resize(static_cast<size_t>(r.num_series) * r.num_steps);
+    for (int n = 0; n < r.num_series; ++n) {
+      for (int t = 0; t < r.num_steps; ++t) {
+        r.window[static_cast<size_t>(n) * r.num_steps + t] =
+            std::sin(0.3f * t + n) + 0.1f * n;
+      }
+    }
+    return r;
+  }
+
+  static StreamOptions FastKnobs() {
+    StreamOptions k;
+    k.warmup = 8;
+    k.ph_delta = 0.05f;
+    k.ph_lambda = 2.0f;
+    k.error_window = 16;
+    k.research_retries = 0;
+    k.research_backoff = 4;
+    k.research_deadline = 4;
+    return k;
+  }
+};
+
+TEST(StreamServeTest, SessionRecoversThroughRealResearchAndCountsOnStats) {
+  StreamServeFixture fx;
+  serve::RecommendationService service(&fx.comparator, &fx.encoder, &fx.space,
+                                       TinyServe());
+  ASSERT_TRUE(service.Start().ok());
+  serve::RecommendRequest req = fx.Request();
+  StatusOr<uint64_t> id = service.StreamOpen(req, fx.FastKnobs());
+  ASSERT_TRUE(id.ok()) << id.status().message();
+
+  // Live ticks continue the seed pattern, then shift regime hard.
+  std::vector<float> tick(2);
+  bool swapped = false;
+  uint64_t drifts = 0;
+  for (int t = 0; t < 40; ++t) {
+    const float shift = t >= 10 ? 8.0f : 0.0f;
+    for (int n = 0; n < 2; ++n) {
+      tick[static_cast<size_t>(n)] =
+          std::sin(0.3f * (req.num_steps + t) + n) + 0.1f * n + shift;
+    }
+    StatusOr<TickResult> r = service.StreamPush(id.value(), tick);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    EXPECT_EQ(r.value().forecast.size(), 2u)
+        << "session opens with a full window: every live tick forecasts";
+    swapped = swapped || r.value().swapped;
+    drifts += r.value().drift ? 1 : 0;
+  }
+  EXPECT_GE(drifts, 1u) << "an 8-sigma regime shift must register as drift";
+  EXPECT_TRUE(swapped) << "re-search through the service should hot-swap";
+
+  const ServeStats stats = service.stats();
+  EXPECT_EQ(stats.stream_sessions, 1u);
+  EXPECT_GE(stats.stream_ticks, 40u);  // Seed replay + live ticks.
+  EXPECT_GE(stats.stream_drifts, 1u);
+  EXPECT_GE(stats.stream_swaps, 1u);
+  EXPECT_EQ(stats.stream_research_failures, 0u);
+
+  EXPECT_TRUE(service.StreamClose(id.value()).ok());
+  // Counters survive the close (folded into the service totals).
+  EXPECT_GE(service.stats().stream_swaps, 1u);
+  EXPECT_FALSE(service.StreamPush(id.value(), tick).ok());
+  service.Shutdown();
+}
+
+TEST(StreamServeTest, InjectedResearchFailureLeavesOldModelServing) {
+  StreamServeFixture fx;
+  serve::RecommendationService service(&fx.comparator, &fx.encoder, &fx.space,
+                                       TinyServe());
+  ASSERT_TRUE(service.Start().ok());
+  serve::RecommendRequest req = fx.Request();
+  // Armed BEFORE the open: even a re-search triggered during the seed
+  // replay fails, so the session serves generation 0 throughout.
+  ArmFault(FaultPoint::kStreamResearchFail, kAnyAddress);
+  StatusOr<uint64_t> id = service.StreamOpen(req, fx.FastKnobs());
+  ASSERT_TRUE(id.ok()) << id.status().message();
+
+  std::vector<float> tick(2);
+  for (int t = 0; t < 30; ++t) {
+    const float shift = t >= 5 ? 8.0f : 0.0f;
+    for (int n = 0; n < 2; ++n) {
+      tick[static_cast<size_t>(n)] =
+          std::sin(0.3f * (req.num_steps + t) + n) + 0.1f * n + shift;
+    }
+    StatusOr<TickResult> r = service.StreamPush(id.value(), tick);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    EXPECT_FALSE(r.value().swapped);
+    EXPECT_EQ(r.value().forecast.size(), 2u)
+        << "old model must keep serving through failed re-search";
+    EXPECT_EQ(r.value().generation, 0u);
+  }
+  DisarmAllFaults();
+
+  const ServeStats stats = service.stats();
+  EXPECT_GE(stats.stream_research_failures, 1u);
+  EXPECT_EQ(stats.stream_swaps, 0u);
+  service.Shutdown();  // Closes the session; must not hang or crash.
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace autocts
