@@ -1,0 +1,175 @@
+// Sharded sample-collection throughput: the BENCH_PR10.json source for the
+// multi-process coordinator (src/shard).
+//
+// Runs the bench_sample_limited labeling workload — CollectSamples over the
+// standard source-task mix — through ShardedCollectSamples at 1, 2, and 4
+// worker processes and reports sustained labeled-sample throughput
+// (samples/hour) per worker count, plus a paired speedup record
+// (speedup_min/median/max of the 4-worker leg over the 1-worker leg across
+// repetitions). The merged banks of every leg are byte-compared: a speedup
+// that changes results is a bug, not a win. The speedup record's `threads`
+// field carries the host's core count so the CI gate can skip the 2.5x
+// floor on boxes with fewer than 4 cores.
+//
+// Smoke mode (--smoke or REPRO_SMOKE=1) shrinks tasks and repetitions but
+// keeps every record shape.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/fileio.h"
+#include "shard/shard.h"
+
+namespace autocts {
+namespace bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - from)
+      .count();
+}
+
+struct Workload {
+  std::vector<ForecastTask> tasks;
+  SampleCollectionOptions collect;
+  ScaleConfig scale;
+};
+
+Workload MakeWorkload(bool smoke) {
+  Workload w;
+  BenchEnv env = BenchEnv::FromEnv();
+  w.scale = env.scale;
+  w.collect = env.autocts.collect;
+  int num_tasks = smoke ? 4 : std::max(4, env.scale.num_source_tasks);
+  if (smoke) {
+    w.collect.shared_count = 1;
+    w.collect.random_count = 1;
+    w.collect.train.batches_per_epoch = 2;
+    w.collect.windows_per_task = 2;
+  }
+  w.tasks = MakeSourceTasks(num_tasks, w.scale, /*seed=*/4242);
+  return w;
+}
+
+struct LegResult {
+  double seconds = 0.0;
+  int64_t samples = 0;
+  std::string merged_bytes;
+};
+
+/// One timed sharded collection at `workers` processes. Fresh directory per
+/// leg; the plan-building phase is identical across legs, so the timing
+/// contrast isolates the fanned-out training.
+LegResult RunLeg(const Workload& w, int workers, const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  Rng rng(18);
+  MlpEncoder encoder(1, 4, &rng);
+  JointSearchSpace space;
+  ShardOptions shard;
+  shard.num_workers = workers;
+  shard.worker_threads = 1;
+  shard.dir = dir;
+  shard.config_hash = 10;
+  shard.heartbeat_ms = 50;
+  auto t0 = std::chrono::steady_clock::now();
+  StatusOr<std::vector<TaskSampleSet>> sets = ShardedCollectSamples(
+      w.tasks, space, encoder, w.scale, w.collect, shard);
+  LegResult leg;
+  leg.seconds = Seconds(t0);
+  if (!sets.ok()) {
+    std::cerr << "[bench_shard] " << workers
+              << "-worker leg failed: " << sets.status().message() << "\n";
+    std::exit(1);
+  }
+  for (const TaskSampleSet& set : sets.value()) {
+    leg.samples += static_cast<int64_t>(set.samples.size());
+  }
+  StatusOr<std::string> merged = ReadFileToString(MergedBankPath(dir));
+  if (merged.ok()) leg.merged_bytes = std::move(merged).value();
+  return leg;
+}
+
+void Run(bool smoke) {
+  const Workload w = MakeWorkload(smoke);
+  const int reps = smoke ? 1 : 3;
+  const std::vector<int> worker_counts = {1, 2, 4};
+  const std::string base =
+      std::filesystem::temp_directory_path() / "bench_shard";
+  std::cout << "=== sharded collection throughput (" << w.tasks.size()
+            << " tasks, " << reps << " reps"
+            << (smoke ? ", smoke" : "") << ") ===\n";
+
+  std::vector<MicroBenchRecord> records;
+  std::vector<double> speedups;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<LegResult> legs;
+    for (int workers : worker_counts) {
+      LegResult leg = RunLeg(
+          w, workers, base + "-w" + std::to_string(workers));
+      const double per_hour = leg.samples / (leg.seconds / 3600.0);
+      std::cout << "  workers=" << workers << ": " << leg.samples
+                << " samples in " << leg.seconds << "s ("
+                << static_cast<int64_t>(per_hour) << " samples/hour)\n";
+      if (!legs.empty() &&
+          (leg.merged_bytes.size() != legs[0].merged_bytes.size() ||
+           std::memcmp(leg.merged_bytes.data(), legs[0].merged_bytes.data(),
+                       leg.merged_bytes.size()) != 0)) {
+        std::cerr << "[bench_shard] merged bank at " << workers
+                  << " workers differs from the 1-worker bank — "
+                     "determinism violation\n";
+        std::exit(1);
+      }
+      legs.push_back(std::move(leg));
+      if (rep == 0) {
+        MicroBenchRecord r;
+        r.op = "shard_collect_" + std::to_string(workers) + "w";
+        r.threads = 1;
+        r.workers = workers;
+        r.ns_per_iter = legs.back().seconds * 1e9;
+        r.samples_per_hour = per_hour;
+        records.push_back(r);
+      }
+    }
+    speedups.push_back(legs[0].seconds / legs[2].seconds);
+  }
+
+  std::sort(speedups.begin(), speedups.end());
+  MicroBenchRecord sp;
+  sp.op = "shard_speedup_4w";
+  // The host's core count, so the CI floor only binds where 4 workers can
+  // actually run in parallel.
+  sp.threads = static_cast<int>(std::thread::hardware_concurrency());
+  sp.workers = 4;
+  sp.speedup_min = speedups.front();
+  sp.speedup_median = speedups[speedups.size() / 2];
+  sp.speedup_max = speedups.back();
+  records.push_back(sp);
+  std::cout << "4-worker speedup over 1 worker: median " << sp.speedup_median
+            << " (min " << sp.speedup_min << ", max " << sp.speedup_max
+            << ") on " << sp.threads << " cores\n";
+
+  WriteBenchJson("BENCH_PR10.json", records);
+  for (int workers : worker_counts) {
+    std::filesystem::remove_all(base + "-w" + std::to_string(workers));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace autocts
+
+int main(int argc, char** argv) {
+  bool smoke = std::getenv("REPRO_SMOKE") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  autocts::bench::Run(smoke);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "common/mmap_file.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -87,9 +88,17 @@ void MmapFile::AdviseWillNeed(size_t offset, size_t length) const {
 }
 
 StatusOr<std::shared_ptr<AppendFile>> AppendFile::Open(
-    const std::string& path) {
+    const std::string& path, bool exclusive) {
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) return Status::Error(Errno("cannot open", path));
+  if (exclusive && ::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    Status s = (errno == EWOULDBLOCK || errno == EAGAIN)
+                   ? Status::Error("another process holds the append lock on " +
+                                   path)
+                   : Status::Error(Errno("cannot lock", path));
+    ::close(fd);
+    return s;
+  }
   off_t end = ::lseek(fd, 0, SEEK_END);
   if (end < 0) {
     Status s = Status::Error(Errno("cannot seek", path));

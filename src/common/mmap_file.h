@@ -61,8 +61,14 @@ class MmapFile {
 class AppendFile {
  public:
   /// Opens (creating if absent) `path` for appending; the write position
-  /// starts at the current end of file.
-  static StatusOr<std::shared_ptr<AppendFile>> Open(const std::string& path);
+  /// starts at the current end of file. With `exclusive` set the opener
+  /// takes a non-blocking flock(LOCK_EX) on the fd: a second process (or a
+  /// second open in this process — locks are per open-file-description)
+  /// gets a clear Status instead of the chance to interleave appends. The
+  /// lock lives exactly as long as the fd, so a killed process releases it
+  /// implicitly.
+  static StatusOr<std::shared_ptr<AppendFile>> Open(const std::string& path,
+                                                    bool exclusive = false);
 
   ~AppendFile();
   AppendFile(const AppendFile&) = delete;

@@ -1,0 +1,151 @@
+#include "common/socketio.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/binio.h"
+#include "common/crc32.h"
+#include "common/fault.h"
+
+namespace autocts {
+namespace {
+
+constexpr size_t kFrameHeaderBytes = sizeof(uint32_t) * 2 + sizeof(uint64_t);
+
+/// Frames are control-plane messages (assignments, heartbeats), not data;
+/// anything huge means a corrupted length word, and rejecting it keeps a
+/// bit-flipped header from triggering a multi-gigabyte allocation.
+constexpr uint64_t kMaxFramePayloadBytes = uint64_t{64} << 20;
+
+/// The sending actor's shard identity for corrupt-frame probes; forked
+/// children inherit the parent's value along with any armed fault and
+/// overwrite it with their own ordinal on startup.
+std::atomic<int64_t> g_frame_fault_address{kAnyAddress};
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+int64_t RemainingMs(std::chrono::steady_clock::time_point deadline,
+                    bool has_deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+  return left < 0 ? 0 : left;
+}
+
+}  // namespace
+
+Status FrameChannel::Send(uint32_t kind, const std::string& payload) {
+  if (fd_ < 0) return Status::Error("send on closed channel");
+  if (payload.size() > kMaxFramePayloadBytes) {
+    return Status::Error("frame payload too large");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendPod(&frame, kind);
+  AppendPod(&frame, Crc32(payload.data(), payload.size()));
+  AppendPod(&frame, static_cast<uint64_t>(payload.size()));
+  frame.append(payload);
+  if (AnyFaultArmed() &&
+      FaultFires(FaultPoint::kShardMsgCorrupt,
+                 g_frame_fault_address.load(std::memory_order_relaxed))) {
+    // Flip one bit after the CRC was computed: the receiver sees a checksum
+    // mismatch (or, for an empty payload, a kind it cannot trust).
+    frame[frame.size() - 1] ^= 0x40;
+  }
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Error(ErrnoMessage("frame send failed"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  bytes_sent_ += frame.size();
+  return Status::Ok();
+}
+
+StatusOr<SocketFrame> FrameChannel::Recv(int timeout_ms) {
+  if (fd_ < 0) return Status::Error("recv on closed channel");
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  std::string buffer;
+  uint64_t need = kFrameHeaderBytes;
+  bool have_header = false;
+  uint32_t kind = 0;
+  uint32_t crc = 0;
+  while (buffer.size() < need || !have_header) {
+    if (have_header && buffer.size() >= need) break;
+    struct pollfd pfd{fd_, POLLIN, 0};
+    const int64_t wait = RemainingMs(deadline, has_deadline);
+    const int ready =
+        ::poll(&pfd, 1, wait < 0 ? -1 : static_cast<int>(wait));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(ErrnoMessage("frame poll failed"));
+    }
+    if (ready == 0) return Status::Error("recv timeout on frame channel");
+    char chunk[4096];
+    const size_t want =
+        std::min(static_cast<uint64_t>(sizeof(chunk)), need - buffer.size());
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
+    if (n == 0) return Status::Error("peer closed frame channel");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(ErrnoMessage("frame recv failed"));
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    bytes_received_ += static_cast<uint64_t>(n);
+    if (!have_header && buffer.size() >= kFrameHeaderBytes) {
+      FrameReader reader(buffer, 0);
+      uint64_t payload_bytes = 0;
+      reader.Read(&kind);
+      reader.Read(&crc);
+      reader.Read(&payload_bytes);
+      if (reader.failed() || payload_bytes > kMaxFramePayloadBytes) {
+        return Status::Error("corrupt frame header on channel");
+      }
+      need = kFrameHeaderBytes + payload_bytes;
+      have_header = true;
+    }
+  }
+  SocketFrame frame;
+  frame.kind = kind;
+  frame.payload = buffer.substr(kFrameHeaderBytes);
+  if (Crc32(frame.payload.data(), frame.payload.size()) != crc) {
+    return Status::Error("frame CRC mismatch on channel");
+  }
+  return frame;
+}
+
+void FrameChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status MakeSocketPair(int fds[2]) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    return Status::Error(ErrnoMessage("socketpair failed"));
+  }
+  return Status::Ok();
+}
+
+void SetFrameFaultAddress(int64_t address) {
+  g_frame_fault_address.store(address, std::memory_order_relaxed);
+}
+
+}  // namespace autocts

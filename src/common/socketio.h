@@ -1,0 +1,81 @@
+#ifndef REPRO_COMMON_SOCKETIO_H_
+#define REPRO_COMMON_SOCKETIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace autocts {
+
+/// One message on a FrameChannel: an application-defined kind tag plus an
+/// opaque payload (built and parsed with the common/binio.h helpers).
+struct SocketFrame {
+  uint32_t kind = 0;
+  std::string payload;
+};
+
+/// A length-framed, CRC-checked message channel over one end of a connected
+/// AF_UNIX/SOCK_STREAM socket. Wire layout per frame (native endianness,
+/// host-local like every other binary artifact in this repo):
+///
+///   u32 kind | u32 crc32(payload) | u64 payload_bytes | payload bytes
+///
+/// The CRC covers the payload only; a corrupted frame surfaces as an error
+/// Status from Recv, and the caller is expected to treat the peer as dead —
+/// stream framing cannot resynchronize after a bad length word, so the only
+/// safe recovery is dropping the connection (the shard coordinator then
+/// reclaims the worker's shards).
+///
+/// Sends probe FaultPoint::kShardMsgCorrupt addressed by this process's
+/// frame fault address (see SetFrameFaultAddress); when the fault fires
+/// one payload byte is flipped after the CRC is computed, modelling
+/// in-flight corruption. The armed fires budget bounds how many frames the
+/// addressed actor corrupts.
+class FrameChannel {
+ public:
+  /// Takes ownership of `fd` (closed on destruction).
+  explicit FrameChannel(int fd) : fd_(fd) {}
+  ~FrameChannel() { Close(); }
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  /// Writes one frame, retrying short writes. Errors mean the peer is gone
+  /// (EPIPE et al.) — the channel is unusable afterwards.
+  Status Send(uint32_t kind, const std::string& payload);
+
+  /// Reads one full frame. `timeout_ms` bounds the total wait (-1 blocks
+  /// forever); hitting it mid-frame is an error ("recv timeout"), as is a
+  /// clean peer close ("peer closed") or a CRC mismatch.
+  StatusOr<SocketFrame> Recv(int timeout_ms);
+
+  /// Closes the fd early (the peer sees EOF). Idempotent.
+  void Close();
+
+  int fd() const { return fd_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+/// Creates a connected AF_UNIX/SOCK_STREAM pair (CLOEXEC on both ends).
+/// The shard layer makes one per worker before forking: the parent keeps
+/// fds[0], the child keeps fds[1], each closes the other — no filesystem
+/// socket path to create, collide on, or leak.
+Status MakeSocketPair(int fds[2]);
+
+/// Installs this process's identity for kShardMsgCorrupt probes: shard
+/// workers set their spawn ordinal, the coordinator sets
+/// kShardCoordinatorAddress. Arming the fault at that address corrupts
+/// frames sent by exactly that actor. Default: kAnyAddress, which only an
+/// any-address arm matches.
+void SetFrameFaultAddress(int64_t address);
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_SOCKETIO_H_

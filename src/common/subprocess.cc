@@ -1,0 +1,65 @@
+#include "common/subprocess.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace autocts {
+namespace {
+
+int DecodeWaitStatus(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+}  // namespace
+
+StatusOr<pid_t> SpawnChild(const std::function<int()>& body) {
+  // Buffered stdio would otherwise be flushed once per process, duplicating
+  // any pending test/bench output in every child.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::Error(std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    int code = 1;
+    try {
+      code = body();
+    } catch (...) {
+      code = 1;
+    }
+    ::_exit(code);
+  }
+  return pid;
+}
+
+bool TryReapChild(pid_t pid, int* exit_code) {
+  int status = 0;
+  const pid_t r = ::waitpid(pid, &status, WNOHANG);
+  if (r != pid) return false;
+  *exit_code = DecodeWaitStatus(status);
+  return true;
+}
+
+int ReapChild(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) != pid) {
+    if (errno != EINTR) return -1;
+  }
+  return DecodeWaitStatus(status);
+}
+
+void KillChild(pid_t pid) {
+  if (pid <= 0) return;
+  (void)::kill(pid, SIGKILL);
+  (void)ReapChild(pid);
+}
+
+}  // namespace autocts

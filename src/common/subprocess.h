@@ -1,0 +1,37 @@
+#ifndef REPRO_COMMON_SUBPROCESS_H_
+#define REPRO_COMMON_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace autocts {
+
+/// fork()-based child processes for the sharded execution layer (MPI-free:
+/// plain fork, no exec, so children inherit the loaded model code, the
+/// encoder parameters, and any armed fault state by construction).
+///
+/// The child runs `body()` and _exit()s with its return value — no atexit
+/// handlers, no static destructors, no test-framework teardown run twice.
+/// The child must not touch the parent's thread pools (threads do not
+/// survive fork); shard workers build their own pools under an ExecScope.
+StatusOr<pid_t> SpawnChild(const std::function<int()>& body);
+
+/// Non-blocking reap. Returns true when the child has exited (or was
+/// killed), with `*exit_code` set to the exit status, or 128 + signal for a
+/// signal death. Returns false while the child still runs.
+bool TryReapChild(pid_t pid, int* exit_code);
+
+/// Blocking reap; same exit-code convention. Returns -1 when `pid` is not
+/// a live child of this process.
+int ReapChild(pid_t pid);
+
+/// SIGKILL followed by a blocking reap — the unwind path when a coordinator
+/// dies with workers still alive. Safe on already-dead children.
+void KillChild(pid_t pid);
+
+}  // namespace autocts
+
+#endif  // REPRO_COMMON_SUBPROCESS_H_

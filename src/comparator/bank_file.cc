@@ -332,7 +332,8 @@ StatusOr<std::unique_ptr<SampleBank>> SampleBank::OpenMmapFormat(
     CHECK(mode == Mode::kAppend);
     CHECK(expected_config_hash.has_value())
         << "creating a sample bank requires a config hash";
-    StatusOr<std::shared_ptr<AppendFile>> writer = AppendFile::Open(path);
+    StatusOr<std::shared_ptr<AppendFile>> writer =
+        AppendFile::Open(path, /*exclusive=*/true);
     if (!writer.ok()) return writer.status();
     if (writer.value()->size() > 0) {
       Status truncated = writer.value()->Truncate(0);
@@ -400,7 +401,10 @@ StatusOr<std::unique_ptr<SampleBank>> SampleBank::OpenMmapFormat(
   bank->config_hash_ = config_hash;
   bank->valid_end_ = valid_end;
   if (mode == Mode::kAppend) {
-    StatusOr<std::shared_ptr<AppendFile>> writer = AppendFile::Open(path);
+    // The exclusive flock is what lets sharded collection hand every worker
+    // its own bank file and still catch two processes racing one path.
+    StatusOr<std::shared_ptr<AppendFile>> writer =
+        AppendFile::Open(path, /*exclusive=*/true);
     if (!writer.ok()) return writer.status();
     // Torn-tail recovery: drop the incomplete append. Pages below
     // valid_end are unaffected by the truncation, so borrowed sections

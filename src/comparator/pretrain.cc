@@ -21,6 +21,19 @@ bool LabeledSample::usable() const {
   return !quarantined && std::isfinite(r_prime);
 }
 
+namespace {
+
+uint64_t Fnv1aHash(const std::string& bytes,
+                   uint64_t h = 1469598103934665603ull) {
+  for (char c : bytes) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
 uint64_t TaskSectionKey(const ForecastTask& task, int windows_per_task) {
   std::string id = task.name();
   id += '|';
@@ -29,21 +42,39 @@ uint64_t TaskSectionKey(const ForecastTask& task, int windows_per_task) {
   id += std::to_string(task.q);
   id += '|';
   id += std::to_string(windows_per_task);
-  uint64_t h = 1469598103934665603ull;
-  for (char c : id) {
-    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
-    h *= 1099511628211ull;
-  }
-  return h;
+  return Fnv1aHash(id);
 }
 
-std::vector<TaskSampleSet> CollectSamples(
-    const std::vector<ForecastTask>& tasks, const JointSearchSpace& space,
-    const TaskEncoder& encoder, const ScaleConfig& scale,
-    const SampleCollectionOptions& options, const ExecContext& ctx,
-    SampleBankHook* hook) {
+uint64_t SampleFateSignature(const LabeledSample& sample) {
+  return Fnv1aHash(sample.shared ? "S" : "R",
+                   Fnv1aHash(sample.arch_hyper.Signature()));
+}
+
+std::pair<int64_t, int64_t> CollectPlan::TaskRange(int task) const {
+  // Entries are task-major by construction, so the range is one contiguous
+  // run; a scan keeps this robust to tasks with differing sample counts.
+  int64_t first = static_cast<int64_t>(pending.size());
+  int64_t last = 0;
+  for (size_t p = 0; p < pending.size(); ++p) {
+    if (pending[p].task != task) continue;
+    first = std::min(first, static_cast<int64_t>(p));
+    last = std::max(last, static_cast<int64_t>(p) + 1);
+  }
+  if (first >= last) return {0, 0};
+  return {first, last};
+}
+
+CollectPlan PlanCollectSamples(const std::vector<ForecastTask>& tasks,
+                               const JointSearchSpace& space,
+                               const TaskEncoder& encoder,
+                               const ScaleConfig& scale,
+                               const SampleCollectionOptions& options,
+                               const ExecContext& ctx, SampleBankHook* hook) {
   CHECK(!tasks.empty());
   ExecScope scope(ctx);
+  CollectPlan plan;
+  plan.scale = scale;
+  plan.options = options;
   Rng rng(options.seed);
   // Shared set S_0: the same L arch-hypers are evaluated on every task so
   // the comparator can observe how rankings shift across tasks.
@@ -52,17 +83,12 @@ std::vector<TaskSampleSet> CollectSamples(
 
   // Serial pass: every RNG draw (embeddings, arch-hyper sampling, model
   // seeds) happens here in the exact single-threaded order, so the pending
-  // work list is independent of how it later fans out.
-  struct PendingSample {
-    int task = 0;
-    int slot = 0;  ///< Index into the task's sample list.
-    ArchHyper arch_hyper;
-    uint64_t model_seed = 0;
-    bool shared = false;
-  };
-  std::vector<TaskSampleSet> out(tasks.size());
-  std::vector<std::unique_ptr<ModelTrainer>> trainers;
-  std::vector<PendingSample> pending;
+  // work list is independent of how it later fans out — across pool sizes
+  // and across processes rebuilding the same plan.
+  std::vector<TaskSampleSet>& out = plan.sets;
+  out.resize(tasks.size());
+  std::vector<std::unique_ptr<ModelTrainer>>& trainers = plan.trainers;
+  std::vector<PendingSample>& pending = plan.pending;
   for (size_t ti = 0; ti < tasks.size(); ++ti) {
     const ForecastTask& task = tasks[ti];
     TaskSampleSet& set = out[ti];
@@ -98,19 +124,31 @@ std::vector<TaskSampleSet> CollectSamples(
           {static_cast<int>(ti), slot++, std::move(ah), rng.Fork(), false});
     }
   }
+  for (const ForecastTask& task : tasks) {
+    plan.specs.push_back(MakeForecasterSpec(task));
+  }
+  return plan;
+}
 
+void TrainPlannedSamples(CollectPlan* plan, int64_t begin, int64_t end,
+                         const ExecContext& ctx, SampleBankHook* hook) {
+  ExecScope scope(ctx);
+  const SampleCollectionOptions& options = plan->options;
+  const ScaleConfig& scale = plan->scale;
+  const std::vector<PendingSample>& pending = plan->pending;
+  const std::vector<ForecasterSpec>& specs = plan->specs;
+  std::vector<std::unique_ptr<ModelTrainer>>& trainers = plan->trainers;
+  std::vector<TaskSampleSet>& out = plan->sets;
+  begin = std::max<int64_t>(begin, 0);
+  end = std::min<int64_t>(end, static_cast<int64_t>(pending.size()));
   // Parallel pass: each pending sample trains its own model and writes its
   // own slot. The trainers are shared per task but their methods are pure
   // (fresh RNG + optimizer per call).
-  std::vector<ForecasterSpec> specs;
-  for (const ForecastTask& task : tasks) {
-    specs.push_back(MakeForecasterSpec(task));
-  }
   // Serializes hook->Commit calls; everything else in the loop is
   // per-sample private.
   std::mutex hook_mu;
   ParallelFor(
-      0, static_cast<int64_t>(pending.size()), 1,
+      begin, end, 1,
       [&](int64_t p0, int64_t p1) {
         for (int64_t p = p0; p < p1; ++p) {
           const PendingSample& ps = pending[static_cast<size_t>(p)];
@@ -167,7 +205,18 @@ std::vector<TaskSampleSet> CollectSamples(
           }
         }
       });
-  return out;
+}
+
+std::vector<TaskSampleSet> CollectSamples(
+    const std::vector<ForecastTask>& tasks, const JointSearchSpace& space,
+    const TaskEncoder& encoder, const ScaleConfig& scale,
+    const SampleCollectionOptions& options, const ExecContext& ctx,
+    SampleBankHook* hook) {
+  CollectPlan plan =
+      PlanCollectSamples(tasks, space, encoder, scale, options, ctx, hook);
+  TrainPlannedSamples(&plan, 0, static_cast<int64_t>(plan.pending.size()), ctx,
+                      hook);
+  return std::move(plan.sets);
 }
 
 RobustnessReport ScanSampleBank(const std::vector<TaskSampleSet>& data) {

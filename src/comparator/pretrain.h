@@ -104,6 +104,71 @@ class SampleBankHook {
 /// parameters (which the config hash covers).
 uint64_t TaskSectionKey(const ForecastTask& task, int windows_per_task);
 
+/// Stable signature of a sample's identity — a hash of the arch-hyper's
+/// canonical string and the shared flag. The checkpoint manifest stores it
+/// per fate (PipelineCheckpoint::SampleSignature delegates here) and the
+/// shard merge uses it to verify that a persisted fate belongs to the
+/// (task, slot) it claims before counting it.
+uint64_t SampleFateSignature(const LabeledSample& sample);
+
+/// One unit of deferred training work: the (task, slot) coordinates in the
+/// serial draw order, the arch-hyper to evaluate, and the model seed forked
+/// for it. The pending index of an entry in CollectPlan::pending is the
+/// canonical fault/work address used everywhere (kKillBeforeSample,
+/// kNanLoss scoping, shard assignment).
+struct PendingSample {
+  int task = 0;
+  int slot = 0;  ///< Index into the task's sample list.
+  ArchHyper arch_hyper;
+  uint64_t model_seed = 0;
+  bool shared = false;
+};
+
+/// The deterministic prelude of CollectSamples, materialized: every RNG
+/// draw (shared pool, preliminary embeddings, per-task arch-hypers, model
+/// seeds) already consumed in the exact single-threaded order, with the
+/// expensive trainings still pending. Because planning is cheap and
+/// bit-reproducible from (tasks, encoder, options), independent processes
+/// can each build the identical plan and train disjoint pending ranges —
+/// the seam the sharded execution layer (src/shard) is built on.
+struct CollectPlan {
+  /// Per-task output skeletons: task + preliminary embedding filled,
+  /// samples sized but unlabeled until trained.
+  std::vector<TaskSampleSet> sets;
+  /// All trainings, task-major and slot-minor — entries of one task are
+  /// contiguous (see TaskRange).
+  std::vector<PendingSample> pending;
+  std::vector<std::unique_ptr<ModelTrainer>> trainers;  ///< One per task.
+  std::vector<ForecasterSpec> specs;                    ///< One per task.
+  ScaleConfig scale;
+  SampleCollectionOptions options;
+
+  /// Pending-index range [first, second) holding task `t`'s samples.
+  std::pair<int64_t, int64_t> TaskRange(int task) const;
+};
+
+/// Runs the serial pass only: burns the full RNG stream, computes (or
+/// restores via `hook`) the preliminary embeddings, and returns the pending
+/// work list. `hook` is consulted for task sections exactly as in
+/// CollectSamples; sample fates are untouched.
+CollectPlan PlanCollectSamples(const std::vector<ForecastTask>& tasks,
+                               const JointSearchSpace& space,
+                               const TaskEncoder& encoder,
+                               const ScaleConfig& scale,
+                               const SampleCollectionOptions& options,
+                               const ExecContext& ctx = {},
+                               SampleBankHook* hook = nullptr);
+
+/// Trains pending entries [begin, end) across `ctx`'s pool and writes their
+/// fates into plan->sets. The retry/quarantine policy, hook consultation
+/// (Restore before, Commit after, both serialized), and fault addressing
+/// are identical to CollectSamples — which is exactly this over the full
+/// range. Pass the same `ctx` the plan was built with (the per-task
+/// trainers captured it).
+void TrainPlannedSamples(CollectPlan* plan, int64_t begin, int64_t end,
+                         const ExecContext& ctx = {},
+                         SampleBankHook* hook = nullptr);
+
 /// Trains and early-validates the shared pool plus per-task random
 /// arch-hypers on every task, and computes each task's preliminary
 /// embedding. This is the expensive, GPU-hours-in-the-paper step, so the

@@ -22,14 +22,6 @@ namespace {
 constexpr uint64_t kManifestMagicV1 = 0x41435453434b5031ull;  // "ACTSCKP1"
 constexpr uint64_t kManifestMagicV2 = 0x41435453434b5032ull;  // "ACTSCKP2"
 
-uint64_t Fnv1a(const std::string& bytes, uint64_t h = 1469598103934665603ull) {
-  for (char c : bytes) {
-    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 }  // namespace
 
 PipelineCheckpoint::PipelineCheckpoint(std::string dir, uint64_t config_hash)
@@ -58,8 +50,7 @@ std::string PipelineCheckpoint::ComparatorPath() const {
 }
 
 uint64_t PipelineCheckpoint::SampleSignature(const LabeledSample& sample) {
-  return Fnv1a(sample.shared ? "S" : "R",
-               Fnv1a(sample.arch_hyper.Signature()));
+  return SampleFateSignature(sample);
 }
 
 Status PipelineCheckpoint::Load() {

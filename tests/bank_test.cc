@@ -169,6 +169,32 @@ TEST_F(BankFileTest, TornTailRejectedReadOnlyRecoveredOnAppend) {
   EXPECT_EQ(again.value()->records().size(), 2u);
 }
 
+TEST_F(BankFileTest, SecondAppendOpenerRejectedWhileLockHeld) {
+  std::string path = FreshPath("locked");
+  WriteSmallBank(path, 11);
+
+  auto writer = SampleBank::Open(path, 11, SampleBank::Mode::kAppend);
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+
+  // The writer holds an exclusive flock on the file: a second append
+  // opener — another process racing the same bank path, or (as here, since
+  // flock is per open-file-description) a second open in this process —
+  // gets a clear Status instead of interleaving frames into a torn file.
+  auto second = SampleBank::Open(path, 11, SampleBank::Mode::kAppend);
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.status().message().find("append lock"), std::string::npos)
+      << second.status().message();
+
+  // Read-only openers are unaffected (one writer, many readers).
+  auto ro = SampleBank::Open(path, 11, SampleBank::Mode::kReadOnly);
+  EXPECT_TRUE(ro.ok()) << ro.status().message();
+
+  // The lock dies with the writer; the next append opener proceeds.
+  writer.value().reset();
+  auto after = SampleBank::Open(path, 11, SampleBank::Mode::kAppend);
+  EXPECT_TRUE(after.ok()) << after.status().message();
+}
+
 TEST_F(BankFileTest, FlippedSectionCrcCaughtByScrubAndVerifyOnOpen) {
   std::string path = FreshPath("flip");
   WriteSmallBank(path, 3);
