@@ -76,8 +76,8 @@ void RegisterServeStatsProvider(ServeStatsProvider provider);
 struct ShardStats {
   uint64_t runs = 0;              ///< Sharded collection runs coordinated.
   uint64_t shards_total = 0;      ///< Shards across all runs (= tasks).
-  uint64_t shards_done = 0;       ///< Shards completed by some worker.
-  uint64_t shards_resumed = 0;    ///< Shards already complete on disk at start.
+  uint64_t shards_done = 0;       ///< Shards complete (live workers + resumed).
+  uint64_t shards_resumed = 0;    ///< Of shards_done: already on disk at start.
   uint64_t shards_stolen = 0;     ///< Reassignments from slow/live workers.
   uint64_t shards_reclaimed = 0;  ///< Reassignments from dead workers.
   uint64_t worker_restarts = 0;   ///< Replacement workers forked after deaths.

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -277,7 +278,10 @@ class WorkerGroup {
     }
   }
 
-  std::vector<WorkerProc> workers;
+  // A deque, not a vector: the poll sweep holds WorkerProc* across
+  // spawn_worker() calls (replacement workers forked mid-sweep), and deque
+  // push_back never invalidates references to existing elements.
+  std::deque<WorkerProc> workers;
 };
 
 /// The shard fates accumulated from checkpoint restores and shard-bank
@@ -291,13 +295,29 @@ LabeledSample ExpectedSample(const PendingSample& ps) {
   return s;
 }
 
+/// True when a SampleBank::Open failure positively identifies the file as
+/// unusable for this run — written under another configuration, or
+/// structurally corrupt beyond the torn tails kAppend already recovers.
+/// Matches the error strings bank_file.cc emits for exactly those states;
+/// everything else (held append lock, EMFILE/EIO/permission trouble from
+/// the mmap or writer open) may be transient and must not condemn the file.
+bool BankOpenIdentifiesStaleState(const std::string& msg) {
+  return msg.find("different configuration") != std::string::npos ||
+         msg.find("bad magic") != std::string::npos ||
+         msg.find("unsupported version") != std::string::npos ||
+         msg.find("header CRC mismatch") != std::string::npos ||
+         msg.find("at offset") != std::string::npos;  // frame-scan corruption
+}
+
 /// Scans every `bank.shard-*` in the run directory and absorbs
 /// signature-verified fates. Opening kAppend recovers torn tails (the
-/// after-kill state of a worker bank); a bank that fails to open for any
-/// reason other than a held lock is a stale-config leftover and is deleted.
-/// Dedup: the first fate absorbed for a (task, slot) wins — duplicates from
-/// stolen shards are bit-identical by the determinism contract, so "first
-/// wins" is a no-double-count rule, not a tie-break.
+/// after-kill state of a worker bank); a bank that provably belongs to a
+/// different configuration (or is corrupt past recovery) is deleted so a
+/// worker can recreate the path, while any other open failure — lock held,
+/// transient IO — skips the file and leaves its committed work on disk for
+/// a later pass. Dedup: the first fate absorbed for a (task, slot) wins —
+/// duplicates from stolen shards are bit-identical by the determinism
+/// contract, so "first wins" is a no-double-count rule, not a tie-break.
 void AbsorbShardBanks(const ShardOptions& shard, const CollectPlan& plan,
                       const std::map<std::pair<int, int>, size_t>& slots,
                       FateMap* fates) {
@@ -313,7 +333,7 @@ void AbsorbShardBanks(const ShardOptions& shard, const CollectPlan& plan,
     StatusOr<std::unique_ptr<SampleBank>> bank = SampleBank::Open(
         path.string(), shard.config_hash, SampleBank::Mode::kAppend);
     if (!bank.ok()) {
-      if (bank.status().message().find("append lock") == std::string::npos) {
+      if (BankOpenIdentifiesStaleState(bank.status().message())) {
         fs::remove(path, ec);
       }
       continue;
@@ -558,11 +578,17 @@ Status RunCoordinatorLoop(const std::vector<ForecastTask>& tasks,
       WorkerProc* w = connected[i];
       if (!w->connected) continue;  // dropped earlier this sweep
       if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
-      StatusOr<SocketFrame> frame = w->channel->Recv(1000);
+      // Workers write whole frames in one send(), so a readable fd that
+      // cannot produce a complete frame within one loop cadence means the
+      // peer died mid-write or the length word is garbage. Keep the
+      // timeout at the 50ms tick: blocking longer here would stall
+      // assignment, heartbeats, and steals for every other worker.
+      StatusOr<SocketFrame> frame = w->channel->Recv(50);
       if (!frame.ok()) {
-        // EOF, CRC mismatch, or framing damage: either way this channel
-        // cannot be trusted any more. Reclaim and let the restart/steal
-        // machinery cover the shard.
+        // EOF, CRC mismatch, framing damage, or a mid-frame stall: either
+        // way this channel cannot be trusted any more (framing cannot
+        // resync). Reclaim and let the restart/steal machinery cover the
+        // shard.
         if (frame.status().message().find("CRC") != std::string::npos ||
             frame.status().message().find("corrupt") != std::string::npos) {
           Counters().corrupt_frames.fetch_add(1, std::memory_order_relaxed);
@@ -778,7 +804,11 @@ StatusOr<std::vector<TaskSampleSet>> ShardedCollectSamples(
   for (size_t t = 0; t < tasks.size(); ++t) {
     if (shard_complete(static_cast<int>(t))) {
       states[t].state = ShardState::S::kDone;
+      // Resumed shards count as done too, so shards_done / shards_total is
+      // the completion figure even after a resume; shards_resumed breaks
+      // out how many of those were already on disk at start.
       Counters().shards_resumed.fetch_add(1, std::memory_order_relaxed);
+      Counters().shards_done.fetch_add(1, std::memory_order_relaxed);
     } else {
       any_needed = true;
     }

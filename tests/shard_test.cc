@@ -244,9 +244,15 @@ TEST_F(ShardTest, ResumeAfterCoordinatorKill) {
       << "kill fired after the merge";
 
   // Run B resumes; run C never crashed.
+  const ShardStats before_resume = CurrentShardStats();
   AutoCtsPlusPlus resumed(tiny_options(killed_dir));
   StatusOr<PretrainReport> resumed_report = resumed.TryPretrain(TinyTasks());
   ASSERT_TRUE(resumed_report.ok()) << resumed_report.status().message();
+  // done/total reconciles after a resume: resumed shards count as done too.
+  const ShardStats after_resume = CurrentShardStats();
+  EXPECT_EQ(after_resume.shards_done - before_resume.shards_done,
+            after_resume.shards_total - before_resume.shards_total);
+  EXPECT_GT(after_resume.shards_resumed, before_resume.shards_resumed);
   AutoCtsPlusPlus clean(tiny_options(clean_dir));
   ASSERT_TRUE(clean.TryPretrain(TinyTasks()).ok());
 
